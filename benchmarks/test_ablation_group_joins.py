@@ -1,0 +1,69 @@
+"""Ablation A9 — Wi-Fi Direct group joins vs. pairwise formations.
+
+In real Wi-Fi Direct, a relay that already owns a group admits further
+UEs by *join* (no second GO negotiation) — faster and cheaper than the
+pairwise formation the Table III/IV calibration measures. The
+reproduction keeps joins off by default to preserve the calibration; this
+ablation turns them on and quantifies what the default leaves on the
+table for a multi-UE relay.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.reporting import format_table
+from repro.scenarios import run_relay_scenario
+
+N_UES = 5
+PERIODS = 3
+
+
+def run_pairwise_vs_joins():
+    results = {}
+    for label, group_aware in (("pairwise (calibrated)", False),
+                               ("group joins", True)):
+        result = run_relay_scenario(
+            n_ues=N_UES, distance_m=1.0, periods=PERIODS,
+            group_aware=group_aware,
+        )
+        breakdown = result.metrics.devices["relay-0"].energy_breakdown
+        results[label] = {
+            "relay_total": result.per_device_energy_uah("relay-0"),
+            "relay_setup": breakdown["d2d_discovery"]
+            + breakdown["d2d_connection"],
+            "ue_total": result.ue_energy_uah(),
+            "joins": result.context.medium.group_joins,
+            "forwarded": result.framework.total_beats_forwarded(),
+            "on_time": result.on_time_fraction(),
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-joins")
+def test_ablation_group_joins(benchmark):
+    results = run_once(benchmark, run_pairwise_vs_joins)
+
+    print_header(
+        f"Ablation A9 — group joins, 1 relay + {N_UES} UEs, {PERIODS} periods"
+    )
+    rows = [
+        [label, r["joins"], r["relay_setup"], r["relay_total"], r["ue_total"]]
+        for label, r in results.items()
+    ]
+    print(format_table(
+        ["Mode", "Joins", "Relay setup (µAh)", "Relay total (µAh)",
+         "UE total (µAh)"],
+        rows,
+    ))
+
+    pairwise = results["pairwise (calibrated)"]
+    joins = results["group joins"]
+    # joins actually happened: all UEs after the first joined the group
+    assert pairwise["joins"] == 0
+    assert joins["joins"] == N_UES - 1
+    # the relay's setup burden shrinks (one negotiation instead of five)
+    assert joins["relay_setup"] < 0.7 * pairwise["relay_setup"]
+    assert joins["relay_total"] < pairwise["relay_total"]
+    # behaviour is otherwise identical
+    assert joins["forwarded"] == pairwise["forwarded"] == N_UES * PERIODS
+    assert joins["on_time"] == pairwise["on_time"] == 1.0

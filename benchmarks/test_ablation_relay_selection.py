@@ -1,0 +1,65 @@
+"""Ablation A6 — operator relay selection: planned vs. random.
+
+The paper has the operator "select relays among the participating
+smartphone users" but leaves the selection policy open. With a tight
+relay budget in a spread-out crowd, WHO gets appointed matters: a random
+pick can strand whole hotspots out of D2D range (their beats all fall
+back to cellular), while the greedy dominating-set planner
+(:mod:`repro.core.operator`) covers every cluster.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.mobility.space import Arena
+from repro.reporting import format_table
+from repro.scenarios import run_crowd_scenario
+
+COMMON = dict(
+    n_devices=40,
+    relay_fraction=0.1,  # only 4 relays for 4 hotspots
+    duration_s=1200.0,
+    arena=Arena(150.0, 150.0),
+    hotspots=4,
+    capacity=12,
+)
+SEEDS = (1, 2, 3)
+
+
+def run_selection_comparison():
+    results = {}
+    for strategy in ("greedy", "random"):
+        l3, forwarded, fallbacks = 0, 0, 0
+        for seed in SEEDS:
+            run = run_crowd_scenario(seed=seed, relay_selection=strategy, **COMMON)
+            assert run.on_time_fraction() == 1.0
+            l3 += run.total_l3()
+            forwarded += run.framework.total_beats_forwarded()
+            fallbacks += run.framework.total_cellular_fallbacks()
+        n = len(SEEDS)
+        results[strategy] = (l3 / n, forwarded / n, fallbacks / n)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-selection")
+def test_ablation_relay_selection(benchmark):
+    results = run_once(benchmark, run_selection_comparison)
+
+    print_header(
+        "Ablation A6 — relay appointment with a tight budget "
+        f"(4 relays / {COMMON['n_devices']} devices, 4 hotspots, "
+        f"mean of {len(SEEDS)} seeds)"
+    )
+    print(format_table(
+        ["Selection", "L3 msgs", "Beats via D2D", "Cellular fallbacks"],
+        [[name, *values] for name, values in results.items()],
+    ))
+
+    greedy_l3, greedy_fwd, greedy_fb = results["greedy"]
+    random_l3, random_fwd, random_fb = results["random"]
+    # planned placement carries more beats over D2D...
+    assert greedy_fwd > random_fwd
+    # ...strands fewer UEs on cellular...
+    assert greedy_fb < random_fb
+    # ...and cuts the operator's signaling bill substantially
+    assert greedy_l3 < 0.7 * random_l3

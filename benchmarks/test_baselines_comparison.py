@@ -1,0 +1,281 @@
+"""Four-way baseline comparison on an identical mixed workload.
+
+The paper's introduction surveys the alternatives before proposing D2D
+relaying: piggybacking heartbeats on other traffic ([2]) and RRC
+mechanisms like fast dormancy ([26], "aggravates signaling storm while
+reducing energy consumption"). This bench runs all four systems over the
+*same* workload — two phones, periodic beats plus identical Poisson
+foreground data — and tabulates the trade-off the paper argues:
+
+- piggybacking only helps when foreground traffic exists;
+- fast dormancy saves energy but multiplies RRC cycles (signaling);
+- D2D relaying is the only one that cuts both.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.baseline.fast_dormancy import FAST_DORMANCY_PROFILE, FastDormancySystem
+from repro.baseline.original import OriginalSystem
+from repro.baseline.piggyback import PiggybackSystem
+from repro.baseline.traffic_driver import MixedTrafficDevice
+from repro.cellular.basestation import BaseStation
+from repro.cellular.rrc import WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.mobility.models import StaticMobility
+from repro.reporting import format_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+PERIODS = 8
+SEED = 1234
+#: Set per-case by the bench: 0.0 = idle phones, 1.0 = busy phones.
+DATA_RATE_SCALE = 1.0
+
+
+def _network(rrc_profile=WCDMA_PROFILE, with_d2d=False):
+    sim = Simulator(seed=SEED)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT) if with_d2d else None
+    return sim, ledger, basestation, server, medium
+
+
+def _phones(sim, ledger, basestation, medium=None, roles=(Role.STANDALONE,) * 2,
+            rrc_profile=WCDMA_PROFILE):
+    positions = [(0.0, 0.0), (1.0, 0.0)]
+    return [
+        Smartphone(sim, f"dev-{i}", mobility=StaticMobility(positions[i]),
+                   role=roles[i], ledger=ledger, basestation=basestation,
+                   d2d_medium=medium, rrc_profile=rrc_profile)
+        for i in range(2)
+    ]
+
+
+def _finish(sim, shutdown):
+    sim.run_until(PERIODS * T - 1)
+    shutdown()
+    sim.run_until(PERIODS * T + 30)
+
+
+def _summarize(name, ledger, phones, server):
+    return [
+        name,
+        ledger.total,
+        ledger.total_cycles,
+        sum(p.energy.total_uah for p in phones),
+        1.0 if not server.records
+        else sum(r.on_time for r in server.records) / len(server.records),
+    ]
+
+
+def run_original():
+    sim, ledger, basestation, server, __ = _network()
+    phones = _phones(sim, ledger, basestation)
+    system = OriginalSystem(app=STANDARD_APP)
+    drivers = []
+    for i, phone in enumerate(phones):
+        system.add_device(phone, phase_fraction=0.25 + 0.5 * i)
+        # identical foreground data, sent immediately (original behaviour);
+        # the heartbeat side is owned by OriginalSystem, so the driver only
+        # contributes the data process (heartbeats suppressed via scale)
+        drivers.append(_attach_data(phone))
+    _finish(sim, lambda: (system.shutdown(), [d() for d in drivers]))
+    return _summarize("original", ledger, phones, server)
+
+
+def _attach_data(phone):
+    """Poisson foreground data from a per-device stream shared by every
+    system (same seed + stream name → identical arrival times)."""
+    rng = make_rng(SEED, f"data-{phone.device_id}")
+    rate = STANDARD_APP.other_message_rate_per_s() * DATA_RATE_SCALE
+    stopped = []
+    if rate <= 0:
+        return lambda: stopped.append(True)
+
+    def tick():
+        if stopped or not phone.alive:
+            return
+        phone.modem.send(STANDARD_APP.data_message_bytes, payload=None)
+        phone.sim.schedule(rng.expovariate(rate), tick, name="fg_data")
+
+    phone.sim.schedule(rng.expovariate(rate), tick, name="fg_data")
+    return lambda: stopped.append(True)
+
+
+def run_piggyback():
+    sim, ledger, basestation, server, __ = _network()
+    phones = _phones(sim, ledger, basestation)
+    system = PiggybackSystem(app=STANDARD_APP, data_rate_scale=0.0)
+    stoppers = []
+    for i, phone in enumerate(phones):
+        # beats via the piggyback policy; data via the shared stream, but
+        # routed through the policy so beats can ride it
+        system.add_device(phone, make_rng(SEED, f"unused-{i}"),
+                          phase_fraction=0.25 + 0.5 * i)
+        policy = system.policies[phone.device_id]
+        rng = make_rng(SEED, f"data-{phone.device_id}")
+        rate = STANDARD_APP.other_message_rate_per_s() * DATA_RATE_SCALE
+        stopped = []
+        if rate <= 0:
+            stoppers.append(lambda stopped=stopped: stopped.append(True))
+            continue
+
+        def tick(policy=policy, rng=rng, rate=rate, stopped=stopped, phone=phone):
+            if stopped or not phone.alive:
+                return
+            policy.on_data(STANDARD_APP.data_message_bytes)
+            phone.sim.schedule(
+                rng.expovariate(rate), tick, name="fg_data"
+            )
+
+        sim.schedule(rng.expovariate(rate), tick, name="fg_data")
+        stoppers.append(lambda stopped=stopped: stopped.append(True))
+    _finish(sim, lambda: (system.shutdown(), [s() for s in stoppers]))
+    row = _summarize("piggyback [2]", ledger, phones, server)
+    return row, system.piggyback_ratio
+
+
+def run_fast_dormancy():
+    sim, ledger, basestation, server, __ = _network()
+    phones = _phones(sim, ledger, basestation, rrc_profile=FAST_DORMANCY_PROFILE)
+    system = FastDormancySystem(app=STANDARD_APP, data_rate_scale=0.0)
+    stoppers = []
+    for i, phone in enumerate(phones):
+        system.add_device(phone, make_rng(SEED, f"unused-{i}"),
+                          phase_fraction=0.25 + 0.5 * i)
+        stoppers.append(_attach_data(phone))
+    _finish(sim, lambda: (system.shutdown(), [s() for s in stoppers]))
+    return _summarize("fast dormancy [26]", ledger, phones, server)
+
+
+def run_d2d_framework():
+    sim, ledger, basestation, server, medium = _network(with_d2d=True)
+    phones = _phones(sim, ledger, basestation, medium=medium,
+                     roles=(Role.RELAY, Role.UE))
+    framework = HeartbeatRelayFramework([], app=STANDARD_APP)
+    framework.add_device(phones[0], phase_fraction=0.25)
+    framework.add_device(phones[1], phase_fraction=0.75)
+    stoppers = [_attach_data(phone) for phone in phones]
+    _finish(sim, lambda: (framework.shutdown(), [s() for s in stoppers]))
+    return _summarize("d2d framework", ledger, phones, server)
+
+
+def run_extended_period():
+    """The other [2] strategy: double the heartbeat period.
+
+    Halves beat-driven signaling and energy for free — except the server's
+    offline-detection window (3×period) doubles too, "impact[ing] the
+    instantaneity of these IM apps", which is why app developers refuse it.
+    """
+    import dataclasses as _dc
+
+    sim, ledger, basestation, server, __ = _network()
+    phones = _phones(sim, ledger, basestation)
+    slow_app = _dc.replace(STANDARD_APP, heartbeat_period_s=2 * T)
+    system = OriginalSystem(app=slow_app)
+    drivers = []
+    for i, phone in enumerate(phones):
+        system.add_device(phone, phase_fraction=0.25 + 0.5 * i)
+        drivers.append(_attach_data(phone))
+    _finish(sim, lambda: (system.shutdown(), [d() for d in drivers]))
+    row = _summarize("extended period [2]", ledger, phones, server)
+    return row, slow_app.server_expiry_s
+
+
+def _run_all(scale):
+    global DATA_RATE_SCALE
+    DATA_RATE_SCALE = scale
+    original = run_original()
+    piggyback, ratio = run_piggyback()
+    fast = run_fast_dormancy()
+    d2d = run_d2d_framework()
+    return original, piggyback, ratio, fast, d2d
+
+
+def _tabulate(title, original, piggyback, ratio, fast, d2d):
+    print_header(title)
+    print(format_table(
+        ["System", "L3 msgs", "RRC cycles", "Energy (µAh)", "On-time"],
+        [original, piggyback, fast, d2d],
+    ))
+    print(f"piggyback ride ratio: {ratio:.0%}")
+    names = ("original", "piggyback", "fast", "d2d")
+    l3 = dict(zip(names, (original[1], piggyback[1], fast[1], d2d[1])))
+    energy = dict(zip(names, (original[3], piggyback[3], fast[3], d2d[3])))
+    on_time = (original[4], piggyback[4], fast[4], d2d[4])
+    assert all(v == 1.0 for v in on_time)
+    return l3, energy
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison_idle_phones(benchmark):
+    """No foreground traffic: piggybacking has nothing to ride."""
+    original, piggyback, ratio, fast, d2d = run_once(benchmark, _run_all, 0.0)
+    l3, energy = _tabulate(
+        f"Baselines — idle phones (beats only), {PERIODS} periods",
+        original, piggyback, ratio, fast, d2d,
+    )
+    # piggybacking degenerates to the original system
+    assert ratio == 0.0
+    assert l3["piggyback"] == l3["original"]
+    # D2D halves signaling even with zero foreground traffic
+    assert l3["d2d"] <= 0.55 * l3["original"]
+    # fast dormancy saves energy but gives the operator nothing
+    assert l3["fast"] == l3["original"]
+    assert energy["fast"] < energy["original"]
+    assert energy["d2d"] < energy["original"]
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_extended_period_trades_freshness(benchmark):
+    """Doubling the period halves beat costs but doubles staleness."""
+
+    def run_both():
+        global DATA_RATE_SCALE
+        DATA_RATE_SCALE = 0.0
+        return run_original(), run_extended_period()
+
+    original, (extended, offline_window) = run_once(benchmark, run_both)
+
+    print_header("Extended-period strategy [2] vs. original (idle phones)")
+    print(format_table(
+        ["System", "L3 msgs", "RRC cycles", "Energy (µAh)", "On-time"],
+        [original, extended],
+    ))
+    print(f"offline-detection window: {STANDARD_APP.server_expiry_s:.0f} s → "
+          f"{offline_window:.0f} s")
+
+    # the appeal: roughly half the signaling and energy
+    assert extended[1] <= 0.6 * original[1]
+    assert extended[3] <= 0.6 * original[3]
+    # the cost the paper cites: presence staleness doubles
+    assert offline_window == pytest.approx(2 * STANDARD_APP.server_expiry_s)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison_busy_phones(benchmark):
+    """Active foreground traffic: each alternative shows its niche."""
+    original, piggyback, ratio, fast, d2d = run_once(benchmark, _run_all, 1.0)
+    l3, energy = _tabulate(
+        f"Baselines — busy phones (beats + Poisson data), {PERIODS} periods",
+        original, piggyback, ratio, fast, d2d,
+    )
+    # with traffic to ride, piggybacking becomes competitive on signaling
+    assert ratio > 0.3
+    assert l3["piggyback"] < l3["original"]
+    # fast dormancy AGGRAVATES signaling: cycles that shared a tail split
+    assert l3["fast"] > l3["original"]
+    assert energy["fast"] < energy["original"]
+    # the framework still cuts both axes vs. the original system
+    assert l3["d2d"] < l3["original"]
+    assert energy["d2d"] < energy["original"]

@@ -1,0 +1,66 @@
+"""Battery-lifetime projection — the paper's opening motivation.
+
+"A smartphone spends at least 6% of its battery capacity in sending
+heartbeat messages even with only one IM app running" (Sec. I). This
+bench measures a day of heartbeat energy per role, converts it to battery
+fractions on the paper's Galaxy S4, and projects how much heartbeat-
+attributable battery life the framework buys each participant.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.energy.profiles import GALAXY_S4_BATTERY_MAH
+from repro.reporting import format_table, percent
+from repro.scenarios import run_relay_scenario
+from repro.workload.apps import WECHAT
+
+PERIODS = 32  # 32 × 270 s = 2.4 h simulated, scaled to a day
+SCALE_TO_DAY = 86_400.0 / (PERIODS * WECHAT.heartbeat_period_s)
+
+
+def run_lifetime_projection():
+    d2d = run_relay_scenario(n_ues=3, periods=PERIODS, app=WECHAT)
+    base = run_relay_scenario(n_ues=3, periods=PERIODS, app=WECHAT,
+                              mode="original")
+    capacity_uah = GALAXY_S4_BATTERY_MAH * 1000.0
+
+    def daily_fraction(result, device_id):
+        return result.per_device_energy_uah(device_id) * SCALE_TO_DAY / (
+            capacity_uah
+        )
+
+    rows = {}
+    for device_id in ("ue-0", "relay-0"):
+        rows[device_id] = (
+            daily_fraction(base, device_id),
+            daily_fraction(d2d, device_id),
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="battery")
+def test_battery_lifetime_projection(benchmark):
+    rows = run_once(benchmark, run_lifetime_projection)
+
+    print_header(
+        "Heartbeat battery cost per day (WeChat, Galaxy S4 2600 mAh)"
+    )
+    print(format_table(
+        ["Device", "Original /day", "With framework /day"],
+        [
+            [device, percent(before), percent(after)]
+            for device, (before, after) in rows.items()
+        ],
+    ))
+
+    ue_before, ue_after = rows["ue-0"]
+    relay_before, relay_after = rows["relay-0"]
+    # the paper's claim: ≥6 %/day on the original system
+    assert ue_before >= 0.06
+    # a relayed UE's daily heartbeat budget collapses to ~1 %
+    assert ue_after < 0.02
+    assert ue_after < ue_before / 4
+    # the relay pays more than it used to, but stays within ~2× its old
+    # budget — the "slightly higher than original" of Fig. 8
+    assert relay_before <= relay_after <= 2.0 * relay_before

@@ -1,0 +1,44 @@
+"""Fig. 10 — relay energy with 1/3/5/7 connected UEs vs. connection time.
+
+Paper findings: more connected UEs cost the relay noticeably more when few
+beats have been forwarded, but "when the connection time lasts long
+enough, the impact of the multiple connected UEs can be neglected for its
+little proportion".
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import monotone_nondecreasing
+from repro.experiments import fig10
+from repro.reporting import format_series
+
+UE_COUNTS = (1, 3, 5, 7)
+TRANSMISSIONS = list(range(1, 8))
+
+
+def run_fig10_sweep():
+    # the paper's rig forwards the UEs' beats back-to-back within the
+    # connection; fig10() aligns the UE phases so arrivals coalesce
+    return fig10(ue_counts=UE_COUNTS, max_k=len(TRANSMISSIONS))
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_relay_energy_multi_ue(benchmark):
+    curves = run_once(benchmark, run_fig10_sweep)
+
+    print_header("Fig. 10 — relay energy (µAh) with multiple UEs")
+    print(format_series("k", TRANSMISSIONS, curves))
+
+    # more UEs always cost the relay more, at every connection length
+    for k in range(len(TRANSMISSIONS)):
+        column = [curves[f"{n} UE"][k] for n in UE_COUNTS]
+        assert all(b > a for a, b in zip(column, column[1:])), f"k={k + 1}"
+    # every curve is monotone in connection time
+    for name, curve in curves.items():
+        assert monotone_nondecreasing(curve), name
+    # the *relative* impact of extra UEs shrinks as the connection grows:
+    # (E_7ue / E_1ue) at k=1 must exceed the same ratio at k=7
+    ratio_first = curves["7 UE"][0] / curves["1 UE"][0]
+    ratio_last = curves["7 UE"][-1] / curves["1 UE"][-1]
+    assert ratio_first > ratio_last

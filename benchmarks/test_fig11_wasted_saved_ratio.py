@@ -1,0 +1,41 @@
+"""Fig. 11 — ratio of the relay's wasted energy to the UEs' saved energy.
+
+Paper finding: "With more UEs connected with a relay and longer D2D
+connection time, ratio of the wasted energy caused by the relay and the
+energy saved by the UE drops from around 97% to around 5%."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import fig11
+from repro.reporting import format_series
+
+UE_COUNTS = (1, 3, 5, 7)
+TRANSMISSIONS = list(range(1, 8))
+
+
+def run_fig11_sweep():
+    # UE phases are aligned inside fig11(), as in the paper's rig
+    return fig11(ue_counts=UE_COUNTS, max_k=len(TRANSMISSIONS))
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_wasted_to_saved_ratio(benchmark):
+    curves = run_once(benchmark, run_fig11_sweep)
+
+    print_header("Fig. 11 — wasted/saved energy ratio (%)")
+    print(format_series("k", TRANSMISSIONS, curves))
+    print("paper: drops from ~97% to ~5%")
+
+    # the worst case (1 UE, 1 transmission) is near break-even: ~100 %
+    assert curves["1 UE"][0] == pytest.approx(97.0, abs=15.0)
+    # the best case (7 UEs, long connection) drops to a small fraction
+    assert curves["7 UE"][-1] < 20.0
+    # ratio improves with more UEs at every connection length
+    for k in range(len(TRANSMISSIONS)):
+        column = [curves[f"{n} UE"][k] for n in UE_COUNTS]
+        assert all(b < a for a, b in zip(column, column[1:])), f"k={k + 1}"
+    # and improves with connection time for every UE count
+    for name, curve in curves.items():
+        assert curve[-1] < curve[0], name

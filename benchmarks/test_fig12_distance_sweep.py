@@ -1,0 +1,67 @@
+"""Fig. 12 — energy consumption vs. D2D communication distance.
+
+Paper setup: distances up to 15 m. Findings: "with the communication
+distance increased, Wi-Fi Direct consumes more energy apparently. We could
+predict that UE might consume more energy than original system when the
+communication distance beyond a certain value."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import crossover_index, monotone_nondecreasing
+from repro.core.modes import breakeven_distance_m
+from repro.reporting import format_series
+from repro.scenarios import run_relay_scenario
+
+DISTANCES = (1.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0)
+PERIODS = 5
+
+
+def run_fig12_sweep():
+    from repro.experiments import fig12
+
+    return fig12(distances=DISTANCES, periods=PERIODS)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_energy_vs_distance(benchmark):
+    ue, relay, original = run_once(benchmark, run_fig12_sweep)
+
+    print_header(f"Fig. 12 — energy (µAh) vs. distance, {PERIODS} transmissions")
+    print(format_series(
+        "d(m)", list(DISTANCES),
+        {
+            "ue": ue,
+            "relay": relay,
+            "original": [original] * len(DISTANCES),
+            "saved_ue": [original - u for u in ue],
+        },
+    ))
+    breakeven = breakeven_distance_m(expected_beats=PERIODS)
+    print(f"predicted UE-vs-cellular breakeven distance: {breakeven:.1f} m")
+
+    # UE energy rises with distance (TX power scaling)
+    assert monotone_nondecreasing(ue)
+    assert ue[-1] > 2.0 * ue[0]
+    # the relay's cost is distance-insensitive (RX side): < 5 % variation
+    assert max(relay) - min(relay) < 0.05 * relay[0]
+    # within the paper's 0-15 m sweep the UE stays below the original
+    # system — the crossover is beyond the sweep
+    assert crossover_index(ue, [original] * len(DISTANCES)) == -1
+    # ...but the predicted breakeven exists at a finite larger distance
+    assert 15.0 < breakeven < 100.0
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_matching_prefers_nearest(benchmark):
+    """The design consequence the paper draws: 'we try to match a relay
+    with the UE as close as possible for lower energy consumption'."""
+
+    def run():
+        near = run_relay_scenario(n_ues=1, distance_m=1.0, periods=PERIODS)
+        far = run_relay_scenario(n_ues=1, distance_m=15.0, periods=PERIODS)
+        return near.ue_energy_uah(), far.ue_energy_uah()
+
+    near_ue, far_ue = run_once(benchmark, run)
+    assert near_ue < far_ue

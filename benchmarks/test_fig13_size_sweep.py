@@ -1,0 +1,42 @@
+"""Fig. 13 — energy consumption vs. heartbeat message size.
+
+Paper setup: 54 B standard size scaled 1×-5× (up to ~300 B, the realistic
+heartbeat range). Finding: "the energy consumption stays almost constant,
+which is appropriate for small-sized messages."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.reporting import format_series
+from repro.scenarios import run_relay_scenario
+
+MULTIPLIERS = (1, 2, 3, 4, 5)
+BASE_SIZE = 54
+PERIODS = 3
+
+
+def run_fig13_sweep():
+    from repro.experiments import fig13
+
+    return fig13(multipliers=MULTIPLIERS, base_size=BASE_SIZE,
+                 periods=PERIODS)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_energy_vs_message_size(benchmark):
+    series = run_once(benchmark, run_fig13_sweep)
+
+    print_header("Fig. 13 — energy (µAh) vs. message size (1×-5× of 54 B)")
+    print(format_series(
+        "size", [f"{m}X" for m in MULTIPLIERS], series,
+    ))
+
+    # "energy consumption stays almost constant" across the realistic
+    # heartbeat size range: < 12 % spread on every curve
+    for name, curve in series.items():
+        spread = (max(curve) - min(curve)) / min(curve)
+        assert spread < 0.12, (name, spread)
+    # the ordering UE < original < relay holds at every size
+    for k in range(len(MULTIPLIERS)):
+        assert series["ue"][k] < series["original"][k] < series["relay"][k]

@@ -1,0 +1,55 @@
+"""Fig. 15 — layer-3 message consumption vs. transmission times.
+
+Paper findings:
+
+- the UE "brings in no extra cellular signaling traffic" (zero L3);
+- the relay's signaling is "nearly the same as the original system"
+  (a single device's), slightly higher with more connected UEs (bigger
+  aggregates trigger bearer reconfigurations);
+- the whole system sees ">50% cellular signaling traffic saving" with one
+  UE, and the saving improves with more UEs.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import signaling_reduction
+from repro.reporting import format_series, percent
+from repro.scenarios import run_relay_scenario
+
+TRANSMISSIONS = list(range(1, 11))
+
+
+def run_fig15_sweep():
+    from repro.experiments import fig15
+
+    return fig15(max_k=len(TRANSMISSIONS))
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_layer3_messages(benchmark):
+    series, reductions = run_once(benchmark, run_fig15_sweep)
+
+    print_header("Fig. 15 — layer-3 messages vs. transmission times")
+    print(format_series("k", TRANSMISSIONS, series, float_format="{:.0f}"))
+    print(f"system signaling reduction @10, 1 UE: {percent(reductions[1][-1])}"
+          f"  (paper: >50%)")
+    print(f"system signaling reduction @10, 2 UEs: {percent(reductions[2][-1])}")
+
+    original = series["original"]
+    one_ue = series["relay w/1 UE"]
+    two_ue = series["relay w/2 UEs"]
+    # the original slope is ~8 L3 messages per heartbeat cycle
+    assert original == [8 * k for k in TRANSMISSIONS]
+    # the UE adds zero cellular signaling when relayed
+    assert series["ue (d2d)"] == [0] * len(TRANSMISSIONS)
+    # the relay's signaling ≈ one original device's
+    for k in range(len(TRANSMISSIONS)):
+        assert one_ue[k] == original[k]
+        # more UEs → slightly more signaling (reconfigs), never less
+        assert two_ue[k] >= one_ue[k]
+    assert sum(two_ue) > sum(one_ue)
+    # the headline: >= 50 % system-level signaling reduction with one UE
+    assert all(r >= 0.499 for r in reductions[1])
+    # and it improves with a second UE
+    assert all(r2 > r1 for r1, r2 in zip(reductions[1], reductions[2]))

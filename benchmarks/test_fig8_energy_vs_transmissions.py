@@ -1,0 +1,51 @@
+"""Fig. 8 — energy vs. transmission times (UE / relay / original / savings).
+
+Paper setup: one relay + one UE at 1 m, 54 B beats; x-axis is the number
+of heartbeats forwarded during the D2D connection. Findings to reproduce:
+
+- UE energy grows far slower than relay and original;
+- relay is always slightly above the original system (its own beats plus
+  the receive work), with a modest gap;
+- the system's saved energy grows with connection time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import monotone_nondecreasing
+from repro.experiments import fig8
+from repro.reporting import format_series
+
+TRANSMISSIONS = list(range(1, 9))
+
+
+def run_fig8_sweep():
+    return fig8(max_k=len(TRANSMISSIONS))
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_energy_vs_transmissions(benchmark):
+    series = run_once(benchmark, run_fig8_sweep)
+
+    print_header("Fig. 8 — energy (µAh) vs. transmission times, 1 relay + 1 UE @ 1 m")
+    print(format_series("k", TRANSMISSIONS, series))
+
+    ue, relay, original = series["ue"], series["relay"], series["original"]
+    # every curve grows with connection time
+    for name in ("ue", "relay", "original"):
+        assert monotone_nondecreasing(series[name]), name
+    # "the increased range of the UE largely falls behind the relay and
+    # the original system"
+    ue_growth = ue[-1] - ue[0]
+    assert ue_growth < 0.25 * (original[-1] - original[0])
+    # "the energy consumption of the relay is always slightly higher than
+    # that of original system"
+    for k in range(len(TRANSMISSIONS)):
+        assert relay[k] > original[k]
+        assert relay[k] < 1.6 * original[k]
+    # "the saved energy of the UE will exceed considerably the wasted
+    # energy of the relay" as k grows
+    wasted_relay = [r - o for r, o in zip(relay, original)]
+    assert series["saved_ue"][-1] > 2.0 * wasted_relay[-1]
+    # system savings grow with connection time
+    assert series["saved_system"][-1] > series["saved_system"][0]

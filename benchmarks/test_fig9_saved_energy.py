@@ -1,0 +1,47 @@
+"""Fig. 9 — saved energy (%) of the whole system and of the UE.
+
+Paper findings: at one transmission the D2D approach "reaches nearly the
+same energy consumption as the original system" (≈ 0 % system saving); the
+UE saves 55 %; at seven forwarded beats the whole system saves 36 %.
+
+Our calibrated simulator lands at ≈ 0 % / ≈ 55 % / ≈ 27 % respectively —
+the same shape, with the system plateau a little lower than the paper's
+(see EXPERIMENTS.md for the accounting difference).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import monotone_nondecreasing
+from repro.experiments import fig9
+from repro.reporting import format_series
+
+TRANSMISSIONS = list(range(1, 9))
+
+
+def run_fig9_sweep():
+    return fig9(max_k=len(TRANSMISSIONS))
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_saved_energy(benchmark):
+    saved_system, saved_ue = run_once(benchmark, run_fig9_sweep)
+
+    print_header("Fig. 9 — saved energy (%) vs. transmission times")
+    print(format_series(
+        "k", TRANSMISSIONS,
+        {"system %": saved_system, "ue %": saved_ue},
+    ))
+    print(f"paper: system ~0% @1, 36% @7; ue ~55% @1")
+
+    # at one transmission, D2D ≈ original for the whole system
+    assert abs(saved_system[0]) < 8.0
+    # the UE saves ≈ 55 % on its first transmission (calibration anchor)
+    assert saved_ue[0] == pytest.approx(55.0, abs=5.0)
+    # system saving grows monotonically and reaches a substantial level at 7
+    assert monotone_nondecreasing(saved_system, tolerance=0.5)
+    assert 20.0 <= saved_system[6] <= 45.0
+    # the UE's saving keeps improving as overheads amortize
+    assert saved_ue[-1] > 70.0
+    # UE saving always dominates system saving
+    assert all(u > s for u, s in zip(saved_ue, saved_system))

@@ -1,0 +1,61 @@
+"""Simulator scalability: wall-clock cost of growing crowds.
+
+Not a paper artifact — a regression bench for the reproduction itself.
+Discrete-event cost should grow near-linearly with the device count
+(events per device per period are constant); this bench times 30-minute
+crowds at three scales and sanity-checks throughput so a future
+accidental O(n²) hot path shows up as a wall-clock regression.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.mobility.space import Arena
+from repro.scenarios import run_crowd_scenario
+
+
+def run_crowd(n_devices):
+    return run_crowd_scenario(
+        n_devices=n_devices,
+        relay_fraction=0.2,
+        duration_s=1800.0,
+        arena=Arena(120.0, 120.0),
+        hotspots=max(2, n_devices // 20),
+        seed=99,
+    )
+
+
+@pytest.mark.benchmark(group="scalability")
+@pytest.mark.parametrize("n_devices", [25, 50, 100])
+def test_crowd_scalability(benchmark, n_devices):
+    result = benchmark.pedantic(
+        run_crowd, args=(n_devices,), iterations=1, rounds=1
+    )
+    events = result.context.sim.events_fired
+    print_header(f"Scalability — {n_devices} devices, 30 min simulated")
+    print(f"events fired: {events}  "
+          f"beats delivered: {result.metrics.delivery.received}  "
+          f"on-time: {result.on_time_fraction():.0%}")
+    assert result.on_time_fraction() == 1.0
+    # events grow roughly linearly with devices: bound events-per-device
+    assert events / n_devices < 2000
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_events_scale_linearly(benchmark):
+    """events(100 devices) must stay within ~3x of 2*events(50 devices)."""
+
+    def run_pair():
+        small = run_crowd(50)
+        large = run_crowd(100)
+        return small.context.sim.events_fired, large.context.sim.events_fired
+
+    small_events, large_events = benchmark.pedantic(
+        run_pair, iterations=1, rounds=1
+    )
+    ratio = large_events / small_events
+    print(f"events: 50dev={small_events} 100dev={large_events} "
+          f"ratio={ratio:.2f}")
+    assert ratio < 3.0

@@ -1,0 +1,30 @@
+"""Table I — proportion of heartbeats in popular apps.
+
+Paper values: WeChat 50%, WhatsApp 61.9%, QQ 52.6%, Facebook 48.4%.
+We regenerate the shares from a week of simulated mixed traffic per app.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import TABLE1_PAPER as PAPER_SHARES, table1 as regenerate_table1
+from repro.reporting import format_table, percent
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_heartbeat_proportion(benchmark):
+    measured = run_once(benchmark, regenerate_table1)
+
+    print_header("Table I — proportion of heartbeats in popular apps")
+    rows = [
+        [app, percent(PAPER_SHARES[app]), percent(measured[app])]
+        for app in PAPER_SHARES
+    ]
+    print(format_table(["App", "Paper", "Measured"], rows))
+
+    for app, paper_share in PAPER_SHARES.items():
+        assert measured[app] == pytest.approx(paper_share, abs=0.03), app
+    # the paper's qualitative point: roughly half of all messages are beats
+    assert all(0.4 <= share <= 0.7 for share in measured.values())
+    # and the ordering is preserved
+    assert measured["whatsapp"] > measured["qq"] > measured["facebook"]

@@ -1,0 +1,41 @@
+"""Table IV — relay receive energy vs. number of received beats.
+
+Paper values (µAh): 123.22, 252.40, 386.106, 517.97, 655.82, 791.178,
+911.196 for 1-7 beats — "an approximate linear relationship between the
+energy consumption of receiving data and the number of connected UEs".
+
+We run the star scenario with 1-7 UEs (each forwarding one beat in the
+period) and read the relay's cumulative D2D receive charge.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis import linear_fit
+from repro.energy.profiles import TABLE_IV_RECEIVE_UAH
+from repro.experiments import table4 as run_receive_sweep
+from repro.reporting import format_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_receive_energy(benchmark):
+    measured = run_once(benchmark, run_receive_sweep)
+
+    print_header("Table IV — relay receive charge (µAh) vs. received beats")
+    rows = [
+        [n + 1, TABLE_IV_RECEIVE_UAH[n], measured[n]]
+        for n in range(7)
+    ]
+    print(format_table(["Beats", "Paper", "Measured"], rows))
+
+    slope, intercept, r_squared = linear_fit(
+        list(range(1, 8)), measured
+    )
+    print(f"linear fit: slope={slope:.2f} µAh/beat, r²={r_squared:.5f}")
+
+    # within 10 % of the published cumulative numbers
+    for n in range(7):
+        assert measured[n] == pytest.approx(TABLE_IV_RECEIVE_UAH[n], rel=0.10), n
+    # the paper's claim: approximately linear
+    assert r_squared > 0.999
+    assert slope == pytest.approx(130.0, rel=0.10)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""When does D2D forwarding stop paying off? (Fig. 12's question.)
+
+Explores the mode-selection economics the UE runs before pairing:
+per-session cost curves over distance and session length, the breakeven
+distance, and a synthesized Monsoon-style current trace contrasting one
+D2D transfer against one cellular transfer (Figs. 6/7).
+
+Run:  python examples/energy_tradeoff.py
+"""
+
+from repro import DEFAULT_PROFILE, breakeven_distance_m
+from repro.core.modes import cellular_session_cost_uah, d2d_session_cost_uah
+from repro.energy.model import EnergyPhase
+from repro.energy.power_monitor import PowerMonitor
+from repro.reporting import format_table, sparkline
+
+
+def cost_matrix() -> None:
+    print("UE session cost (µAh) — D2D vs. direct cellular")
+    rows = []
+    for beats in (1, 3, 7):
+        cellular = cellular_session_cost_uah(DEFAULT_PROFILE, beats)
+        for distance in (1.0, 5.0, 10.0, 15.0, 25.0):
+            d2d = d2d_session_cost_uah(DEFAULT_PROFILE, beats, distance)
+            rows.append([
+                beats, f"{distance:.0f} m", d2d, cellular,
+                "D2D" if d2d < cellular else "CELLULAR",
+            ])
+    print(format_table(
+        ["Beats", "Distance", "D2D µAh", "Cellular µAh", "Cheaper"], rows,
+    ))
+
+
+def breakevens() -> None:
+    print("\nbreakeven distance (beyond it, direct cellular wins):")
+    for beats in (1, 2, 3, 5, 7, 10):
+        print(f"  {beats:2d} beats/session → {breakeven_distance_m(expected_beats=beats):5.1f} m")
+
+
+def current_traces() -> None:
+    p = DEFAULT_PROFILE
+    d2d = PowerMonitor()
+    d2d.on_charge(0.0, EnergyPhase.D2D_FORWARD,
+                  p.ue_forward_cost_uah(54), p.d2d_transfer_s)
+    cellular = PowerMonitor()
+    cellular.on_charge(0.0, EnergyPhase.CELLULAR_SETUP, p.cellular_setup_uah,
+                       p.cellular_setup_s)
+    cellular.on_charge(p.cellular_setup_s, EnergyPhase.CELLULAR_TX,
+                       p.cellular_send_cost_uah(54, setup_needed=False),
+                       p.cellular_tx_s)
+    cellular.on_charge(p.cellular_setup_s + p.cellular_tx_s,
+                       EnergyPhase.CELLULAR_TAIL, p.cellular_tail_uah,
+                       p.cellular_tail_s)
+    print("\nsynthesized current traces (0.1 s samples, 12 s window):")
+    print(f"  D2D      |{sparkline(d2d.currents_ma(until_s=12.0), width=60)}|"
+          f" {d2d.integral_uah():6.1f} µAh")
+    print(f"  cellular |{sparkline(cellular.currents_ma(until_s=12.0), width=60)}|"
+          f" {cellular.integral_uah():6.1f} µAh")
+    print("  (the cellular tail — the long elevated plateau — is what the"
+          " relay's aggregation amortizes)")
+
+
+def main() -> None:
+    cost_matrix()
+    breakevens()
+    current_traces()
+
+
+if __name__ == "__main__":
+    main()

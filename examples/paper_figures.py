@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper in one run.
+
+Walks the experiment registry (DESIGN.md §4 ids) and prints each artifact
+in a paper-comparable layout — the whole evaluation section of the paper,
+reproduced in a few seconds of simulation.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.experiments import (
+    REGISTRY,
+    TABLE1_PAPER,
+    TABLE3_PAPER,
+    run_experiment,
+)
+from repro.energy.profiles import TABLE_IV_RECEIVE_UAH
+from repro.reporting import format_series, format_table, percent
+
+
+def show_table1() -> None:
+    measured = run_experiment("T1")
+    print(format_table(
+        ["App", "Paper", "Measured"],
+        [[app, percent(TABLE1_PAPER[app]), percent(measured[app])]
+         for app in TABLE1_PAPER],
+        title="Table I — heartbeat share of messages",
+    ))
+
+
+def show_table3() -> None:
+    measured = run_experiment("T3")
+    rows = []
+    for side in ("ue", "relay"):
+        for phase in ("discovery", "connection", "forwarding"):
+            rows.append([side.upper(), phase, TABLE3_PAPER[side][phase],
+                         measured[side][phase]])
+    print(format_table(
+        ["Side", "Phase", "Paper (µAh)", "Measured (µAh)"], rows,
+        title="Table III — per-phase charge",
+    ))
+
+
+def show_table4() -> None:
+    measured = run_experiment("T4")
+    print(format_table(
+        ["Beats", "Paper (µAh)", "Measured (µAh)"],
+        [[n + 1, TABLE_IV_RECEIVE_UAH[n], measured[n]] for n in range(7)],
+        title="Table IV — relay receive charge",
+    ))
+
+
+def show_fig(fig_id: str, x_label: str = "k") -> None:
+    description, __ = REGISTRY[fig_id]
+    result = run_experiment(fig_id)
+    print(description)
+    if isinstance(result, dict):
+        n = len(next(iter(result.values())))
+        print(format_series(x_label, list(range(1, n + 1)), result))
+    elif isinstance(result, tuple) and len(result) == 2 and isinstance(
+        result[0], list
+    ):
+        saved_system, saved_ue = result
+        print(format_series(
+            x_label, list(range(1, len(saved_system) + 1)),
+            {"system %": saved_system, "ue %": saved_ue},
+        ))
+    else:
+        print(result)
+
+
+def main() -> None:
+    show_table1()
+    print()
+    show_table3()
+    print()
+    show_table4()
+    print()
+    for fig_id in ("F8", "F9", "F10", "F11", "F13"):
+        show_fig(fig_id)
+        print()
+    # F12 and F15 have bespoke shapes
+    ue, relay, original = run_experiment("F12")
+    distances = [1.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0]
+    print(REGISTRY["F12"][0])
+    print(format_series("d(m)", distances, {
+        "ue": ue, "relay": relay, "original": [original] * len(distances),
+    }))
+    print()
+    series, reductions = run_experiment("F15")
+    print(REGISTRY["F15"][0])
+    print(format_series("k", list(range(1, 11)), series,
+                        float_format="{:.0f}"))
+    print(f"signaling reduction @10: 1 UE {percent(reductions[1][-1])}, "
+          f"2 UEs {percent(reductions[2][-1])}")
+
+
+if __name__ == "__main__":
+    main()

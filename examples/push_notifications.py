@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Why heartbeats matter: push reachability, with and without them.
+
+Heartbeats are overhead with a purpose: as long as they arrive, the IM
+server can *reach* the phone with push notifications. This example walks
+three scenes on one phone:
+
+1. heartbeats flowing → pushes delivered (with real wake energy);
+2. heartbeats stopped → the server's expiration timer lapses and pushes
+   start failing "offline";
+3. heartbeats flowing, but the cell is in a signaling storm → pushes fail
+   at the paging channel instead.
+
+Run:  python examples/push_notifications.py
+"""
+
+from repro import (
+    BaseStation,
+    CellularModem,
+    IMServer,
+    SignalingLedger,
+    Simulator,
+    STANDARD_APP,
+)
+from repro.cellular.paging import PagingChannel, PagingConfig
+from repro.cellular.signaling import Direction, L3MessageType
+from repro.workload.generator import HeartbeatGenerator
+from repro.workload.push import PushNotificationService
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def main() -> None:
+    sim = Simulator(seed=1)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    paging = PagingChannel(sim, ledger, PagingConfig(slots_per_second=4.0))
+    push = PushNotificationService(sim, paging, server=server)
+    modem = CellularModem(sim, "phone", ledger=ledger, basestation=basestation)
+    push.register_client("phone", modem)
+
+    generator = HeartbeatGenerator(
+        sim, "phone", STANDARD_APP,
+        on_beat=lambda beat: modem.send(beat.size_bytes, payload=beat),
+        phase_fraction=0.0,
+    ).start()
+
+    print("scene 1 — heartbeats flowing")
+    sim.run_until(2 * T)
+    result = push.push("phone", "chat: hi!")
+    sim.run_until(sim.now + 30)
+    print(f"  push at t={result.requested_at_s:.0f}s → "
+          f"{'delivered in %.1fs' % result.latency_s if result.delivered else result.failure}")
+
+    print("scene 2 — the app stops heartbeating")
+    generator.stop()
+    sim.run_until(sim.now + 3.2 * T)  # expiration window is 3T
+    result = push.push("phone", "chat: are you there?")
+    print(f"  push at t={result.requested_at_s:.0f}s → "
+          f"{'delivered' if result.delivered else 'FAILED (' + result.failure + ')'}")
+
+    print("scene 3 — heartbeats back, but the cell storms")
+    generator2 = HeartbeatGenerator(
+        sim, "phone", STANDARD_APP,
+        on_beat=lambda beat: modem.send(beat.size_bytes, payload=beat),
+        phase_fraction=0.0,
+    ).start()
+    sim.run_until(sim.now + 1.5 * T)
+    storm_start = sim.now - 5.0
+    for i in range(900):
+        ledger.record(storm_start + i * 0.009, "crowd",
+                      L3MessageType.RRC_CONNECTION_REQUEST, Direction.UPLINK)
+    result = push.push("phone", "chat: hello?")
+    sim.run_until(sim.now + 30)
+    print(f"  push at t={result.requested_at_s:.0f}s → "
+          f"{'delivered' if result.delivered else 'FAILED (' + result.failure + ')'}")
+
+    print()
+    print(f"totals: delivered={push.delivered_count} "
+          f"failures={push.failure_breakdown()}")
+    print("the D2D framework keeps scene 1 working at half the signaling —")
+    print("see benchmarks/test_push_reachability.py for the comparison.")
+
+
+if __name__ == "__main__":
+    main()

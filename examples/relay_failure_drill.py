@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Failure drill: kill the relay mid-session and watch delivery survive.
+
+The paper's feedback mechanism promises that when the relay dies (battery,
+cellular loss) or the D2D link breaks, a UE "will send the heartbeat
+messages via cellular network" before the beat expires. This example
+builds the pair by hand from the public pieces — devices, framework,
+battery — gives the relay an almost-empty battery, and traces what
+happens period by period.
+
+Run:  python examples/relay_failure_drill.py
+"""
+
+from repro import (
+    Battery,
+    BaseStation,
+    D2DMedium,
+    HeartbeatRelayFramework,
+    IMServer,
+    Role,
+    SignalingLedger,
+    Simulator,
+    Smartphone,
+    STANDARD_APP,
+    StaticMobility,
+    WIFI_DIRECT,
+)
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def main() -> None:
+    sim = Simulator(seed=99)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+
+    # a relay with ~2.1 mAh left: enough for roughly three aggregated
+    # uplinks plus the D2D work, then it dies mid-experiment
+    relay_battery = Battery(capacity_mah=2.1)
+    relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                       role=Role.RELAY, ledger=ledger, basestation=basestation,
+                       d2d_medium=medium, battery=relay_battery)
+    ue = Smartphone(sim, "ue-0", mobility=StaticMobility((1.0, 0.0)),
+                    role=Role.UE, ledger=ledger, basestation=basestation,
+                    d2d_medium=medium)
+    framework = HeartbeatRelayFramework([])
+    framework.add_device(relay, phase_fraction=0.0)
+    framework.add_device(ue, phase_fraction=0.5)
+
+    # also sever the D2D link mid-run and drop a window of acks, using the
+    # public fault-injection API — delivery must shrug all of it off
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(sim)
+    plan.drop_acks_between(1.2 * T, 1.4 * T, framework.ues["ue-0"])
+    plan.break_links_at(1.7 * T, medium, "relay-0")
+
+    periods = 6
+    for period in range(1, periods + 1):
+        sim.run_until(period * T + 10.0)
+        ue_agent = framework.ues["ue-0"]
+        state = "alive" if relay.alive else "DEAD"
+        level = f"{relay_battery.level:5.1%}" if relay.alive else "  ---"
+        print(f"period {period}: relay {state} (battery {level})  "
+              f"forwarded={ue_agent.beats_forwarded}  "
+              f"fallbacks={ue_agent.cellular_sends}  "
+              f"ue-mode={ue_agent.state.value}")
+
+    framework.shutdown()
+    sim.run_until(periods * T + 60.0)
+
+    on_time = [r for r in server.records if r.on_time]
+    ue_beats = {r.message.seq for r in on_time
+                if r.message.origin_device == "ue-0"}
+    print()
+    print("injected faults:")
+    for line in plan.report():
+        print(f"  {line}")
+    print()
+    print(f"UE beats delivered on time : {len(ue_beats)} / {periods}")
+    print(f"relay died at battery 0    : {not relay.alive}")
+    print(f"fallback transmissions     : "
+          f"{framework.ues['ue-0'].feedback.fallbacks_fired}")
+    print(f"duplicate deliveries       : {server.duplicate_count} "
+          f"(harmless for heartbeats)")
+    print()
+    print("delivery never regressed: the feedback timers re-sent every "
+          "unacked beat via cellular before its deadline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Render the reproduced paper figures to SVG files.
+
+Generates `figures/fig{8,9,10,11,12,13,15}.svg` from the experiment
+registry — open them in any browser; hover a marker for the exact value.
+The accompanying data tables come from `python examples/paper_figures.py`
+or the benchmark suite.
+
+Run:  python examples/render_figures.py [output-dir]
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import run_experiment
+from repro.plotting import line_chart
+
+
+def main(out_dir: str = "figures") -> None:
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def save(name, chart):
+        path = out_dir / f"{name}.svg"
+        chart.save(str(path))
+        written.append(path)
+
+    ks8 = list(range(1, 9))
+    f8 = run_experiment("F8")
+    save("fig8", line_chart(
+        "Fig. 8 — energy vs transmission times (1 relay + 1 UE @ 1 m)",
+        "transmission times", "charge (µAh)", ks8,
+        {"UE": f8["ue"], "Relay": f8["relay"], "Original": f8["original"]},
+    ))
+
+    saved_system, saved_ue = run_experiment("F9")
+    save("fig9", line_chart(
+        "Fig. 9 — saved energy",
+        "transmission times", "saved energy (%)", ks8,
+        {"Whole system": saved_system, "UE": saved_ue},
+    ))
+
+    ks7 = list(range(1, 8))
+    save("fig10", line_chart(
+        "Fig. 10 — relay energy with multiple UEs",
+        "transmission times", "charge (µAh)", ks7, run_experiment("F10"),
+    ))
+
+    save("fig11", line_chart(
+        "Fig. 11 — wasted / saved energy ratio",
+        "transmission times", "ratio (%)", ks7, run_experiment("F11"),
+    ))
+
+    distances = [1.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0]
+    ue, relay, original = run_experiment("F12")
+    save("fig12", line_chart(
+        "Fig. 12 — energy vs communication distance (5 transmissions)",
+        "distance (m)", "charge (µAh)", distances,
+        {"UE": ue, "Relay": relay, "Original": [original] * len(distances)},
+    ))
+
+    multipliers = [1, 2, 3, 4, 5]
+    f13 = run_experiment("F13")
+    save("fig13", line_chart(
+        "Fig. 13 — energy vs message size (×54 B)",
+        "size multiplier", "charge (µAh)", multipliers,
+        {"UE": f13["ue"], "Relay": f13["relay"],
+         "Original": f13["original"]},
+    ))
+
+    ks10 = list(range(1, 11))
+    series, __ = run_experiment("F15")
+    save("fig15", line_chart(
+        "Fig. 15 — layer-3 message consumption",
+        "transmission times", "layer-3 messages", ks10,
+        {"Original": series["original"],
+         "Relay w/1 UE": series["relay w/1 UE"],
+         "Relay w/2 UEs": series["relay w/2 UEs"],
+         "UE (D2D)": series["ue (d2d)"]},
+    ))
+
+    for path in written:
+        print(f"wrote {path}")
+    print(f"{len(written)} figures rendered — open in a browser; "
+          "hover markers for values.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

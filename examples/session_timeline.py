@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Visualize one relaying session as an ASCII timeline.
+
+Renders what each device's radio was doing over three heartbeat periods —
+the relay's periodic RRC setup/tx/tail bursts, the UE's one-time
+discovery+connection followed by cheap D2D forwards — and contrasts it
+with the original system's per-device cellular churn.
+
+Run:  python examples/session_timeline.py
+"""
+
+from repro.scenarios import run_relay_scenario
+from repro.viz import activity_summary, render_timeline
+
+PERIODS = 3
+
+
+def main() -> None:
+    d2d = run_relay_scenario(n_ues=2, periods=PERIODS, keep_energy_log=True)
+    base = run_relay_scenario(n_ues=2, periods=PERIODS, mode="original",
+                              keep_energy_log=True)
+    horizon = d2d.metrics.horizon_s
+
+    print(f"D2D framework — 1 relay + 2 UEs, {PERIODS} periods "
+          f"({horizon:.0f} s across {72} columns)")
+    print(render_timeline(d2d.devices.values(), horizon, width=72))
+    print()
+    print("Original system — same phones, no relaying")
+    print(render_timeline(base.devices.values(), horizon, width=72))
+    print()
+
+    relay = d2d.devices["relay-0"]
+    print("relay energy over time (µAh per sixth of the run):")
+    for start, uah in activity_summary(relay, horizon, buckets=6):
+        bar = "#" * int(uah / 40)
+        print(f"  t={start:6.0f}s  {uah:7.1f}  {bar}")
+    print()
+    print(f"energy totals: d2d={d2d.system_energy_uah():.0f} µAh "
+          f"vs original={base.system_energy_uah():.0f} µAh; "
+          f"signaling {d2d.total_l3()} vs {base.total_l3()} L3 messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Trace-driven evaluation: replaying a recorded heartbeat schedule.
+
+The paper's authors had operator traces; this reproduction synthesizes a
+production-flavoured one (jitter, missed beats, app restarts), saves it
+to CSV, reloads it, and replays it through the framework — showing that
+the scheduler and feedback machinery handle irregular real-world arrival
+patterns, not just clean periodic ones.
+
+Run:  python examples/trace_replay.py
+"""
+
+import random
+import tempfile
+
+from repro import (
+    BaseStation,
+    HeartbeatRelayFramework,
+    IMServer,
+    Role,
+    SignalingLedger,
+    Simulator,
+    Smartphone,
+    STANDARD_APP,
+    StaticMobility,
+    WIFI_DIRECT,
+)
+from repro.d2d.base import D2DMedium
+from repro.workload.trace import (
+    HeartbeatTrace,
+    TraceReplayGenerator,
+    synthesize_trace,
+)
+
+T = STANDARD_APP.heartbeat_period_s
+HORIZON = 12 * T
+
+
+def main() -> None:
+    # 1. synthesize and round-trip a "production" trace
+    trace = synthesize_trace(
+        ["ue-0", "ue-1", "ue-2"], STANDARD_APP, HORIZON, random.Random(2017),
+        jitter_fraction=0.08, miss_probability=0.05, restart_rate_per_hour=0.3,
+    )
+    with tempfile.NamedTemporaryFile(suffix=".csv", delete=False) as handle:
+        path = handle.name
+    trace.save_csv(path)
+    trace = HeartbeatTrace.load_csv(path)
+    print(f"trace: {len(trace)} beats from {len(trace.devices())} phones "
+          f"over {trace.duration_s() / 3600:.1f} h (saved+reloaded via CSV)")
+    for device in trace.devices():
+        print(f"  {device}: {len(trace.for_device(device))} beats, "
+              f"mean interval {trace.mean_interval_s(device):.0f}s "
+              f"(nominal {T:.0f}s)")
+
+    # 2. replay it through the full framework
+    sim = Simulator(seed=7)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework([], app=STANDARD_APP)
+    relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                       role=Role.RELAY, ledger=ledger, basestation=basestation,
+                       d2d_medium=medium)
+    framework.add_device(relay, phase_fraction=0.0)
+    for i, device_id in enumerate(trace.devices()):
+        ue = Smartphone(sim, device_id,
+                        mobility=StaticMobility((1.0, float(i))),
+                        role=Role.UE, ledger=ledger, basestation=basestation,
+                        d2d_medium=medium)
+        framework.add_device(ue)
+        agent = framework.ues[device_id]
+        agent.monitor.stop()  # the trace replaces the periodic generator
+        TraceReplayGenerator(sim, device_id, trace,
+                             agent.monitor.intercept).start()
+    sim.run_until(HORIZON + 60.0)
+
+    on_time = sum(1 for r in server.records if r.on_time)
+    forwarded = framework.total_beats_forwarded()
+    fallbacks = framework.total_cellular_fallbacks()
+    print()
+    print(f"replayed through the framework: {on_time} beats on time "
+          f"({forwarded} via D2D, {fallbacks} cellular fallbacks)")
+    print(f"relay uplinks: {framework.total_aggregated_uplinks()}  "
+          f"total L3 messages: {ledger.total}")
+    baseline_l3 = (len(trace) + framework.relays['relay-0']
+                   .monitor.generators[STANDARD_APP.name].beats_emitted) * 8
+    print(f"original system would have spent ≈ {baseline_l3} L3 messages "
+          f"({1 - ledger.total / baseline_l3:.0%} saved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e .` work on old setuptools
+(no PEP 660 editable-wheel support). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

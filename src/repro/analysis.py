@@ -1,0 +1,167 @@
+"""Derived quantities the paper's figures plot.
+
+All functions are pure arithmetic over run metrics, so they are trivially
+testable and reused by every bench:
+
+- saved-energy percentages (Figs. 8, 9, 12),
+- the wasted/saved energy ratio (Fig. 11),
+- signaling reduction factors (Fig. 15, the ">50%" headline),
+- linear-fit helper for the Table IV "approximately linear" claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def saved_fraction(baseline: float, actual: float) -> float:
+    """Fraction of ``baseline`` saved by ``actual`` (negative if worse)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 1.0 - actual / baseline
+
+
+def saved_percent(baseline: float, actual: float) -> float:
+    """:func:`saved_fraction` in percent."""
+    return 100.0 * saved_fraction(baseline, actual)
+
+
+def wasted_to_saved_ratio(
+    relay_d2d: float, relay_baseline: float, ue_d2d: float, ue_baseline: float
+) -> float:
+    """Fig. 11's statistic: relay's extra energy over the UEs' savings.
+
+    "the ratio of the wasted energy caused by the relay and the energy
+    saved by the UE drops from around 97% to around 5%" as connection time
+    and UE count grow.
+    """
+    wasted = relay_d2d - relay_baseline
+    saved = ue_baseline - ue_d2d
+    if saved <= 0:
+        return float("inf")
+    return max(wasted, 0.0) / saved
+
+
+def signaling_reduction(original_l3: int, d2d_l3: int) -> float:
+    """Fractional layer-3 reduction of the D2D system vs. the original."""
+    if original_l3 <= 0:
+        raise ValueError(f"original count must be positive, got {original_l3}")
+    return 1.0 - d2d_l3 / original_l3
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit ``y = a*x + b``; returns ``(a, b, r_squared)``.
+
+    Used to verify Table IV's "approximate linear relationship between the
+    energy consumption of receiving data and the number of connected UEs".
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all identical; cannot fit")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    if ss_tot == 0:
+        r_squared = 1.0
+    else:
+        ss_res = sum(
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+        )
+        r_squared = 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def crossover_index(series_a: Sequence[float], series_b: Sequence[float]) -> int:
+    """First index where ``series_a`` exceeds ``series_b``; -1 if never.
+
+    Used to locate crossovers like Fig. 12's "UE might consume more energy
+    than original system when the communication distance [is] beyond a
+    certain value".
+    """
+    if len(series_a) != len(series_b):
+        raise ValueError("series must have the same length")
+    for i, (a, b) in enumerate(zip(series_a, series_b)):
+        if a > b:
+            return i
+    return -1
+
+
+def monotone_nondecreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Whether ``values`` never drops by more than ``tolerance``."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def cumulative(values: Sequence[float]) -> List[float]:
+    """Running sum of ``values``."""
+    out: List[float] = []
+    total = 0.0
+    for v in values:
+        total += v
+        out.append(total)
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) with linear interpolation.
+
+    Used for delivery-delay tails (p50/p95/p99) in the latency reports.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0,100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def replicate(experiment, seeds: Sequence[int]) -> List[float]:
+    """Run ``experiment(seed)`` for each seed and collect the scalars.
+
+    The standard pattern for seed-robustness checks on the stochastic
+    (crowd/mobility) experiments; the deterministic pair benches don't
+    need it.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [float(experiment(seed)) for seed in seeds]
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """(mean, half-width) of the Student-t confidence interval.
+
+    With a single sample the half-width is reported as 0 (no spread
+    information), matching how the benches print single-run results.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    standard_error = (variance / n) ** 0.5
+    try:
+        from scipy import stats
+
+        t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    except ImportError:  # pragma: no cover - scipy is an optional assist
+        t_crit = 2.0  # coarse fallback ≈ 95 % for moderate n
+    return mean, t_crit * standard_error

@@ -1,0 +1,24 @@
+"""Baselines the paper compares against.
+
+- :class:`OriginalSystem` — the unmodified system (the paper's baseline).
+- :class:`PiggybackSystem` — delay heartbeats and ride foreground data
+  transmissions (related work [2]).
+- :class:`FastDormancySystem` — release RRC immediately after every
+  transmission: saves tail energy, aggravates signaling (related work [26]).
+"""
+
+from repro.baseline.original import OriginalSystem
+from repro.baseline.piggyback import PiggybackSystem
+from repro.baseline.fast_dormancy import (
+    FAST_DORMANCY_PROFILE,
+    FastDormancySystem,
+)
+from repro.baseline.traffic_driver import MixedTrafficDevice
+
+__all__ = [
+    "OriginalSystem",
+    "PiggybackSystem",
+    "FastDormancySystem",
+    "FAST_DORMANCY_PROFILE",
+    "MixedTrafficDevice",
+]

@@ -1,0 +1,123 @@
+"""The paper's baseline: the original, unmodified system.
+
+"The system without any modification is set as the original system, which
+would be regarded as the baseline in experiments" (Sec. V-A). Every phone
+sends its own heartbeats directly over cellular; every beat pays a full
+RRC establish/release cycle (heartbeat periods far exceed the tail timer)
+and the corresponding setup + tx + tail energy.
+
+Besides the simulated harness, closed-form expectations are provided so
+tests can check the simulator against arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cellular.rrc import RrcProfile, WCDMA_PROFILE
+from repro.core.monitor import MessageMonitor
+from repro.device import Smartphone
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.workload.apps import AppProfile, STANDARD_APP
+from repro.workload.messages import PeriodicMessage
+
+
+class OriginalSystem:
+    """Direct-cellular heartbeat transmission for a set of devices."""
+
+    def __init__(
+        self,
+        devices: Iterable[Smartphone] = (),
+        app: AppProfile = STANDARD_APP,
+        phase_fraction: Optional[float] = 0.0,
+    ) -> None:
+        self.app = app
+        self.devices: Dict[str, Smartphone] = {}
+        self.monitors: Dict[str, MessageMonitor] = {}
+        self.sends_by_device: Dict[str, int] = {}
+        for device in devices:
+            self.add_device(device, phase_fraction=phase_fraction)
+
+    def add_device(
+        self, device: Smartphone, phase_fraction: Optional[float] = 0.0
+    ) -> None:
+        """Attach one phone to the baseline with its own heartbeat phase."""
+        if device.device_id in self.devices:
+            raise ValueError(f"duplicate device {device.device_id}")
+        self.devices[device.device_id] = device
+        self.sends_by_device[device.device_id] = 0
+        monitor = MessageMonitor(
+            device.sim,
+            device.device_id,
+            handler=self._make_sender(device),
+        )
+        monitor.register_app(self.app, phase_fraction=phase_fraction)
+        self.monitors[device.device_id] = monitor
+
+    def _make_sender(self, device: Smartphone):
+        def send(message: PeriodicMessage) -> None:
+            if not device.alive:
+                return
+            self.sends_by_device[device.device_id] += 1
+            device.modem.send(message.size_bytes, payload=message)
+
+        return send
+
+    def shutdown(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.stop()
+
+    @property
+    def total_sends(self) -> int:
+        return sum(self.sends_by_device.values())
+
+    def total_energy_uah(self) -> float:
+        return sum(d.energy.total_uah for d in self.devices.values())
+
+
+# ----------------------------------------------------------------------
+# closed-form expectations (for validating the simulator)
+# ----------------------------------------------------------------------
+def expected_energy_uah(
+    n_heartbeats: int,
+    size_bytes: int,
+    profile: EnergyProfile = DEFAULT_PROFILE,
+) -> float:
+    """Energy of ``n_heartbeats`` standalone cellular beats for one device.
+
+    Valid when the heartbeat period exceeds the RRC tail (always true for
+    real IM periods), so every beat pays setup + tx + a full tail.
+    """
+    if n_heartbeats < 0:
+        raise ValueError(f"n_heartbeats must be non-negative, got {n_heartbeats}")
+    return n_heartbeats * profile.cellular_heartbeat_uah(size_bytes)
+
+
+def expected_l3_messages(
+    n_heartbeats: int,
+    size_bytes: int,
+    rrc_profile: RrcProfile = WCDMA_PROFILE,
+) -> int:
+    """Layer-3 messages for ``n_heartbeats`` standalone cellular beats."""
+    if n_heartbeats < 0:
+        raise ValueError(f"n_heartbeats must be non-negative, got {n_heartbeats}")
+    from repro.cellular.signaling import reconfiguration_count
+
+    per_beat = rrc_profile.messages_per_cycle + reconfiguration_count(size_bytes)
+    return n_heartbeats * per_beat
+
+
+def expected_beats_in(window_s: float, app: AppProfile, phase_fraction: float = 0.0) -> int:
+    """How many beats one device emits in ``[0, window_s)``.
+
+    With phase fraction ``p``, beats land at ``(p + k) * period``.
+    """
+    if window_s < 0:
+        raise ValueError(f"window must be non-negative, got {window_s}")
+    period = app.heartbeat_period_s
+    first = phase_fraction * period
+    if first >= window_s:
+        return 0
+    import math
+
+    return int(math.floor((window_s - first - 1e-9) / period)) + 1

@@ -1,0 +1,84 @@
+"""Mixed heartbeat + foreground-data driver for baseline comparisons.
+
+The related-work baselines (piggybacking, fast dormancy) only differ from
+the original system in *when* transmissions happen relative to each
+other, so their comparison needs devices that send foreground data
+messages as well as heartbeats. This driver generates both: periodic
+heartbeats from the app profile, and Poisson foreground data at the rate
+implied by the app's Table I heartbeat share.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.device import Smartphone
+from repro.sim.engine import Simulator
+from repro.workload.apps import AppProfile
+from repro.workload.generator import HeartbeatGenerator
+from repro.workload.messages import PeriodicMessage
+
+
+class MixedTrafficDevice:
+    """Drives one phone with heartbeats plus foreground data messages.
+
+    ``on_heartbeat(message)`` decides how the heartbeat is transmitted
+    (immediately, delayed, piggybacked — the baseline's policy);
+    ``on_data(size_bytes)`` fires whenever a foreground message is sent.
+    """
+
+    def __init__(
+        self,
+        device: Smartphone,
+        app: AppProfile,
+        rng: random.Random,
+        on_heartbeat: Callable[[PeriodicMessage], None],
+        on_data: Callable[[int], None],
+        data_rate_scale: float = 1.0,
+        phase_fraction: Optional[float] = None,
+    ) -> None:
+        if data_rate_scale < 0:
+            raise ValueError(f"data_rate_scale must be >= 0, got {data_rate_scale}")
+        self.device = device
+        self.app = app
+        self.rng = rng
+        self.on_heartbeat = on_heartbeat
+        self.on_data = on_data
+        self.data_messages_sent = 0
+        self.heartbeats_emitted = 0
+        self._stopped = False
+        self._generator = HeartbeatGenerator(
+            device.sim,
+            device.device_id,
+            app,
+            on_beat=self._emit_heartbeat,
+            rng=rng,
+            phase_fraction=phase_fraction,
+        ).start()
+        self._data_rate = app.other_message_rate_per_s() * data_rate_scale
+        if self._data_rate > 0:
+            self._schedule_next_data()
+
+    # ------------------------------------------------------------------
+    def _emit_heartbeat(self, message: PeriodicMessage) -> None:
+        if self._stopped or not self.device.alive:
+            return
+        self.heartbeats_emitted += 1
+        self.on_heartbeat(message)
+
+    def _schedule_next_data(self) -> None:
+        gap = self.rng.expovariate(self._data_rate)
+        self.device.sim.schedule(gap, self._emit_data, name="foreground_data")
+
+    def _emit_data(self) -> None:
+        if self._stopped:
+            return
+        if self.device.alive:
+            self.data_messages_sent += 1
+            self.on_data(self.app.data_message_bytes)
+        self._schedule_next_data()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._generator.stop()

@@ -1,0 +1,52 @@
+"""Cellular network substrate.
+
+Models the parts of a WCDMA/LTE access network that the paper's evaluation
+touches: the RRC state machine whose establish/release cycles generate the
+layer-3 signaling traffic counted in Fig. 15 (the "signaling storm"), a
+modem that drives it per uplink transmission, and a base station that
+aggregates control-channel load.
+"""
+
+from repro.cellular.signaling import (
+    Direction,
+    L3Message,
+    L3MessageType,
+    SignalingLedger,
+    SETUP_SEQUENCE,
+    RELEASE_SEQUENCE,
+)
+from repro.cellular.rrc import (
+    LTE_PROFILE,
+    RrcProfile,
+    RrcState,
+    RrcStateMachine,
+    WCDMA_3STATE_PROFILE,
+    WCDMA_PROFILE,
+)
+from repro.cellular.modem import CellularModem, UplinkResult
+from repro.cellular.basestation import BaseStation
+from repro.cellular.paging import PageAttempt, PagingChannel, PagingConfig
+from repro.cellular.network import Cell, CellularNetwork, CombinedLedger
+
+__all__ = [
+    "Direction",
+    "L3Message",
+    "L3MessageType",
+    "SignalingLedger",
+    "SETUP_SEQUENCE",
+    "RELEASE_SEQUENCE",
+    "RrcProfile",
+    "RrcState",
+    "RrcStateMachine",
+    "WCDMA_PROFILE",
+    "LTE_PROFILE",
+    "CellularModem",
+    "UplinkResult",
+    "BaseStation",
+    "PageAttempt",
+    "PagingChannel",
+    "PagingConfig",
+    "Cell",
+    "CellularNetwork",
+    "CombinedLedger",
+]

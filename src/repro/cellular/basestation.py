@@ -1,0 +1,114 @@
+"""Base station and control-channel load accounting.
+
+The operator-side view of the signaling storm: the base station receives
+every uplink, forwards payloads to attached sinks (the IM server model),
+and exposes control-channel load metrics — offered layer-3 rate, peak
+windowed rate, and a storm flag against a configurable capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cellular.signaling import SignalingLedger
+from repro.sim.engine import Simulator
+
+#: Sink signature: (time_s, device_id, payload_bytes, payload) -> None
+UplinkSink = Callable[[float, str, int, Any], None]
+
+
+class BaseStation:
+    """One cell's base station.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    ledger:
+        The shared signaling capture (same one the modems write to); the
+        base station reads it for load metrics.
+    core_latency_s:
+        Delay between air-interface delivery and the payload reaching an
+        attached sink (core network + internet to the IM server).
+    control_channel_capacity_msgs_per_s:
+        Layer-3 rate above which the control channel is considered
+        overloaded — the "storm" condition of Sec. II-B.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ledger: Optional[SignalingLedger] = None,
+        core_latency_s: float = 0.05,
+        control_channel_capacity_msgs_per_s: float = 50.0,
+    ) -> None:
+        self.sim = sim
+        self.ledger = ledger if ledger is not None else SignalingLedger()
+        self.core_latency_s = core_latency_s
+        self.control_channel_capacity = control_channel_capacity_msgs_per_s
+        self._sinks: List[UplinkSink] = []
+        # statistics
+        self.uplinks = 0
+        self.bytes_received = 0
+        self.uplinks_by_device: Dict[str, int] = {}
+        self._uplink_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: UplinkSink) -> None:
+        """Register a payload consumer (e.g. an IM server)."""
+        self._sinks.append(sink)
+
+    def deliver_uplink(self, device_id: str, payload_bytes: int, payload: Any) -> None:
+        """Called by a modem when its transmission completes on the air."""
+        now = self.sim.now
+        self.uplinks += 1
+        self.bytes_received += payload_bytes
+        self.uplinks_by_device[device_id] = self.uplinks_by_device.get(device_id, 0) + 1
+        self._uplink_times.append(now)
+        for sink in self._sinks:
+            self.sim.schedule(
+                self.core_latency_s,
+                sink,
+                now + self.core_latency_s,
+                device_id,
+                payload_bytes,
+                payload,
+                name="core_deliver",
+            )
+
+    # ------------------------------------------------------------------
+    # control-channel load metrics
+    # ------------------------------------------------------------------
+    def signaling_total(self) -> int:
+        """Total layer-3 messages seen by this cell."""
+        return self.ledger.total
+
+    def signaling_rate(self, window_start_s: float, window_end_s: float) -> float:
+        """Average L3 message rate over a window (messages/second)."""
+        return self.ledger.rate_per_second(window_start_s, window_end_s)
+
+    def peak_signaling_rate(self, window_s: float = 10.0) -> float:
+        """Peak L3 rate over any aligned window of ``window_s`` seconds."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        counts: Dict[int, int] = {}
+        for msg in self.ledger.messages():
+            counts[int(msg.time_s // window_s)] = counts.get(int(msg.time_s // window_s), 0) + 1
+        if not counts:
+            return 0.0
+        return max(counts.values()) / window_s
+
+    def is_storming(self, window_s: float = 10.0) -> bool:
+        """Whether peak signaling load exceeded the control-channel capacity."""
+        return self.peak_signaling_rate(window_s) > self.control_channel_capacity
+
+    def storm_headroom(self, window_s: float = 10.0) -> float:
+        """Capacity fraction still unused at the observed peak (can be < 0)."""
+        if self.control_channel_capacity <= 0:
+            return 0.0
+        return 1.0 - self.peak_signaling_rate(window_s) / self.control_channel_capacity
+
+    def inter_uplink_times(self) -> List[float]:
+        """Gaps between consecutive uplink arrivals (for burstiness stats)."""
+        times = self._uplink_times
+        return [b - a for a, b in zip(times, times[1:])]

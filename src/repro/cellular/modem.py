@@ -1,0 +1,201 @@
+"""Cellular modem: the device side of the uplink path.
+
+Couples three substrates per transmission: the RRC machine (signaling +
+latency), the energy model (setup / tx / tail charges, Fig. 7's trace
+shape), and the base station (delivery). One modem instance per device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.rrc import RrcProfile, RrcStateMachine, WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class UplinkResult:
+    """Outcome of one uplink transmission."""
+
+    device_id: str
+    payload_bytes: int
+    requested_at_s: float
+    delivered_at_s: Optional[float] = None
+    setup_was_needed: Optional[bool] = None
+    payload: Any = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at_s is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.delivered_at_s is None:
+            return None
+        return self.delivered_at_s - self.requested_at_s
+
+
+class CellularModem:
+    """Per-device cellular radio.
+
+    Parameters
+    ----------
+    sim, device_id:
+        Simulator and ledger attribution key.
+    energy:
+        The device's energy model; ``None`` disables energy accounting
+        (useful for pure signaling tests).
+    ledger:
+        Shared signaling capture.
+    basestation:
+        Delivery target; ``None`` keeps transmissions local (unit tests).
+    profile / rrc_profile:
+        Energy and network calibration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: str,
+        energy: Optional[EnergyModel] = None,
+        ledger: Optional[SignalingLedger] = None,
+        basestation: Optional[BaseStation] = None,
+        profile: EnergyProfile = DEFAULT_PROFILE,
+        rrc_profile: RrcProfile = WCDMA_PROFILE,
+    ) -> None:
+        self.sim = sim
+        self.device_id = device_id
+        self.energy = energy
+        self.basestation = basestation
+        self.profile = profile
+        self.powered_on = True
+        self.rrc = RrcStateMachine(
+            sim,
+            device_id,
+            profile=rrc_profile,
+            ledger=ledger,
+            on_tail_elapsed=self._charge_tail,
+            on_fach_elapsed=self._charge_fach,
+        )
+        # statistics
+        self.sends = 0
+        self.bytes_sent = 0
+        self.aggregated_sends = 0  # sends that skipped setup (radio was hot)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        payload_bytes: int,
+        payload: Any = None,
+        on_delivered: Optional[Callable[[UplinkResult], None]] = None,
+    ) -> UplinkResult:
+        """Transmit ``payload_bytes`` to the base station.
+
+        Returns a result handle immediately; ``delivered_at_s`` is filled in
+        (and ``on_delivered`` fired) once the payload reaches the network.
+        Raises if the modem is powered off (dead relay).
+        """
+        if not self.powered_on:
+            raise RuntimeError(f"modem {self.device_id} is powered off")
+        if payload_bytes <= 0:
+            raise ValueError(f"payload_bytes must be positive, got {payload_bytes}")
+        result = UplinkResult(
+            device_id=self.device_id,
+            payload_bytes=payload_bytes,
+            requested_at_s=self.sim.now,
+            payload=payload,
+        )
+
+        def when_ready(setup_was_needed: bool) -> None:
+            result.setup_was_needed = setup_was_needed
+            self._transmit(result, on_delivered)
+
+        started_promotion = self.rrc.request_transmission(payload_bytes, when_ready)
+        if started_promotion:
+            # setup energy is paid once per promotion, over the promotion
+            # window (the ramp in Fig. 7).
+            self._charge(
+                EnergyPhase.CELLULAR_SETUP,
+                self.profile.cellular_setup_uah,
+                duration_s=self.profile.cellular_setup_s,
+            )
+        return result
+
+    def power_off(self) -> None:
+        """Hard power-down (battery death); drops the RRC connection."""
+        self.powered_on = False
+        self.rrc.force_release()
+
+    def power_on(self) -> None:
+        self.powered_on = True
+
+    # ------------------------------------------------------------------
+    @property
+    def rrc_cycles(self) -> int:
+        """Completed RRC establish/release cycles so far."""
+        return self.rrc.demotions
+
+    # ------------------------------------------------------------------
+    def _transmit(
+        self, result: UplinkResult, on_delivered: Optional[Callable[[UplinkResult], None]]
+    ) -> None:
+        self.sends += 1
+        self.bytes_sent += result.payload_bytes
+        if result.setup_was_needed is False:
+            self.aggregated_sends += 1
+        tx_uah = (
+            self.profile.cellular_tx_base_uah
+            + self.profile.cellular_per_byte_uah * result.payload_bytes
+        )
+        self._charge(EnergyPhase.CELLULAR_TX, tx_uah, duration_s=self.profile.cellular_tx_s)
+
+        def deliver() -> None:
+            result.delivered_at_s = self.sim.now
+            if self.basestation is not None:
+                self.basestation.deliver_uplink(
+                    self.device_id, result.payload_bytes, result.payload
+                )
+            if on_delivered is not None:
+                on_delivered(result)
+
+        self.sim.schedule(self.profile.cellular_tx_s, deliver, name="uplink_deliver")
+
+    def _charge_tail(self, start_s: float, duration_s: float, full: bool) -> None:
+        """RRC hook: charge high-power connected time pro rata."""
+        fraction = min(1.0, duration_s / self.profile.cellular_tail_s)
+        self._charge(
+            EnergyPhase.CELLULAR_TAIL,
+            self.profile.cellular_tail_uah * fraction,
+            duration_s=duration_s,
+            time_s=start_s,
+        )
+
+    def _charge_fach(self, start_s: float, duration_s: float) -> None:
+        """RRC hook: charge low-power FACH dwell time (three-state WCDMA)."""
+        tail_power_uah_per_s = (
+            self.profile.cellular_tail_uah / self.profile.cellular_tail_s
+        )
+        self._charge(
+            EnergyPhase.CELLULAR_TAIL,
+            tail_power_uah_per_s * self.profile.fach_power_fraction * duration_s,
+            duration_s=duration_s,
+            time_s=start_s,
+        )
+
+    def _charge(
+        self,
+        phase: EnergyPhase,
+        uah: float,
+        duration_s: float = 0.0,
+        time_s: Optional[float] = None,
+    ) -> None:
+        if self.energy is not None:
+            self.energy.charge(
+                phase, uah, time_s=self.sim.now if time_s is None else time_s,
+                duration_s=duration_s,
+            )

@@ -1,0 +1,309 @@
+"""Radio Resource Control (RRC) state machine.
+
+The signaling storm the paper attacks is a direct consequence of this
+machine: every uplink from IDLE pays a full establish/release cycle (the
+layer-3 sequences in :mod:`repro.cellular.signaling`) plus a multi-second
+high-power *tail* before the radio demotes back to IDLE (the elevated
+plateau of the paper's Fig. 7 current trace).
+
+A transmission while the radio is still CONNECTED — i.e. within the tail
+of a previous one — pays **no** setup signaling and no new tail; this is
+exactly the mechanism the relay's aggregation exploits.
+
+Two network profiles are provided: a WCDMA-flavoured one (the paper's
+testbed network) and an LTE-flavoured one for ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, List, Optional, Tuple
+
+from repro.cellular.signaling import (
+    Direction,
+    FACH_PROMOTION_SEQUENCE,
+    L3MessageType,
+    RELEASE_SEQUENCE,
+    SETUP_SEQUENCE,
+    SignalingLedger,
+    reconfiguration_count,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class RrcState(str, enum.Enum):
+    """RRC states (paper Sec. II-B).
+
+    The two-state profiles use IDLE/CONNECTING/CONNECTED; the three-state
+    WCDMA profile additionally passes through FACH — a low-power shared
+    channel between the DCH tail and IDLE, from which re-promotion is fast
+    and cheap (a CELL UPDATE exchange instead of a full establishment).
+    """
+
+    IDLE = "idle"
+    CONNECTING = "connecting"
+    CONNECTED = "connected"  # DCH in WCDMA terms
+    FACH = "fach"
+
+
+@dataclasses.dataclass(frozen=True)
+class RrcProfile:
+    """Timing and signaling parameters of one network's RRC machine."""
+
+    name: str
+    setup_latency_s: float  # promotion delay IDLE → CONNECTED
+    tail_s: float  # inactivity timer before demotion (DCH tail)
+    setup_sequence: Tuple[Tuple[L3MessageType, Direction], ...] = SETUP_SEQUENCE
+    release_sequence: Tuple[Tuple[L3MessageType, Direction], ...] = RELEASE_SEQUENCE
+    #: FACH dwell time after the DCH tail; 0 disables the FACH state
+    #: (the default two-state machine used for calibration).
+    fach_tail_s: float = 0.0
+    #: FACH → DCH re-promotion latency.
+    fach_promotion_latency_s: float = 0.5
+    fach_promotion_sequence: Tuple[Tuple[L3MessageType, Direction], ...] = (
+        FACH_PROMOTION_SEQUENCE
+    )
+
+    @property
+    def has_fach(self) -> bool:
+        return self.fach_tail_s > 0.0
+
+    @property
+    def messages_per_cycle(self) -> int:
+        """L3 messages in one full establish/release cycle (no reconfigs)."""
+        return len(self.setup_sequence) + len(self.release_sequence)
+
+
+#: The paper's evaluation network (WCDMA, NetOptiMaster capture).
+WCDMA_PROFILE = RrcProfile(name="wcdma", setup_latency_s=1.5, tail_s=7.5)
+
+#: LTE-flavoured variant for ablations (faster setup, longer tail).
+LTE_PROFILE = RrcProfile(name="lte", setup_latency_s=0.3, tail_s=10.0)
+
+#: Full three-state WCDMA machine (DCH → FACH → IDLE), per Sec. II-B.
+WCDMA_3STATE_PROFILE = RrcProfile(
+    name="wcdma-3state", setup_latency_s=1.5, tail_s=5.0, fach_tail_s=12.0
+)
+
+
+class RrcStateMachine:
+    """Per-device RRC machine driven by the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator (timers for promotion and tail demotion).
+    device_id:
+        Ledger attribution key.
+    profile:
+        Network timing/signaling profile.
+    ledger:
+        Shared signaling capture; may be ``None`` for isolated unit tests.
+    on_state_change:
+        Optional hook ``(time_s, old_state, new_state)``.
+    on_tail_elapsed:
+        Optional hook ``(start_s, duration_s, full_tail)`` fired whenever
+        high-power connected time elapses — the energy model charges the
+        tail from here so traces and ledgers agree.
+    on_fach_elapsed:
+        Optional hook ``(start_s, duration_s)`` fired when time spent in
+        the low-power FACH state elapses (three-state profile only).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: str,
+        profile: RrcProfile = WCDMA_PROFILE,
+        ledger: Optional[SignalingLedger] = None,
+        on_state_change: Optional[Callable[[float, RrcState, RrcState], None]] = None,
+        on_tail_elapsed: Optional[Callable[[float, float, bool], None]] = None,
+        on_fach_elapsed: Optional[Callable[[float, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.device_id = device_id
+        self.profile = profile
+        self.ledger = ledger
+        self.on_state_change = on_state_change
+        self.on_tail_elapsed = on_tail_elapsed
+        self.on_fach_elapsed = on_fach_elapsed
+        self.state = RrcState.IDLE
+        self._tail_event: Optional[Event] = None
+        self._fach_event: Optional[Event] = None
+        self._last_activity_s = 0.0
+        self._fach_entered_s = 0.0
+        self._pending_after_connect: List[Callable[[], None]] = []
+        # statistics
+        self.promotions = 0
+        self.fach_promotions = 0
+        self.demotions = 0
+        self.connected_time_s = 0.0
+        self.fach_time_s = 0.0
+        self.transmissions = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def request_transmission(
+        self, payload_bytes: int, when_ready: Callable[[bool], None]
+    ) -> bool:
+        """Ask for an uplink grant for ``payload_bytes``.
+
+        ``when_ready(setup_was_needed)`` fires once the radio is CONNECTED —
+        immediately if it already is, after the promotion latency otherwise.
+        Oversized payloads emit radio-bearer reconfiguration messages.
+        Returns ``True`` iff this request started a new promotion (the
+        caller then pays the setup energy exactly once per promotion).
+        """
+        self.transmissions += 1
+        now = self.sim.now
+        self._emit_reconfigurations(now, payload_bytes)
+        if self.state == RrcState.CONNECTED:
+            self._account_connected_time(now)
+            self._rearm_tail()
+            when_ready(False)
+            return False
+        if self.state == RrcState.CONNECTING:
+            self._pending_after_connect.append(lambda: when_ready(True))
+            return False
+        if self.state == RrcState.FACH:
+            # fast re-promotion: CELL UPDATE exchange instead of full setup
+            self._leave_fach(now)
+            self._set_state(RrcState.CONNECTING)
+            if self.ledger is not None:
+                self.ledger.record_sequence(
+                    now, self.device_id, self.profile.fach_promotion_sequence
+                )
+            self._pending_after_connect.append(lambda: when_ready(False))
+            self.sim.schedule(
+                self.profile.fach_promotion_latency_s,
+                self._finish_fach_promotion,
+                name="rrc_fach_promote",
+            )
+            return False
+        # IDLE → start promotion
+        self._set_state(RrcState.CONNECTING)
+        if self.ledger is not None:
+            self.ledger.record_sequence(now, self.device_id, self.profile.setup_sequence)
+        self._pending_after_connect.append(lambda: when_ready(True))
+        self.sim.schedule(
+            self.profile.setup_latency_s, self._finish_promotion, name="rrc_promote"
+        )
+        return True
+
+    def force_release(self) -> None:
+        """Immediately drop to IDLE (e.g. device powered off)."""
+        if self.state == RrcState.IDLE:
+            return
+        now = self.sim.now
+        if self.state == RrcState.CONNECTED:
+            self._account_connected_time(now)
+        if self.state == RrcState.FACH:
+            self._leave_fach(now)
+        self.sim.cancel(self._tail_event)
+        self.sim.cancel(self._fach_event)
+        self._tail_event = None
+        self._fach_event = None
+        self._pending_after_connect.clear()
+        self._set_state(RrcState.IDLE)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit_reconfigurations(self, now: float, payload_bytes: int) -> None:
+        if self.ledger is None:
+            return
+        for _ in range(reconfiguration_count(payload_bytes)):
+            self.ledger.record(
+                now,
+                self.device_id,
+                L3MessageType.RADIO_BEARER_RECONFIGURATION,
+                Direction.DOWNLINK,
+            )
+
+    def _finish_promotion(self) -> None:
+        if self.state != RrcState.CONNECTING:
+            return  # force_release raced the promotion
+        self.promotions += 1
+        self._enter_connected()
+
+    def _finish_fach_promotion(self) -> None:
+        if self.state != RrcState.CONNECTING:
+            return
+        self.fach_promotions += 1
+        self._enter_connected()
+
+    def _enter_connected(self) -> None:
+        self._set_state(RrcState.CONNECTED)
+        self._last_activity_s = self.sim.now
+        self._rearm_tail()
+        callbacks, self._pending_after_connect = self._pending_after_connect, []
+        for callback in callbacks:
+            callback()
+
+    def _rearm_tail(self) -> None:
+        self.sim.cancel(self._tail_event)
+        self._last_activity_s = self.sim.now
+        self._tail_event = self.sim.schedule(
+            self.profile.tail_s, self._demote, name="rrc_tail"
+        )
+
+    def _account_connected_time(self, now: float) -> None:
+        """Charge the high-power time elapsed since the last activity."""
+        elapsed = now - self._last_activity_s
+        if elapsed > 0:
+            self.connected_time_s += elapsed
+            if self.on_tail_elapsed is not None:
+                full = elapsed >= self.profile.tail_s
+                self.on_tail_elapsed(self._last_activity_s, elapsed, full)
+        self._last_activity_s = now
+
+    def _demote(self) -> None:
+        if self.state != RrcState.CONNECTED:
+            return
+        now = self.sim.now
+        self._account_connected_time(now)
+        self._tail_event = None
+        if self.profile.has_fach:
+            self._fach_entered_s = now
+            self._set_state(RrcState.FACH)
+            self._fach_event = self.sim.schedule(
+                self.profile.fach_tail_s, self._demote_from_fach, name="rrc_fach_tail"
+            )
+            return
+        self._finish_demotion(now)
+
+    def _demote_from_fach(self) -> None:
+        if self.state != RrcState.FACH:
+            return
+        now = self.sim.now
+        self._leave_fach(now)
+        self._fach_event = None
+        self._finish_demotion(now)
+
+    def _leave_fach(self, now: float) -> None:
+        """Account FACH dwell time and cancel its timer."""
+        elapsed = now - self._fach_entered_s
+        if elapsed > 0:
+            self.fach_time_s += elapsed
+            if self.on_fach_elapsed is not None:
+                self.on_fach_elapsed(self._fach_entered_s, elapsed)
+        self.sim.cancel(self._fach_event)
+        self._fach_event = None
+
+    def _finish_demotion(self, now: float) -> None:
+        self.demotions += 1
+        if self.ledger is not None:
+            self.ledger.record_sequence(now, self.device_id, self.profile.release_sequence)
+            self.ledger.record_cycle(self.device_id)
+        self._set_state(RrcState.IDLE)
+
+    def _set_state(self, new_state: RrcState) -> None:
+        old = self.state
+        if old == new_state:
+            return
+        self.state = new_state
+        if self.on_state_change is not None:
+            self.on_state_change(self.sim.now, old, new_state)

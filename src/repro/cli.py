@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+Runs the canned experiments without writing any Python::
+
+    repro-sim pair --ues 1 --periods 7
+    repro-sim crowd --devices 40 --duration 1800
+    repro-sim sweep --max-periods 8
+    repro-sim breakeven
+    repro-sim table1
+    repro-sim calibration
+
+Every subcommand prints a paper-style table; `pair`, `crowd` and `sweep`
+run both the D2D framework and the original baseline for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis import saved_percent
+from repro.core.modes import breakeven_distance_m
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.reporting import format_series, format_table, percent
+from repro.scenarios import run_crowd_scenario, run_relay_scenario
+from repro.workload.apps import APP_REGISTRY
+from repro.workload.traffic import heartbeat_share_table
+
+
+def _cmd_pair(args: argparse.Namespace) -> int:
+    d2d = run_relay_scenario(
+        n_ues=args.ues, distance_m=args.distance, periods=args.periods,
+        capacity=args.capacity, seed=args.seed, mode="d2d",
+    )
+    base = run_relay_scenario(
+        n_ues=args.ues, distance_m=args.distance, periods=args.periods,
+        capacity=args.capacity, seed=args.seed, mode="original",
+    )
+    print(format_table(
+        ["", "L3 msgs", "Energy (µAh)", "On-time"],
+        [
+            ["original", base.total_l3(), base.system_energy_uah(),
+             base.on_time_fraction()],
+            ["d2d", d2d.total_l3(), d2d.system_energy_uah(),
+             d2d.on_time_fraction()],
+        ],
+        title=(f"pair: 1 relay + {args.ues} UE(s) @ {args.distance} m, "
+               f"{args.periods} periods"),
+    ))
+    print(f"signaling saved : "
+          f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
+    print(f"energy saved    : "
+          f"{saved_percent(base.system_energy_uah(), d2d.system_energy_uah()):.1f}%")
+    return 0
+
+
+def _cmd_crowd(args: argparse.Namespace) -> int:
+    d2d = run_crowd_scenario(
+        n_devices=args.devices, relay_fraction=args.relay_fraction,
+        duration_s=args.duration, seed=args.seed, mode="d2d",
+    )
+    base = run_crowd_scenario(
+        n_devices=args.devices, relay_fraction=args.relay_fraction,
+        duration_s=args.duration, seed=args.seed, mode="original",
+    )
+    print(format_table(
+        ["", "L3 msgs", "peak L3/s", "Energy (µAh)", "On-time"],
+        [
+            ["original", base.total_l3(),
+             base.context.basestation.peak_signaling_rate(60.0),
+             base.system_energy_uah(), base.on_time_fraction()],
+            ["d2d", d2d.total_l3(),
+             d2d.context.basestation.peak_signaling_rate(60.0),
+             d2d.system_energy_uah(), d2d.on_time_fraction()],
+        ],
+        title=(f"crowd: {args.devices} devices, "
+               f"{args.relay_fraction:.0%} relays, {args.duration:.0f} s"),
+    ))
+    print(f"signaling saved : "
+          f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
+    print(f"beats via D2D   : {d2d.framework.total_beats_forwarded()}"
+          f" (fallbacks {d2d.framework.total_cellular_fallbacks()})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    ks = list(range(1, args.max_periods + 1))
+    saved_system, saved_ue = [], []
+    for periods in ks:
+        d2d = run_relay_scenario(n_ues=args.ues, periods=periods,
+                                 seed=args.seed)
+        base = run_relay_scenario(n_ues=args.ues, periods=periods,
+                                  seed=args.seed, mode="original")
+        saved_system.append(
+            saved_percent(base.system_energy_uah(), d2d.system_energy_uah())
+        )
+        saved_ue.append(saved_percent(base.ue_energy_uah(), d2d.ue_energy_uah()))
+    print(format_series(
+        "k", ks, {"system saved %": saved_system, "ue saved %": saved_ue},
+        title=f"saved energy vs transmission times ({args.ues} UE(s))",
+    ))
+    return 0
+
+
+def _cmd_breakeven(args: argparse.Namespace) -> int:
+    print("D2D-vs-cellular breakeven distance (UE side):")
+    for beats in (1, 2, 3, 5, 7, 10):
+        distance = breakeven_distance_m(expected_beats=beats)
+        print(f"  {beats:2d} beats/session → {distance:5.1f} m")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    apps = ["wechat", "qq", "whatsapp", "facebook"]
+    shares = heartbeat_share_table(
+        apps, window_s=args.days * 86_400.0, rng=random.Random(args.seed),
+        repeats=3,
+    )
+    print(format_table(
+        ["App", "Paper", "Measured"],
+        [
+            [name, percent(APP_REGISTRY[name].heartbeat_share),
+             percent(shares[name])]
+            for name in apps
+        ],
+        title="Table I — heartbeat share of messages",
+    ))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.viz import render_timeline
+
+    result = run_relay_scenario(
+        n_ues=args.ues, distance_m=args.distance, periods=args.periods,
+        seed=args.seed, keep_energy_log=True,
+    )
+    horizon = result.metrics.horizon_s
+    print(f"1 relay + {args.ues} UE(s) @ {args.distance} m, "
+          f"{args.periods} periods ({horizon:.0f} s)")
+    print(render_timeline(result.devices.values(), horizon, width=args.width))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY, run_experiment
+
+    if args.id is None or args.id.lower() == "list":
+        print(format_table(
+            ["Id", "Artifact"],
+            [[exp_id, description] for exp_id, (description, __) in
+             sorted(REGISTRY.items())],
+            title="Registered paper experiments",
+        ))
+        return 0
+    try:
+        description, __ = REGISTRY[args.id.upper()]
+    except KeyError:
+        print(f"unknown experiment {args.id!r}; try 'experiment list'",
+              file=sys.stderr)
+        return 2
+    print(f"{args.id.upper()}: {description}")
+    result = run_experiment(args.id)
+    _print_experiment_result(result)
+    return 0
+
+
+def _print_experiment_result(result) -> None:
+    """Best-effort tabulation of an experiment's return value."""
+    if isinstance(result, dict) and all(
+        isinstance(v, (int, float)) for v in result.values()
+    ):
+        print(format_table(["Key", "Value"], [[k, v] for k, v in result.items()]))
+        return
+    if isinstance(result, dict) and all(
+        isinstance(v, dict) for v in result.values()
+    ):
+        for key, block in result.items():
+            print(format_table(
+                ["Key", "Value"], [[k, v] for k, v in block.items()],
+                title=str(key),
+            ))
+        return
+    if isinstance(result, dict):  # name → series
+        lengths = {len(v) for v in result.values()}
+        if len(lengths) == 1:
+            n = lengths.pop()
+            print(format_series("k", list(range(1, n + 1)), result))
+            return
+    if isinstance(result, (list, tuple)) and result and all(
+        isinstance(v, (int, float)) for v in result
+    ):
+        print(format_series("k", list(range(1, len(result) + 1)),
+                            {"value": list(result)}))
+        return
+    if (
+        isinstance(result, tuple)
+        and result
+        and all(isinstance(part, (list, dict)) for part in result)
+    ):
+        for i, part in enumerate(result):
+            print(f"-- part {i + 1} --")
+            _print_experiment_result(part)
+        return
+    print(result)
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    p = DEFAULT_PROFILE
+    rows = [
+        ["UE discovery", p.ue_discovery_uah, "Table III"],
+        ["UE connection", p.ue_connection_uah, "Table III"],
+        ["UE forward (per msg)", p.ue_forward_uah, "Table III"],
+        ["Relay discovery", p.relay_discovery_uah, "Table III"],
+        ["Relay connection", p.relay_connection_uah, "Table III"],
+        ["Relay receive (per msg)", p.relay_receive_uah, "Table IV slope"],
+        ["Relay receive (coalesced)", p.relay_receive_coalesced_uah,
+         "Fig. 10/11 wake analysis"],
+        ["Cellular setup", p.cellular_setup_uah, "Fig. 7 decomposition"],
+        ["Cellular tx base", p.cellular_tx_base_uah, "Fig. 7 decomposition"],
+        ["Cellular tail", p.cellular_tail_uah, "Fig. 7 decomposition"],
+        ["Cellular heartbeat (54 B)", p.cellular_heartbeat_uah(),
+         "55% UE-saving anchor"],
+    ]
+    print(format_table(["Quantity (µAh)", "Value", "Provenance"], rows,
+                       title="Energy calibration (src/repro/energy/profiles.py)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="D2D heartbeat relaying framework — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pair = sub.add_parser("pair", help="1 relay + n UEs vs. the original system")
+    pair.add_argument("--ues", type=int, default=1)
+    pair.add_argument("--distance", type=float, default=1.0)
+    pair.add_argument("--periods", type=int, default=7)
+    pair.add_argument("--capacity", type=int, default=10)
+    pair.add_argument("--seed", type=int, default=0)
+    pair.set_defaults(func=_cmd_pair)
+
+    crowd = sub.add_parser("crowd", help="clustered-crowd signaling storm")
+    crowd.add_argument("--devices", type=int, default=40)
+    crowd.add_argument("--relay-fraction", type=float, default=0.2)
+    crowd.add_argument("--duration", type=float, default=1800.0)
+    crowd.add_argument("--seed", type=int, default=0)
+    crowd.set_defaults(func=_cmd_crowd)
+
+    sweep = sub.add_parser("sweep", help="saved energy vs. transmission times")
+    sweep.add_argument("--ues", type=int, default=1)
+    sweep.add_argument("--max-periods", type=int, default=8)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    breakeven = sub.add_parser("breakeven", help="D2D-vs-cellular distances")
+    breakeven.set_defaults(func=_cmd_breakeven)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--days", type=float, default=7.0)
+    table1.add_argument("--seed", type=int, default=2017)
+    table1.set_defaults(func=_cmd_table1)
+
+    calibration = sub.add_parser("calibration", help="print the energy model")
+    calibration.set_defaults(func=_cmd_calibration)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure by id (or 'list')"
+    )
+    experiment.add_argument("id", nargs="?", default="list")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    timeline = sub.add_parser(
+        "timeline", help="ASCII radio-activity timeline of a session"
+    )
+    timeline.add_argument("--ues", type=int, default=2)
+    timeline.add_argument("--distance", type=float, default=1.0)
+    timeline.add_argument("--periods", type=int, default=3)
+    timeline.add_argument("--width", type=int, default=72)
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The paper's contribution: the D2D heartbeat relaying framework.
+
+Components mirror the prototype architecture of the paper's Fig. 2 —
+Message Monitor, D2D Detector, Message Scheduler — plus the relay/UE role
+agents, the matching and mode-selection policies, the feedback/fallback
+protocol, and the incentive ledger.
+"""
+
+from repro.core.protocol import BeatTransfer, DeliveryAck, RejectNotice, D2D_HEADER_BYTES
+from repro.core.scheduler import CollectedBeat, MessageScheduler, SchedulerConfig
+from repro.core.matching import MatchConfig, RelayMatcher, RelayCandidate
+from repro.core.modes import TransmissionMode, d2d_session_beneficial, breakeven_distance_m
+from repro.core.monitor import MessageMonitor
+from repro.core.detector import D2DDetector
+from repro.core.feedback import FeedbackTracker, PendingForward
+from repro.core.incentives import RewardPolicy, RewardLedger
+from repro.core.security import IntegrityError, SealedBeat, SecureChannel, ServerKeyRing
+from repro.core.operator import (
+    Participant,
+    coverage,
+    greedy_relay_selection,
+    proximity_graph,
+    random_relay_selection,
+)
+from repro.core.adaptive import AdaptiveCapacityConfig, AdaptiveCapacityPolicy
+from repro.core.dashboard import RelayDashboard, RelayDashboardSnapshot
+from repro.core.relay import RelayAgent
+from repro.core.ue import UEAgent
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+
+__all__ = [
+    "BeatTransfer",
+    "DeliveryAck",
+    "RejectNotice",
+    "D2D_HEADER_BYTES",
+    "CollectedBeat",
+    "MessageScheduler",
+    "SchedulerConfig",
+    "MatchConfig",
+    "RelayMatcher",
+    "RelayCandidate",
+    "TransmissionMode",
+    "d2d_session_beneficial",
+    "breakeven_distance_m",
+    "MessageMonitor",
+    "D2DDetector",
+    "FeedbackTracker",
+    "PendingForward",
+    "RewardPolicy",
+    "RewardLedger",
+    "IntegrityError",
+    "SealedBeat",
+    "SecureChannel",
+    "ServerKeyRing",
+    "Participant",
+    "coverage",
+    "greedy_relay_selection",
+    "proximity_graph",
+    "random_relay_selection",
+    "AdaptiveCapacityConfig",
+    "AdaptiveCapacityPolicy",
+    "RelayDashboard",
+    "RelayDashboardSnapshot",
+    "RelayAgent",
+    "UEAgent",
+    "FrameworkConfig",
+    "HeartbeatRelayFramework",
+]

@@ -1,0 +1,109 @@
+"""Battery-adaptive relay capacity (paper Sec. III-C).
+
+"As for capacity of the relay, it refers to the maximum number of
+collected heartbeat messages, which is set by users. The users, as
+relays, could adjust the value according [to] their situations in
+reality, such as their battery usage."
+
+:class:`AdaptiveCapacityPolicy` automates that adjustment: the advertised
+capacity scales with the battery's state of charge, and the relay resigns
+(stops advertising) entirely below a floor so it never strands UEs on a
+dying relay mid-period. The policy is evaluated once per heartbeat period
+(capacity is a per-period quantity in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.core.relay import RelayAgent
+from repro.sim.engine import PeriodicProcess, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveCapacityConfig:
+    """Capacity-vs-battery schedule."""
+
+    #: Capacity advertised at full charge.
+    max_capacity: int = 10
+    #: Below this state of charge the relay resigns (stops advertising).
+    resign_level: float = 0.15
+    #: At or above this level the full capacity is offered.
+    full_level: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.max_capacity < 1:
+            raise ValueError(f"max_capacity must be >= 1: {self.max_capacity}")
+        if not 0.0 <= self.resign_level < self.full_level <= 1.0:
+            raise ValueError(
+                f"need 0 <= resign_level < full_level <= 1, got "
+                f"{self.resign_level}, {self.full_level}"
+            )
+
+    def capacity_for(self, battery_level: float) -> int:
+        """Capacity to offer at ``battery_level`` (0 → resign)."""
+        if battery_level < self.resign_level:
+            return 0
+        if battery_level >= self.full_level:
+            return self.max_capacity
+        span = self.full_level - self.resign_level
+        fraction = (battery_level - self.resign_level) / span
+        return max(1, int(math.ceil(self.max_capacity * fraction)))
+
+
+class AdaptiveCapacityPolicy:
+    """Periodically retunes one relay's capacity from its battery."""
+
+    def __init__(
+        self,
+        agent: RelayAgent,
+        config: AdaptiveCapacityConfig = AdaptiveCapacityConfig(),
+    ) -> None:
+        if agent.device.battery is None:
+            raise ValueError(
+                f"relay {agent.device.device_id} has no battery to adapt to"
+            )
+        self.agent = agent
+        self.config = config
+        self.resigned = False
+        self.adjustments = 0
+        self._process: Optional[PeriodicProcess] = None
+
+    def start(self) -> "AdaptiveCapacityPolicy":
+        """Begin evaluating once per relay heartbeat period."""
+        if self._process is not None:
+            raise RuntimeError("policy already started")
+        sim: Simulator = self.agent.sim
+        self._process = sim.every(
+            self.agent.app.heartbeat_period_s, self.evaluate,
+            start_after=0.0, name="adaptive_capacity",
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> int:
+        """Apply the schedule once; returns the capacity now in force."""
+        battery = self.agent.device.battery
+        assert battery is not None
+        capacity = self.config.capacity_for(battery.level)
+        if capacity == 0:
+            if not self.resigned:
+                self.resigned = True
+                self.agent.resign()
+            return 0
+        scheduler = self.agent.scheduler
+        if capacity != scheduler.config.capacity:
+            self.adjustments += 1
+            scheduler.config = dataclasses.replace(
+                scheduler.config, capacity=capacity
+            )
+            self.agent.negotiator.capacity = capacity
+            self.agent._update_advertisement()
+        return capacity

@@ -1,0 +1,105 @@
+"""Relay owner's dashboard (the data behind the paper's Fig. 4 UI).
+
+The prototype's interface "provides the information about the amount of
+collected heartbeat messages and the reward from mobile network
+operator" and lets the owner adjust participation. This module gathers
+exactly that view from the live objects — a pure read-model, so a real
+UI (or a test) can render it without poking framework internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.incentives import RewardLedger
+from repro.core.relay import RelayAgent
+
+
+@dataclasses.dataclass(frozen=True)
+class RelayDashboardSnapshot:
+    """Everything the Fig. 4 screen shows, at one instant."""
+
+    device_id: str
+    time_s: float
+    advertising: bool
+    resigned: bool
+    connected_ues: int
+    capacity: int
+    capacity_remaining: int
+    beats_collected_total: int
+    beats_pending: int
+    aggregated_uplinks: int
+    credits_earned: float
+    free_data_mb_earned: float
+    battery_level: Optional[float]
+    go_intent: int
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rendering (what the UI labels would say)."""
+        battery = (
+            f"{self.battery_level:.0%}" if self.battery_level is not None
+            else "n/a"
+        )
+        status = (
+            "resigned" if self.resigned
+            else ("collecting" if self.advertising else "paused")
+        )
+        return [
+            f"Relay {self.device_id} — {status}",
+            f"connected UEs: {self.connected_ues}   "
+            f"capacity: {self.capacity_remaining}/{self.capacity}",
+            f"heartbeats collected: {self.beats_collected_total} "
+            f"({self.beats_pending} pending, "
+            f"{self.aggregated_uplinks} uplinks)",
+            f"rewards: {self.free_data_mb_earned:.0f} MB free data, "
+            f"{self.credits_earned:.2f} credits",
+            f"battery: {battery}   GO intent: {self.go_intent}",
+        ]
+
+
+class RelayDashboard:
+    """Live read-model over one relay agent (+ optional reward ledger)."""
+
+    def __init__(
+        self, agent: RelayAgent, rewards: Optional[RewardLedger] = None
+    ) -> None:
+        self.agent = agent
+        self.rewards = rewards if rewards is not None else agent.rewards
+        self.history: List[RelayDashboardSnapshot] = []
+
+    def snapshot(self) -> RelayDashboardSnapshot:
+        """Capture the current state (also appended to :attr:`history`)."""
+        agent = self.agent
+        device = agent.device
+        account = (
+            self.rewards.account(device.device_id)
+            if self.rewards is not None
+            else None
+        )
+        snap = RelayDashboardSnapshot(
+            device_id=device.device_id,
+            time_s=agent.sim.now,
+            advertising=bool(device.d2d and device.d2d.advertising),
+            resigned=agent.resigned,
+            connected_ues=agent.connected_ue_count(),
+            capacity=agent.scheduler.config.capacity,
+            capacity_remaining=agent.scheduler.capacity_remaining,
+            beats_collected_total=agent.beats_collected,
+            beats_pending=agent.scheduler.pending_count,
+            aggregated_uplinks=agent.aggregated_uplinks,
+            credits_earned=account.credits if account else 0.0,
+            free_data_mb_earned=account.free_data_mb if account else 0.0,
+            battery_level=device.battery.level if device.battery else None,
+            go_intent=agent.go_intent,
+        )
+        self.history.append(snap)
+        return snap
+
+    def collected_series(self) -> List[int]:
+        """Collected-beat totals across the captured history."""
+        return [snap.beats_collected_total for snap in self.history]
+
+    def watch(self, period_s: float) -> None:
+        """Auto-snapshot every ``period_s`` (drives the history)."""
+        self.agent.sim.every(period_s, self.snapshot, name="dashboard")

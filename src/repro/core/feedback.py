@@ -1,0 +1,138 @@
+"""Feedback / fallback protocol — the UE side (paper Sec. III-A).
+
+"Once the matched relay transmit[s] the collected heartbeat messages
+successfully, the proposed framework will notify the connected UE through
+feedback information. In case that the UE does not receive the feedback
+information after a certain interval, it will send the heartbeat messages
+via cellular network."
+
+The tracker keeps every forwarded-but-unacked beat with a fallback timer
+set early enough that a cellular resend still meets the beat's deadline.
+Whatever kills the ack — relay battery death, D2D link break, a lost ack
+frame — the beat is re-sent in time, so delivery never regresses relative
+to the original system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.workload.messages import PeriodicMessage
+
+
+@dataclasses.dataclass
+class PendingForward:
+    """One forwarded beat awaiting its delivery ack."""
+
+    message: PeriodicMessage
+    forwarded_at_s: float
+    fallback_at_s: float
+    timer: Optional[Event] = None
+    acked: bool = False
+    fallback_fired: bool = False
+
+
+class FeedbackTracker:
+    """Per-UE registry of unacked forwards with fallback timers.
+
+    ``on_fallback(message)`` must deliver the beat via cellular; it fires at
+    ``deadline - cellular_resend_guard_s`` unless an ack arrives first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_fallback: Callable[[PeriodicMessage], None],
+        cellular_resend_guard_s: float = 4.0,
+        min_wait_s: float = 1.0,
+    ) -> None:
+        if cellular_resend_guard_s < 0:
+            raise ValueError(f"guard must be >= 0, got {cellular_resend_guard_s}")
+        if min_wait_s < 0:
+            raise ValueError(f"min wait must be >= 0, got {min_wait_s}")
+        self.sim = sim
+        self.on_fallback = on_fallback
+        self.cellular_resend_guard_s = cellular_resend_guard_s
+        self.min_wait_s = min_wait_s
+        self._pending: Dict[int, PendingForward] = {}
+        # statistics
+        self.forwards_tracked = 0
+        self.acks_received = 0
+        self.fallbacks_fired = 0
+        self.duplicate_acks = 0
+
+    # ------------------------------------------------------------------
+    def track(self, message: PeriodicMessage) -> PendingForward:
+        """Register a just-forwarded beat and arm its fallback timer."""
+        if message.seq in self._pending:
+            raise ValueError(f"beat seq {message.seq} already tracked")
+        now = self.sim.now
+        fallback_at = max(
+            now + self.min_wait_s, message.deadline_s - self.cellular_resend_guard_s
+        )
+        pending = PendingForward(
+            message=message, forwarded_at_s=now, fallback_at_s=fallback_at
+        )
+        pending.timer = self.sim.schedule_at(
+            fallback_at, self._fire_fallback, message.seq, name="feedback_fallback"
+        )
+        self._pending[message.seq] = pending
+        self.forwards_tracked += 1
+        return pending
+
+    def ack(self, beat_seqs: Iterable[int]) -> int:
+        """Process a delivery ack; returns how many pendings it cleared."""
+        cleared = 0
+        for seq in beat_seqs:
+            pending = self._pending.pop(seq, None)
+            if pending is None:
+                self.duplicate_acks += 1
+                continue
+            pending.acked = True
+            self.sim.cancel(pending.timer)
+            pending.timer = None
+            self.acks_received += 1
+            cleared += 1
+        return cleared
+
+    def fail_now(self, beat_seq: int) -> bool:
+        """Trigger the fallback immediately (relay sent a reject notice)."""
+        pending = self._pending.get(beat_seq)
+        if pending is None:
+            return False
+        self.sim.cancel(pending.timer)
+        pending.timer = None
+        self._fire_fallback(beat_seq)
+        return True
+
+    def fail_all_now(self) -> int:
+        """Fallback every pending beat (D2D connection broke)."""
+        count = 0
+        for seq in list(self._pending):
+            if self.fail_now(seq):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_messages(self) -> List[PeriodicMessage]:
+        return [p.message for p in self._pending.values()]
+
+    def is_pending(self, beat_seq: int) -> bool:
+        return beat_seq in self._pending
+
+    # ------------------------------------------------------------------
+    def _fire_fallback(self, beat_seq: int) -> None:
+        pending = self._pending.pop(beat_seq, None)
+        if pending is None or pending.acked:
+            return
+        pending.fallback_fired = True
+        pending.timer = None
+        self.fallbacks_fired += 1
+        self.on_fallback(pending.message)

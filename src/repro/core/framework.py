@@ -1,0 +1,175 @@
+"""Framework wiring: builds the full system onto a set of devices.
+
+:class:`HeartbeatRelayFramework` is the public entry point a downstream
+user touches: give it devices with roles and an app profile, and it
+instantiates the right agent on each (relay agents on relays, UE agents on
+UEs, a plain direct-cellular sender on standalone baseline phones), shares
+one incentive ledger, and exposes the per-device agents and aggregate
+statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.incentives import RewardLedger, RewardPolicy
+from repro.core.matching import MatchConfig
+from repro.core.monitor import MessageMonitor
+from repro.core.relay import RelayAgent
+from repro.core.scheduler import SchedulerConfig
+from repro.core.ue import UEAgent
+from repro.device import Role, Smartphone
+from repro.workload.apps import AppProfile, STANDARD_APP
+from repro.workload.messages import PeriodicMessage
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameworkConfig:
+    """All framework tunables in one place."""
+
+    scheduler: SchedulerConfig = SchedulerConfig()
+    #: Additional IM apps every device runs besides the framework's primary
+    #: app; their beats ride the same relaying pipeline (a phone running
+    #: WeChat + QQ + WhatsApp at once).
+    extra_apps: tuple = ()
+    matching: MatchConfig = MatchConfig()
+    rewards: RewardPolicy = RewardPolicy()
+    cellular_resend_guard_s: float = 4.0
+    search_cooldown_s: float = 60.0
+    #: Phase offset (fraction of period) for relay generators; 0 aligns the
+    #: relay's period with simulation start, as in the paper's bench setup.
+    relay_phase_fraction: Optional[float] = 0.0
+    #: Phase offset for UE generators; ``None`` → random per device.
+    ue_phase_fraction: Optional[float] = None
+
+
+class _StandaloneSender:
+    """Original-system behaviour: every beat goes straight to cellular."""
+
+    def __init__(self, device: Smartphone, app: AppProfile,
+                 phase_fraction: Optional[float],
+                 extra_apps: tuple = ()) -> None:
+        self.device = device
+        self.monitor = MessageMonitor(device.sim, device.device_id, handler=self._send)
+        self.monitor.register_app(app, phase_fraction=phase_fraction)
+        for extra in extra_apps:
+            self.monitor.register_app(extra, phase_fraction=phase_fraction)
+        self.cellular_sends = 0
+
+    def _send(self, message: PeriodicMessage) -> None:
+        if not self.device.alive:
+            return
+        self.cellular_sends += 1
+        self.device.modem.send(message.size_bytes, payload=message)
+
+    def shutdown(self) -> None:
+        self.monitor.stop()
+
+
+class HeartbeatRelayFramework:
+    """The deployed framework over a population of devices."""
+
+    def __init__(
+        self,
+        devices: Iterable[Smartphone],
+        app: AppProfile = STANDARD_APP,
+        config: FrameworkConfig = FrameworkConfig(),
+    ) -> None:
+        self.app = app
+        self.config = config
+        self.rewards = RewardLedger(config.rewards)
+        self.relays: Dict[str, RelayAgent] = {}
+        self.ues: Dict[str, UEAgent] = {}
+        self.standalones: Dict[str, _StandaloneSender] = {}
+        self.devices: Dict[str, Smartphone] = {}
+        for device in devices:
+            self.add_device(device)
+
+    # ------------------------------------------------------------------
+    def add_device(
+        self, device: Smartphone, phase_fraction: Optional[float] = None
+    ) -> None:
+        """Attach the role-appropriate agent to one device.
+
+        ``phase_fraction`` overrides the config's per-role default heartbeat
+        phase for this device (scenarios use it to spread UE beats evenly).
+        """
+        if device.device_id in self.devices:
+            raise ValueError(f"duplicate device {device.device_id}")
+        self.devices[device.device_id] = device
+        if device.role == Role.RELAY:
+            phase = (
+                phase_fraction
+                if phase_fraction is not None
+                else self.config.relay_phase_fraction
+            )
+            self.relays[device.device_id] = RelayAgent(
+                device,
+                self.app,
+                scheduler_config=self.config.scheduler,
+                rewards=self.rewards,
+                start_phase_fraction=phase,
+                extra_apps=list(self.config.extra_apps),
+            )
+        elif device.role == Role.UE:
+            phase = (
+                phase_fraction
+                if phase_fraction is not None
+                else self.config.ue_phase_fraction
+            )
+            self.ues[device.device_id] = UEAgent(
+                device,
+                self.app,
+                match_config=self.config.matching,
+                cellular_resend_guard_s=self.config.cellular_resend_guard_s,
+                search_cooldown_s=self.config.search_cooldown_s,
+                start_phase_fraction=phase,
+                extra_apps=list(self.config.extra_apps),
+            )
+        else:
+            phase = (
+                phase_fraction
+                if phase_fraction is not None
+                else self.config.ue_phase_fraction
+            )
+            self.standalones[device.device_id] = _StandaloneSender(
+                device, self.app, phase, extra_apps=self.config.extra_apps
+            )
+
+    def shutdown(self) -> None:
+        """Stop every agent (end of experiment)."""
+        for agent in self.relays.values():
+            agent.shutdown()
+        for agent in self.ues.values():
+            agent.shutdown()
+        for sender in self.standalones.values():
+            sender.shutdown()
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    def total_beats_forwarded(self) -> int:
+        return sum(agent.beats_forwarded for agent in self.ues.values())
+
+    def total_cellular_fallbacks(self) -> int:
+        return sum(agent.cellular_sends for agent in self.ues.values())
+
+    def total_beats_collected(self) -> int:
+        return sum(agent.beats_collected for agent in self.relays.values())
+
+    def total_aggregated_uplinks(self) -> int:
+        return sum(agent.aggregated_uplinks for agent in self.relays.values())
+
+    def forwarding_ratio(self) -> float:
+        """Fraction of UE beats that travelled via D2D (vs. cellular)."""
+        forwarded = self.total_beats_forwarded()
+        fallbacks = self.total_cellular_fallbacks()
+        total = forwarded + fallbacks
+        return 0.0 if total == 0 else forwarded / total
+
+    def ue_agents(self) -> List[UEAgent]:
+        return list(self.ues.values())
+
+    def relay_agents(self) -> List[RelayAgent]:
+        return list(self.relays.values())

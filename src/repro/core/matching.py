@@ -1,0 +1,193 @@
+"""Relay matching and the prejudgment mechanism (paper Sec. III-C).
+
+"In the D2D discovery phase, we attempt to make a prejudgment before
+establishing D2D connection, which aims to reduce the chances of
+short-duration D2D connection. ... we set two parameters, i.e., distance
+between the UE and the relay involved, [and] capacity of the relay. ...
+the proposed system tries to match the available relay with the shortest
+distance."
+
+The matcher therefore:
+
+1. keeps only peers advertising the relay role with capacity remaining;
+2. estimates pair distance from discovery RSSI;
+3. predicts the session duration from distance and relative speed (time
+   until the pair drifts out of range);
+4. runs the energy prejudgment: the predicted beats carried during that
+   session must make D2D cheaper than cellular for the UE;
+5. ranks survivors by distance (shortest first) and returns the best.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.modes import d2d_session_beneficial
+from repro.d2d.base import D2DTechnology, PeerInfo
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchConfig:
+    """Matching policy knobs."""
+
+    #: Never pair beyond this distance even if technically in range —
+    #: distant pairs burn TX energy (Fig. 12) and break quickly.
+    max_pair_distance_m: float = 20.0
+    #: Energy margin for the prejudgment (< 1.0 is conservative).
+    energy_margin: float = 1.0
+    #: Assumed *net* relative drift (m/s) when velocity data is
+    #: unavailable. Pedestrians in a crowd random-walk, so sustained
+    #: separation is far slower than instantaneous walking speed.
+    default_relative_speed_m_per_s: float = 0.1
+    #: Cap on the predicted session length (battery/behaviour churn makes
+    #: longer predictions meaningless).
+    max_predicted_session_s: float = 3600.0
+    #: Disable prejudgment entirely (ablation A2).
+    prejudgment_enabled: bool = True
+    #: Break distance near-ties toward the relay with the higher advertised
+    #: GO intent (= the emptier collection buffer) — the load-balancing
+    #: effect of Sec. IV-C's decaying groupOwnerIntend.
+    prefer_fresh_relays: bool = True
+    #: Distances within this of each other count as a near-tie.
+    distance_tie_m: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RelayCandidate:
+    """A relay that survived filtering, with its prejudgment inputs."""
+
+    peer: PeerInfo
+    distance_m: float
+    capacity_remaining: int
+    predicted_session_s: float
+    predicted_beats: int
+
+
+class RelayMatcher:
+    """Ranks discovered peers and applies the prejudgment."""
+
+    def __init__(
+        self,
+        technology: D2DTechnology,
+        profile: EnergyProfile = DEFAULT_PROFILE,
+        config: MatchConfig = MatchConfig(),
+    ) -> None:
+        self.technology = technology
+        self.profile = profile
+        self.config = config
+        # statistics
+        self.candidates_seen = 0
+        self.rejected_role = 0
+        self.rejected_capacity = 0
+        self.rejected_distance = 0
+        self.rejected_prejudgment = 0
+
+    # ------------------------------------------------------------------
+    def predict_session_s(
+        self, distance_m: float, relative_speed_m_per_s: Optional[float] = None
+    ) -> float:
+        """Predicted time until the pair drifts out of usable range."""
+        speed = (
+            self.config.default_relative_speed_m_per_s
+            if relative_speed_m_per_s is None
+            else max(relative_speed_m_per_s, 0.0)
+        )
+        usable_range = min(
+            self.technology.max_range_m, self.config.max_pair_distance_m * 2.0
+        )
+        if speed <= 1e-9:
+            return self.config.max_predicted_session_s
+        remaining = max(0.0, usable_range - distance_m)
+        return min(remaining / speed, self.config.max_predicted_session_s)
+
+    def evaluate(
+        self,
+        peer: PeerInfo,
+        beat_period_s: float,
+        beat_bytes: int,
+        relative_speed_m_per_s: Optional[float] = None,
+    ) -> Optional[RelayCandidate]:
+        """Apply all filters to one peer; ``None`` if it must be skipped."""
+        self.candidates_seen += 1
+        advertisement = peer.advertisement
+        if advertisement.get("role") != "relay":
+            self.rejected_role += 1
+            return None
+        capacity = int(advertisement.get("capacity_remaining", 0))
+        if capacity <= 0:
+            self.rejected_capacity += 1
+            return None
+        distance = peer.estimated_distance_m
+        if distance > self.config.max_pair_distance_m:
+            self.rejected_distance += 1
+            return None
+        session_s = self.predict_session_s(distance, relative_speed_m_per_s)
+        predicted_beats = min(capacity, max(0, int(session_s / beat_period_s)))
+        if self.config.prejudgment_enabled:
+            if predicted_beats == 0 or not d2d_session_beneficial(
+                self.profile,
+                predicted_beats,
+                distance,
+                beat_bytes,
+                margin=self.config.energy_margin,
+                tech_tx_scale=self.technology.tx_scale,
+                tech_overhead_scale=(
+                    self.technology.discovery_scale + self.technology.connection_scale
+                )
+                / 2.0,
+            ):
+                self.rejected_prejudgment += 1
+                return None
+        return RelayCandidate(
+            peer=peer,
+            distance_m=distance,
+            capacity_remaining=capacity,
+            predicted_session_s=session_s,
+            predicted_beats=max(predicted_beats, 1),
+        )
+
+    def select(
+        self,
+        peers: Sequence[PeerInfo],
+        beat_period_s: float,
+        beat_bytes: int,
+        relative_speed_m_per_s: Optional[float] = None,
+    ) -> Optional[RelayCandidate]:
+        """Best relay among ``peers``: shortest distance, with near-ties
+        broken toward the freshest (highest GO intent) relay, or ``None``.
+        """
+        candidates: List[RelayCandidate] = []
+        for peer in peers:
+            candidate = self.evaluate(
+                peer, beat_period_s, beat_bytes, relative_speed_m_per_s
+            )
+            if candidate is not None:
+                candidates.append(candidate)
+        if not candidates:
+            return None
+        if self.config.prefer_fresh_relays:
+            tie = self.config.distance_tie_m
+
+            def key(candidate: RelayCandidate):
+                bucket = round(candidate.distance_m / tie) if tie > 0 else (
+                    candidate.distance_m
+                )
+                intent = int(candidate.peer.advertisement.get("go_intent", 0))
+                return (bucket, -intent, candidate.distance_m,
+                        candidate.peer.device_id)
+        else:
+            def key(candidate: RelayCandidate):
+                return (candidate.distance_m, candidate.peer.device_id)
+
+        candidates.sort(key=key)
+        return candidates[0]
+
+
+def relative_speed(
+    velocity_a: Tuple[float, float], velocity_b: Tuple[float, float]
+) -> float:
+    """Magnitude of the relative velocity between two devices (m/s)."""
+    return math.hypot(velocity_a[0] - velocity_b[0], velocity_a[1] - velocity_b[1])

@@ -1,0 +1,104 @@
+"""D2D-vs-cellular mode selection.
+
+The paper's second challenge: "improper D2D pairs might cause more energy
+consumption than the traditional cellular approach", so UEs need "a
+mechanism ... to determine when to use relay to forward heartbeat messages
+and when to send the message directly via cellular network" (Sec. I).
+
+The decision compares the closed-form session costs from the calibrated
+energy profile: a D2D session amortizes its discovery + connection
+overhead over the beats it is expected to carry, and per-beat forwarding
+energy grows with distance (Fig. 12). Short expected sessions or distant
+relays therefore lose to cellular — exactly the "short-duration D2D
+connection" inefficiency the prejudgment mechanism avoids.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile, STANDARD_HEARTBEAT_BYTES
+
+
+class TransmissionMode(str, enum.Enum):
+    """How a UE delivers one heartbeat."""
+
+    D2D = "d2d"
+    CELLULAR = "cellular"
+
+
+def d2d_session_cost_uah(
+    profile: EnergyProfile,
+    expected_beats: int,
+    distance_m: float,
+    size_bytes: int = STANDARD_HEARTBEAT_BYTES,
+    tech_tx_scale: float = 1.0,
+    tech_overhead_scale: float = 1.0,
+) -> float:
+    """UE-side cost of a D2D session carrying ``expected_beats`` beats."""
+    if expected_beats < 0:
+        raise ValueError(f"expected_beats must be non-negative: {expected_beats}")
+    overhead = (profile.ue_discovery_uah + profile.ue_connection_uah) * tech_overhead_scale
+    per_beat = profile.ue_forward_cost_uah(size_bytes, distance_m) * tech_tx_scale
+    return overhead + expected_beats * per_beat
+
+
+def cellular_session_cost_uah(
+    profile: EnergyProfile,
+    expected_beats: int,
+    size_bytes: int = STANDARD_HEARTBEAT_BYTES,
+) -> float:
+    """UE-side cost of sending the same beats directly over cellular."""
+    if expected_beats < 0:
+        raise ValueError(f"expected_beats must be non-negative: {expected_beats}")
+    return expected_beats * profile.cellular_heartbeat_uah(size_bytes)
+
+
+def d2d_session_beneficial(
+    profile: EnergyProfile,
+    expected_beats: int,
+    distance_m: float,
+    size_bytes: int = STANDARD_HEARTBEAT_BYTES,
+    margin: float = 1.0,
+    tech_tx_scale: float = 1.0,
+    tech_overhead_scale: float = 1.0,
+) -> bool:
+    """Whether the UE saves energy by using D2D for this session.
+
+    ``margin`` < 1.0 demands the D2D cost beat cellular by a factor (used
+    to be conservative when the session-length estimate is shaky).
+    """
+    if expected_beats == 0:
+        return False
+    d2d = d2d_session_cost_uah(
+        profile, expected_beats, distance_m, size_bytes, tech_tx_scale, tech_overhead_scale
+    )
+    cellular = cellular_session_cost_uah(profile, expected_beats, size_bytes)
+    return d2d <= cellular * margin
+
+
+def breakeven_distance_m(
+    profile: EnergyProfile = DEFAULT_PROFILE,
+    expected_beats: int = 1,
+    size_bytes: int = STANDARD_HEARTBEAT_BYTES,
+    precision_m: float = 0.01,
+    max_distance_m: float = 200.0,
+) -> float:
+    """Distance beyond which D2D stops saving UE energy (Fig. 12's crossover).
+
+    Found by bisection on the monotone distance factor. Returns
+    ``max_distance_m`` if D2D wins everywhere in range, ``0.0`` if it never
+    wins.
+    """
+    if not d2d_session_beneficial(profile, expected_beats, 0.0, size_bytes):
+        return 0.0
+    if d2d_session_beneficial(profile, expected_beats, max_distance_m, size_bytes):
+        return max_distance_m
+    lo, hi = 0.0, max_distance_m
+    while hi - lo > precision_m:
+        mid = (lo + hi) / 2.0
+        if d2d_session_beneficial(profile, expected_beats, mid, size_bytes):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

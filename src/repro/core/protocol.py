@@ -1,0 +1,65 @@
+"""On-the-air protocol between UE and relay.
+
+Three message types flow over an established D2D connection:
+
+- :class:`BeatTransfer` (UE → relay): one heartbeat to be forwarded.
+- :class:`DeliveryAck` (relay → UE): the aggregated uplink carrying the
+  listed beats reached the network — the paper's feedback mechanism
+  ("Once the matched relay transmit[s] the collected heartbeat messages
+  successfully, the proposed framework will notify the connected UE").
+- :class:`RejectNotice` (relay → UE): the relay refused a beat (capacity
+  reached, or collection closed for this period) and the UE should fall
+  back to cellular immediately instead of waiting for an ack that will
+  never come.
+
+The forwarded data stays opaque to the relay (the paper's security
+argument: beats are already end-to-end encrypted by the IM protocol); the
+relay only reads the envelope fields it needs for scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.workload.messages import PeriodicMessage
+
+#: Framing overhead added to each D2D transfer (envelope + integrity tag).
+D2D_HEADER_BYTES = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class BeatTransfer:
+    """UE → relay: forward this heartbeat."""
+
+    message: PeriodicMessage
+    sent_at_s: float
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the D2D link including framing."""
+        return self.message.size_bytes + D2D_HEADER_BYTES
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryAck:
+    """Relay → UE: these beats reached the network at ``delivered_at_s``."""
+
+    beat_seqs: Tuple[int, ...]
+    delivered_at_s: float
+
+    @property
+    def wire_bytes(self) -> int:
+        return D2D_HEADER_BYTES + 4 * len(self.beat_seqs)
+
+
+@dataclasses.dataclass(frozen=True)
+class RejectNotice:
+    """Relay → UE: beat refused; reason is advisory."""
+
+    beat_seq: int
+    reason: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return D2D_HEADER_BYTES

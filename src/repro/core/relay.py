@@ -1,0 +1,267 @@
+"""Relay role agent.
+
+A relay advertises itself over D2D, collects :class:`BeatTransfer`s from
+connected UEs into the Message Scheduler (Algorithm 1), flushes them —
+together with its own delayed heartbeat — in a single aggregated cellular
+uplink, and acks each UE once the uplink is confirmed delivered (driving
+the UE-side feedback mechanism). Collections earn rewards through the
+incentive ledger, and the Wi-Fi Direct group-owner intent decays as the
+collection buffer fills (Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cellular.modem import UplinkResult
+from repro.core.incentives import RewardLedger
+from repro.core.monitor import MessageMonitor
+from repro.core.protocol import BeatTransfer, DeliveryAck, RejectNotice, D2D_HEADER_BYTES
+from repro.core.scheduler import CollectedBeat, MessageScheduler, SchedulerConfig
+from repro.d2d.base import D2DConnection
+from repro.d2d.wifi_direct import GroupOwnerNegotiator
+from repro.device import Smartphone
+from repro.workload.apps import AppProfile
+from repro.workload.messages import PeriodicMessage
+
+
+class RelayAgent:
+    """The relay side of the framework on one device."""
+
+    def __init__(
+        self,
+        device: Smartphone,
+        app: AppProfile,
+        scheduler_config: SchedulerConfig = SchedulerConfig(),
+        rewards: Optional[RewardLedger] = None,
+        start_phase_fraction: Optional[float] = 0.0,
+        extra_apps: Optional[List[AppProfile]] = None,
+    ) -> None:
+        if device.d2d is None:
+            raise ValueError(f"relay {device.device_id} has no D2D endpoint")
+        self.device = device
+        self.sim = device.sim
+        self.app = app
+        self.rewards = rewards
+        self.scheduler = MessageScheduler(
+            self.sim,
+            relay_period_s=app.heartbeat_period_s,
+            on_flush=self._flush,
+            config=scheduler_config,
+        )
+        self.negotiator = GroupOwnerNegotiator(
+            is_relay=True, capacity=scheduler_config.capacity
+        )
+        self.monitor = MessageMonitor(
+            self.sim, device.device_id, handler=self._on_own_beat
+        )
+        self.monitor.register_app(app, phase_fraction=start_phase_fraction)
+        # Beats of secondary apps ride the same aggregated uplinks: the
+        # primary app's period defines the collection window, everything
+        # else is scheduled like a (self-originated) collected beat.
+        for extra in extra_apps or []:
+            self.monitor.register_app(extra, phase_fraction=start_phase_fraction)
+        self.own_extra_beats = 0
+        self.own_extra_fallbacks = 0
+        #: beat seq → the UE device that forwarded it (for acks)
+        self._beat_sources: Dict[int, str] = {}
+        device.d2d.on_message = self._on_d2d_message
+        device.d2d.on_disconnect = self._on_disconnect
+        self._update_advertisement()
+        device.d2d.advertising = True
+        self.resigned = False
+        # statistics
+        self.beats_collected = 0
+        self.beats_rejected = 0
+        self.aggregated_uplinks = 0
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def go_intent(self) -> int:
+        """Current Wi-Fi Direct group-owner intent (15 when fresh)."""
+        return self.negotiator.intent
+
+    def connected_ue_count(self) -> int:
+        if self.device.d2d_medium is None:
+            return 0
+        return len(self.device.d2d_medium.connections_of(self.device.device_id))
+
+    def shutdown(self) -> None:
+        """Flush pending beats, stop advertising and stop beating."""
+        self.scheduler.flush_now("shutdown")
+        self.monitor.stop()
+        if self.device.d2d is not None:
+            self.device.d2d.advertising = False
+
+    def resign(self, grace_s: float = 10.0) -> None:
+        """Stop relaying but keep living (the battery-preservation exit).
+
+        The phone stops advertising and collecting, flushes what it holds,
+        and after a grace window — long enough for in-flight delivery acks
+        to reach the UEs — closes its D2D connections so UEs re-match
+        elsewhere. Its OWN heartbeats continue via direct cellular: the
+        owner still wants to stay online, they just stop volunteering.
+        """
+        if self.resigned:
+            return
+        self.resigned = True
+        if self.device.d2d is not None:
+            self.device.d2d.advertising = False
+        self.scheduler.flush_now("resign")
+
+        def close_connections() -> None:
+            if self.device.d2d_medium is None:
+                return
+            for connection in self.device.d2d_medium.connections_of(
+                self.device.device_id
+            ):
+                connection.close("relay resigned")
+
+        self.sim.schedule(grace_s, close_connections, name="relay_resign")
+
+    # ------------------------------------------------------------------
+    # own heartbeat → new collection period
+    # ------------------------------------------------------------------
+    def _on_own_beat(self, message: PeriodicMessage) -> None:
+        if not self.device.alive:
+            return
+        if self.resigned:
+            # standalone behaviour: every own beat goes straight out
+            self.device.modem.send(message.size_bytes, payload=message)
+            return
+        if message.app == self.app.name:
+            self.scheduler.begin_period(message)
+            self.negotiator.reset_period()
+        else:
+            # a secondary app's beat: aggregate it like a collected beat,
+            # falling back to an immediate own uplink if the window is shut
+            self.own_extra_beats += 1
+            beat = CollectedBeat(
+                message=message,
+                arrived_at_s=self.sim.now,
+                from_device=self.device.device_id,
+            )
+            if not self.scheduler.offer(beat):
+                self.own_extra_fallbacks += 1
+                self.device.modem.send(message.size_bytes, payload=message)
+        self._update_advertisement()
+
+    # ------------------------------------------------------------------
+    # D2D inbound
+    # ------------------------------------------------------------------
+    def _on_d2d_message(
+        self, connection: D2DConnection, sender_id: str, payload, size_bytes: int
+    ) -> None:
+        if not isinstance(payload, BeatTransfer):
+            return  # acks/rejects are relay→UE only; ignore foreign traffic
+        if not self.device.alive:
+            return
+        beat = CollectedBeat(
+            message=payload.message,
+            arrived_at_s=self.sim.now,
+            from_device=sender_id,
+        )
+        if self.scheduler.offer(beat):
+            self.beats_collected += 1
+            self._beat_sources[payload.message.seq] = sender_id
+            self.negotiator.note_collected()
+            self._update_advertisement()
+        else:
+            self.beats_rejected += 1
+            connection.send(
+                self.device.device_id,
+                RejectNotice(payload.message.seq, "not accepting").wire_bytes,
+                RejectNotice(payload.message.seq, "not accepting"),
+                control=True,
+            )
+
+    def _on_disconnect(self, connection: D2DConnection, reason: str) -> None:
+        # Collected beats from the departed UE stay scheduled — they will be
+        # delivered; only the ack will be undeliverable (the UE's fallback
+        # timer covers that, at worst causing a duplicate delivery).
+        pass
+
+    # ------------------------------------------------------------------
+    # aggregated uplink
+    # ------------------------------------------------------------------
+    def _flush(
+        self,
+        own: Optional[PeriodicMessage],
+        collected: List[CollectedBeat],
+        reason: str,
+    ) -> None:
+        messages: List[PeriodicMessage] = [b.message for b in collected]
+        if own is not None:
+            messages.insert(0, own)
+        if not messages:
+            return
+        if not self.device.alive:
+            return  # UEs' fallback timers will recover the collected beats
+        total_bytes = sum(m.size_bytes for m in messages) + D2D_HEADER_BYTES
+        self.aggregated_uplinks += 1
+        collected_snapshot = list(collected)
+
+        def on_delivered(result: UplinkResult) -> None:
+            self._ack_sources(collected_snapshot, result.delivered_at_s)
+            # rewards accrue only for OTHER devices' beats — the relay's own
+            # secondary-app beats ride the uplink but earn nothing
+            foreign = [
+                b for b in collected_snapshot
+                if b.from_device != self.device.device_id
+            ]
+            if self.rewards is not None and foreign:
+                self.rewards.credit_collection(
+                    self.sim.now, self.device.device_id, len(foreign)
+                )
+                # each collected beat would have been its own RRC cycle
+                cycle = self.device.modem.rrc.profile.messages_per_cycle
+                self.rewards.note_signaling_avoided(len(foreign) * cycle)
+
+        self.device.modem.send(total_bytes, payload=messages, on_delivered=on_delivered)
+        self._update_advertisement()
+
+    def _ack_sources(self, collected: List[CollectedBeat], delivered_at_s: float) -> None:
+        """Send one DeliveryAck per source UE over its live connection."""
+        if self.device.d2d_medium is None:
+            return
+        by_source: Dict[str, List[int]] = {}
+        for beat in collected:
+            by_source.setdefault(beat.from_device, []).append(beat.message.seq)
+        connections = {
+            conn.peer_of(self.device.device_id).device_id: conn
+            for conn in self.device.d2d_medium.connections_of(self.device.device_id)
+        }
+        for source, seqs in by_source.items():
+            for seq in seqs:
+                self._beat_sources.pop(seq, None)
+            connection = connections.get(source)
+            if connection is None or not connection.alive:
+                continue  # UE fallback timer will handle it
+            ack = DeliveryAck(tuple(seqs), delivered_at_s)
+            if connection.send(
+                self.device.device_id, ack.wire_bytes, ack, control=True
+            ):
+                self.acks_sent += 1
+
+    # ------------------------------------------------------------------
+    def _update_advertisement(self) -> None:
+        if self.device.d2d is None:
+            return
+        # Advertise buffer headroom rather than the gated capacity: between
+        # a flush and the next period the scheduler is closed, but a UE
+        # pairing now will be served from the next period onwards.
+        headroom = max(
+            0, self.scheduler.config.capacity - self.scheduler.pending_count
+        )
+        self.device.d2d.advertisement.update(
+            {
+                "role": "relay",
+                "capacity_remaining": headroom,
+                "period_s": self.app.heartbeat_period_s,
+                "go_intent": self.negotiator.intent,
+                "battery_level": (
+                    self.device.battery.level if self.device.battery else 1.0
+                ),
+            }
+        )

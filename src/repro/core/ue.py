@@ -1,0 +1,288 @@
+"""UE role agent.
+
+The UE side of the framework on one device. For every heartbeat the
+Message Monitor intercepts, the agent:
+
+1. forwards it over the live D2D connection to its matched relay, tracking
+   the ack with a fallback timer (feedback mechanism); or
+2. if not connected, starts discovery → matching (with prejudgment) →
+   connection, buffering the beat while the setup completes — each
+   buffered beat has its own deadline timer so a stalled setup can never
+   make it late; or
+3. falls back to a direct cellular transmission whenever D2D cannot help
+   (no relay found, prejudgment failed, relay rejected, link broke, or no
+   ack arrived in time).
+
+Delivery therefore never regresses relative to the original system; D2D is
+purely an energy/signaling optimization.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.core.detector import D2DDetector
+from repro.core.feedback import FeedbackTracker
+from repro.core.matching import MatchConfig, RelayCandidate, RelayMatcher
+from repro.core.monitor import MessageMonitor
+from repro.core.protocol import BeatTransfer, DeliveryAck, RejectNotice
+from repro.d2d.base import D2DConnection, PeerInfo
+from repro.device import Smartphone
+from repro.sim.events import Event
+from repro.workload.apps import AppProfile
+from repro.workload.messages import PeriodicMessage
+
+
+class UEState(str, enum.Enum):
+    """Connection lifecycle of the UE agent."""
+
+    IDLE = "idle"
+    SEARCHING = "searching"
+    CONNECTING = "connecting"
+    CONNECTED = "connected"
+
+
+class UEAgent:
+    """The UE side of the framework on one device."""
+
+    def __init__(
+        self,
+        device: Smartphone,
+        app: AppProfile,
+        match_config: MatchConfig = MatchConfig(),
+        cellular_resend_guard_s: float = 4.0,
+        search_cooldown_s: float = 60.0,
+        start_phase_fraction: Optional[float] = None,
+        extra_apps: Optional[List[AppProfile]] = None,
+    ) -> None:
+        if device.d2d is None or device.d2d_medium is None:
+            raise ValueError(f"UE {device.device_id} has no D2D endpoint")
+        self.device = device
+        self.sim = device.sim
+        self.app = app
+        self.search_cooldown_s = search_cooldown_s
+        self.monitor = MessageMonitor(self.sim, device.device_id, handler=self.on_beat)
+        self.monitor.register_app(app, phase_fraction=start_phase_fraction)
+        # every additional app's beats flow through the same pipeline; the
+        # primary app (shortest period is the sensible pick) drives the
+        # matching economics
+        for extra in extra_apps or []:
+            self.monitor.register_app(extra, phase_fraction=start_phase_fraction)
+        self.detector = D2DDetector(self.sim, device.device_id, device.d2d_medium)
+        self.matcher = RelayMatcher(
+            device.d2d_medium.technology, device.profile, match_config
+        )
+        self.feedback = FeedbackTracker(
+            self.sim,
+            on_fallback=self._send_cellular,
+            cellular_resend_guard_s=cellular_resend_guard_s,
+        )
+        device.d2d.on_message = self._on_d2d_message
+        device.d2d.on_disconnect = self._on_disconnect
+        self.state = UEState.IDLE
+        self.connection: Optional[D2DConnection] = None
+        self.relay_id: Optional[str] = None
+        self._buffer: List[PeriodicMessage] = []
+        self._buffer_timers: Dict[int, Event] = {}
+        self._last_failed_search_s: Optional[float] = None
+        #: relay that just disappeared — its cached advertisement is stale,
+        #: don't immediately re-pair with it from the cache
+        self._avoid_relay_id: Optional[str] = None
+        # statistics
+        self.beats_seen = 0
+        self.beats_forwarded = 0
+        self.cellular_sends = 0
+        self.searches = 0
+        self.matches = 0
+        self.cache_failovers = 0
+
+    # ------------------------------------------------------------------
+    # beat entry point (Message Monitor handler)
+    # ------------------------------------------------------------------
+    def on_beat(self, message: PeriodicMessage) -> None:
+        if not self.device.alive:
+            return
+        self.beats_seen += 1
+        if self.state == UEState.CONNECTED and self._connection_alive():
+            self._forward(message)
+            return
+        if self.state in (UEState.SEARCHING, UEState.CONNECTING):
+            self._buffer_beat(message)
+            return
+        # IDLE: try to find a relay unless we recently failed to
+        if self._search_on_cooldown():
+            self._send_cellular(message)
+            return
+        self._buffer_beat(message)
+        self._start_search()
+
+    # ------------------------------------------------------------------
+    # discovery → match → connect
+    # ------------------------------------------------------------------
+    def _search_on_cooldown(self) -> bool:
+        if self._last_failed_search_s is None:
+            return False
+        return self.sim.now - self._last_failed_search_s < self.search_cooldown_s
+
+    def _start_search(self) -> None:
+        # failover fast path: a fresh-enough previous scan may already hold
+        # a viable alternative relay — pairing from the cache skips the
+        # discovery latency and its energy
+        cached = self.detector.cached_peers()
+        if cached:
+            candidates = [
+                peer for peer in cached if peer.device_id != self._avoid_relay_id
+            ]
+            choice = self.matcher.select(
+                candidates,
+                beat_period_s=self.app.heartbeat_period_s,
+                beat_bytes=self.app.heartbeat_bytes,
+                relative_speed_m_per_s=self.device.mobility.speed(self.sim.now),
+            )
+            if choice is not None:
+                self.cache_failovers += 1
+                self._connect_to(choice)
+                return
+        self.state = UEState.SEARCHING
+        self.searches += 1
+        if not self.detector.discover(self._on_peers):
+            # a scan is somehow already in flight; treat as searching
+            pass
+
+    def _on_peers(self, peers: List[PeerInfo]) -> None:
+        if not self.device.alive:
+            return
+        candidate = self.matcher.select(
+            peers,
+            beat_period_s=self.app.heartbeat_period_s,
+            beat_bytes=self.app.heartbeat_bytes,
+            relative_speed_m_per_s=self.device.mobility.speed(self.sim.now),
+        )
+        if candidate is None:
+            self._search_failed()
+            return
+        self._connect_to(candidate)
+
+    def _connect_to(self, candidate: RelayCandidate) -> None:
+        self.state = UEState.CONNECTING
+        assert self.device.d2d_medium is not None
+
+        def on_connected(connection: Optional[D2DConnection]) -> None:
+            if not self.device.alive:
+                return
+            if connection is None:
+                self._search_failed()
+                return
+            self.state = UEState.CONNECTED
+            self.connection = connection
+            self.relay_id = candidate.peer.device_id
+            self.matches += 1
+            self._last_failed_search_s = None
+            self._avoid_relay_id = None
+            self._drain_buffer()
+
+        self.device.d2d_medium.connect(
+            self.device.device_id, candidate.peer.device_id, on_connected
+        )
+
+    def _search_failed(self) -> None:
+        self.state = UEState.IDLE
+        self._last_failed_search_s = self.sim.now
+        for message in self._take_buffer():
+            self._send_cellular(message)
+
+    # ------------------------------------------------------------------
+    # buffering while setup is in flight
+    # ------------------------------------------------------------------
+    def _buffer_beat(self, message: PeriodicMessage) -> None:
+        self._buffer.append(message)
+        deadline = max(
+            self.sim.now,
+            message.deadline_s - self.feedback.cellular_resend_guard_s,
+        )
+        self._buffer_timers[message.seq] = self.sim.schedule_at(
+            deadline, self._buffer_deadline, message.seq, name="ue_buffer_deadline"
+        )
+
+    def _buffer_deadline(self, seq: int) -> None:
+        """A buffered beat ran out of slack before setup completed."""
+        self._buffer_timers.pop(seq, None)
+        for i, message in enumerate(self._buffer):
+            if message.seq == seq:
+                del self._buffer[i]
+                self._send_cellular(message)
+                return
+
+    def _take_buffer(self) -> List[PeriodicMessage]:
+        messages, self._buffer = self._buffer, []
+        for timer in self._buffer_timers.values():
+            self.sim.cancel(timer)
+        self._buffer_timers.clear()
+        return messages
+
+    def _drain_buffer(self) -> None:
+        for message in self._take_buffer():
+            self._forward(message)
+
+    # ------------------------------------------------------------------
+    # forwarding and fallback
+    # ------------------------------------------------------------------
+    def _connection_alive(self) -> bool:
+        return self.connection is not None and self.connection.alive
+
+    def _forward(self, message: PeriodicMessage) -> None:
+        assert self.connection is not None
+        transfer = BeatTransfer(message=message, sent_at_s=self.sim.now)
+        self.feedback.track(message)
+        self.beats_forwarded += 1
+
+        def on_result(delivered: bool) -> None:
+            if not delivered and self.feedback.is_pending(message.seq):
+                self.feedback.fail_now(message.seq)
+
+        self.connection.send(
+            self.device.device_id, transfer.wire_bytes, transfer, on_result=on_result
+        )
+
+    def _send_cellular(self, message: PeriodicMessage) -> None:
+        if not self.device.alive:
+            return
+        self.cellular_sends += 1
+        self.device.modem.send(message.size_bytes, payload=message)
+
+    # ------------------------------------------------------------------
+    # D2D inbound (acks / rejects) and disconnects
+    # ------------------------------------------------------------------
+    def _on_d2d_message(
+        self, connection: D2DConnection, sender_id: str, payload, size_bytes: int
+    ) -> None:
+        if isinstance(payload, DeliveryAck):
+            self.feedback.ack(payload.beat_seqs)
+        elif isinstance(payload, RejectNotice):
+            self.feedback.fail_now(payload.beat_seq)
+
+    def _on_disconnect(self, connection: D2DConnection, reason: str) -> None:
+        if connection is not self.connection:
+            return
+        self._avoid_relay_id = self.relay_id
+        self.connection = None
+        self.relay_id = None
+        self.state = UEState.IDLE
+        # acks can no longer arrive on this link: recover every unacked beat
+        # now rather than waiting for its deadline timer (delivery-safe; at
+        # worst the relay already sent it and the server sees a duplicate).
+        self.feedback.fail_all_now()
+        for message in self._take_buffer():
+            self._send_cellular(message)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop emitting new beats (end of experiment).
+
+        The D2D connection is deliberately left open and the feedback
+        tracker live: in-flight beats still get acked (or fall back) during
+        the drain window, so shutdown never manufactures duplicates.
+        """
+        self.monitor.stop()
+        self.detector.stop_periodic()

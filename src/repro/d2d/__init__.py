@@ -1,0 +1,37 @@
+"""Device-to-Device (D2D) communication substrate.
+
+Models what the framework needs from a D2D radio: peer discovery,
+connection establishment (Wi-Fi Direct group-owner negotiation), message
+transfer with distance-dependent energy, range-limited links that can
+break under mobility, and the technology trade-offs of Sec. IV-A
+(Wi-Fi Direct vs. Bluetooth vs. LTE Direct).
+"""
+
+from repro.d2d.link import LinkModel, rssi_at, distance_from_rssi
+from repro.d2d.base import (
+    D2DConnection,
+    D2DEndpoint,
+    D2DMedium,
+    D2DTechnology,
+    D2DTransferError,
+    PeerInfo,
+)
+from repro.d2d.wifi_direct import WIFI_DIRECT, GroupOwnerNegotiator
+from repro.d2d.bluetooth import BLUETOOTH
+from repro.d2d.lte_direct import LTE_DIRECT
+
+__all__ = [
+    "LinkModel",
+    "rssi_at",
+    "distance_from_rssi",
+    "D2DConnection",
+    "D2DEndpoint",
+    "D2DMedium",
+    "D2DTechnology",
+    "D2DTransferError",
+    "PeerInfo",
+    "WIFI_DIRECT",
+    "GroupOwnerNegotiator",
+    "BLUETOOTH",
+    "LTE_DIRECT",
+]

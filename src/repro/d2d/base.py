@@ -1,0 +1,487 @@
+"""Technology-generic D2D medium, endpoints and connections.
+
+One :class:`D2DMedium` per simulation models the shared radio environment
+for one D2D technology: who can discover whom (range + advertisement),
+connection establishment, range-limited transfers with distance-dependent
+energy, and link monitoring that breaks connections when devices drift
+apart (the failure mode the paper's feedback mechanism exists for).
+
+Energy conventions follow the paper's Table III: the *initiator* of
+discovery/connection pays the UE-side charge, the responder the relay-side
+charge; a message sender pays the forward charge (distance-scaled, Fig. 12)
+and the receiver the receive charge (Table IV slope).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.d2d.link import LinkModel
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.mobility.models import MobilityModel
+from repro.mobility.space import Position, distance_between
+from repro.sim.engine import PeriodicProcess, Simulator
+
+
+class D2DTransferError(RuntimeError):
+    """Raised for illegal transfer attempts (closed connection, bad peer)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class D2DTechnology:
+    """Capabilities and relative energy cost of one D2D technology.
+
+    Energy scales are multipliers applied to the Wi-Fi Direct-calibrated
+    base costs in :class:`~repro.energy.profiles.EnergyProfile` (so
+    Wi-Fi Direct itself uses 1.0 everywhere).
+    """
+
+    name: str
+    max_range_m: float
+    discovery_latency_s: float
+    connection_latency_s: float
+    transfer_latency_s: float
+    deployed: bool = True  # LTE Direct is modelled but gated (Sec. IV-A)
+    discovery_scale: float = 1.0
+    connection_scale: float = 1.0
+    tx_scale: float = 1.0
+    rx_scale: float = 1.0
+    link: LinkModel = dataclasses.field(default_factory=LinkModel)
+
+
+@dataclasses.dataclass(frozen=True)
+class PeerInfo:
+    """What a discovery scan reveals about one nearby peer."""
+
+    device_id: str
+    rssi_dbm: float
+    estimated_distance_m: float
+    advertisement: Mapping[str, Any]
+
+
+class D2DEndpoint:
+    """One device's attachment to the D2D medium.
+
+    ``advertisement`` is the small service record other devices see during
+    discovery (role, remaining relay capacity, …). ``on_message`` receives
+    ``(connection, sender_id, payload, size_bytes)``; ``on_disconnect``
+    receives ``(connection, reason)``.
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        mobility: MobilityModel,
+        energy: Optional[EnergyModel] = None,
+        advertisement: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.device_id = device_id
+        self.mobility = mobility
+        self.energy = energy
+        self.advertisement: Dict[str, Any] = dict(advertisement or {})
+        self.advertising = False
+        self.powered_on = True
+        #: Time of the last data receive — drives wake coalescing.
+        self.last_data_rx_s = float("-inf")
+        self.on_message: Optional[Callable[["D2DConnection", str, Any, int], None]] = None
+        self.on_disconnect: Optional[Callable[["D2DConnection", str], None]] = None
+
+    def position(self, t: float) -> Position:
+        return self.mobility.position(t)
+
+    def charge(
+        self, phase: EnergyPhase, uah: float, time_s: float, duration_s: float = 0.0
+    ) -> None:
+        if self.energy is not None:
+            self.energy.charge(phase, uah, time_s=time_s, duration_s=duration_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"D2DEndpoint({self.device_id!r}, advertising={self.advertising})"
+
+
+class D2DConnection:
+    """An established point-to-point D2D link.
+
+    ``group_owner_id`` records which side won the Wi-Fi Direct GO
+    negotiation (from the advertised ``go_intent`` values; the initiator
+    is assumed to be a UE pinning intent 0 unless it advertises
+    otherwise), matching the paper's Sec. IV-C setup where relays start at
+    intent 15.
+    """
+
+    def __init__(
+        self,
+        medium: "D2DMedium",
+        initiator: D2DEndpoint,
+        responder: D2DEndpoint,
+        established_at_s: float,
+    ) -> None:
+        self.medium = medium
+        self.initiator = initiator
+        self.responder = responder
+        self.established_at_s = established_at_s
+        initiator_intent = int(initiator.advertisement.get("go_intent", 0))
+        responder_intent = int(responder.advertisement.get("go_intent", 0))
+        self.group_owner_id = (
+            initiator.device_id
+            if initiator_intent > responder_intent
+            else responder.device_id
+        )
+        self.alive = True
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.bytes_transferred = 0
+        self._monitor: Optional[PeriodicProcess] = None
+
+    # ------------------------------------------------------------------
+    def peer_of(self, device_id: str) -> D2DEndpoint:
+        """The endpoint on the other side of ``device_id``."""
+        if device_id == self.initiator.device_id:
+            return self.responder
+        if device_id == self.responder.device_id:
+            return self.initiator
+        raise D2DTransferError(f"{device_id} is not part of this connection")
+
+    def endpoint_of(self, device_id: str) -> D2DEndpoint:
+        if device_id == self.initiator.device_id:
+            return self.initiator
+        if device_id == self.responder.device_id:
+            return self.responder
+        raise D2DTransferError(f"{device_id} is not part of this connection")
+
+    def current_distance_m(self) -> float:
+        now = self.medium.sim.now
+        return distance_between(self.initiator.position(now), self.responder.position(now))
+
+    @property
+    def duration_s(self) -> float:
+        return self.medium.sim.now - self.established_at_s
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender_id: str,
+        size_bytes: int,
+        payload: Any = None,
+        on_result: Optional[Callable[[bool], None]] = None,
+        control: bool = False,
+    ) -> bool:
+        """Transfer ``payload`` to the peer.
+
+        Returns ``True`` if the transfer was started (delivery happens one
+        transfer-latency later); ``False`` if the link was found dead or out
+        of range — in which case the connection is torn down and
+        ``on_result(False)`` fires immediately.
+
+        ``control`` marks tiny protocol messages (feedback acks): they use
+        the small fixed ack charge instead of the full forward/receive cost.
+        """
+        if size_bytes < 0:
+            raise D2DTransferError(f"size_bytes must be non-negative: {size_bytes}")
+        sender = self.endpoint_of(sender_id)
+        receiver = self.peer_of(sender_id)
+        now = self.medium.sim.now
+        if not self.alive or not sender.powered_on or not receiver.powered_on:
+            self.medium._break_connection(self, "peer unavailable")
+            if on_result is not None:
+                on_result(False)
+            return False
+        distance = self.current_distance_m()
+        if distance > self.medium.technology.max_range_m or not self.medium.technology.link.in_range(
+            distance
+        ):
+            self.medium._break_connection(self, "out of range")
+            if on_result is not None:
+                on_result(False)
+            return False
+
+        profile = self.medium.profile
+        tech = self.medium.technology
+        # near the coverage edge, frames are lost probabilistically (PER);
+        # TX/RX energy is still spent — the frame went out, it just didn't
+        # arrive. Zero inside comfortable range, so calibrated experiments
+        # at 1-15 m are unaffected.
+        per = tech.link.packet_error_rate(distance)
+        lost = per > 0.0 and self.medium.sim.rng.get("d2d-loss").random() < per
+        if control:
+            sender.charge(EnergyPhase.D2D_ACK, profile.relay_ack_uah, now)
+            receiver.charge(EnergyPhase.D2D_ACK, profile.relay_ack_uah, now)
+        else:
+            tx_uah = profile.ue_forward_cost_uah(size_bytes, distance) * tech.tx_scale
+            coalesced = (
+                now - receiver.last_data_rx_s <= profile.d2d_rx_coalesce_window_s
+            )
+            rx_uah = profile.relay_receive_cost_uah(size_bytes, coalesced) * tech.rx_scale
+            receiver.last_data_rx_s = now
+            sender.charge(
+                EnergyPhase.D2D_FORWARD, tx_uah, now, duration_s=profile.d2d_transfer_s
+            )
+            receiver.charge(
+                EnergyPhase.D2D_RECEIVE, rx_uah, now, duration_s=profile.d2d_transfer_s
+            )
+
+        def deliver() -> None:
+            if not self.alive or lost:
+                self.messages_lost += 1
+                if on_result is not None:
+                    on_result(False)
+                return
+            self.messages_delivered += 1
+            self.bytes_transferred += size_bytes
+            if receiver.on_message is not None:
+                receiver.on_message(self, sender_id, payload, size_bytes)
+            if on_result is not None:
+                on_result(True)
+
+        self.medium.sim.schedule(tech.transfer_latency_s, deliver, name="d2d_deliver")
+        return True
+
+    def close(self, reason: str = "closed") -> None:
+        """Tear the connection down; idempotent."""
+        self.medium._break_connection(self, reason)
+
+
+class D2DMedium:
+    """The shared D2D radio environment for one technology.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    technology:
+        Which D2D technology this medium models.
+    profile:
+        Energy calibration (shared with the cellular side).
+    link_check_period_s:
+        How often live connections re-check range under mobility.
+    allow_undeployed:
+        LTE Direct is modelled but flagged undeployed (the paper abandons
+        it "for generality consideration"); using it requires opting in.
+    group_aware:
+        When true, connecting to a responder that already owns a live
+        group is a *join* rather than a fresh formation: faster and
+        cheaper on the responder side (no second GO negotiation). Off by
+        default so the Table III/IV calibration — measured on pairwise
+        formations — stays exact.
+    group_join_discount:
+        Fraction of the connection latency/energy a join costs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        technology: D2DTechnology,
+        profile: EnergyProfile = DEFAULT_PROFILE,
+        link_check_period_s: float = 5.0,
+        allow_undeployed: bool = False,
+        group_aware: bool = False,
+        group_join_discount: float = 0.5,
+    ) -> None:
+        if not 0.0 < group_join_discount <= 1.0:
+            raise ValueError(
+                f"group_join_discount must be in (0,1], got {group_join_discount}"
+            )
+        if not technology.deployed and not allow_undeployed:
+            raise ValueError(
+                f"{technology.name} is not deployed in the modelled network; "
+                "pass allow_undeployed=True to simulate it anyway"
+            )
+        self.sim = sim
+        self.technology = technology
+        self.profile = profile
+        self.link_check_period_s = link_check_period_s
+        self.group_aware = group_aware
+        self.group_join_discount = group_join_discount
+        self._endpoints: Dict[str, D2DEndpoint] = {}
+        self._connections: List[D2DConnection] = []
+        # statistics
+        self.discoveries = 0
+        self.connections_established = 0
+        self.connections_failed = 0
+        self.connections_broken = 0
+        self.group_joins = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, endpoint: D2DEndpoint) -> None:
+        if endpoint.device_id in self._endpoints:
+            raise ValueError(f"duplicate endpoint {endpoint.device_id}")
+        self._endpoints[endpoint.device_id] = endpoint
+
+    def endpoint(self, device_id: str) -> D2DEndpoint:
+        try:
+            return self._endpoints[device_id]
+        except KeyError:
+            raise KeyError(f"no endpoint registered for {device_id!r}") from None
+
+    def power_off(self, device_id: str) -> None:
+        """Device died: drop its endpoint state and break its connections."""
+        endpoint = self.endpoint(device_id)
+        endpoint.powered_on = False
+        endpoint.advertising = False
+        for connection in [c for c in self._connections if endpoint in (c.initiator, c.responder)]:
+            self._break_connection(connection, "peer powered off")
+
+    def connections_of(self, device_id: str) -> List[D2DConnection]:
+        endpoint = self.endpoint(device_id)
+        return [c for c in self._connections if endpoint in (c.initiator, c.responder)]
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        requester_id: str,
+        on_complete: Callable[[List[PeerInfo]], None],
+        rssi_noise: bool = True,
+    ) -> None:
+        """Scan for advertising peers in range.
+
+        Completes after the technology's discovery latency. Only the
+        requester pays a discovery charge (its active scan); answering a
+        probe is a single frame and is booked as free. The responder's
+        discovery-phase cost — its own find-phase participation — is paid
+        when a connection is actually formed (see :meth:`connect`), which
+        is exactly how the paper's 1:1 Table III measurement decomposes.
+        """
+        requester = self.endpoint(requester_id)
+        if not requester.powered_on:
+            raise D2DTransferError(f"{requester_id} is powered off")
+        now = self.sim.now
+        self.discoveries += 1
+        tech = self.technology
+        requester.charge(
+            EnergyPhase.D2D_DISCOVERY,
+            self.profile.ue_discovery_uah * tech.discovery_scale,
+            now,
+            duration_s=tech.discovery_latency_s,
+        )
+
+        def finish() -> None:
+            t = self.sim.now
+            rng = self.sim.rng.get("d2d-discovery") if rssi_noise else None
+            found: List[PeerInfo] = []
+            origin = requester.position(t)
+            for peer in self._endpoints.values():
+                if peer.device_id == requester_id:
+                    continue
+                if not (peer.advertising and peer.powered_on):
+                    continue
+                distance = distance_between(origin, peer.position(t))
+                if distance > tech.max_range_m or not tech.link.in_range(distance):
+                    continue
+                rssi = tech.link.rssi(distance, rng)
+                found.append(
+                    PeerInfo(
+                        device_id=peer.device_id,
+                        rssi_dbm=rssi,
+                        estimated_distance_m=tech.link.estimate_distance(rssi),
+                        advertisement=dict(peer.advertisement),
+                    )
+                )
+            found.sort(key=lambda p: -p.rssi_dbm)
+            on_complete(found)
+
+        self.sim.schedule(tech.discovery_latency_s, finish, name="d2d_discover")
+
+    # ------------------------------------------------------------------
+    # connection establishment
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        on_complete: Callable[[Optional[D2DConnection]], None],
+    ) -> None:
+        """Establish a connection; ``on_complete(None)`` on failure.
+
+        The responder pays its deferred discovery-phase charge here (its
+        find-phase participation in the GO negotiation) plus connection;
+        the initiator already paid discovery at scan time.
+        """
+        if initiator_id == responder_id:
+            raise D2DTransferError(f"{initiator_id} cannot connect to itself")
+        initiator = self.endpoint(initiator_id)
+        responder = self.endpoint(responder_id)
+        if not initiator.powered_on:
+            raise D2DTransferError(f"{initiator_id} is powered off")
+        now = self.sim.now
+        tech = self.technology
+        # joining an existing group skips the second GO negotiation
+        is_join = self.group_aware and bool(self.connections_of(responder_id))
+        join_scale = self.group_join_discount if is_join else 1.0
+        if is_join:
+            self.group_joins += 1
+        connect_latency = tech.connection_latency_s * join_scale
+        initiator.charge(
+            EnergyPhase.D2D_CONNECTION,
+            self.profile.ue_connection_uah * tech.connection_scale * join_scale,
+            now,
+            duration_s=connect_latency,
+        )
+        responder.charge(
+            EnergyPhase.D2D_DISCOVERY,
+            self.profile.relay_discovery_uah * tech.discovery_scale * join_scale,
+            now,
+            duration_s=tech.discovery_latency_s * join_scale,
+        )
+        responder.charge(
+            EnergyPhase.D2D_CONNECTION,
+            self.profile.relay_connection_uah * tech.connection_scale * join_scale,
+            now,
+            duration_s=connect_latency,
+        )
+
+        def finish() -> None:
+            t = self.sim.now
+            distance = distance_between(initiator.position(t), responder.position(t))
+            if (
+                not responder.powered_on
+                or not initiator.powered_on
+                or distance > tech.max_range_m
+                or not tech.link.in_range(distance)
+            ):
+                self.connections_failed += 1
+                on_complete(None)
+                return
+            connection = D2DConnection(self, initiator, responder, t)
+            self._connections.append(connection)
+            self.connections_established += 1
+            connection._monitor = self.sim.every(
+                self.link_check_period_s,
+                self._check_link,
+                connection,
+                name="d2d_link_check",
+            )
+            on_complete(connection)
+
+        self.sim.schedule(connect_latency, finish, name="d2d_connect")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_link(self, connection: D2DConnection) -> None:
+        if not connection.alive:
+            return
+        distance = connection.current_distance_m()
+        if distance > self.technology.max_range_m or not self.technology.link.in_range(
+            distance
+        ):
+            self._break_connection(connection, "out of range")
+
+    def _break_connection(self, connection: D2DConnection, reason: str) -> None:
+        if not connection.alive:
+            return
+        connection.alive = False
+        if connection._monitor is not None:
+            connection._monitor.stop()
+            connection._monitor = None
+        if connection in self._connections:
+            self._connections.remove(connection)
+        self.connections_broken += 1
+        for endpoint in (connection.initiator, connection.responder):
+            if endpoint.on_disconnect is not None:
+                endpoint.on_disconnect(connection, reason)

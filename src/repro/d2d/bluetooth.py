@@ -1,0 +1,33 @@
+"""Bluetooth D2D technology model.
+
+Sec. IV-A: "while Bluetooth indeed has the potential to complete D2D
+communication with low energy, its communication range is typically less
+than 10 m, too limited to meet our need." Modelled with cheaper per-phase
+energy but a hard ~10 m range and slower transfers — the ablation bench
+shows where this trade-off loses to Wi-Fi Direct in a spread-out crowd.
+"""
+
+from __future__ import annotations
+
+from repro.d2d.base import D2DTechnology
+from repro.d2d.link import LinkModel
+
+BLUETOOTH = D2DTechnology(
+    name="bluetooth",
+    max_range_m=10.0,
+    discovery_latency_s=5.0,  # inquiry scans are slow
+    connection_latency_s=2.0,
+    transfer_latency_s=0.2,
+    deployed=True,
+    discovery_scale=0.45,
+    connection_scale=0.5,
+    tx_scale=0.4,
+    rx_scale=0.4,
+    link=LinkModel(
+        tx_power_dbm=4.0,  # class 2 radio
+        path_loss_at_ref_db=40.0,
+        path_loss_exponent=3.0,
+        shadowing_sigma_db=2.0,
+        sensitivity_dbm=-70.0,
+    ),
+)

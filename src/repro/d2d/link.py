@@ -1,0 +1,103 @@
+"""Radio link model: RSSI from distance and back.
+
+The paper's matching mechanism ranks relays by signal strength observed
+during discovery and treats it as a distance proxy ("We can obtain the
+relative distances between the UE and the discovered relays through signal
+strength in D2D discovery", Sec. III-C). We model that with the standard
+log-distance path-loss formula and an inverse for distance estimation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Optional
+
+
+def rssi_at(
+    distance_m: float,
+    tx_power_dbm: float = 15.0,
+    path_loss_at_ref_db: float = 40.0,
+    path_loss_exponent: float = 3.0,
+    reference_m: float = 1.0,
+) -> float:
+    """Received signal strength (dBm) at ``distance_m`` (no fading)."""
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    d = max(distance_m, 0.01)  # avoid log(0) for co-located devices
+    path_loss = path_loss_at_ref_db + 10.0 * path_loss_exponent * math.log10(
+        d / reference_m
+    )
+    return tx_power_dbm - path_loss
+
+
+def distance_from_rssi(
+    rssi_dbm: float,
+    tx_power_dbm: float = 15.0,
+    path_loss_at_ref_db: float = 40.0,
+    path_loss_exponent: float = 3.0,
+    reference_m: float = 1.0,
+) -> float:
+    """Invert :func:`rssi_at`: estimated distance (m) from an RSSI reading."""
+    path_loss = tx_power_dbm - rssi_dbm
+    exponent = (path_loss - path_loss_at_ref_db) / (10.0 * path_loss_exponent)
+    return reference_m * 10.0**exponent
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkModel:
+    """Parameters of one radio link model plus fading and loss behaviour."""
+
+    tx_power_dbm: float = 15.0
+    path_loss_at_ref_db: float = 40.0
+    path_loss_exponent: float = 3.0
+    reference_m: float = 1.0
+    shadowing_sigma_db: float = 2.0  # log-normal shadowing on measurements
+    sensitivity_dbm: float = -85.0  # below this the link is unusable
+
+    def rssi(self, distance_m: float, rng: Optional[random.Random] = None) -> float:
+        """RSSI at ``distance_m``, with shadowing noise when ``rng`` given."""
+        value = rssi_at(
+            distance_m,
+            self.tx_power_dbm,
+            self.path_loss_at_ref_db,
+            self.path_loss_exponent,
+            self.reference_m,
+        )
+        if rng is not None and self.shadowing_sigma_db > 0:
+            value += rng.gauss(0.0, self.shadowing_sigma_db)
+        return value
+
+    def estimate_distance(self, rssi_dbm: float) -> float:
+        """Distance estimate from a (possibly noisy) RSSI reading."""
+        return distance_from_rssi(
+            rssi_dbm,
+            self.tx_power_dbm,
+            self.path_loss_at_ref_db,
+            self.path_loss_exponent,
+            self.reference_m,
+        )
+
+    def max_range_m(self) -> float:
+        """Distance at which mean RSSI hits the sensitivity floor."""
+        return self.estimate_distance(self.sensitivity_dbm)
+
+    def in_range(self, distance_m: float) -> bool:
+        """Whether the mean RSSI at this distance is above sensitivity."""
+        return rssi_at(
+            distance_m,
+            self.tx_power_dbm,
+            self.path_loss_at_ref_db,
+            self.path_loss_exponent,
+            self.reference_m,
+        ) >= self.sensitivity_dbm
+
+    def packet_error_rate(self, distance_m: float) -> float:
+        """Crude PER: 0 in close range, rising near the edge of coverage."""
+        margin = self.rssi(distance_m) - self.sensitivity_dbm
+        if margin >= 10.0:
+            return 0.0
+        if margin <= 0.0:
+            return 1.0
+        return (10.0 - margin) / 10.0 * 0.3  # ≤ 30 % PER before hard loss

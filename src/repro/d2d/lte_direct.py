@@ -1,0 +1,37 @@
+"""LTE Direct D2D technology model.
+
+Sec. IV-A: "LTE Direct as an innovative D2D technology enabling the
+discovery of thousands of devices in the proximity of approximately 500
+meters. Nonetheless, many countries ... have not deployed the technique",
+so the paper abandons it "for generality consideration".
+
+We model it anyway — very cheap, always-on discovery at long range — but
+mark it ``deployed=False``: a :class:`~repro.d2d.base.D2DMedium` refuses it
+unless explicitly allowed, mirroring the paper's deployment gate. The
+technology-ablation bench opts in to show what the framework would gain.
+"""
+
+from __future__ import annotations
+
+from repro.d2d.base import D2DTechnology
+from repro.d2d.link import LinkModel
+
+LTE_DIRECT = D2DTechnology(
+    name="lte-direct",
+    max_range_m=500.0,
+    discovery_latency_s=0.5,  # synchronized discovery resources
+    connection_latency_s=0.5,
+    transfer_latency_s=0.02,
+    deployed=False,
+    discovery_scale=0.15,  # discovery piggybacks on the LTE frame structure
+    connection_scale=0.6,
+    tx_scale=0.9,
+    rx_scale=0.9,
+    link=LinkModel(
+        tx_power_dbm=23.0,
+        path_loss_at_ref_db=38.0,
+        path_loss_exponent=3.2,
+        shadowing_sigma_db=3.0,
+        sensitivity_dbm=-105.0,
+    ),
+)

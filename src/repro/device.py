@@ -1,0 +1,141 @@
+"""Smartphone device model.
+
+A :class:`Smartphone` bundles the per-device substrates — energy model and
+battery, cellular modem, D2D endpoint, mobility, app heartbeat generators —
+under one identity, and handles battery death by powering everything off
+(the relay-failure case the feedback mechanism must survive).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.modem import CellularModem
+from repro.cellular.rrc import RrcProfile, WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyModel
+from repro.energy.power_monitor import PowerMonitor
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.mobility.models import MobilityModel, StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import AppProfile
+from repro.workload.generator import HeartbeatGenerator
+
+
+class Role(str, enum.Enum):
+    """The two roles the paper assigns, plus the unmodified baseline."""
+
+    RELAY = "relay"
+    UE = "ue"
+    STANDALONE = "standalone"  # original system: no D2D participation
+
+
+class Smartphone:
+    """One simulated smartphone.
+
+    Parameters
+    ----------
+    sim, device_id:
+        Simulator and unique identity.
+    mobility:
+        Trajectory; defaults to standing at the origin.
+    role:
+        RELAY, UE, or STANDALONE (baseline).
+    apps:
+        App profiles whose heartbeats this phone emits.
+    ledger, basestation, d2d_medium:
+        Shared network substrates; the D2D medium is optional for
+        standalone phones.
+    profile, rrc_profile:
+        Energy and RRC calibration.
+    battery:
+        Optional finite battery; on depletion the phone powers off.
+    power_monitor:
+        Optional Monsoon-style trace recorder for this phone.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: str,
+        mobility: Optional[MobilityModel] = None,
+        role: Role = Role.STANDALONE,
+        apps: Optional[List[AppProfile]] = None,
+        ledger: Optional[SignalingLedger] = None,
+        basestation: Optional[BaseStation] = None,
+        d2d_medium: Optional[D2DMedium] = None,
+        profile: EnergyProfile = DEFAULT_PROFILE,
+        rrc_profile: RrcProfile = WCDMA_PROFILE,
+        battery: Optional[Battery] = None,
+        power_monitor: Optional[PowerMonitor] = None,
+    ) -> None:
+        self.sim = sim
+        self.device_id = device_id
+        self.mobility = mobility if mobility is not None else StaticMobility((0.0, 0.0))
+        self.role = role
+        self.apps = list(apps or [])
+        self.profile = profile
+        self.power_monitor = power_monitor
+        self.battery = battery
+        if battery is not None:
+            battery.on_depleted = self._on_battery_depleted
+        self.energy = EnergyModel(
+            owner=device_id,
+            battery=battery,
+            on_charge=power_monitor.on_charge if power_monitor is not None else None,
+        )
+        self.modem = CellularModem(
+            sim,
+            device_id,
+            energy=self.energy,
+            ledger=ledger,
+            basestation=basestation,
+            profile=profile,
+            rrc_profile=rrc_profile,
+        )
+        self.d2d_medium = d2d_medium
+        self.d2d: Optional[D2DEndpoint] = None
+        if d2d_medium is not None:
+            self.d2d = D2DEndpoint(device_id, self.mobility, energy=self.energy)
+            d2d_medium.register(self.d2d)
+        self.generators: Dict[str, HeartbeatGenerator] = {}
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    def position(self, t: Optional[float] = None) -> tuple:
+        """Position at time ``t`` (defaults to now)."""
+        return self.mobility.position(self.sim.now if t is None else t)
+
+    def add_generator(self, generator: HeartbeatGenerator) -> None:
+        """Attach a started-or-startable heartbeat generator."""
+        self.generators[generator.app.name] = generator
+
+    @property
+    def is_relay(self) -> bool:
+        return self.role == Role.RELAY
+
+    @property
+    def is_ue(self) -> bool:
+        return self.role == Role.UE
+
+    # ------------------------------------------------------------------
+    def power_off(self) -> None:
+        """Hard power-down: stops generators, drops cellular and D2D."""
+        if not self.alive:
+            return
+        self.alive = False
+        for generator in self.generators.values():
+            generator.stop()
+        self.modem.power_off()
+        if self.d2d_medium is not None:
+            self.d2d_medium.power_off(self.device_id)
+
+    def _on_battery_depleted(self) -> None:
+        self.power_off()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Smartphone({self.device_id!r}, role={self.role.value})"

@@ -1,0 +1,29 @@
+"""Energy substrate.
+
+The paper's evaluation measures charge (µAh at a constant 3.7 V) with a
+Monsoon Power Monitor. We reproduce that with:
+
+- :mod:`repro.energy.profiles` — calibration constants lifted from the
+  paper's published measurements (Tables III & IV, Figs. 6-13). Single
+  source of truth; every energy number in the simulator traces back here.
+- :mod:`repro.energy.model` — per-phase charge accounting for a device.
+- :mod:`repro.energy.battery` — capacity, drain and lifetime projection.
+- :mod:`repro.energy.power_monitor` — synthesis of Monsoon-style 0.1 s
+  instant-current traces from simulation events (Figs. 6 & 7).
+"""
+
+from repro.energy.profiles import EnergyProfile, DEFAULT_PROFILE
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.battery import Battery, BatteryDepleted
+from repro.energy.power_monitor import PowerMonitor, CurrentSample
+
+__all__ = [
+    "EnergyProfile",
+    "DEFAULT_PROFILE",
+    "EnergyModel",
+    "EnergyPhase",
+    "Battery",
+    "BatteryDepleted",
+    "PowerMonitor",
+    "CurrentSample",
+]

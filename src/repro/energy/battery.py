@@ -1,0 +1,98 @@
+"""Battery model.
+
+The paper motivates the work with battery drain ("a smartphone spends at
+least 6% of its battery capacity in sending heartbeat messages"); relays in
+the framework may also die mid-session, which the feedback/fallback protocol
+must tolerate. This module provides the capacity bookkeeping and lifetime
+projection used by both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.energy.profiles import GALAXY_S4_BATTERY_MAH
+
+
+class BatteryDepleted(RuntimeError):
+    """Raised when a drain request exceeds the remaining charge."""
+
+
+class Battery:
+    """Finite charge reservoir (mAh), with a depletion callback.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Full capacity; defaults to the paper's Galaxy S4 (2600 mAh).
+    level:
+        Initial state of charge in [0, 1].
+    on_depleted:
+        Called once, the first time the battery hits empty — used to power
+        off a relay mid-run in failure-injection tests.
+    """
+
+    def __init__(
+        self,
+        capacity_mah: float = GALAXY_S4_BATTERY_MAH,
+        level: float = 1.0,
+        on_depleted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity_mah <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mah}")
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0,1], got {level}")
+        self.capacity_mah = float(capacity_mah)
+        self.remaining_mah = self.capacity_mah * level
+        self.on_depleted = on_depleted
+        self._depleted_fired = False
+        self.total_drained_mah = 0.0
+
+    @property
+    def level(self) -> float:
+        """State of charge in [0, 1]."""
+        return self.remaining_mah / self.capacity_mah
+
+    @property
+    def is_depleted(self) -> bool:
+        return self.remaining_mah <= 0.0
+
+    def drain_uah(self, uah: float) -> None:
+        """Drain ``uah`` µAh; clamps at zero and fires the depletion hook."""
+        if uah < 0:
+            raise ValueError(f"cannot drain negative charge {uah}")
+        mah = uah / 1000.0
+        self.total_drained_mah += min(mah, self.remaining_mah)
+        self.remaining_mah = max(0.0, self.remaining_mah - mah)
+        if self.is_depleted and not self._depleted_fired:
+            self._depleted_fired = True
+            if self.on_depleted is not None:
+                self.on_depleted()
+
+    def recharge(self, level: float = 1.0) -> None:
+        """Recharge to ``level`` (re-arms the depletion hook)."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0,1], got {level}")
+        self.remaining_mah = self.capacity_mah * level
+        if self.remaining_mah > 0:
+            self._depleted_fired = False
+
+    def projected_lifetime_s(self, drain_uah_per_s: float) -> float:
+        """Seconds until empty at a steady drain rate; ``inf`` if rate ≤ 0."""
+        if drain_uah_per_s <= 0:
+            return float("inf")
+        return self.remaining_mah * 1000.0 / drain_uah_per_s
+
+    def fraction_for(self, charge_uah: float) -> float:
+        """What fraction of *full capacity* a given charge represents.
+
+        The paper's "6% of battery capacity per day on heartbeats" claim is
+        this quantity for a day's worth of beats.
+        """
+        return charge_uah / 1000.0 / self.capacity_mah
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Battery({self.remaining_mah:.1f}/{self.capacity_mah:.0f} mAh,"
+            f" level={self.level:.2%})"
+        )

@@ -1,0 +1,159 @@
+"""Fault injection for experiments.
+
+The paper's reliability argument (Sec. III-A) is that the feedback
+mechanism survives "the relay has ran out of its battery or lost
+connection to cellular network" and pairs "exceed[ing] the maximum
+communication distance". This module packages those failure modes as
+schedulable injections so any experiment — not just the internal test
+suite — can assert delivery safety under faults:
+
+    plan = FaultPlan(sim)
+    plan.kill_device_at(200.0, relay_phone)
+    plan.break_links_at(450.0, medium, "relay-0")
+    plan.drop_acks_between(800.0, 1100.0, ue_agent)
+    ... run ...
+    plan.report()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.core.ue import UEAgent
+from repro.d2d.base import D2DMedium
+from repro.device import Smartphone
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class InjectedFault:
+    """One scheduled fault and whether it has fired."""
+
+    kind: str
+    at_s: float
+    target: str
+    fired: bool = False
+    detail: str = ""
+
+
+class FaultPlan:
+    """A schedule of failures to inject into one simulation."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.faults: List[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    def kill_device_at(self, at_s: float, device: Smartphone) -> InjectedFault:
+        """Hard power-off (battery death / crash) at ``at_s``."""
+        fault = self._register("device-death", at_s, device.device_id)
+
+        def fire() -> None:
+            fault.fired = True
+            fault.detail = "powered off" if device.alive else "already dead"
+            device.power_off()
+
+        self.sim.schedule_at(at_s, fire, name="fault_kill")
+        return fault
+
+    def drain_battery_at(
+        self, at_s: float, device: Smartphone, to_level: float = 0.0
+    ) -> InjectedFault:
+        """Set the battery to ``to_level`` at ``at_s`` (depletion path)."""
+        if device.battery is None:
+            raise ValueError(f"{device.device_id} has no battery to drain")
+        fault = self._register("battery-drain", at_s, device.device_id)
+
+        def fire() -> None:
+            fault.fired = True
+            battery = device.battery
+            assert battery is not None
+            target_mah = battery.capacity_mah * to_level
+            if battery.remaining_mah > target_mah:
+                battery.drain_uah((battery.remaining_mah - target_mah) * 1000.0)
+            fault.detail = f"level={battery.level:.2f}"
+
+        self.sim.schedule_at(at_s, fire, name="fault_drain")
+        return fault
+
+    def break_links_at(
+        self, at_s: float, medium: D2DMedium, device_id: str
+    ) -> InjectedFault:
+        """Sever every D2D connection of ``device_id`` (range loss)."""
+        fault = self._register("link-break", at_s, device_id)
+
+        def fire() -> None:
+            fault.fired = True
+            connections = medium.connections_of(device_id)
+            fault.detail = f"broke {len(connections)} link(s)"
+            for connection in connections:
+                connection.close("injected link break")
+
+        self.sim.schedule_at(at_s, fire, name="fault_break")
+        return fault
+
+    def drop_acks_between(
+        self, start_s: float, end_s: float, agent: UEAgent
+    ) -> InjectedFault:
+        """Discard every delivery ack the UE receives in a window.
+
+        Models ack-frame loss: the relay believes it confirmed, the UE
+        never hears it — the fallback timers must cover the gap.
+        """
+        if end_s <= start_s:
+            raise ValueError("window must have positive length")
+        fault = self._register(
+            "ack-loss", start_s, agent.device.device_id,
+        )
+        original_ack = agent.feedback.ack
+        dropped = []
+
+        def lossy_ack(seqs):
+            if start_s <= self.sim.now < end_s:
+                dropped.extend(seqs)
+                fault.fired = True
+                fault.detail = f"dropped {len(dropped)} ack(s)"
+                return 0
+            return original_ack(seqs)
+
+        def arm() -> None:
+            agent.feedback.ack = lossy_ack
+
+        def disarm() -> None:
+            agent.feedback.ack = original_ack
+
+        self.sim.schedule_at(start_s, arm, name="fault_ackloss_on")
+        self.sim.schedule_at(end_s, disarm, name="fault_ackloss_off")
+        return fault
+
+    def custom_at(
+        self, at_s: float, name: str, action: Callable[[], None]
+    ) -> InjectedFault:
+        """Escape hatch for bespoke failures."""
+        fault = self._register(name, at_s, "custom")
+
+        def fire() -> None:
+            fault.fired = True
+            action()
+
+        self.sim.schedule_at(at_s, fire, name=f"fault_{name}")
+        return fault
+
+    # ------------------------------------------------------------------
+    def _register(self, kind: str, at_s: float, target: str) -> InjectedFault:
+        fault = InjectedFault(kind=kind, at_s=at_s, target=target)
+        self.faults.append(fault)
+        return fault
+
+    @property
+    def fired_count(self) -> int:
+        return sum(1 for fault in self.faults if fault.fired)
+
+    def report(self) -> List[str]:
+        """One line per injected fault (for experiment logs)."""
+        return [
+            f"[{fault.at_s:8.1f}s] {fault.kind} on {fault.target}: "
+            f"{'FIRED ' + fault.detail if fault.fired else 'pending'}"
+            for fault in self.faults
+        ]

@@ -1,0 +1,175 @@
+"""Per-run metric collection.
+
+Bundles the numbers every experiment reports — per-device energy (total
+and by phase), per-device layer-3 signaling, RRC cycles, delivery quality —
+into plain data structures the benches and reporting helpers consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.cellular.signaling import SignalingLedger
+from repro.device import Role, Smartphone
+from repro.workload.server import IMServer
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceMetrics:
+    """One device's totals at the end of a run."""
+
+    device_id: str
+    role: str
+    energy_uah: float
+    d2d_energy_uah: float
+    cellular_energy_uah: float
+    energy_breakdown: Dict[str, float]
+    l3_messages: int
+    rrc_cycles: int
+    uplink_sends: int
+    battery_level: Optional[float]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryMetrics:
+    """Server-side delivery quality."""
+
+    received: int
+    on_time: int
+    late: int
+    relayed: int
+    mean_delay_s: float
+
+    @property
+    def on_time_fraction(self) -> float:
+        total = self.on_time + self.late
+        return 1.0 if total == 0 else self.on_time / total
+
+
+@dataclasses.dataclass(frozen=True)
+class RunMetrics:
+    """Everything measured in one experiment run."""
+
+    horizon_s: float
+    devices: Dict[str, DeviceMetrics]
+    delivery: Optional[DeliveryMetrics]
+    total_l3_messages: int
+
+    # ------------------------------------------------------------------
+    def energy_of(self, device_id: str) -> float:
+        return self.devices[device_id].energy_uah
+
+    def l3_of(self, device_id: str) -> int:
+        return self.devices[device_id].l3_messages
+
+    def total_energy_uah(self, roles: Optional[Iterable[str]] = None) -> float:
+        wanted = set(roles) if roles is not None else None
+        return sum(
+            d.energy_uah
+            for d in self.devices.values()
+            if wanted is None or d.role in wanted
+        )
+
+    def devices_with_role(self, role: str) -> List[DeviceMetrics]:
+        return [d for d in self.devices.values() if d.role == role]
+
+    def energy_by_role(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for d in self.devices.values():
+            totals[d.role] = totals.get(d.role, 0.0) + d.energy_uah
+        return totals
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-data form for JSON serialization."""
+        return {
+            "horizon_s": self.horizon_s,
+            "total_l3_messages": self.total_l3_messages,
+            "delivery": (
+                None
+                if self.delivery is None
+                else {
+                    "received": self.delivery.received,
+                    "on_time": self.delivery.on_time,
+                    "late": self.delivery.late,
+                    "relayed": self.delivery.relayed,
+                    "mean_delay_s": self.delivery.mean_delay_s,
+                    "on_time_fraction": self.delivery.on_time_fraction,
+                }
+            ),
+            "devices": {
+                device_id: dataclasses.asdict(device)
+                for device_id, device in self.devices.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON document of the whole run (for archival/plotting)."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_csv_rows(self) -> List[List[object]]:
+        """Per-device rows (header first) for spreadsheet export."""
+        header: List[object] = [
+            "device_id", "role", "energy_uah", "d2d_energy_uah",
+            "cellular_energy_uah", "l3_messages", "rrc_cycles",
+            "uplink_sends", "battery_level",
+        ]
+        rows: List[List[object]] = [header]
+        for device in sorted(self.devices.values(), key=lambda d: d.device_id):
+            rows.append([
+                device.device_id, device.role, device.energy_uah,
+                device.d2d_energy_uah, device.cellular_energy_uah,
+                device.l3_messages, device.rrc_cycles, device.uplink_sends,
+                device.battery_level,
+            ])
+        return rows
+
+    def write_csv(self, path: str) -> None:
+        """Write the per-device table to ``path``."""
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            csv.writer(handle).writerows(self.to_csv_rows())
+
+
+def collect_metrics(
+    devices: Iterable[Smartphone],
+    ledger: SignalingLedger,
+    server: Optional[IMServer] = None,
+    horizon_s: float = 0.0,
+) -> RunMetrics:
+    """Snapshot the run's metrics from the live objects."""
+    per_device: Dict[str, DeviceMetrics] = {}
+    for device in devices:
+        per_device[device.device_id] = DeviceMetrics(
+            device_id=device.device_id,
+            role=device.role.value,
+            energy_uah=device.energy.total_uah,
+            d2d_energy_uah=device.energy.d2d_uah,
+            cellular_energy_uah=device.energy.cellular_uah,
+            energy_breakdown=device.energy.breakdown(),
+            l3_messages=ledger.count_for(device.device_id),
+            rrc_cycles=ledger.cycles_for(device.device_id),
+            uplink_sends=device.modem.sends,
+            battery_level=device.battery.level if device.battery else None,
+        )
+    delivery = None
+    if server is not None:
+        delivery = DeliveryMetrics(
+            received=len(server.records),
+            on_time=server.on_time_count,
+            late=server.late_count,
+            relayed=server.relayed_count,
+            mean_delay_s=server.mean_delay_s(),
+        )
+    return RunMetrics(
+        horizon_s=horizon_s,
+        devices=per_device,
+        delivery=delivery,
+        total_l3_messages=ledger.total,
+    )

@@ -1,0 +1,30 @@
+"""Mobility substrate.
+
+The paper's framework cares about mobility only through the pairwise
+distance between a UE and its relay over time: distance drives D2D energy
+(Fig. 12), disconnection risk (the prejudgment mechanism of Sec. III-C),
+and mid-session link breaks (the feedback/fallback mechanism).
+
+Models are *analytic*: ``position(t)`` is computable for any ``t`` without
+event-driven updates, which keeps the discrete-event schedule small.
+"""
+
+from repro.mobility.space import Arena, Position, distance_between
+from repro.mobility.models import (
+    MobilityModel,
+    StaticMobility,
+    LinearMobility,
+    RandomWaypointMobility,
+    place_crowd,
+)
+
+__all__ = [
+    "Arena",
+    "Position",
+    "distance_between",
+    "MobilityModel",
+    "StaticMobility",
+    "LinearMobility",
+    "RandomWaypointMobility",
+    "place_crowd",
+]

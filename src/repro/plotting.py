@@ -1,0 +1,256 @@
+"""Static SVG line charts for the reproduced figures.
+
+Pure-python SVG generation (matplotlib is unavailable offline), following
+a validated data-viz method:
+
+- multi-series **line** form (all the paper's figures are
+  change-over-a-swept-parameter);
+- categorical series colors assigned in **fixed slot order**, never
+  cycled, from a palette whose adjacent-pair CVD separation was validated
+  (worst adjacent ΔE 24.2 on the light surface);
+- two slots sit below 3:1 contrast on the surface, so the *relief rule*
+  applies: every series gets a **visible direct label** at its line end,
+  and the benches print the full data table alongside;
+- thin marks (2 px lines, 8 px markers), recessive 1 px grid, one y-axis,
+  text in ink colors (never the series color), a legend whenever there
+  are ≥ 2 series, and native per-point ``<title>`` tooltips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Validated categorical palette, light mode, fixed slot order.
+SERIES_COLORS: Tuple[str, ...] = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua   (relief: direct labels required)
+    "#eda100",  # yellow (relief: direct labels required)
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+AXIS = "#b5b4ae"
+
+#: More than this many series must be folded, not colored (never cycle).
+MAX_SERIES = len(SERIES_COLORS)
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One named line."""
+
+    name: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(n - 1, 1)
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    start = step * int(lo / step)
+    if start > lo:
+        start -= step
+    ticks = []
+    value = start
+    while value <= hi + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+class LineChart:
+    """Builder for one SVG line chart."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        width: int = 640,
+        height: int = 400,
+    ) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.series: List[Series] = []
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> "LineChart":
+        if len(self.series) >= MAX_SERIES:
+            raise ValueError(
+                f"at most {MAX_SERIES} series: fold extras into 'Other' or "
+                "use small multiples — hues are never cycled"
+            )
+        self.series.append(Series(name, list(xs), list(ys)))
+        return self
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no series")
+        margin_left, margin_right = 64, 120  # right margin hosts direct labels
+        margin_top, margin_bottom = 48, 56
+        plot_w = self.width - margin_left - margin_right
+        plot_h = self.height - margin_top - margin_bottom
+
+        all_x = [x for s in self.series for x in s.xs]
+        all_y = [y for s in self.series for y in s.ys]
+        x_ticks = _nice_ticks(min(all_x), max(all_x))
+        y_ticks = _nice_ticks(min(min(all_y), 0.0), max(all_y))
+        x_lo, x_hi = x_ticks[0], x_ticks[-1]
+        y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+        def sx(x: float) -> float:
+            return margin_left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y: float) -> float:
+            return margin_top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        parts: List[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="system-ui, sans-serif">'
+        )
+        parts.append(
+            f'<rect width="{self.width}" height="{self.height}" fill="{SURFACE}"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left}" y="26" font-size="15" font-weight="600" '
+            f'fill="{TEXT_PRIMARY}">{escape(self.title)}</text>'
+        )
+
+        # recessive grid + y ticks
+        for tick in y_ticks:
+            y = sy(tick)
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y:.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                f'stroke="{GRID}" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 8}" y="{y + 4:.1f}" font-size="11" '
+                f'text-anchor="end" fill="{TEXT_SECONDARY}">'
+                f"{_format_tick(tick)}</text>"
+            )
+        # x axis ticks
+        for tick in x_ticks:
+            x = sx(tick)
+            parts.append(
+                f'<text x="{x:.1f}" y="{margin_top + plot_h + 18}" '
+                f'font-size="11" text-anchor="middle" '
+                f'fill="{TEXT_SECONDARY}">{_format_tick(tick)}</text>'
+            )
+        # single baseline axis (one y-axis, always)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{sy(y_lo):.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{sy(y_lo):.1f}" '
+            f'stroke="{AXIS}" stroke-width="1"/>'
+        )
+        # axis titles, in ink
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.1f}" '
+            f'y="{self.height - 14}" font-size="12" text-anchor="middle" '
+            f'fill="{TEXT_SECONDARY}">{escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="18" y="{margin_top + plot_h / 2:.1f}" font-size="12" '
+            f'text-anchor="middle" fill="{TEXT_SECONDARY}" '
+            f'transform="rotate(-90 18 {margin_top + plot_h / 2:.1f})">'
+            f"{escape(self.y_label)}</text>"
+        )
+
+        # series: 2px lines, 8px markers with native tooltips, direct labels
+        for slot, series in enumerate(self.series):
+            color = SERIES_COLORS[slot]
+            points = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(series.xs, series.ys)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+            for x, y in zip(series.xs, series.ys):
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+                    f'fill="{color}" stroke="{SURFACE}" stroke-width="2">'
+                    f"<title>{escape(series.name)}: x={_format_tick(x)}, "
+                    f"y={y:g}</title></circle>"
+                )
+            # direct label at the line end (the relief rule), in ink
+            end_x, end_y = series.xs[-1], series.ys[-1]
+            parts.append(
+                f'<text x="{sx(end_x) + 10:.1f}" y="{sy(end_y) + 4:.1f}" '
+                f'font-size="11" fill="{TEXT_PRIMARY}">'
+                f"{escape(series.name)}</text>"
+            )
+
+        # legend for >= 2 series (swatch + ink text)
+        if len(self.series) >= 2:
+            legend_y = margin_top - 14
+            x_cursor = float(margin_left)
+            for slot, series in enumerate(self.series):
+                color = SERIES_COLORS[slot]
+                parts.append(
+                    f'<rect x="{x_cursor:.1f}" y="{legend_y - 8}" width="10" '
+                    f'height="10" rx="2" fill="{color}"/>'
+                )
+                parts.append(
+                    f'<text x="{x_cursor + 14:.1f}" y="{legend_y + 1}" '
+                    f'font-size="11" fill="{TEXT_SECONDARY}">'
+                    f"{escape(series.name)}</text>"
+                )
+                x_cursor += 14 + 7 * len(series.name) + 16
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+
+def line_chart(
+    title: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 640,
+    height: int = 400,
+) -> LineChart:
+    """Convenience: one shared x-vector, a dict of named y-vectors."""
+    chart = LineChart(title, x_label, y_label, width=width, height=height)
+    for name, ys in series.items():
+        chart.add_series(name, xs, ys)
+    return chart

@@ -1,0 +1,97 @@
+"""Paper-style table and series formatting.
+
+Every bench prints its reproduction in the same visual grammar as the
+paper's tables/figures, so paper-vs-measured comparison is a side-by-side
+read. Pure string formatting — no I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Fixed-width ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """A figure rendered as columns: x values and one column per curve."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x has {len(xs)}"
+            )
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_comparison(
+    title: str,
+    paper_value: str,
+    measured_value: str,
+    verdict: str,
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style reporting."""
+    return f"{title}: paper={paper_value} measured={measured_value} [{verdict}]"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny ASCII chart of a series (for bench stdout)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if len(values) > width:
+        # downsample by striding
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    if span == 0:
+        return blocks[1] * len(values)
+    return "".join(
+        blocks[1 + int((v - lo) / span * (len(blocks) - 2))] for v in values
+    )
+
+
+def percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{decimals}f}%"

@@ -1,0 +1,441 @@
+"""Canned end-to-end simulations — the workhorse behind every bench.
+
+Three scenario families, mirroring the paper's evaluation setups:
+
+- :func:`run_relay_scenario` — one relay with ``n`` static UEs at a fixed
+  distance (the paper's bench rig: Figs. 8-13, 15, Tables III/IV). Runs
+  either the D2D framework (``mode="d2d"``) or the unmodified original
+  system (``mode="original"``) over the same device layout.
+- :func:`run_crowd_scenario` — a clustered crowd in an arena with a
+  fraction of devices acting as relays; the signaling-storm setting the
+  paper motivates.
+- :func:`build_network` — the shared substrate wiring, reusable for
+  hand-rolled experiments.
+
+Every run stops beat emission one second before the nominal horizon, then
+drains for ``drain_s`` so RRC tails demote, acks arrive, and energy/
+signaling totals are complete and comparable across modes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baseline.original import OriginalSystem
+from repro.cellular.basestation import BaseStation
+from repro.cellular.rrc import RrcProfile, WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.core.matching import MatchConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.d2d.base import D2DMedium, D2DTechnology
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.metrics import RunMetrics, collect_metrics
+from repro.mobility.models import MobilityModel, StaticMobility, place_crowd
+from repro.mobility.space import Arena
+from repro.sim.engine import Simulator
+from repro.workload.apps import AppProfile, STANDARD_APP
+from repro.workload.server import IMServer
+
+#: Post-emission drain: longer than the RRC tail plus ack round trip.
+DEFAULT_DRAIN_S = 30.0
+
+
+@dataclasses.dataclass
+class NetworkContext:
+    """Shared substrates of one simulation run."""
+
+    sim: Simulator
+    ledger: SignalingLedger
+    basestation: BaseStation
+    server: IMServer
+    medium: Optional[D2DMedium]
+    profile: EnergyProfile
+    rrc_profile: RrcProfile
+
+
+def build_network(
+    seed: int = 0,
+    profile: EnergyProfile = DEFAULT_PROFILE,
+    rrc_profile: RrcProfile = WCDMA_PROFILE,
+    technology: Optional[D2DTechnology] = WIFI_DIRECT,
+    allow_undeployed: bool = False,
+    group_aware: bool = False,
+) -> NetworkContext:
+    """Wire up simulator, signaling ledger, base station, server, medium."""
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = None
+    if technology is not None:
+        medium = D2DMedium(
+            sim, technology, profile=profile, allow_undeployed=allow_undeployed,
+            group_aware=group_aware,
+        )
+    return NetworkContext(
+        sim=sim,
+        ledger=ledger,
+        basestation=basestation,
+        server=server,
+        medium=medium,
+        profile=profile,
+        rrc_profile=rrc_profile,
+    )
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Everything a bench needs from one finished run."""
+
+    context: NetworkContext
+    metrics: RunMetrics
+    devices: Dict[str, Smartphone]
+    relay_ids: List[str]
+    ue_ids: List[str]
+    framework: Optional[HeartbeatRelayFramework]
+    original: Optional[OriginalSystem]
+    app: AppProfile
+    periods: int
+
+    # convenience accessors -------------------------------------------------
+    def relay_energy_uah(self) -> float:
+        return sum(self.metrics.energy_of(r) for r in self.relay_ids)
+
+    def ue_energy_uah(self) -> float:
+        return sum(self.metrics.energy_of(u) for u in self.ue_ids)
+
+    def system_energy_uah(self) -> float:
+        return self.metrics.total_energy_uah()
+
+    def per_device_energy_uah(self, device_id: str) -> float:
+        return self.metrics.energy_of(device_id)
+
+    def relay_l3(self) -> int:
+        return sum(self.metrics.l3_of(r) for r in self.relay_ids)
+
+    def ue_l3(self) -> int:
+        return sum(self.metrics.l3_of(u) for u in self.ue_ids)
+
+    def total_l3(self) -> int:
+        return self.metrics.total_l3_messages
+
+    def on_time_fraction(self) -> float:
+        return self.metrics.delivery.on_time_fraction if self.metrics.delivery else 1.0
+
+
+def _ue_positions(n: int, distance_m: float) -> List[MobilityModel]:
+    """``n`` static UEs on a circle of radius ``distance_m`` round the relay."""
+    models: List[MobilityModel] = []
+    for i in range(n):
+        angle = 2.0 * math.pi * i / max(n, 1)
+        models.append(
+            StaticMobility(
+                (distance_m * math.cos(angle), distance_m * math.sin(angle))
+            )
+        )
+    return models
+
+
+def _spread_phases(n: int, low: float = 0.3, high: float = 0.8) -> List[float]:
+    """Evenly spread UE heartbeat phases inside the relay period."""
+    if n <= 0:
+        return []
+    if n == 1:
+        return [(low + high) / 2.0]
+    step = (high - low) / (n - 1)
+    return [low + i * step for i in range(n)]
+
+
+def run_relay_scenario(
+    n_ues: int = 1,
+    distance_m: float = 1.0,
+    periods: int = 7,
+    app: AppProfile = STANDARD_APP,
+    heartbeat_bytes: Optional[int] = None,
+    mode: str = "d2d",
+    capacity: int = 10,
+    seed: int = 0,
+    technology: D2DTechnology = WIFI_DIRECT,
+    profile: EnergyProfile = DEFAULT_PROFILE,
+    rrc_profile: RrcProfile = WCDMA_PROFILE,
+    match_config: Optional[MatchConfig] = None,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    drain_s: float = DEFAULT_DRAIN_S,
+    allow_undeployed: bool = False,
+    ue_phases: Optional[Sequence[float]] = None,
+    keep_energy_log: bool = False,
+    group_aware: bool = False,
+) -> ScenarioResult:
+    """The paper's bench rig: one relay, ``n_ues`` UEs at ``distance_m``.
+
+    Runs for ``periods`` relay heartbeat periods. Each UE beats once per
+    period (same app), phased mid-period so its beat is collected and
+    flushed with the relay's own delayed beat — the paper's "transmission
+    times" axis equals ``periods`` for one UE.
+
+    ``mode="original"`` runs the identical device layout without the
+    framework (the baseline); ``mode="d2d"`` deploys the framework.
+    """
+    if n_ues < 0:
+        raise ValueError(f"n_ues must be non-negative, got {n_ues}")
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    if mode not in ("d2d", "original"):
+        raise ValueError(f"mode must be 'd2d' or 'original', got {mode!r}")
+    if heartbeat_bytes is not None:
+        app = dataclasses.replace(app, heartbeat_bytes=heartbeat_bytes)
+    context = build_network(
+        seed=seed,
+        profile=profile,
+        rrc_profile=rrc_profile,
+        technology=technology if mode == "d2d" else None,
+        allow_undeployed=allow_undeployed,
+        group_aware=group_aware,
+    )
+    relay_role = Role.RELAY if mode == "d2d" else Role.STANDALONE
+    ue_role = Role.UE if mode == "d2d" else Role.STANDALONE
+
+    devices: Dict[str, Smartphone] = {}
+    relay = Smartphone(
+        context.sim,
+        "relay-0",
+        mobility=StaticMobility((0.0, 0.0)),
+        role=relay_role,
+        ledger=context.ledger,
+        basestation=context.basestation,
+        d2d_medium=context.medium,
+        profile=profile,
+        rrc_profile=rrc_profile,
+    )
+    devices[relay.device_id] = relay
+    ue_mobilities = _ue_positions(n_ues, distance_m)
+    ues: List[Smartphone] = []
+    for i, mobility in enumerate(ue_mobilities):
+        ue = Smartphone(
+            context.sim,
+            f"ue-{i}",
+            mobility=mobility,
+            role=ue_role,
+            ledger=context.ledger,
+            basestation=context.basestation,
+            d2d_medium=context.medium,
+            profile=profile,
+            rrc_profile=rrc_profile,
+        )
+        devices[ue.device_id] = ue
+        ues.append(ue)
+
+    if keep_energy_log:
+        for device in devices.values():
+            device.energy.keep_log = True
+    phases = list(ue_phases) if ue_phases is not None else _spread_phases(n_ues)
+    framework: Optional[HeartbeatRelayFramework] = None
+    original: Optional[OriginalSystem] = None
+    if mode == "d2d":
+        config = FrameworkConfig(
+            scheduler=scheduler_config or SchedulerConfig(capacity=capacity),
+            matching=match_config or MatchConfig(),
+        )
+        framework = HeartbeatRelayFramework([], app=app, config=config)
+        framework.add_device(relay, phase_fraction=0.0)
+        for ue, phase in zip(ues, phases):
+            framework.add_device(ue, phase_fraction=phase)
+    else:
+        original = OriginalSystem(app=app)
+        original.add_device(relay, phase_fraction=0.0)
+        for ue, phase in zip(ues, phases):
+            original.add_device(ue, phase_fraction=phase)
+
+    stop_at = periods * app.heartbeat_period_s - 1.0
+    context.sim.run_until(stop_at)
+    if framework is not None:
+        framework.shutdown()
+    if original is not None:
+        original.shutdown()
+    horizon = periods * app.heartbeat_period_s + drain_s
+    context.sim.run_until(horizon)
+
+    metrics = collect_metrics(
+        devices.values(), context.ledger, context.server, horizon_s=horizon
+    )
+    return ScenarioResult(
+        context=context,
+        metrics=metrics,
+        devices=devices,
+        relay_ids=[relay.device_id],
+        ue_ids=[u.device_id for u in ues],
+        framework=framework,
+        original=original,
+        app=app,
+        periods=periods,
+    )
+
+
+def _select_relay_indices(
+    strategy: str,
+    mobilities: Sequence[MobilityModel],
+    n_relays: int,
+    context: NetworkContext,
+    match_config: Optional[MatchConfig],
+) -> set:
+    """Which device indices the operator appoints as relays."""
+    if strategy == "roundrobin" or n_relays == 0:
+        return set(range(n_relays))
+    from repro.core.operator import (
+        Participant,
+        greedy_relay_selection,
+        random_relay_selection,
+    )
+
+    pair_range = (match_config or MatchConfig()).max_pair_distance_m
+    participants = [
+        Participant(str(i), mobility.position(0.0))
+        for i, mobility in enumerate(mobilities)
+    ]
+    if strategy == "greedy":
+        chosen = greedy_relay_selection(
+            participants, range_m=pair_range, max_relays=n_relays
+        )
+    else:  # random
+        chosen = random_relay_selection(
+            participants, n_relays, context.sim.rng.get("relay-selection")
+        )
+    return {int(device_id) for device_id in chosen}
+
+
+def run_crowd_scenario(
+    n_devices: int = 40,
+    relay_fraction: float = 0.2,
+    arena: Optional[Arena] = None,
+    mode: str = "d2d",
+    app: AppProfile = STANDARD_APP,
+    duration_s: float = 1800.0,
+    hotspots: int = 3,
+    mobile_fraction: float = 0.0,
+    capacity: int = 10,
+    seed: int = 0,
+    technology: D2DTechnology = WIFI_DIRECT,
+    profile: EnergyProfile = DEFAULT_PROFILE,
+    rrc_profile: RrcProfile = WCDMA_PROFILE,
+    match_config: Optional[MatchConfig] = None,
+    drain_s: float = DEFAULT_DRAIN_S,
+    relay_selection: str = "roundrobin",
+    pre_run: Optional[Callable[[NetworkContext, Dict[str, Smartphone]], None]] = None,
+) -> ScenarioResult:
+    """A dense crowd: the signaling-storm setting of the paper's Sec. I.
+
+    ``pre_run(context, devices)`` is called after wiring but before the
+    clock starts — the hook for attaching extra instrumentation or
+    scheduling additional traffic (e.g. push notifications).
+
+    ``relay_fraction`` of devices volunteer as relays; the rest are UEs
+    (or everything standalone in ``mode="original"``). Phases are random
+    but seeded. ``relay_selection`` picks who the operator appoints:
+    ``"roundrobin"`` (the first devices of each hotspot), ``"greedy"``
+    (dominating-set planning from :mod:`repro.core.operator`) or
+    ``"random"``.
+    """
+    if not 0.0 <= relay_fraction <= 1.0:
+        raise ValueError(f"relay_fraction out of [0,1]: {relay_fraction}")
+    if mode not in ("d2d", "original"):
+        raise ValueError(f"mode must be 'd2d' or 'original', got {mode!r}")
+    if relay_selection not in ("roundrobin", "greedy", "random"):
+        raise ValueError(f"unknown relay_selection {relay_selection!r}")
+    arena = arena or Arena(60.0, 60.0)
+    context = build_network(
+        seed=seed,
+        profile=profile,
+        rrc_profile=rrc_profile,
+        technology=technology if mode == "d2d" else None,
+    )
+    placement_rng = context.sim.rng.get("crowd-placement")
+    mobilities = place_crowd(
+        n_devices,
+        arena,
+        placement_rng,
+        hotspots=hotspots,
+        mobile_fraction=mobile_fraction,
+    )
+    n_relays = int(round(n_devices * relay_fraction))
+    relay_indices = _select_relay_indices(
+        relay_selection, mobilities, n_relays, context, match_config
+    )
+    phase_rng = context.sim.rng.get("crowd-phases")
+
+    devices: Dict[str, Smartphone] = {}
+    relay_ids: List[str] = []
+    ue_ids: List[str] = []
+    framework: Optional[HeartbeatRelayFramework] = None
+    original: Optional[OriginalSystem] = None
+    if mode == "d2d":
+        framework = HeartbeatRelayFramework(
+            [],
+            app=app,
+            config=FrameworkConfig(
+                scheduler=SchedulerConfig(capacity=capacity),
+                matching=match_config or MatchConfig(),
+            ),
+        )
+    else:
+        original = OriginalSystem([], app=app)
+
+    for i, mobility in enumerate(mobilities):
+        is_relay = i in relay_indices and mode == "d2d"
+        role = (
+            Role.RELAY
+            if is_relay
+            else (Role.UE if mode == "d2d" else Role.STANDALONE)
+        )
+        device = Smartphone(
+            context.sim,
+            f"{'relay' if is_relay else 'dev'}-{i}",
+            mobility=mobility,
+            role=role,
+            ledger=context.ledger,
+            basestation=context.basestation,
+            d2d_medium=context.medium,
+            profile=profile,
+            rrc_profile=rrc_profile,
+        )
+        devices[device.device_id] = device
+        if is_relay:
+            relay_ids.append(device.device_id)
+        else:
+            ue_ids.append(device.device_id)
+        phase = phase_rng.random()
+        if framework is not None:
+            framework.add_device(device, phase_fraction=phase if not is_relay else 0.0)
+        else:
+            assert original is not None
+            original.add_device(device, phase_fraction=phase)
+
+    if pre_run is not None:
+        pre_run(context, devices)
+    context.sim.run_until(max(0.0, duration_s - 1.0))
+    if framework is not None:
+        framework.shutdown()
+    if original is not None:
+        original.shutdown()
+    horizon = duration_s + drain_s
+    context.sim.run_until(horizon)
+    metrics = collect_metrics(
+        devices.values(), context.ledger, context.server, horizon_s=horizon
+    )
+    periods = max(1, int(duration_s / app.heartbeat_period_s))
+    return ScenarioResult(
+        context=context,
+        metrics=metrics,
+        devices=devices,
+        relay_ids=relay_ids,
+        ue_ids=ue_ids,
+        framework=framework,
+        original=original,
+        app=app,
+        periods=periods,
+    )

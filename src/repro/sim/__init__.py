@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and dependency-free: a simulated
+:class:`~repro.sim.clock.Clock`, a stable :class:`~repro.sim.events.EventQueue`
+built on ``heapq``, the :class:`~repro.sim.engine.Simulator` driver, and
+seeded random-stream helpers in :mod:`repro.sim.rng`.
+
+Everything above this layer (cellular, D2D, energy, the framework itself)
+schedules work exclusively through :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at`, which keeps every experiment deterministic
+under a fixed seed.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.rng import RngStreams, make_rng
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "RngStreams",
+    "make_rng",
+]

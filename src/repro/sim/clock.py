@@ -1,0 +1,56 @@
+"""Simulated wall clock.
+
+All times in the simulation are floating-point **seconds** from the start
+of the run. The clock can only be advanced by the simulator driver, and
+never moves backwards; components hold a reference to the clock instead of
+passing ``now`` through every call.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised on an illegal clock manipulation (e.g. moving backwards)."""
+
+
+class Clock:
+    """Monotonically non-decreasing simulated time source.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (defaults to ``0.0``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start before zero (got {start})")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`ClockError` if ``t`` is in the past; advancing to the
+        current time is a no-op (events at identical timestamps are legal).
+        """
+        if t < self._now:
+            raise ClockError(
+                f"clock cannot move backwards: now={self._now}, requested={t}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0.0:
+            raise ClockError(f"cannot advance by negative delta {dt}")
+        self._now += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now:.6f})"

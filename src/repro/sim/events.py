@@ -1,0 +1,108 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a timestamped callback with a stable tiebreak sequence
+number, so two events scheduled for the same instant always fire in the
+order they were scheduled — a property several framework protocols (e.g.
+"ack before fallback timer") rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created by the simulator; user code receives the event handle
+    back from :meth:`~repro.sim.engine.Simulator.schedule` and may
+    :meth:`cancel` it. A cancelled event stays in the heap but is skipped
+    when popped (lazy deletion — O(1) cancel).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.name = name or getattr(callback, "__name__", "event")
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator skips it; idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " CANCELLED" if self.cancelled else ""
+        return f"Event({self.name!r} @ {self.time:.6f} #{self.seq}{flag})"
+
+
+class EventQueue:
+    """Min-heap of events with stable FIFO ordering at equal timestamps."""
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        name: str = "",
+    ) -> Event:
+        """Insert a callback to fire at absolute ``time``; returns the handle."""
+        event = Event(time, next(self._counter), callback, args, name)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: a live event was cancelled externally."""
+        self._live = max(0, self._live - 1)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

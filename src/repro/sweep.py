@@ -1,0 +1,123 @@
+"""Parameter-sweep utilities.
+
+Thin, dependency-free grid runner used by the sensitivity benches and
+handy for downstream exploration: define a grid of named parameters, a
+runner mapping one parameter combination to a dict of metrics, and get a
+:class:`SweepResult` that can slice, tabulate, and pivot.
+
+    sweep = grid_sweep(
+        {"distance_m": [1, 5, 10], "periods": [1, 4, 7]},
+        lambda distance_m, periods: {"saved": run(distance_m, periods)},
+    )
+    sweep.pivot("distance_m", "periods", "saved")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameters used and the metrics produced."""
+
+    params: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+
+class SweepResult:
+    """The collected points of one grid sweep."""
+
+    def __init__(self, param_names: Sequence[str], points: List[SweepPoint]) -> None:
+        self.param_names = list(param_names)
+        self.points = points
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # ------------------------------------------------------------------
+    def metric_names(self) -> List[str]:
+        if not self.points:
+            return []
+        return sorted(self.points[0].metrics)
+
+    def where(self, **conditions: Any) -> List[SweepPoint]:
+        """Points whose parameters match every condition."""
+        return [
+            point
+            for point in self.points
+            if all(point.params.get(k) == v for k, v in conditions.items())
+        ]
+
+    def series(self, x_param: str, metric: str, **fixed: Any) -> List[Tuple[Any, float]]:
+        """(x, metric) pairs along one parameter, other params fixed."""
+        if x_param not in self.param_names:
+            raise KeyError(f"unknown parameter {x_param!r}")
+        rows = [
+            (point.params[x_param], point.metrics[metric])
+            for point in self.where(**fixed)
+        ]
+        rows.sort(key=lambda pair: pair[0])
+        return rows
+
+    def pivot(
+        self, row_param: str, col_param: str, metric: str
+    ) -> Dict[Any, Dict[Any, float]]:
+        """row value → {column value → metric} (a 2-D slice)."""
+        table: Dict[Any, Dict[Any, float]] = {}
+        for point in self.points:
+            row = point.params[row_param]
+            col = point.params[col_param]
+            table.setdefault(row, {})[col] = point.metrics[metric]
+        return table
+
+    def best(self, metric: str, maximize: bool = True) -> SweepPoint:
+        """The point with the extreme value of ``metric``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p.metrics[metric])
+
+    def rows(self) -> List[List[Any]]:
+        """Header row + one row per point (for `reporting.format_table`)."""
+        header: List[Any] = list(self.param_names) + self.metric_names()
+        out: List[List[Any]] = [header]
+        for point in self.points:
+            out.append(
+                [point.params[name] for name in self.param_names]
+                + [point.metrics[name] for name in self.metric_names()]
+            )
+        return out
+
+
+def grid_sweep(
+    param_grid: Mapping[str, Sequence[Any]],
+    runner: Callable[..., Mapping[str, float]],
+) -> SweepResult:
+    """Run ``runner(**params)`` for every combination in the grid.
+
+    The runner must return a mapping of metric name → value; the metric
+    set must be identical across points.
+    """
+    if not param_grid:
+        raise ValueError("parameter grid must not be empty")
+    names = list(param_grid)
+    for name, values in param_grid.items():
+        if not values:
+            raise ValueError(f"parameter {name!r} has no values")
+    points: List[SweepPoint] = []
+    expected_metrics = None
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        metrics = dict(runner(**params))
+        if expected_metrics is None:
+            expected_metrics = set(metrics)
+        elif set(metrics) != expected_metrics:
+            raise ValueError(
+                f"runner returned inconsistent metrics at {params}: "
+                f"{sorted(metrics)} vs {sorted(expected_metrics)}"
+            )
+        points.append(SweepPoint(params=params, metrics=metrics))
+    return SweepResult(names, points)

@@ -1,0 +1,94 @@
+"""ASCII timeline rendering of a simulation run.
+
+Turns each device's energy-charge log into a one-line lane where every
+column is a time bucket and the glyph is the dominant activity in it —
+a poor man's Monsoon + packet capture, handy in examples and debugging::
+
+    relay-0 |S·T~~~~~........r...r..........S·T~~~~~.....|
+    ue-0    |DDDCCf..a.......................f..a........|
+
+Requires ``device.energy.keep_log = True`` before the run (the scenarios
+expose ``keep_energy_log=True`` for this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.device import Smartphone
+from repro.energy.model import EnergyPhase
+
+#: Phase → (glyph, precedence). Higher precedence wins a shared bucket.
+PHASE_GLYPHS: Dict[EnergyPhase, Tuple[str, int]] = {
+    EnergyPhase.CELLULAR_SETUP: ("S", 9),
+    EnergyPhase.CELLULAR_TX: ("T", 8),
+    EnergyPhase.D2D_FORWARD: ("f", 7),
+    EnergyPhase.D2D_RECEIVE: ("r", 7),
+    EnergyPhase.D2D_DISCOVERY: ("D", 6),
+    EnergyPhase.D2D_CONNECTION: ("C", 6),
+    EnergyPhase.D2D_ACK: ("a", 5),
+    EnergyPhase.CELLULAR_TAIL: ("~", 4),
+    EnergyPhase.IDLE: (".", 1),
+    EnergyPhase.OTHER: ("?", 1),
+}
+
+LEGEND = (
+    "S=RRC setup  T=cellular tx  ~=tail  D=discovery  C=connect  "
+    "f=d2d send  r=d2d recv  a=ack  .=idle"
+)
+
+
+def render_lane(
+    log: Sequence[Tuple[float, EnergyPhase, float]],
+    horizon_s: float,
+    width: int = 60,
+) -> str:
+    """One device's lane from its energy log."""
+    if horizon_s <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_s}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    cells: List[Tuple[str, int]] = [(".", 0)] * width
+    for time_s, phase, __ in log:
+        if not 0.0 <= time_s <= horizon_s:
+            continue
+        index = min(width - 1, int(time_s / horizon_s * width))
+        glyph, precedence = PHASE_GLYPHS.get(phase, ("?", 1))
+        if precedence > cells[index][1]:
+            cells[index] = (glyph, precedence)
+    return "".join(glyph for glyph, __ in cells)
+
+
+def render_timeline(
+    devices: Iterable[Smartphone],
+    horizon_s: float,
+    width: int = 60,
+    include_legend: bool = True,
+) -> str:
+    """Multi-lane timeline for a set of devices (sorted by id)."""
+    ordered = sorted(devices, key=lambda d: d.device_id)
+    if not ordered:
+        return LEGEND if include_legend else ""
+    name_width = max(len(d.device_id) for d in ordered)
+    lines: List[str] = []
+    for device in ordered:
+        lane = render_lane(device.energy.log(), horizon_s, width)
+        lines.append(f"{device.device_id.ljust(name_width)} |{lane}|")
+    if include_legend:
+        lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def activity_summary(
+    device: Smartphone, horizon_s: float, buckets: int = 6
+) -> List[Tuple[float, float]]:
+    """(bucket start, µAh in bucket) — coarse energy-over-time series."""
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    totals = [0.0] * buckets
+    for time_s, __, uah in device.energy.log():
+        if 0.0 <= time_s <= horizon_s:
+            index = min(buckets - 1, int(time_s / horizon_s * buckets))
+            totals[index] += uah
+    bucket_span = horizon_s / buckets
+    return [(i * bucket_span, totals[i]) for i in range(buckets)]

@@ -1,0 +1,73 @@
+"""IM workload substrate.
+
+Heartbeat messages as the paper characterizes them (Sec. II-A): small,
+frequent, reply-less, delay-tolerant within an expiration budget. Includes
+the real app profiles the paper cites (WeChat 270 s / 74 B, QQ 300 s /
+378 B, WhatsApp 240 s / 66 B), an IM-server model with online-status
+expiration timers, and the mixed-traffic generator behind Table I.
+"""
+
+from repro.workload.messages import (
+    HeartbeatMessage,
+    MessageKind,
+    PeriodicMessage,
+    validate_relayable,
+)
+from repro.workload.apps import (
+    AppProfile,
+    APP_REGISTRY,
+    WECHAT,
+    QQ,
+    WHATSAPP,
+    FACEBOOK,
+    STANDARD_APP,
+)
+from repro.workload.generator import HeartbeatGenerator
+from repro.workload.server import IMServer, DeliveryRecord
+from repro.workload.traffic import TrafficMix, simulate_traffic_counts
+from repro.workload.push import PushNotificationService, PushResult
+from repro.workload.trace import (
+    HeartbeatTrace,
+    TraceEvent,
+    TraceReplayGenerator,
+    synthesize_trace,
+)
+from repro.workload.mqtt import (
+    MqttPacket,
+    PacketType,
+    decode_packet,
+    encode_connect,
+    encode_pingreq,
+    estimated_wire_bytes,
+)
+
+__all__ = [
+    "HeartbeatMessage",
+    "MessageKind",
+    "PeriodicMessage",
+    "validate_relayable",
+    "AppProfile",
+    "APP_REGISTRY",
+    "WECHAT",
+    "QQ",
+    "WHATSAPP",
+    "FACEBOOK",
+    "STANDARD_APP",
+    "HeartbeatGenerator",
+    "IMServer",
+    "DeliveryRecord",
+    "TrafficMix",
+    "simulate_traffic_counts",
+    "PushNotificationService",
+    "PushResult",
+    "HeartbeatTrace",
+    "TraceEvent",
+    "TraceReplayGenerator",
+    "synthesize_trace",
+    "MqttPacket",
+    "PacketType",
+    "decode_packet",
+    "encode_connect",
+    "encode_pingreq",
+    "estimated_wire_bytes",
+]

@@ -1,0 +1,103 @@
+"""Per-device heartbeat generation.
+
+Each (device, app) pair gets a generator that emits a
+:class:`~repro.workload.messages.HeartbeatMessage` every app period. A
+random phase offset desynchronizes devices (real phones don't beat in
+lockstep); optional per-beat jitter models scheduling slop in the OS.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.engine import PeriodicProcess, Simulator
+from repro.workload.apps import AppProfile
+from repro.workload.messages import HeartbeatMessage
+
+
+class HeartbeatGenerator:
+    """Emits heartbeats for one app on one device.
+
+    Parameters
+    ----------
+    sim, device_id, app:
+        Where and what to generate.
+    on_beat:
+        Called with each new :class:`HeartbeatMessage` at its creation time.
+        This is the hook the framework's Message Monitor intercepts.
+    rng:
+        Source for phase offset and jitter; ``None`` → zero phase, no jitter.
+    phase_fraction:
+        Explicit phase offset as a fraction of the period (overrides the
+        random phase). Useful for constructing worst/best-case alignments.
+    jitter_s:
+        Uniform ±jitter applied to every beat's nominal time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: str,
+        app: AppProfile,
+        on_beat: Callable[[HeartbeatMessage], None],
+        rng: Optional[random.Random] = None,
+        phase_fraction: Optional[float] = None,
+        jitter_s: float = 0.0,
+    ) -> None:
+        if jitter_s < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter_s}")
+        if phase_fraction is not None and not 0.0 <= phase_fraction < 1.0:
+            raise ValueError(f"phase_fraction must be in [0,1), got {phase_fraction}")
+        self.sim = sim
+        self.device_id = device_id
+        self.app = app
+        self.on_beat = on_beat
+        self.rng = rng
+        self.jitter_s = min(jitter_s, app.heartbeat_period_s / 4.0)
+        self.beats_emitted = 0
+        if phase_fraction is None:
+            phase_fraction = rng.random() if rng is not None else 0.0
+        self._phase_s = phase_fraction * app.heartbeat_period_s
+        self._process: Optional[PeriodicProcess] = None
+        self._stopped = False
+
+    def start(self) -> "HeartbeatGenerator":
+        """Begin emitting; first beat fires after the phase offset."""
+        if self._process is not None:
+            raise RuntimeError("generator already started")
+        self._process = self.sim.every(
+            self.app.heartbeat_period_s,
+            self._emit,
+            start_after=self._phase_s,
+            name=f"heartbeat:{self.device_id}:{self.app.name}",
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop emitting (device powered off / app closed)."""
+        self._stopped = True
+        if self._process is not None:
+            self._process.stop()
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        emit_now = 0.0
+        if self.rng is not None and self.jitter_s > 0:
+            emit_now = self.rng.uniform(0.0, self.jitter_s)
+        self.sim.schedule(emit_now, self._deliver, name="heartbeat_emit")
+
+    def _deliver(self) -> None:
+        if self._stopped:
+            return
+        self.beats_emitted += 1
+        message = HeartbeatMessage(
+            app=self.app.name,
+            origin_device=self.device_id,
+            size_bytes=self.app.heartbeat_bytes,
+            created_at_s=self.sim.now,
+            period_s=self.app.heartbeat_period_s,
+            expiry_s=self.app.expiry_s,
+        )
+        self.on_beat(message)

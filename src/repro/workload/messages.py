@@ -1,0 +1,101 @@
+"""Message types carried by the framework.
+
+The paper's conclusion generalizes the framework beyond heartbeats to any
+periodic message that is "(1) small in size and short in duration, (2)
+do[es]n't need to reply, (3) [is] delay-tolerant" — advertisements and
+diagnostics are its examples. :class:`PeriodicMessage` models that general
+class; :class:`HeartbeatMessage` is the heartbeat specialization, and
+:func:`validate_relayable` enforces the three constraints at the framework
+boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Optional
+
+_sequence = itertools.count(1)
+
+#: "Small in size": the framework refuses messages larger than this.
+MAX_RELAYABLE_BYTES = 1024
+
+
+class MessageKind(str, enum.Enum):
+    """Periodic message classes the framework can carry."""
+
+    HEARTBEAT = "heartbeat"
+    ADVERTISEMENT = "advertisement"
+    DIAGNOSTIC = "diagnostic"
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodicMessage:
+    """One periodic app message.
+
+    ``expiry_s`` is the slack budget from creation: the message must reach
+    the server by ``created_at_s + expiry_s`` (the scheduler's ``T_k``).
+    """
+
+    app: str
+    origin_device: str
+    size_bytes: int
+    created_at_s: float
+    period_s: float
+    expiry_s: float
+    kind: MessageKind = MessageKind.HEARTBEAT
+    seq: int = dataclasses.field(default_factory=lambda: next(_sequence))
+    requires_reply: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if self.expiry_s <= 0:
+            raise ValueError(f"expiry_s must be positive, got {self.expiry_s}")
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute time by which the message must reach the server."""
+        return self.created_at_s + self.expiry_s
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the delivery deadline has passed at ``now``."""
+        return now > self.deadline_s
+
+    def remaining_slack_s(self, now: float) -> float:
+        """Seconds of delivery budget left at ``now`` (may be negative)."""
+        return self.deadline_s - now
+
+
+class HeartbeatMessage(PeriodicMessage):
+    """A heartbeat: a :class:`PeriodicMessage` pinned to the heartbeat kind."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["kind"] = MessageKind.HEARTBEAT
+        super().__init__(*args, **kwargs)
+
+
+class NotRelayableError(ValueError):
+    """The message violates the paper's three relayability constraints."""
+
+
+def validate_relayable(message: PeriodicMessage) -> None:
+    """Enforce the paper's constraints for D2D forwarding.
+
+    Raises :class:`NotRelayableError` when the message is too large, needs a
+    reply, or carries no delay tolerance worth exploiting.
+    """
+    if message.size_bytes > MAX_RELAYABLE_BYTES:
+        raise NotRelayableError(
+            f"{message.size_bytes} B exceeds the {MAX_RELAYABLE_BYTES} B "
+            "small-message bound"
+        )
+    if message.requires_reply:
+        raise NotRelayableError("messages that require a reply cannot be relayed")
+    if message.expiry_s <= 1.0:
+        raise NotRelayableError(
+            f"expiry of {message.expiry_s}s leaves no slack for aggregation"
+        )

@@ -1,0 +1,174 @@
+"""MQTT keep-alive codec.
+
+The paper grounds its heartbeat discussion in real protocols: "Facebook
+Messenger uses MQTT protocol", and the security argument rests on MQTT's
+"lightweight cryptography ... handled with Secure Sockets Layer". This
+module implements the relevant slice of MQTT 3.1.1 control-packet
+framing — CONNECT's keep-alive field, PINGREQ/PINGRESP, and the
+variable-length "remaining length" encoding — plus a wire-size
+reconstruction that explains the paper's measured heartbeat sizes
+(66-74 B for a 2-byte ping, once TLS and TCP/IP overheads are added).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+
+class PacketType(enum.IntEnum):
+    """MQTT control-packet types (the subset heartbeats involve)."""
+
+    CONNECT = 1
+    CONNACK = 2
+    PINGREQ = 12
+    PINGRESP = 13
+    DISCONNECT = 14
+
+
+class MqttCodecError(ValueError):
+    """Malformed MQTT bytes."""
+
+
+# ----------------------------------------------------------------------
+# remaining-length varint (MQTT 3.1.1 §2.2.3)
+# ----------------------------------------------------------------------
+MAX_REMAINING_LENGTH = 268_435_455  # 4 bytes of 7-bit digits
+
+
+def encode_remaining_length(value: int) -> bytes:
+    """Encode an MQTT remaining-length varint (1-4 bytes)."""
+    if not 0 <= value <= MAX_REMAINING_LENGTH:
+        raise MqttCodecError(f"remaining length out of range: {value}")
+    out = bytearray()
+    while True:
+        digit = value % 128
+        value //= 128
+        if value > 0:
+            out.append(digit | 0x80)
+        else:
+            out.append(digit)
+            return bytes(out)
+
+
+def decode_remaining_length(buffer: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a remaining-length varint; returns (value, bytes consumed)."""
+    multiplier = 1
+    value = 0
+    consumed = 0
+    while True:
+        if offset + consumed >= len(buffer):
+            raise MqttCodecError("truncated remaining length")
+        byte = buffer[offset + consumed]
+        value += (byte & 0x7F) * multiplier
+        consumed += 1
+        if not byte & 0x80:
+            return value, consumed
+        multiplier *= 128
+        if consumed > 4:
+            raise MqttCodecError("remaining length longer than 4 bytes")
+
+
+# ----------------------------------------------------------------------
+# packets
+# ----------------------------------------------------------------------
+def encode_pingreq() -> bytes:
+    """The heartbeat itself: a 2-byte PINGREQ."""
+    return bytes([PacketType.PINGREQ << 4, 0])
+
+
+def encode_pingresp() -> bytes:
+    return bytes([PacketType.PINGRESP << 4, 0])
+
+
+def encode_connect(client_id: str, keepalive_s: int) -> bytes:
+    """A minimal CONNECT with the keep-alive interval the server enforces.
+
+    The keep-alive field is exactly the heartbeat period contract: the
+    server may drop a client it hasn't heard from within 1.5× this value
+    (MQTT 3.1.1 §3.1.2.10) — the expiration-timer mechanism of Sec. II-A.
+    """
+    if not 0 <= keepalive_s <= 0xFFFF:
+        raise MqttCodecError(f"keepalive out of range: {keepalive_s}")
+    client = client_id.encode("utf-8")
+    if len(client) > 0xFFFF:
+        raise MqttCodecError("client id too long")
+    variable_header = (
+        b"\x00\x04MQTT"  # protocol name
+        + bytes([4])  # protocol level 3.1.1
+        + bytes([0b0000_0010])  # clean session
+        + keepalive_s.to_bytes(2, "big")
+    )
+    payload = len(client).to_bytes(2, "big") + client
+    body = variable_header + payload
+    return (
+        bytes([PacketType.CONNECT << 4])
+        + encode_remaining_length(len(body))
+        + body
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MqttPacket:
+    """A decoded control packet header (+ keepalive when CONNECT)."""
+
+    packet_type: PacketType
+    remaining_length: int
+    total_length: int
+    keepalive_s: int = 0
+    client_id: str = ""
+
+
+def decode_packet(buffer: bytes) -> MqttPacket:
+    """Decode the packet at the start of ``buffer``."""
+    if len(buffer) < 2:
+        raise MqttCodecError("packet shorter than a fixed header")
+    try:
+        packet_type = PacketType(buffer[0] >> 4)
+    except ValueError:
+        raise MqttCodecError(f"unknown packet type {buffer[0] >> 4}") from None
+    remaining, consumed = decode_remaining_length(buffer, 1)
+    total = 1 + consumed + remaining
+    if len(buffer) < total:
+        raise MqttCodecError("truncated packet body")
+    keepalive = 0
+    client_id = ""
+    if packet_type == PacketType.CONNECT:
+        body = buffer[1 + consumed : total]
+        if len(body) < 12 or body[:6] != b"\x00\x04MQTT":
+            raise MqttCodecError("malformed CONNECT header")
+        keepalive = int.from_bytes(body[8:10], "big")
+        id_length = int.from_bytes(body[10:12], "big")
+        client_id = body[12 : 12 + id_length].decode("utf-8")
+    return MqttPacket(
+        packet_type=packet_type,
+        remaining_length=remaining,
+        total_length=total,
+        keepalive_s=keepalive,
+        client_id=client_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# wire-size reconstruction (why a 2-byte ping measures as ~66-74 B)
+# ----------------------------------------------------------------------
+#: TLS 1.2 record overhead: 5 B header + MAC/padding (cipher-dependent).
+TLS_RECORD_OVERHEAD_RANGE = (21, 37)
+#: IPv4 (20) + TCP (20, no options) headers.
+TCP_IP_OVERHEAD = 40
+
+
+def estimated_wire_bytes(
+    application_bytes: int = 2, tls_overhead: int = 29
+) -> int:
+    """On-the-wire size of one application message over TLS/TCP/IP.
+
+    With the default mid-range TLS overhead, a 2-byte PINGREQ measures
+    ≈ 71 B — squarely inside the paper's observed heartbeat sizes
+    (WhatsApp 66 B, WeChat 74 B), which is the cross-check that those
+    measurements are TLS-framed keep-alive pings.
+    """
+    if application_bytes < 0 or tls_overhead < 0:
+        raise MqttCodecError("sizes must be non-negative")
+    return application_bytes + tls_overhead + TCP_IP_OVERHEAD

@@ -1,0 +1,167 @@
+"""Downlink push notifications — what the heartbeats exist to enable.
+
+An IM heartbeat's whole purpose is keeping the server able to *reach* the
+phone: "heartbeat messages are used to support real-time communication or
+push notification services" (Sec. II-A). This module closes that loop so
+experiments can measure the user-visible effect of a signaling storm:
+
+1. the server pushes to an online client;
+2. the page rides the shared control channel
+   (:class:`~repro.cellular.paging.PagingChannel`) — a storm can block it;
+3. on a successful page the phone wakes, performs its service-request/RRC
+   promotion through its own modem (paying real energy and signaling) and
+   receives the payload.
+
+Pushing to a client the server considers offline fails immediately —
+which is exactly what happens when heartbeats stop arriving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.cellular.modem import CellularModem
+from repro.cellular.paging import PageAttempt, PagingChannel
+from repro.sim.engine import Simulator
+from repro.workload.server import IMServer
+
+#: Bytes of the service request + ack the woken phone sends uplink.
+SERVICE_REQUEST_BYTES = 64
+
+
+@dataclasses.dataclass
+class PushResult:
+    """Outcome of one push attempt."""
+
+    device_id: str
+    requested_at_s: float
+    delivered_at_s: Optional[float] = None
+    failure: Optional[str] = None  # "offline" | "paging" | "unregistered"
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at_s is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.delivered_at_s is None:
+            return None
+        return self.delivered_at_s - self.requested_at_s
+
+
+class PushNotificationService:
+    """Server-side push delivery over paging + RRC wake."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paging: PagingChannel,
+        server: Optional[IMServer] = None,
+        app: str = "standard",
+        downlink_latency_s: float = 0.3,
+    ) -> None:
+        self.sim = sim
+        self.paging = paging
+        self.server = server
+        self.app = app
+        self.downlink_latency_s = downlink_latency_s
+        self._clients: Dict[str, CellularModem] = {}
+        self._inboxes: Dict[str, List[object]] = {}
+        self.results: List[PushResult] = []
+
+    # ------------------------------------------------------------------
+    def register_client(self, device_id: str, modem: CellularModem) -> None:
+        """Register a phone's modem so pushes can wake it."""
+        if device_id in self._clients:
+            raise ValueError(f"client {device_id!r} already registered")
+        self._clients[device_id] = modem
+        self._inboxes[device_id] = []
+
+    def inbox(self, device_id: str) -> List[object]:
+        """Payloads delivered to one client, in order."""
+        return list(self._inboxes.get(device_id, []))
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        device_id: str,
+        payload: object,
+        on_result: Optional[Callable[[PushResult], None]] = None,
+    ) -> PushResult:
+        """Attempt to deliver ``payload`` to ``device_id``."""
+        result = PushResult(device_id=device_id, requested_at_s=self.sim.now)
+        self.results.append(result)
+        if device_id not in self._clients:
+            result.failure = "unregistered"
+            if on_result is not None:
+                on_result(result)
+            return result
+        if self.server is not None and not self.server.is_online(
+            device_id, self.app
+        ):
+            # the expiration timer lapsed: the server has no reachable
+            # binding for this phone — precisely what heartbeats prevent
+            result.failure = "offline"
+            if on_result is not None:
+                on_result(result)
+            return result
+
+        def after_page(attempt: PageAttempt) -> None:
+            if not attempt.succeeded:
+                result.failure = "paging"
+                if on_result is not None:
+                    on_result(result)
+                return
+            self._wake_and_deliver(result, payload, on_result)
+
+        self.paging.page(device_id, after_page)
+        return result
+
+    def _wake_and_deliver(
+        self,
+        result: PushResult,
+        payload: object,
+        on_result: Optional[Callable[[PushResult], None]],
+    ) -> None:
+        modem = self._clients[result.device_id]
+        if not modem.powered_on:
+            result.failure = "offline"
+            if on_result is not None:
+                on_result(result)
+            return
+
+        def on_service_request_done(uplink) -> None:
+            def deliver() -> None:
+                result.delivered_at_s = self.sim.now
+                self._inboxes[result.device_id].append(payload)
+                if on_result is not None:
+                    on_result(result)
+
+            self.sim.schedule(self.downlink_latency_s, deliver,
+                              name="push_downlink")
+
+        # the phone answers the page with a service request: a real RRC
+        # promotion with real energy and signaling
+        modem.send(SERVICE_REQUEST_BYTES, payload=None,
+                   on_delivered=on_service_request_done)
+
+    # ------------------------------------------------------------------
+    @property
+    def delivered_count(self) -> int:
+        return sum(1 for r in self.results if r.delivered)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for r in self.results if r.failure is not None)
+
+    def failure_breakdown(self) -> Dict[str, int]:
+        breakdown: Dict[str, int] = {}
+        for result in self.results:
+            if result.failure is not None:
+                breakdown[result.failure] = breakdown.get(result.failure, 0) + 1
+        return breakdown
+
+    def mean_latency_s(self) -> float:
+        latencies = [r.latency_s for r in self.results if r.delivered]
+        return sum(latencies) / len(latencies) if latencies else 0.0

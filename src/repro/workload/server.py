@@ -1,0 +1,141 @@
+"""IM server model.
+
+"IM servers set expiration timers to determine a client is online or not;
+in order to maintain online status, IM apps send heartbeat messages
+frequently to reset the expiration timers" (Sec. II-A). The server here
+does exactly that: it consumes uplink payloads delivered through the base
+station, resets per-(device, app) expiration timers, and reports online
+status and delivery statistics — including beats that arrived *after*
+their deadline, which is the failure the scheduler must never cause.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.workload.apps import APP_REGISTRY, AppProfile
+from repro.workload.messages import PeriodicMessage
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryRecord:
+    """One heartbeat's arrival at the server."""
+
+    message: PeriodicMessage
+    delivered_at_s: float
+    via_device: str  # the device whose uplink carried it (relay or self)
+
+    @property
+    def on_time(self) -> bool:
+        return self.delivered_at_s <= self.message.deadline_s
+
+    @property
+    def delay_s(self) -> float:
+        """Delivery delay from message creation."""
+        return self.delivered_at_s - self.message.created_at_s
+
+    @property
+    def relayed(self) -> bool:
+        return self.via_device != self.message.origin_device
+
+
+class IMServer:
+    """Server-side heartbeat consumer and online-status tracker."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.records: List[DeliveryRecord] = []
+        self._last_on_time: Dict[Tuple[str, str], float] = {}
+        self._seen_seqs: set = set()
+        self.on_time_count = 0
+        self.late_count = 0
+        self.relayed_count = 0
+        #: A beat arriving twice (relay delivered it AND the UE's fallback
+        #: re-sent it) — harmless for heartbeat semantics, but counted so
+        #: experiments can report the waste.
+        self.duplicate_count = 0
+
+    # ------------------------------------------------------------------
+    # base-station sink interface
+    # ------------------------------------------------------------------
+    def uplink_sink(
+        self, time_s: float, sender_id: str, payload_bytes: int, payload: Any
+    ) -> None:
+        """Consume one uplink payload (attach via ``BaseStation.attach_sink``).
+
+        Accepts a single :class:`PeriodicMessage`, an iterable of them (an
+        aggregated relay uplink), or anything else (ignored as foreign
+        traffic).
+        """
+        for message in _extract_messages(payload):
+            self.receive(message, via_device=sender_id, time_s=time_s)
+
+    def receive(
+        self, message: PeriodicMessage, via_device: str, time_s: Optional[float] = None
+    ) -> DeliveryRecord:
+        """Record one heartbeat arrival and reset its expiration timer."""
+        at = self.sim.now if time_s is None else time_s
+        record = DeliveryRecord(message=message, delivered_at_s=at, via_device=via_device)
+        self.records.append(record)
+        if message.seq in self._seen_seqs:
+            self.duplicate_count += 1
+        else:
+            self._seen_seqs.add(message.seq)
+        if record.on_time:
+            self.on_time_count += 1
+            key = (message.origin_device, message.app)
+            self._last_on_time[key] = max(self._last_on_time.get(key, -1.0), at)
+        else:
+            self.late_count += 1
+        if record.relayed:
+            self.relayed_count += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_online(
+        self, device_id: str, app: str, now: Optional[float] = None
+    ) -> bool:
+        """Whether the server currently considers (device, app) online.
+
+        Uses the commercial server-side expiry window (3× period).
+        """
+        at = self.sim.now if now is None else now
+        last = self._last_on_time.get((device_id, app))
+        if last is None:
+            return False
+        profile = APP_REGISTRY.get(app)
+        window = profile.server_expiry_s if profile else 3.0 * 300.0
+        return at - last <= window
+
+    def last_seen(self, device_id: str, app: str) -> Optional[float]:
+        """Time of the last on-time beat from (device, app), if any."""
+        return self._last_on_time.get((device_id, app))
+
+    def deliveries_for(self, device_id: str) -> List[DeliveryRecord]:
+        """All records whose *origin* is ``device_id``."""
+        return [r for r in self.records if r.message.origin_device == device_id]
+
+    def on_time_fraction(self) -> float:
+        """Fraction of received beats that met their deadline (1.0 if none)."""
+        total = self.on_time_count + self.late_count
+        return 1.0 if total == 0 else self.on_time_count / total
+
+    def delays(self) -> List[float]:
+        """Delivery delays of all received beats (seconds)."""
+        return [r.delay_s for r in self.records]
+
+    def mean_delay_s(self) -> float:
+        d = self.delays()
+        return sum(d) / len(d) if d else 0.0
+
+
+def _extract_messages(payload: Any) -> List[PeriodicMessage]:
+    if isinstance(payload, PeriodicMessage):
+        return [payload]
+    if isinstance(payload, Iterable) and not isinstance(payload, (str, bytes)):
+        return [m for m in payload if isinstance(m, PeriodicMessage)]
+    return []

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.model import EnergyModel
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.sim.engine import Simulator
+from repro.workload.server import IMServer
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """Fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def ledger() -> SignalingLedger:
+    return SignalingLedger()
+
+
+@pytest.fixture
+def profile():
+    return DEFAULT_PROFILE
+
+
+@pytest.fixture
+def energy() -> EnergyModel:
+    return EnergyModel(owner="test-device")
+
+
+@pytest.fixture
+def network(sim, ledger):
+    """(sim, ledger, basestation, server, medium) wired together."""
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    return sim, ledger, basestation, server, medium

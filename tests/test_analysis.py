@@ -1,0 +1,136 @@
+"""Unit tests for the derived-quantity helpers."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_index,
+    cumulative,
+    linear_fit,
+    monotone_nondecreasing,
+    saved_fraction,
+    saved_percent,
+    signaling_reduction,
+    wasted_to_saved_ratio,
+)
+from repro.energy.profiles import TABLE_IV_RECEIVE_UAH
+
+
+class TestSavedFraction:
+    def test_half_saving(self):
+        assert saved_fraction(100.0, 50.0) == pytest.approx(0.5)
+        assert saved_percent(100.0, 50.0) == pytest.approx(50.0)
+
+    def test_negative_when_worse(self):
+        assert saved_fraction(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            saved_fraction(0.0, 1.0)
+
+
+class TestWastedToSaved:
+    def test_fig11_style_ratio(self):
+        # relay wastes 97 units, UE saves 100 → ratio 0.97 (paper's ~97%)
+        assert wasted_to_saved_ratio(197.0, 100.0, 0.0, 100.0) == pytest.approx(0.97)
+
+    def test_no_waste_clamps_to_zero(self):
+        assert wasted_to_saved_ratio(90.0, 100.0, 50.0, 100.0) == 0.0
+
+    def test_no_saving_is_infinite(self):
+        assert wasted_to_saved_ratio(150.0, 100.0, 120.0, 100.0) == float("inf")
+
+
+class TestSignalingReduction:
+    def test_half_reduction(self):
+        assert signaling_reduction(112, 56) == pytest.approx(0.5)
+
+    def test_zero_original_rejected(self):
+        with pytest.raises(ValueError):
+            signaling_reduction(0, 5)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept, r2 = linear_fit([1, 2, 3], [3.0, 5.0, 7.0])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_table_iv_is_approximately_linear(self):
+        """The paper's Table IV claim: receive energy ≈ linear in #UEs."""
+        slope, intercept, r2 = linear_fit(
+            list(range(1, 8)), list(TABLE_IV_RECEIVE_UAH)
+        )
+        assert r2 > 0.999
+        assert slope == pytest.approx(130.0, abs=5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+        with pytest.raises(ValueError):
+            linear_fit([2, 2], [1, 3])
+
+    def test_flat_line_r2_is_one(self):
+        __, __, r2 = linear_fit([1, 2, 3], [4.0, 4.0, 4.0])
+        assert r2 == 1.0
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        from repro.analysis import percentile
+
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        from repro.analysis import percentile
+
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        from repro.analysis import percentile
+
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_value(self):
+        from repro.analysis import percentile
+
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_validation(self):
+        from repro.analysis import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_delivery_delay_tail(self):
+        """p95 delay of a relayed run is bounded by one relay period."""
+        from repro.analysis import percentile
+        from repro.scenarios import run_relay_scenario
+
+        result = run_relay_scenario(n_ues=2, periods=4)
+        delays = result.context.server.delays()
+        assert percentile(delays, 95.0) <= 270.0
+        assert percentile(delays, 50.0) > 1.0  # aggregation really delays
+
+
+class TestSeriesHelpers:
+    def test_crossover_index(self):
+        assert crossover_index([1, 2, 3], [2, 2, 2]) == 2
+        assert crossover_index([1, 1], [2, 2]) == -1
+        with pytest.raises(ValueError):
+            crossover_index([1], [1, 2])
+
+    def test_monotone_check(self):
+        assert monotone_nondecreasing([1, 2, 2, 3])
+        assert not monotone_nondecreasing([1, 3, 2])
+        assert monotone_nondecreasing([1.0, 0.999, 2.0], tolerance=0.01)
+
+    def test_cumulative(self):
+        assert cumulative([1.0, 2.0, 3.0]) == [1.0, 3.0, 6.0]
+        assert cumulative([]) == []

@@ -1,0 +1,99 @@
+"""Unit tests for the original-system baseline and its closed forms."""
+
+import pytest
+
+from repro.baseline.original import (
+    OriginalSystem,
+    expected_beats_in,
+    expected_energy_uah,
+    expected_l3_messages,
+)
+from repro.cellular.basestation import BaseStation
+from repro.device import Smartphone
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.workload.apps import STANDARD_APP, QQ
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+@pytest.fixture
+def rig(sim, ledger):
+    basestation = BaseStation(sim, ledger=ledger)
+    phones = [
+        Smartphone(sim, f"dev-{i}", ledger=ledger, basestation=basestation)
+        for i in range(2)
+    ]
+    return sim, ledger, basestation, phones
+
+
+class TestSimulatedBaseline:
+    def test_every_beat_is_a_standalone_send(self, rig):
+        sim, ledger, basestation, phones = rig
+        system = OriginalSystem(phones, phase_fraction=0.0)
+        sim.run_until(3 * T - 1)
+        system.shutdown()
+        sim.run_until(3 * T + 30)
+        assert system.total_sends == 6
+        assert basestation.uplinks == 6
+
+    def test_energy_matches_closed_form(self, rig):
+        sim, ledger, __, phones = rig
+        system = OriginalSystem(phones, phase_fraction=0.0)
+        sim.run_until(3 * T - 1)
+        system.shutdown()
+        sim.run_until(3 * T + 30)
+        expected = expected_energy_uah(3, STANDARD_APP.heartbeat_bytes)
+        for phone in phones:
+            assert phone.energy.total_uah == pytest.approx(expected, rel=1e-6)
+        assert system.total_energy_uah() == pytest.approx(2 * expected, rel=1e-6)
+
+    def test_signaling_matches_closed_form(self, rig):
+        sim, ledger, __, phones = rig
+        system = OriginalSystem(phones, phase_fraction=0.0)
+        sim.run_until(3 * T - 1)
+        system.shutdown()
+        sim.run_until(3 * T + 30)
+        expected = expected_l3_messages(3, STANDARD_APP.heartbeat_bytes)
+        for phone in phones:
+            assert ledger.count_for(phone.device_id) == expected
+
+    def test_dead_phone_stops_sending(self, rig):
+        sim, ledger, __, phones = rig
+        system = OriginalSystem(phones, phase_fraction=0.0)
+        sim.run_until(1.0)
+        phones[0].power_off()
+        sim.run_until(3 * T - 1)
+        system.shutdown()
+        sim.run_until(3 * T + 30)
+        assert system.sends_by_device["dev-0"] == 1
+        assert system.sends_by_device["dev-1"] == 3
+
+    def test_duplicate_device_rejected(self, rig):
+        sim, __, __, phones = rig
+        system = OriginalSystem(phones)
+        with pytest.raises(ValueError):
+            system.add_device(phones[0])
+
+
+class TestClosedForms:
+    def test_expected_energy_is_linear(self):
+        one = expected_energy_uah(1, 54)
+        assert expected_energy_uah(7, 54) == pytest.approx(7 * one)
+        assert one == pytest.approx(DEFAULT_PROFILE.cellular_heartbeat_uah(54))
+
+    def test_expected_energy_validation(self):
+        with pytest.raises(ValueError):
+            expected_energy_uah(-1, 54)
+
+    def test_expected_l3_small_beat_is_8_per_cycle(self):
+        assert expected_l3_messages(10, 54) == 80
+
+    def test_expected_l3_includes_reconfig_for_big_beats(self):
+        """QQ's 378 B beats trigger bearer reconfigurations."""
+        assert expected_l3_messages(1, QQ.heartbeat_bytes) == 8 + 2
+
+    def test_expected_beats_in_window(self):
+        assert expected_beats_in(3 * T, STANDARD_APP, phase_fraction=0.0) == 3
+        assert expected_beats_in(3 * T + 1, STANDARD_APP, phase_fraction=0.0) == 4
+        assert expected_beats_in(100.0, STANDARD_APP, phase_fraction=0.9) == 0
+        assert expected_beats_in(0.0, STANDARD_APP) == 0

@@ -1,0 +1,205 @@
+"""Tests for the related-work baselines: piggybacking and fast dormancy."""
+
+import pytest
+
+from repro.baseline.fast_dormancy import (
+    FAST_DORMANCY_PROFILE,
+    FAST_DORMANCY_TAIL_S,
+    FastDormancySystem,
+)
+from repro.baseline.piggyback import PiggybackSystem
+from repro.baseline.traffic_driver import MixedTrafficDevice
+from repro.cellular.basestation import BaseStation
+from repro.cellular.rrc import WCDMA_PROFILE
+from repro.device import Smartphone
+from repro.workload.apps import STANDARD_APP
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def build_phone(sim, ledger, device_id="dev-0", rrc_profile=WCDMA_PROFILE,
+                basestation=None):
+    return Smartphone(
+        sim, device_id, ledger=ledger, rrc_profile=rrc_profile,
+        basestation=basestation,
+    )
+
+
+class TestMixedTrafficDevice:
+    def test_generates_both_kinds(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        beats, data = [], []
+        driver = MixedTrafficDevice(
+            phone, STANDARD_APP, sim.rng.get("t"),
+            on_heartbeat=beats.append, on_data=data.append,
+            phase_fraction=0.0,
+        )
+        sim.run_until(4 * T)
+        assert driver.heartbeats_emitted == 5  # t = 0, T, 2T, 3T, 4T
+        assert driver.data_messages_sent > 0
+        assert len(data) == driver.data_messages_sent
+
+    def test_data_rate_matches_table_i_share(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        driver = MixedTrafficDevice(
+            phone, STANDARD_APP, sim.rng.get("t"),
+            on_heartbeat=lambda m: None, on_data=lambda b: None,
+            phase_fraction=0.0,
+        )
+        sim.run_until(100 * T)
+        # share 0.5 → expect roughly as many data messages as beats
+        ratio = driver.data_messages_sent / driver.heartbeats_emitted
+        assert ratio == pytest.approx(1.0, abs=0.3)
+
+    def test_zero_scale_disables_data(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        driver = MixedTrafficDevice(
+            phone, STANDARD_APP, sim.rng.get("t"),
+            on_heartbeat=lambda m: None, on_data=lambda b: None,
+            data_rate_scale=0.0, phase_fraction=0.0,
+        )
+        sim.run_until(10 * T)
+        assert driver.data_messages_sent == 0
+
+    def test_stop_halts_everything(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        driver = MixedTrafficDevice(
+            phone, STANDARD_APP, sim.rng.get("t"),
+            on_heartbeat=lambda m: None, on_data=lambda b: None,
+            phase_fraction=0.0,
+        )
+        sim.run_until(T)
+        driver.stop()
+        beats_before = driver.heartbeats_emitted
+        data_before = driver.data_messages_sent
+        sim.run_until(10 * T)
+        assert driver.heartbeats_emitted == beats_before
+        assert driver.data_messages_sent == data_before
+
+    def test_invalid_scale_rejected(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        with pytest.raises(ValueError):
+            MixedTrafficDevice(
+                phone, STANDARD_APP, sim.rng.get("t"),
+                on_heartbeat=lambda m: None, on_data=lambda b: None,
+                data_rate_scale=-1.0,
+            )
+
+
+class TestPiggybackSystem:
+    def _run(self, sim, ledger, data_rate_scale=3.0, duration=8 * T):
+        basestation = BaseStation(sim, ledger=ledger)
+        phone = build_phone(sim, ledger, basestation=basestation)
+        system = PiggybackSystem(data_rate_scale=data_rate_scale)
+        system.add_device(phone, sim.rng.get("pb"), phase_fraction=0.0)
+        sim.run_until(duration - 1)
+        system.shutdown()
+        sim.run_until(duration + 30)
+        return system, phone
+
+    def test_busy_phone_piggybacks_most_beats(self, sim, ledger):
+        system, __ = self._run(sim, ledger, data_rate_scale=3.0)
+        assert system.piggyback_ratio > 0.5
+        assert system.piggybacked_beats + system.standalone_beats >= 8
+
+    def test_idle_phone_gains_nothing(self, sim, ledger):
+        """No foreground traffic → every beat goes out alone: the reason
+        the paper moves beyond piggybacking."""
+        system, __ = self._run(sim, ledger, data_rate_scale=0.0)
+        assert system.piggybacked_beats == 0
+        assert system.standalone_beats >= 8
+
+    def test_beats_never_dropped(self, sim, ledger):
+        system, __ = self._run(sim, ledger, data_rate_scale=1.0)
+        driver = next(iter(system.drivers.values()))
+        delivered = system.piggybacked_beats + system.standalone_beats
+        pending = sum(len(p.pending) for p in system.policies.values())
+        assert delivered + pending == driver.heartbeats_emitted
+
+    def test_piggybacked_beats_add_no_rrc_cycles(self, sim, ledger):
+        """A piggybacked beat shares the data message's cycle."""
+        system, phone = self._run(sim, ledger, data_rate_scale=3.0)
+        driver = next(iter(system.drivers.values()))
+        # cycles ≈ transmissions that stood alone, not total messages
+        total_transmissions = system.data_sends + system.standalone_beats
+        assert phone.modem.sends == total_transmissions
+        assert ledger.cycles_for("dev-0") <= total_transmissions
+
+    def test_duplicate_device_rejected(self, sim, ledger):
+        phone = build_phone(sim, ledger)
+        system = PiggybackSystem()
+        system.add_device(phone, sim.rng.get("pb"))
+        with pytest.raises(ValueError):
+            system.add_device(phone, sim.rng.get("pb"))
+
+
+class TestFastDormancyEndToEnd:
+    def test_system_drives_mixed_traffic(self, sim, ledger):
+        basestation = BaseStation(sim, ledger=ledger)
+        phone = build_phone(sim, ledger, rrc_profile=FAST_DORMANCY_PROFILE,
+                            basestation=basestation)
+        system = FastDormancySystem(data_rate_scale=1.0)
+        system.add_device(phone, sim.rng.get("fd"), phase_fraction=0.0)
+        sim.run_until(4 * T - 1)
+        system.shutdown()
+        sim.run_until(4 * T + 30)
+        assert system.heartbeat_sends == 4  # beats at 0, T, 2T, 3T
+        assert system.data_sends > 0
+        assert basestation.uplinks == system.heartbeat_sends + system.data_sends
+        # fast dormancy: every send demotes almost immediately, so cycles
+        # track transmissions nearly one-for-one (only sends landing inside
+        # another's 0.5 s residual tail can share a cycle)
+        assert basestation.uplinks - 2 <= ledger.cycles_for("dev-0") <= (
+            basestation.uplinks
+        )
+
+    def test_duplicate_device_rejected(self, sim, ledger):
+        phone = build_phone(sim, ledger, rrc_profile=FAST_DORMANCY_PROFILE)
+        system = FastDormancySystem()
+        system.add_device(phone, sim.rng.get("fd"))
+        with pytest.raises(ValueError):
+            system.add_device(phone, sim.rng.get("fd"))
+
+
+class TestFastDormancySystem:
+    def test_profile_has_minimal_tail(self):
+        assert FAST_DORMANCY_PROFILE.tail_s == FAST_DORMANCY_TAIL_S
+        assert FAST_DORMANCY_PROFILE.tail_s < WCDMA_PROFILE.tail_s / 10
+
+    def test_requires_fast_dormancy_device(self, sim, ledger):
+        normal_phone = build_phone(sim, ledger)
+        system = FastDormancySystem()
+        with pytest.raises(ValueError):
+            system.add_device(normal_phone, sim.rng.get("fd"))
+
+    def test_saves_energy_versus_normal_tail(self, sim, ledger):
+        fd_phone = build_phone(sim, ledger, device_id="fd",
+                               rrc_profile=FAST_DORMANCY_PROFILE)
+        normal_phone = build_phone(sim, ledger, device_id="normal")
+        fd_phone.modem.send(54)
+        normal_phone.modem.send(54)
+        sim.run_until(60.0)
+        assert fd_phone.energy.total_uah < 0.5 * normal_phone.energy.total_uah
+
+    def test_aggravates_signaling_under_mixed_traffic(self, ledger):
+        """The related-work trade-off: bursty traffic that one tail would
+        have merged now pays a cycle per transmission."""
+        from repro.sim.engine import Simulator
+        from repro.cellular.signaling import SignalingLedger
+
+        def run(rrc_profile):
+            sim = Simulator(seed=3)
+            local_ledger = SignalingLedger()
+            phone = Smartphone(sim, "dev", ledger=local_ledger,
+                               rrc_profile=rrc_profile)
+            # a burst: data at t=0, heartbeat 3 s later (inside normal tail)
+            for burst_start in range(0, 2700, 270):
+                sim.schedule_at(burst_start, phone.modem.send, 600)
+                sim.schedule_at(burst_start + 3.0, phone.modem.send, 54)
+            sim.run_until(2800.0)
+            return local_ledger.cycles_for("dev"), phone.energy.total_uah
+
+        normal_cycles, normal_energy = run(WCDMA_PROFILE)
+        fd_cycles, fd_energy = run(FAST_DORMANCY_PROFILE)
+        assert fd_cycles == 2 * normal_cycles  # every burst splits in two
+        assert fd_energy < normal_energy  # but energy still drops

@@ -1,0 +1,92 @@
+"""Unit tests for the base station and storm metrics."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import Direction, L3MessageType, SignalingLedger
+
+
+@pytest.fixture
+def basestation(sim, ledger):
+    return BaseStation(sim, ledger=ledger, control_channel_capacity_msgs_per_s=2.0)
+
+
+def _flood(ledger: SignalingLedger, start: float, count: int, spacing: float) -> None:
+    for i in range(count):
+        ledger.record(
+            start + i * spacing,
+            "dev",
+            L3MessageType.RRC_CONNECTION_REQUEST,
+            Direction.UPLINK,
+        )
+
+
+class TestDelivery:
+    def test_sink_receives_payload_after_core_latency(self, sim, basestation):
+        seen = []
+        basestation.attach_sink(lambda t, d, b, p: seen.append((t, d, b, p)))
+        basestation.deliver_uplink("dev", 54, "payload")
+        sim.run_until(1.0)
+        assert seen == [(basestation.core_latency_s, "dev", 54, "payload")]
+
+    def test_multiple_sinks_all_fire(self, sim, basestation):
+        a, b = [], []
+        basestation.attach_sink(lambda *args: a.append(args))
+        basestation.attach_sink(lambda *args: b.append(args))
+        basestation.deliver_uplink("dev", 54, None)
+        sim.run_until(1.0)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_uplink_statistics(self, sim, basestation):
+        basestation.deliver_uplink("a", 54, None)
+        basestation.deliver_uplink("a", 100, None)
+        basestation.deliver_uplink("b", 10, None)
+        assert basestation.uplinks == 3
+        assert basestation.bytes_received == 164
+        assert basestation.uplinks_by_device == {"a": 2, "b": 1}
+
+    def test_inter_uplink_times(self, sim, basestation):
+        basestation.deliver_uplink("a", 1, None)
+        sim.run_until(5.0)
+        basestation.deliver_uplink("a", 1, None)
+        sim.run_until(7.0)
+        basestation.deliver_uplink("a", 1, None)
+        assert basestation.inter_uplink_times() == [5.0, 2.0]
+
+
+class TestStormMetrics:
+    def test_peak_rate_over_windows(self, basestation, ledger):
+        _flood(ledger, 0.0, 30, 0.1)  # 30 messages in 3 s
+        assert basestation.peak_signaling_rate(window_s=10.0) == pytest.approx(3.0)
+
+    def test_is_storming_when_capacity_exceeded(self, basestation, ledger):
+        _flood(ledger, 0.0, 30, 0.1)
+        assert basestation.is_storming(window_s=10.0)
+
+    def test_not_storming_under_capacity(self, basestation, ledger):
+        _flood(ledger, 0.0, 5, 10.0)  # sparse
+        assert not basestation.is_storming(window_s=10.0)
+
+    def test_headroom_sign(self, basestation, ledger):
+        _flood(ledger, 0.0, 30, 0.1)
+        assert basestation.storm_headroom(window_s=10.0) < 0
+        ledger2 = SignalingLedger()
+        bs2 = BaseStation(basestation.sim, ledger=ledger2,
+                          control_channel_capacity_msgs_per_s=100.0)
+        _flood(ledger2, 0.0, 3, 1.0)
+        assert bs2.storm_headroom(window_s=10.0) > 0.9
+
+    def test_peak_rate_empty_ledger_is_zero(self, basestation):
+        assert basestation.peak_signaling_rate() == 0.0
+
+    def test_invalid_window_rejected(self, basestation):
+        with pytest.raises(ValueError):
+            basestation.peak_signaling_rate(window_s=0.0)
+
+    def test_signaling_total_mirrors_ledger(self, basestation, ledger):
+        _flood(ledger, 0.0, 4, 1.0)
+        assert basestation.signaling_total() == 4
+
+    def test_signaling_rate_window(self, basestation, ledger):
+        _flood(ledger, 0.0, 10, 1.0)
+        assert basestation.signaling_rate(0.0, 10.0) == pytest.approx(1.0)

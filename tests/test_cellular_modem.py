@@ -1,0 +1,137 @@
+"""Unit tests for the cellular modem (energy + signaling + delivery)."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.modem import CellularModem
+from repro.cellular.rrc import WCDMA_PROFILE
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.profiles import DEFAULT_PROFILE
+
+
+@pytest.fixture
+def modem(sim, ledger, energy):
+    return CellularModem(sim, "dev", energy=energy, ledger=ledger)
+
+
+class TestSingleSend:
+    def test_standalone_heartbeat_energy_matches_profile(self, sim, modem, energy):
+        """One beat from IDLE costs exactly the calibrated cellular cost."""
+        modem.send(54)
+        sim.run_until(60.0)  # past the tail demotion
+        assert energy.total_uah == pytest.approx(
+            DEFAULT_PROFILE.cellular_heartbeat_uah(54), rel=1e-6
+        )
+
+    def test_energy_split_across_phases(self, sim, modem, energy):
+        modem.send(54)
+        sim.run_until(60.0)
+        assert energy.phase_uah(EnergyPhase.CELLULAR_SETUP) == pytest.approx(80.0)
+        assert energy.phase_uah(EnergyPhase.CELLULAR_TAIL) == pytest.approx(455.23)
+        assert energy.phase_uah(EnergyPhase.CELLULAR_TX) == pytest.approx(
+            60.0 + 0.05 * 54
+        )
+
+    def test_delivery_callback_and_latency(self, sim, modem):
+        results = []
+        result = modem.send(54, on_delivered=results.append)
+        sim.run_until(60.0)
+        assert results == [result]
+        assert result.delivered
+        assert result.latency_s == pytest.approx(
+            WCDMA_PROFILE.setup_latency_s + DEFAULT_PROFILE.cellular_tx_s
+        )
+
+    def test_setup_was_needed_flag(self, sim, modem):
+        first = modem.send(54)
+        sim.run_until(3.0)
+        second = modem.send(54)
+        sim.run_until(60.0)
+        assert first.setup_was_needed is True
+        assert second.setup_was_needed is False
+
+    def test_invalid_payload_rejected(self, modem):
+        with pytest.raises(ValueError):
+            modem.send(0)
+
+    def test_result_latency_none_before_delivery(self, modem):
+        result = modem.send(54)
+        assert result.latency_s is None
+        assert not result.delivered
+
+
+class TestAggregationEffect:
+    def test_back_to_back_sends_share_one_cycle(self, sim, modem, energy, ledger):
+        """Sends inside the tail pay no setup and add no signaling —
+        the exact mechanism relay aggregation exploits."""
+        modem.send(54)
+        sim.run_until(3.0)
+        modem.send(54)
+        modem.send(54)
+        sim.run_until(100.0)
+        assert ledger.cycles_for("dev") == 1
+        assert modem.aggregated_sends == 2
+        three_separate = 3 * DEFAULT_PROFILE.cellular_heartbeat_uah(54)
+        assert energy.total_uah < three_separate * 0.55
+
+    def test_spaced_sends_pay_full_price_each(self, sim, modem, energy, ledger):
+        for i in range(3):
+            modem.send(54)
+            sim.run_until((i + 1) * 270.0)
+        assert ledger.cycles_for("dev") == 3
+        assert energy.total_uah == pytest.approx(
+            3 * DEFAULT_PROFILE.cellular_heartbeat_uah(54), rel=1e-6
+        )
+
+    def test_mid_tail_send_charges_partial_tail(self, sim, modem, energy):
+        modem.send(54)
+        sim.run_until(4.5)  # 3 s into tail
+        modem.send(54)
+        sim.run_until(100.0)
+        # tail charge: 3 s partial + one full tail after the second send
+        expected_tail = DEFAULT_PROFILE.cellular_tail_uah * (
+            3.0 / DEFAULT_PROFILE.cellular_tail_s
+        ) + DEFAULT_PROFILE.cellular_tail_uah
+        assert energy.phase_uah(EnergyPhase.CELLULAR_TAIL) == pytest.approx(
+            expected_tail, rel=1e-6
+        )
+
+
+class TestBaseStationDelivery:
+    def test_payload_reaches_basestation(self, sim, ledger):
+        basestation = BaseStation(sim, ledger=ledger)
+        modem = CellularModem(sim, "dev", ledger=ledger, basestation=basestation)
+        modem.send(54, payload="hello")
+        sim.run_until(10.0)
+        assert basestation.uplinks == 1
+        assert basestation.bytes_received == 54
+        assert basestation.uplinks_by_device == {"dev": 1}
+
+
+class TestPowerOff:
+    def test_send_after_power_off_raises(self, sim, modem):
+        modem.power_off()
+        with pytest.raises(RuntimeError):
+            modem.send(54)
+
+    def test_power_off_drops_rrc(self, sim, modem, ledger):
+        modem.send(54)
+        sim.run_until(3.0)
+        modem.power_off()
+        sim.run_until(100.0)
+        # no release sequence: the connection was dropped, not released
+        assert ledger.cycles_for("dev") == 0
+
+    def test_power_on_recovers(self, sim, modem):
+        modem.power_off()
+        modem.power_on()
+        result = modem.send(54)
+        sim.run_until(10.0)
+        assert result.delivered
+
+    def test_stats_track_sends_and_bytes(self, sim, modem):
+        modem.send(54)
+        modem.send(100)
+        sim.run_until(60.0)
+        assert modem.sends == 2
+        assert modem.bytes_sent == 154

@@ -1,0 +1,126 @@
+"""Unit tests for the paging channel and storm-induced failures."""
+
+import pytest
+
+from repro.cellular.paging import PagingChannel, PagingConfig
+from repro.cellular.signaling import Direction, L3MessageType, SignalingLedger
+
+
+def flood_ledger(ledger, start, count, spacing=0.1):
+    for i in range(count):
+        ledger.record(
+            start + i * spacing,
+            "storm",
+            L3MessageType.RRC_CONNECTION_REQUEST,
+            Direction.UPLINK,
+        )
+
+
+@pytest.fixture
+def channel(sim, ledger):
+    return PagingChannel(sim, ledger, PagingConfig(slots_per_second=2.0,
+                                                   window_s=5.0))
+
+
+class TestConfig:
+    def test_slots_per_window(self):
+        config = PagingConfig(slots_per_second=8.0, window_s=5.0)
+        assert config.slots_per_window == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagingConfig(slots_per_second=0.0)
+        with pytest.raises(ValueError):
+            PagingConfig(window_s=0.0)
+
+
+class TestQuietChannel:
+    def test_page_succeeds_immediately(self, sim, channel):
+        results = []
+        attempt = channel.page("ue-0", results.append)
+        assert attempt.succeeded
+        assert attempt.delivered_at_s == sim.now
+        assert results == [attempt]
+        assert channel.failure_rate == 0.0
+
+    def test_occupancy_counts_pages(self, sim, channel):
+        channel.page("a")
+        channel.page("b")
+        assert channel.occupancy() == 2
+
+    def test_mean_delay_zero_when_unblocked(self, sim, channel):
+        channel.page("a")
+        assert channel.mean_paging_delay_s() == 0.0
+
+
+class TestStormedChannel:
+    def test_page_blocked_then_retried(self, sim, ledger, channel):
+        flood_ledger(ledger, 0.0, 20)  # 20 L3 in window, capacity 10
+        sim.run_until(1.0)
+        results = []
+        attempt = channel.page("ue-0", results.append)
+        assert not attempt.succeeded
+        assert attempt.retried
+        # still stormy at retry time → failure
+        sim.run_until(5.0)
+        assert results and not results[0].succeeded
+        assert channel.pages_failed == 1
+        assert channel.failure_rate == 1.0
+
+    def test_retry_succeeds_when_storm_passes(self, sim, ledger, channel):
+        flood_ledger(ledger, 0.0, 20, spacing=0.01)  # burst ends at t=0.2
+        sim.run_until(3.5)
+        # occupancy window [..8.5] still holds the burst → blocked now,
+        # but the retry at +2 s lands after the burst leaves the window
+        results = []
+        channel.page("ue-0", results.append)
+        sim.run_until(10.0)
+        assert results and results[0].succeeded
+        assert channel.pages_retried == 1
+        assert channel.pages_failed == 0
+        assert channel.mean_paging_delay_s() > 0.0
+
+    def test_failure_rate_tracks_mixed_outcomes(self, sim, ledger, channel):
+        channel.page("early")  # succeeds on the quiet channel
+        flood_ledger(ledger, 1.0, 40, spacing=0.05)
+        sim.run_until(2.0)
+        channel.page("blocked")
+        sim.run_until(20.0)
+        assert channel.pages_delivered >= 1
+        assert 0.0 < channel.failure_rate < 1.0
+
+
+class TestStormReliefEndToEnd:
+    def test_d2d_framework_reduces_paging_failures(self):
+        """Paging failure in a crowd: original vs. D2D framework."""
+        from repro.scenarios import run_crowd_scenario
+
+        def failure_rate(mode):
+            result = run_crowd_scenario(
+                n_devices=30, relay_fraction=0.2, duration_s=900.0,
+                seed=13, mode=mode,
+            )
+            channel = PagingChannel(
+                result.context.sim,
+                result.context.ledger,
+                PagingConfig(slots_per_second=1.2, window_s=10.0),
+            )
+            # replay pages against the recorded signaling timeline
+            sim = result.context.sim
+            for t in range(50, 850, 40):
+                blocked_now = channel.occupancy(float(t)) >= (
+                    channel.config.slots_per_window
+                )
+                if blocked_now:
+                    retry_busy = channel.occupancy(
+                        float(t) + channel.config.retry_after_s
+                    ) >= channel.config.slots_per_window
+                    if retry_busy:
+                        channel.pages_failed += 1
+                    else:
+                        channel.pages_delivered += 1
+                else:
+                    channel.pages_delivered += 1
+            return channel.failure_rate
+
+        assert failure_rate("d2d") < failure_rate("original")

@@ -1,0 +1,164 @@
+"""Unit tests for the RRC state machine."""
+
+import pytest
+
+from repro.cellular.rrc import (
+    LTE_PROFILE,
+    RrcState,
+    RrcStateMachine,
+    WCDMA_PROFILE,
+)
+from repro.cellular.signaling import SignalingLedger
+
+
+@pytest.fixture
+def machine(sim, ledger):
+    return RrcStateMachine(sim, "dev", profile=WCDMA_PROFILE, ledger=ledger)
+
+
+class TestPromotion:
+    def test_starts_idle(self, machine):
+        assert machine.state == RrcState.IDLE
+
+    def test_first_transmission_promotes(self, sim, machine):
+        ready = []
+        machine.request_transmission(54, ready.append)
+        assert machine.state == RrcState.CONNECTING
+        sim.run_until(WCDMA_PROFILE.setup_latency_s + 0.1)
+        assert machine.state == RrcState.CONNECTED
+        assert ready == [True]
+
+    def test_promotion_takes_setup_latency(self, sim, machine):
+        times = []
+        machine.request_transmission(54, lambda _: times.append(sim.now))
+        sim.run_until(100.0)
+        assert times == [WCDMA_PROFILE.setup_latency_s]
+
+    def test_request_returns_true_only_when_promotion_started(self, sim, machine):
+        assert machine.request_transmission(54, lambda _: None) is True
+        # second request while CONNECTING joins the pending list
+        assert machine.request_transmission(54, lambda _: None) is False
+        sim.run_until(5.0)
+        # now CONNECTED: no promotion either
+        assert machine.request_transmission(54, lambda _: None) is False
+
+    def test_pending_requests_fire_after_promotion(self, sim, machine):
+        ready = []
+        machine.request_transmission(54, lambda s: ready.append(("a", s)))
+        machine.request_transmission(54, lambda s: ready.append(("b", s)))
+        sim.run_until(5.0)
+        assert ready == [("a", True), ("b", True)]
+
+    def test_setup_sequence_recorded_once_per_promotion(self, sim, machine, ledger):
+        machine.request_transmission(54, lambda _: None)
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(5.0)
+        assert ledger.count_for("dev") == len(WCDMA_PROFILE.setup_sequence)
+
+
+class TestTailAndDemotion:
+    def test_demotes_after_tail(self, sim, machine):
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(WCDMA_PROFILE.setup_latency_s + WCDMA_PROFILE.tail_s + 0.1)
+        assert machine.state == RrcState.IDLE
+        assert machine.demotions == 1
+
+    def test_release_sequence_recorded_on_demotion(self, sim, machine, ledger):
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(60.0)
+        expected = len(WCDMA_PROFILE.setup_sequence) + len(WCDMA_PROFILE.release_sequence)
+        assert ledger.count_for("dev") == expected
+        assert ledger.cycles_for("dev") == 1
+
+    def test_send_within_tail_skips_setup(self, sim, machine, ledger):
+        ready = []
+        machine.request_transmission(54, ready.append)
+        sim.run_until(3.0)  # connected now
+        machine.request_transmission(54, ready.append)
+        assert ready == [True, False]
+        sim.run_until(60.0)
+        # only ONE setup and ONE release despite two transmissions
+        assert ledger.cycles_for("dev") == 1
+        assert ledger.count_for("dev") == 8
+
+    def test_send_within_tail_extends_tail(self, sim, machine):
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(3.0)
+        machine.request_transmission(54, lambda _: None)
+        # tail restarts at t=3: demotion at 3 + tail, not 1.5 + tail
+        sim.run_until(3.0 + WCDMA_PROFILE.tail_s - 0.1)
+        assert machine.state == RrcState.CONNECTED
+        sim.run_until(3.0 + WCDMA_PROFILE.tail_s + 0.1)
+        assert machine.state == RrcState.IDLE
+
+    def test_connected_time_accumulates(self, sim, machine):
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(60.0)
+        assert machine.connected_time_s == pytest.approx(WCDMA_PROFILE.tail_s)
+
+    def test_tail_hook_reports_elapsed_high_power_time(self, sim, ledger):
+        reports = []
+        machine = RrcStateMachine(
+            sim,
+            "dev",
+            ledger=ledger,
+            on_tail_elapsed=lambda start, dur, full: reports.append((start, dur, full)),
+        )
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(60.0)
+        assert len(reports) == 1
+        start, duration, full = reports[0]
+        assert duration == pytest.approx(WCDMA_PROFILE.tail_s)
+        assert full is True
+
+    def test_partial_tail_reported_on_mid_tail_send(self, sim, ledger):
+        reports = []
+        machine = RrcStateMachine(
+            sim,
+            "dev",
+            ledger=ledger,
+            on_tail_elapsed=lambda start, dur, full: reports.append((dur, full)),
+        )
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(4.5)  # 3 s into the tail (promotion took 1.5 s)
+        machine.request_transmission(54, lambda _: None)
+        assert reports[0][0] == pytest.approx(3.0)
+        assert reports[0][1] is False
+
+
+class TestForceRelease:
+    def test_force_release_from_connected(self, sim, machine):
+        machine.request_transmission(54, lambda _: None)
+        sim.run_until(3.0)
+        machine.force_release()
+        assert machine.state == RrcState.IDLE
+
+    def test_force_release_cancels_pending_promotion(self, sim, machine):
+        fired = []
+        machine.request_transmission(54, fired.append)
+        machine.force_release()
+        sim.run_until(10.0)
+        assert fired == []
+        assert machine.state == RrcState.IDLE
+
+    def test_force_release_when_idle_is_noop(self, machine):
+        machine.force_release()
+        assert machine.state == RrcState.IDLE
+
+
+class TestReconfigurations:
+    def test_large_payload_emits_reconfigurations(self, sim, machine, ledger):
+        machine.request_transmission(400, lambda _: None)
+        from repro.cellular.signaling import L3MessageType
+
+        assert (
+            ledger.count_for_type(L3MessageType.RADIO_BEARER_RECONFIGURATION) == 2
+        )
+
+
+class TestProfiles:
+    def test_lte_promotes_faster_than_wcdma(self):
+        assert LTE_PROFILE.setup_latency_s < WCDMA_PROFILE.setup_latency_s
+
+    def test_messages_per_cycle(self):
+        assert WCDMA_PROFILE.messages_per_cycle == 8

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            name
+            for action in parser._subparsers._actions  # noqa: SLF001
+            if hasattr(action, "choices") and action.choices
+            for name in action.choices
+        }
+        assert {"pair", "crowd", "sweep", "breakeven", "table1",
+                "calibration"} <= actions
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCommands:
+    def test_pair(self, capsys):
+        assert main(["pair", "--ues", "1", "--periods", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "original" in out and "d2d" in out
+        assert "signaling saved" in out
+
+    def test_pair_headline_numbers_present(self, capsys):
+        main(["pair", "--periods", "5"])
+        out = capsys.readouterr().out
+        assert "50.0%" in out  # the signaling headline
+
+    def test_crowd(self, capsys):
+        assert main(["crowd", "--devices", "10", "--duration", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "beats via D2D" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--max-periods", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "system saved %" in out
+
+    def test_breakeven(self, capsys):
+        assert main(["breakeven"]) == 0
+        out = capsys.readouterr().out
+        assert "beats/session" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wechat" in out and "Paper" in out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "Cellular tail" in out and "455.23" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--ues", "1", "--periods", "2",
+                     "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "relay-0" in out and "ue-0" in out
+        assert "d2d send" in out  # the legend

@@ -1,0 +1,116 @@
+"""Unit tests for battery-adaptive relay capacity."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.adaptive import AdaptiveCapacityConfig, AdaptiveCapacityPolicy
+from repro.core.relay import RelayAgent
+from repro.core.scheduler import SchedulerConfig
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.battery import Battery
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def build_relay(battery=None, seed=0):
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    device = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                        role=Role.RELAY, ledger=ledger, basestation=basestation,
+                        d2d_medium=medium, battery=battery)
+    agent = RelayAgent(device, STANDARD_APP,
+                       scheduler_config=SchedulerConfig(capacity=10))
+    return sim, device, agent
+
+
+class TestSchedule:
+    def test_full_battery_full_capacity(self):
+        config = AdaptiveCapacityConfig(max_capacity=10)
+        assert config.capacity_for(1.0) == 10
+        assert config.capacity_for(0.8) == 10
+
+    def test_resigns_below_floor(self):
+        config = AdaptiveCapacityConfig()
+        assert config.capacity_for(0.14) == 0
+
+    def test_interpolates_between(self):
+        config = AdaptiveCapacityConfig(max_capacity=10, resign_level=0.2,
+                                        full_level=0.8)
+        mid = config.capacity_for(0.5)
+        assert 1 <= mid < 10
+
+    def test_monotone_in_battery(self):
+        config = AdaptiveCapacityConfig()
+        levels = [i / 100 for i in range(0, 101, 5)]
+        capacities = [config.capacity_for(level) for level in levels]
+        assert all(b >= a for a, b in zip(capacities, capacities[1:]))
+
+    def test_never_zero_above_floor(self):
+        config = AdaptiveCapacityConfig(resign_level=0.2, full_level=0.9)
+        assert config.capacity_for(0.2) >= 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveCapacityConfig(max_capacity=0)
+        with pytest.raises(ValueError):
+            AdaptiveCapacityConfig(resign_level=0.9, full_level=0.5)
+
+
+class TestPolicy:
+    def test_requires_battery(self):
+        sim, device, agent = build_relay(battery=None)
+        with pytest.raises(ValueError):
+            AdaptiveCapacityPolicy(agent)
+
+    def test_capacity_tracks_battery(self):
+        battery = Battery(capacity_mah=100.0, level=1.0)
+        sim, device, agent = build_relay(battery=battery)
+        policy = AdaptiveCapacityPolicy(agent).start()
+        sim.run_until(1.0)
+        assert agent.scheduler.config.capacity == 10
+        battery.remaining_mah = battery.capacity_mah * 0.5
+        sim.run_until(T + 1.0)
+        assert 1 <= agent.scheduler.config.capacity < 10
+        assert policy.adjustments >= 1
+
+    def test_advertisement_reflects_new_capacity(self):
+        battery = Battery(capacity_mah=100.0, level=0.5)
+        sim, device, agent = build_relay(battery=battery)
+        AdaptiveCapacityPolicy(agent).start()
+        sim.run_until(1.0)
+        assert device.d2d.advertisement["capacity_remaining"] < 10
+
+    def test_resignation_stops_advertising(self):
+        battery = Battery(capacity_mah=100.0, level=1.0)
+        sim, device, agent = build_relay(battery=battery)
+        policy = AdaptiveCapacityPolicy(agent).start()
+        sim.run_until(1.0)
+        battery.remaining_mah = battery.capacity_mah * 0.1
+        sim.run_until(T + 1.0)
+        assert policy.resigned
+        assert device.d2d.advertising is False
+
+    def test_double_start_rejected(self):
+        battery = Battery()
+        sim, device, agent = build_relay(battery=battery)
+        policy = AdaptiveCapacityPolicy(agent).start()
+        with pytest.raises(RuntimeError):
+            policy.start()
+
+    def test_stop_halts_evaluation(self):
+        battery = Battery(capacity_mah=100.0, level=1.0)
+        sim, device, agent = build_relay(battery=battery)
+        policy = AdaptiveCapacityPolicy(agent).start()
+        sim.run_until(1.0)
+        policy.stop()
+        battery.remaining_mah = battery.capacity_mah * 0.05
+        sim.run_until(3 * T)
+        assert not policy.resigned  # no longer evaluating

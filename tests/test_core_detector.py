@@ -1,0 +1,96 @@
+"""Unit tests for the D2D Detector component."""
+
+import pytest
+
+from repro.core.detector import D2DDetector
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.mobility.models import StaticMobility
+
+
+@pytest.fixture
+def setup(sim):
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    ue = D2DEndpoint("ue", StaticMobility((0.0, 0.0)))
+    relay = D2DEndpoint(
+        "relay", StaticMobility((3.0, 0.0)), advertisement={"role": "relay"}
+    )
+    relay.advertising = True
+    medium.register(ue)
+    medium.register(relay)
+    detector = D2DDetector(sim, "ue", medium)
+    return sim, medium, detector
+
+
+class TestOneShot:
+    def test_discover_returns_peers(self, setup):
+        sim, __, detector = setup
+        results = []
+        assert detector.discover(results.extend) is True
+        sim.run_until(10.0)
+        assert [p.device_id for p in results] == ["relay"]
+        assert detector.scans == 1
+
+    def test_concurrent_scan_rejected(self, setup):
+        sim, __, detector = setup
+        detector.discover(lambda peers: None)
+        assert detector.discover(lambda peers: None) is False
+        sim.run_until(10.0)
+        # after completion, a new scan is allowed again
+        assert detector.discover(lambda peers: None) is True
+
+
+class TestCache:
+    def test_cache_fresh_after_scan(self, setup):
+        sim, __, detector = setup
+        detector.discover(lambda peers: None)
+        sim.run_until(5.0)
+        cached = detector.cached_peers()
+        assert cached is not None and cached[0].device_id == "relay"
+
+    def test_cache_empty_before_any_scan(self, setup):
+        __, __, detector = setup
+        assert detector.cached_peers() is None
+
+    def test_cache_expires(self, setup):
+        sim, __, detector = setup
+        detector.discover(lambda peers: None)
+        sim.run_until(5.0)
+        sim.run_until(5.0 + detector.cache_ttl_s + 1.0)
+        assert detector.cached_peers() is None
+
+    def test_invalid_ttl_rejected(self, setup):
+        sim, medium, __ = setup
+        with pytest.raises(ValueError):
+            D2DDetector(sim, "ue", medium, cache_ttl_s=0.0)
+
+
+class TestPeriodic:
+    def test_periodic_rescans(self, setup):
+        sim, __, detector = setup
+        hits = []
+        detector.start_periodic(30.0, lambda peers: hits.append(sim.now))
+        sim.run_until(100.0)
+        assert len(hits) == 3
+        assert detector.periodic_running
+
+    def test_stop_periodic(self, setup):
+        sim, __, detector = setup
+        detector.start_periodic(30.0, lambda peers: None)
+        sim.run_until(40.0)
+        detector.stop_periodic()
+        scans_before = detector.scans
+        sim.run_until(400.0)
+        assert detector.scans == scans_before
+        assert not detector.periodic_running
+
+    def test_double_start_rejected(self, setup):
+        __, __, detector = setup
+        detector.start_periodic(30.0, lambda peers: None)
+        with pytest.raises(RuntimeError):
+            detector.start_periodic(30.0, lambda peers: None)
+
+    def test_stop_periodic_idempotent(self, setup):
+        __, __, detector = setup
+        detector.stop_periodic()
+        detector.stop_periodic()

@@ -1,0 +1,135 @@
+"""Unit tests for the feedback/fallback tracker."""
+
+import pytest
+
+from repro.core.feedback import FeedbackTracker
+from repro.workload.messages import PeriodicMessage
+
+
+def beat(created=0.0, expiry=270.0, seq=None):
+    kwargs = dict(
+        app="standard",
+        origin_device="ue-0",
+        size_bytes=54,
+        created_at_s=created,
+        period_s=270.0,
+        expiry_s=expiry,
+    )
+    if seq is not None:
+        kwargs["seq"] = seq
+    return PeriodicMessage(**kwargs)
+
+
+@pytest.fixture
+def tracker(sim):
+    fallbacks = []
+    tracker = FeedbackTracker(sim, on_fallback=fallbacks.append,
+                              cellular_resend_guard_s=4.0)
+    tracker.test_fallbacks = fallbacks  # type: ignore[attr-defined]
+    return tracker
+
+
+class TestAckPath:
+    def test_ack_cancels_fallback(self, sim, tracker):
+        message = beat()
+        tracker.track(message)
+        tracker.ack([message.seq])
+        sim.run_until(1000.0)
+        assert tracker.test_fallbacks == []
+        assert tracker.acks_received == 1
+        assert tracker.pending_count == 0
+
+    def test_partial_ack(self, sim, tracker):
+        a, b = beat(), beat()
+        tracker.track(a)
+        tracker.track(b)
+        assert tracker.ack([a.seq]) == 1
+        assert tracker.pending_count == 1
+        assert tracker.is_pending(b.seq)
+        assert not tracker.is_pending(a.seq)
+
+    def test_unknown_ack_counted_as_duplicate(self, tracker):
+        assert tracker.ack([999999]) == 0
+        assert tracker.duplicate_acks == 1
+
+    def test_double_track_rejected(self, tracker):
+        message = beat()
+        tracker.track(message)
+        with pytest.raises(ValueError):
+            tracker.track(message)
+
+
+class TestFallbackPath:
+    def test_fallback_fires_at_guarded_deadline(self, sim, tracker):
+        message = beat(created=0.0, expiry=100.0)
+        tracker.track(message)
+        sim.run_until(1000.0)
+        assert tracker.test_fallbacks == [message]
+        assert tracker.fallbacks_fired == 1
+        # fallback fired with enough guard to re-send via cellular in time
+        # (deadline 100 - guard 4 = 96)
+
+    def test_fallback_timing_exact(self, sim, tracker):
+        message = beat(created=0.0, expiry=100.0)
+        pending = tracker.track(message)
+        assert pending.fallback_at_s == pytest.approx(96.0)
+
+    def test_minimum_wait_respected_for_tight_deadlines(self, sim):
+        fallbacks = []
+        tracker = FeedbackTracker(
+            sim, on_fallback=fallbacks.append, cellular_resend_guard_s=4.0,
+            min_wait_s=1.0,
+        )
+        message = beat(created=0.0, expiry=2.0)  # guarded deadline in the past
+        pending = tracker.track(message)
+        assert pending.fallback_at_s == pytest.approx(1.0)
+
+    def test_fail_now_triggers_immediately(self, sim, tracker):
+        message = beat()
+        tracker.track(message)
+        assert tracker.fail_now(message.seq) is True
+        assert tracker.test_fallbacks == [message]
+        assert tracker.pending_count == 0
+
+    def test_fail_now_unknown_returns_false(self, tracker):
+        assert tracker.fail_now(12345) is False
+
+    def test_fail_all_now(self, sim, tracker):
+        messages = [beat() for _ in range(3)]
+        for message in messages:
+            tracker.track(message)
+        assert tracker.fail_all_now() == 3
+        assert set(tracker.test_fallbacks) == set(messages)
+
+    def test_ack_after_fallback_is_duplicate(self, sim, tracker):
+        message = beat(created=0.0, expiry=50.0)
+        tracker.track(message)
+        sim.run_until(100.0)  # fallback fired
+        assert tracker.ack([message.seq]) == 0
+        assert tracker.duplicate_acks == 1
+
+    def test_no_double_fallback(self, sim, tracker):
+        message = beat(created=0.0, expiry=50.0)
+        tracker.track(message)
+        tracker.fail_now(message.seq)
+        sim.run_until(1000.0)
+        assert tracker.fallbacks_fired == 1
+
+
+class TestQueriesAndValidation:
+    def test_pending_messages(self, tracker):
+        a, b = beat(), beat()
+        tracker.track(a)
+        tracker.track(b)
+        assert set(tracker.pending_messages()) == {a, b}
+
+    def test_invalid_guards_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FeedbackTracker(sim, lambda m: None, cellular_resend_guard_s=-1.0)
+        with pytest.raises(ValueError):
+            FeedbackTracker(sim, lambda m: None, min_wait_s=-1.0)
+
+    def test_forwards_tracked_counter(self, tracker):
+        tracker.track(beat())
+        tracker.track(beat())
+        assert tracker.forwards_tracked == 2

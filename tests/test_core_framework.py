@@ -1,0 +1,126 @@
+"""Unit tests for framework wiring."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def build(sim, device_id, role, position=(0.0, 0.0), medium=None, ledger=None,
+          basestation=None):
+    return Smartphone(
+        sim,
+        device_id,
+        mobility=StaticMobility(position),
+        role=role,
+        ledger=ledger,
+        basestation=basestation,
+        d2d_medium=medium,
+    )
+
+
+@pytest.fixture
+def wiring(sim, ledger):
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    return sim, ledger, basestation, server, medium
+
+
+class TestWiring:
+    def test_role_appropriate_agents(self, wiring):
+        sim, ledger, basestation, server, medium = wiring
+        relay = build(sim, "r", Role.RELAY, medium=medium, ledger=ledger,
+                      basestation=basestation)
+        ue = build(sim, "u", Role.UE, (1.0, 0.0), medium=medium, ledger=ledger,
+                   basestation=basestation)
+        standalone = build(sim, "s", Role.STANDALONE, ledger=ledger,
+                           basestation=basestation)
+        framework = HeartbeatRelayFramework([relay, ue, standalone])
+        assert set(framework.relays) == {"r"}
+        assert set(framework.ues) == {"u"}
+        assert set(framework.standalones) == {"s"}
+
+    def test_duplicate_device_rejected(self, wiring):
+        sim, ledger, basestation, __, medium = wiring
+        relay = build(sim, "r", Role.RELAY, medium=medium)
+        framework = HeartbeatRelayFramework([relay])
+        with pytest.raises(ValueError):
+            framework.add_device(relay)
+
+    def test_standalone_sends_direct_cellular(self, wiring):
+        sim, ledger, basestation, server, __ = wiring
+        standalone = build(sim, "s", Role.STANDALONE, ledger=ledger,
+                           basestation=basestation)
+        framework = HeartbeatRelayFramework(
+            [], config=FrameworkConfig(ue_phase_fraction=0.0)
+        )
+        framework.add_device(standalone)
+        sim.run_until(T + 30.0)
+        assert framework.standalones["s"].cellular_sends == 2
+        assert len(server.records) == 2
+
+    def test_aggregate_statistics(self, wiring):
+        sim, ledger, basestation, server, medium = wiring
+        relay = build(sim, "r", Role.RELAY, medium=medium, ledger=ledger,
+                      basestation=basestation)
+        ues = [
+            build(sim, f"u{i}", Role.UE, (1.0, float(i)), medium=medium,
+                  ledger=ledger, basestation=basestation)
+            for i in range(3)
+        ]
+        framework = HeartbeatRelayFramework([])
+        framework.add_device(relay, phase_fraction=0.0)
+        for i, ue in enumerate(ues):
+            framework.add_device(ue, phase_fraction=0.4 + 0.1 * i)
+        sim.run_until(T + 30.0)
+        assert framework.total_beats_forwarded() == 3
+        assert framework.total_beats_collected() == 3
+        assert framework.total_aggregated_uplinks() == 1
+        assert framework.forwarding_ratio() == 1.0
+        assert len(framework.ue_agents()) == 3
+        assert len(framework.relay_agents()) == 1
+
+    def test_forwarding_ratio_zero_when_no_traffic(self):
+        framework = HeartbeatRelayFramework([])
+        assert framework.forwarding_ratio() == 0.0
+
+    def test_shutdown_stops_all_agents(self, wiring):
+        sim, ledger, basestation, server, medium = wiring
+        relay = build(sim, "r", Role.RELAY, medium=medium, ledger=ledger,
+                      basestation=basestation)
+        ue = build(sim, "u", Role.UE, (1.0, 0.0), medium=medium, ledger=ledger,
+                   basestation=basestation)
+        framework = HeartbeatRelayFramework([])
+        framework.add_device(relay, phase_fraction=0.0)
+        framework.add_device(ue, phase_fraction=0.5)
+        sim.run_until(10.0)
+        framework.shutdown()
+        records_now = len(server.records)
+        sim.run_until(10 * T)
+        # only the already-flushed shutdown uplink arrives afterwards
+        assert framework.total_beats_forwarded() == 0
+        assert len(server.records) <= records_now + 1
+
+    def test_rewards_shared_across_relays(self, wiring):
+        sim, ledger, basestation, server, medium = wiring
+        relay = build(sim, "r", Role.RELAY, medium=medium, ledger=ledger,
+                      basestation=basestation)
+        ue = build(sim, "u", Role.UE, (1.0, 0.0), medium=medium, ledger=ledger,
+                   basestation=basestation)
+        framework = HeartbeatRelayFramework([])
+        framework.add_device(relay, phase_fraction=0.0)
+        framework.add_device(ue, phase_fraction=0.5)
+        sim.run_until(T + 30.0)
+        assert framework.rewards.total_beats == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the incentive / reward ledger."""
+
+import pytest
+
+from repro.core.incentives import RewardLedger, RewardPolicy
+
+
+class TestPolicy:
+    def test_defaults_are_positive(self):
+        policy = RewardPolicy()
+        assert policy.credits_per_beat > 0
+        assert policy.free_data_mb_per_beat > 0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            RewardPolicy(credits_per_beat=-0.1)
+
+
+class TestAccrual:
+    def test_credits_accrue_per_beat(self):
+        ledger = RewardLedger(RewardPolicy(credits_per_beat=0.01,
+                                           free_data_mb_per_beat=1.0))
+        account = ledger.credit_collection(10.0, "relay-0", 5)
+        assert account.beats_collected == 5
+        assert account.credits == pytest.approx(0.05)
+        assert account.free_data_mb == pytest.approx(5.0)
+
+    def test_accounts_accumulate_across_flushes(self):
+        ledger = RewardLedger()
+        ledger.credit_collection(1.0, "relay-0", 2)
+        ledger.credit_collection(2.0, "relay-0", 3)
+        assert ledger.account("relay-0").beats_collected == 5
+
+    def test_unknown_relay_account_is_zero(self):
+        ledger = RewardLedger()
+        assert ledger.account("ghost").credits == 0.0
+
+    def test_negative_beats_rejected(self):
+        with pytest.raises(ValueError):
+            RewardLedger().credit_collection(0.0, "r", -1)
+
+    def test_zero_beat_collection_records_no_event(self):
+        ledger = RewardLedger()
+        ledger.credit_collection(0.0, "r", 0)
+        assert ledger.events() == []
+
+    def test_events_ordered(self):
+        ledger = RewardLedger()
+        ledger.credit_collection(1.0, "a", 1)
+        ledger.credit_collection(2.0, "b", 2)
+        assert ledger.events() == [(1.0, "a", 1), (2.0, "b", 2)]
+
+    def test_totals_across_relays(self):
+        ledger = RewardLedger()
+        ledger.credit_collection(0.0, "a", 3)
+        ledger.credit_collection(0.0, "b", 7)
+        assert ledger.total_beats == 10
+        assert len(ledger.accounts()) == 2
+
+
+class TestOperatorEconomics:
+    def test_signaling_avoided_tracked(self):
+        ledger = RewardLedger()
+        ledger.note_signaling_avoided(16)
+        ledger.note_signaling_avoided(8)
+        assert ledger.l3_messages_avoided == 24
+
+    def test_negative_avoided_rejected(self):
+        with pytest.raises(ValueError):
+            RewardLedger().note_signaling_avoided(-1)
+
+    def test_win_win_with_default_policy(self):
+        """Paper Sec. III-A: the scheme is 'win-win' — at the default rates,
+        the operator's avoided-signaling value exceeds the payout."""
+        ledger = RewardLedger()
+        # each collected beat avoids an 8-message RRC cycle
+        ledger.credit_collection(0.0, "relay-0", 100)
+        ledger.note_signaling_avoided(100 * 8)
+        assert ledger.operator_net_value() > 0
+
+    def test_overpaying_policy_goes_negative(self):
+        ledger = RewardLedger(RewardPolicy(credits_per_beat=10.0))
+        ledger.credit_collection(0.0, "relay-0", 10)
+        ledger.note_signaling_avoided(80)
+        assert ledger.operator_net_value() < 0

@@ -1,0 +1,130 @@
+"""Unit tests for relay matching and the prejudgment mechanism."""
+
+import pytest
+
+from repro.core.matching import MatchConfig, RelayMatcher, relative_speed
+from repro.d2d.base import PeerInfo
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.profiles import DEFAULT_PROFILE
+
+
+def peer(device_id="relay-0", distance=2.0, capacity=10, role="relay", **extra):
+    advertisement = {"role": role, "capacity_remaining": capacity}
+    advertisement.update(extra)
+    return PeerInfo(
+        device_id=device_id,
+        rssi_dbm=-40.0,
+        estimated_distance_m=distance,
+        advertisement=advertisement,
+    )
+
+
+@pytest.fixture
+def matcher():
+    return RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig())
+
+
+class TestFiltering:
+    def test_accepts_good_relay(self, matcher):
+        candidate = matcher.evaluate(peer(), beat_period_s=270.0, beat_bytes=54,
+                                     relative_speed_m_per_s=0.0)
+        assert candidate is not None
+        assert candidate.distance_m == pytest.approx(2.0)
+
+    def test_rejects_non_relay_role(self, matcher):
+        assert matcher.evaluate(peer(role="ue"), 270.0, 54) is None
+        assert matcher.rejected_role == 1
+
+    def test_rejects_missing_role(self, matcher):
+        info = PeerInfo("x", -40.0, 2.0, {})
+        assert matcher.evaluate(info, 270.0, 54) is None
+
+    def test_rejects_zero_capacity(self, matcher):
+        assert matcher.evaluate(peer(capacity=0), 270.0, 54) is None
+        assert matcher.rejected_capacity == 1
+
+    def test_rejects_beyond_max_pair_distance(self, matcher):
+        assert matcher.evaluate(peer(distance=25.0), 270.0, 54) is None
+        assert matcher.rejected_distance == 1
+
+
+class TestPrejudgment:
+    def test_static_pair_passes(self, matcher):
+        candidate = matcher.evaluate(peer(), 270.0, 54, relative_speed_m_per_s=0.0)
+        assert candidate is not None
+        assert candidate.predicted_beats >= 1
+
+    def test_fast_moving_pair_rejected(self, matcher):
+        """A pair drifting apart fast yields a short session: the D2D
+        overhead can't amortize — the paper's short-duration-connection
+        inefficiency."""
+        candidate = matcher.evaluate(
+            peer(distance=15.0), 270.0, 54, relative_speed_m_per_s=5.0
+        )
+        assert candidate is None
+        assert matcher.rejected_prejudgment == 1
+
+    def test_prejudgment_can_be_disabled_for_ablation(self):
+        config = MatchConfig(prejudgment_enabled=False)
+        matcher = RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, config)
+        candidate = matcher.evaluate(
+            peer(distance=15.0), 270.0, 54, relative_speed_m_per_s=5.0
+        )
+        assert candidate is not None
+
+    def test_default_speed_used_when_unknown(self, matcher):
+        # with the default pedestrian drift, a close pair still passes
+        assert matcher.evaluate(peer(distance=1.0), 270.0, 54) is not None
+
+    def test_session_prediction_monotone_in_distance(self, matcher):
+        near = matcher.predict_session_s(1.0, 1.0)
+        far = matcher.predict_session_s(18.0, 1.0)
+        assert near > far
+
+    def test_session_prediction_capped(self, matcher):
+        assert (
+            matcher.predict_session_s(1.0, 0.0)
+            == MatchConfig().max_predicted_session_s
+        )
+
+    def test_predicted_beats_capped_by_capacity(self, matcher):
+        candidate = matcher.evaluate(
+            peer(capacity=2), 270.0, 54, relative_speed_m_per_s=0.0
+        )
+        assert candidate is not None
+        assert candidate.predicted_beats <= 2
+
+
+class TestSelection:
+    def test_nearest_relay_wins(self, matcher):
+        """Sec. III-C: 'match the available relay with the shortest
+        distance'."""
+        peers = [
+            peer("far", distance=10.0),
+            peer("near", distance=1.0),
+            peer("mid", distance=5.0),
+        ]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "near"
+
+    def test_nearest_full_relay_skipped(self, matcher):
+        peers = [peer("near-full", distance=1.0, capacity=0), peer("far", distance=8.0)]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "far"
+
+    def test_no_candidates_returns_none(self, matcher):
+        assert matcher.select([], 270.0, 54) is None
+        assert matcher.select([peer(role="ue")], 270.0, 54) is None
+
+    def test_distance_tie_broken_by_device_id(self, matcher):
+        peers = [peer("bbb", distance=2.0), peer("aaa", distance=2.0)]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "aaa"
+
+
+class TestRelativeSpeed:
+    def test_opposite_motion(self):
+        assert relative_speed((1.0, 0.0), (-1.0, 0.0)) == pytest.approx(2.0)
+
+    def test_parallel_motion_is_zero(self):
+        assert relative_speed((1.0, 1.0), (1.0, 1.0)) == 0.0

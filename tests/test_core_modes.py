@@ -1,0 +1,94 @@
+"""Unit tests for D2D-vs-cellular mode selection economics."""
+
+import pytest
+
+from repro.core.modes import (
+    breakeven_distance_m,
+    cellular_session_cost_uah,
+    d2d_session_beneficial,
+    d2d_session_cost_uah,
+)
+from repro.energy.profiles import DEFAULT_PROFILE
+
+
+class TestSessionCosts:
+    def test_d2d_cost_closed_form(self):
+        p = DEFAULT_PROFILE
+        cost = d2d_session_cost_uah(p, 3, 1.0, 54)
+        expected = (
+            p.ue_discovery_uah + p.ue_connection_uah + 3 * p.ue_forward_cost_uah(54, 1.0)
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_cellular_cost_linear_in_beats(self):
+        p = DEFAULT_PROFILE
+        assert cellular_session_cost_uah(p, 4, 54) == pytest.approx(
+            4 * p.cellular_heartbeat_uah(54)
+        )
+
+    def test_negative_beats_rejected(self):
+        with pytest.raises(ValueError):
+            d2d_session_cost_uah(DEFAULT_PROFILE, -1, 1.0)
+        with pytest.raises(ValueError):
+            cellular_session_cost_uah(DEFAULT_PROFILE, -1)
+
+    def test_technology_scales_applied(self):
+        cheap = d2d_session_cost_uah(
+            DEFAULT_PROFILE, 2, 1.0, 54, tech_tx_scale=0.4, tech_overhead_scale=0.5
+        )
+        full = d2d_session_cost_uah(DEFAULT_PROFILE, 2, 1.0, 54)
+        assert cheap < full
+
+
+class TestBenefitDecision:
+    def test_single_beat_at_1m_is_beneficial(self):
+        """The paper's 55% headline implies yes at the reference distance."""
+        assert d2d_session_beneficial(DEFAULT_PROFILE, 1, 1.0, 54)
+
+    def test_zero_expected_beats_never_beneficial(self):
+        assert not d2d_session_beneficial(DEFAULT_PROFILE, 0, 1.0, 54)
+
+    def test_benefit_improves_with_more_beats(self):
+        """Longer sessions amortize discovery+connection (Fig. 8's trend)."""
+        p = DEFAULT_PROFILE
+        ratios = [
+            d2d_session_cost_uah(p, n, 1.0, 54) / cellular_session_cost_uah(p, n, 54)
+            for n in (1, 3, 7)
+        ]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_far_distance_not_beneficial(self):
+        assert not d2d_session_beneficial(DEFAULT_PROFILE, 1, 60.0, 54)
+
+    def test_margin_makes_decision_conservative(self):
+        p = DEFAULT_PROFILE
+        # pick a distance where plain benefit holds but a 0.5 margin fails
+        distance = 10.0
+        assert d2d_session_beneficial(p, 1, distance, 54, margin=1.0)
+        assert not d2d_session_beneficial(p, 1, distance, 54, margin=0.5)
+
+
+class TestBreakevenDistance:
+    def test_breakeven_beyond_paper_sweep(self):
+        """Fig. 12 sweeps 0-15 m and the UE stays below original: the
+        crossover must lie beyond 15 m."""
+        assert breakeven_distance_m(expected_beats=1) > 15.0
+
+    def test_breakeven_is_finite(self):
+        assert breakeven_distance_m(expected_beats=1) < 200.0
+
+    def test_boundary_is_tight(self):
+        edge = breakeven_distance_m(expected_beats=1, precision_m=0.001)
+        assert d2d_session_beneficial(DEFAULT_PROFILE, 1, edge - 0.01, 54)
+        assert not d2d_session_beneficial(DEFAULT_PROFILE, 1, edge + 0.01, 54)
+
+    def test_more_beats_push_breakeven_out(self):
+        assert breakeven_distance_m(expected_beats=7) > breakeven_distance_m(
+            expected_beats=1
+        )
+
+    def test_never_beneficial_returns_zero(self):
+        hopeless = DEFAULT_PROFILE.replace(
+            ue_discovery_uah=1e6  # discovery alone dwarfs cellular
+        )
+        assert breakeven_distance_m(hopeless, expected_beats=1) == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for the Message Monitor component."""
+
+import pytest
+
+from repro.core.monitor import MessageMonitor
+from repro.workload.apps import STANDARD_APP, WECHAT
+from repro.workload.messages import MessageKind, PeriodicMessage
+
+
+def make_message(**overrides):
+    defaults = dict(
+        app="standard",
+        origin_device="dev",
+        size_bytes=54,
+        created_at_s=0.0,
+        period_s=270.0,
+        expiry_s=270.0,
+    )
+    defaults.update(overrides)
+    return PeriodicMessage(**defaults)
+
+
+class TestAppRegistration:
+    def test_registered_app_beats_reach_handler(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.register_app(STANDARD_APP, phase_fraction=0.0)
+        sim.run_until(270.0 + 1)
+        assert len(seen) == 2
+        assert all(m.app == "standard" for m in seen)
+
+    def test_duplicate_app_rejected(self, sim):
+        monitor = MessageMonitor(sim, "dev")
+        monitor.register_app(STANDARD_APP)
+        with pytest.raises(ValueError):
+            monitor.register_app(STANDARD_APP)
+
+    def test_multiple_apps_coexist(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.register_app(STANDARD_APP, phase_fraction=0.0)
+        monitor.register_app(WECHAT, phase_fraction=0.1)
+        sim.run_until(300.0)
+        assert {m.app for m in seen} == {"standard", "wechat"}
+
+    def test_unstarted_generator(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        generator = monitor.register_app(STANDARD_APP, start=False)
+        sim.run_until(300.0)
+        assert seen == []
+        generator.start()
+        sim.run_until(600.0)
+        assert seen
+
+    def test_stop_halts_all_generators(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.register_app(STANDARD_APP, phase_fraction=0.0)
+        sim.run_until(1.0)
+        monitor.stop()
+        sim.run_until(1000.0)
+        assert len(seen) == 1
+
+
+class TestInterception:
+    def test_relayable_message_forwarded(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.submit(make_message())
+        assert len(seen) == 1
+        assert monitor.intercepted == 1
+
+    def test_not_relayable_message_filtered(self, sim):
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.submit(make_message(requires_reply=True))
+        assert seen == []
+        assert monitor.rejected_not_relayable == 1
+        assert len(monitor.not_relayable()) == 1
+
+    def test_extension_messages_supported(self, sim):
+        """Paper conclusion: ads and diagnostics can ride the framework."""
+        seen = []
+        monitor = MessageMonitor(sim, "dev", handler=seen.append)
+        monitor.submit(make_message(kind=MessageKind.ADVERTISEMENT))
+        monitor.submit(make_message(kind=MessageKind.DIAGNOSTIC))
+        assert [m.kind for m in seen] == [
+            MessageKind.ADVERTISEMENT,
+            MessageKind.DIAGNOSTIC,
+        ]
+
+    def test_bytes_counted_even_for_filtered(self, sim):
+        monitor = MessageMonitor(sim, "dev")
+        monitor.submit(make_message(size_bytes=100))
+        monitor.submit(make_message(size_bytes=50, requires_reply=True))
+        assert monitor.bytes_seen == 150
+
+    def test_no_handler_is_safe(self, sim):
+        monitor = MessageMonitor(sim, "dev")
+        monitor.submit(make_message())
+        assert monitor.intercepted == 1

@@ -1,0 +1,172 @@
+"""Unit tests for operator-side relay selection."""
+
+import random
+
+import pytest
+
+from repro.core.operator import (
+    Participant,
+    coverage,
+    greedy_relay_selection,
+    proximity_graph,
+    random_relay_selection,
+    selection_report,
+)
+
+
+def grid_participants(rows=3, cols=3, spacing=10.0, battery=1.0):
+    return [
+        Participant(f"p-{r}-{c}", (c * spacing, r * spacing), battery)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+class TestProximityGraph:
+    def test_symmetric_adjacency(self):
+        participants = grid_participants(spacing=10.0)
+        graph = proximity_graph(participants, range_m=10.0)
+        for node, neighbours in graph.items():
+            for other in neighbours:
+                assert node in graph[other]
+
+    def test_range_controls_edges(self):
+        participants = [
+            Participant("a", (0.0, 0.0)),
+            Participant("b", (5.0, 0.0)),
+            Participant("c", (100.0, 0.0)),
+        ]
+        graph = proximity_graph(participants, range_m=10.0)
+        assert graph["a"] == {"b"}
+        assert graph["c"] == set()
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            proximity_graph([], range_m=0.0)
+
+    def test_invalid_battery_rejected(self):
+        with pytest.raises(ValueError):
+            Participant("x", (0.0, 0.0), battery_level=1.5)
+
+
+class TestCoverage:
+    def test_full_coverage_of_clique(self):
+        participants = grid_participants(rows=1, cols=3, spacing=1.0)
+        graph = proximity_graph(participants, range_m=5.0)
+        assert coverage(["p-0-0"], graph) == 1.0
+
+    def test_partial_coverage(self):
+        participants = [
+            Participant("a", (0.0, 0.0)),
+            Participant("b", (5.0, 0.0)),
+            Participant("c", (100.0, 0.0)),
+        ]
+        graph = proximity_graph(participants, range_m=10.0)
+        assert coverage(["a"], graph) == pytest.approx(2 / 3)
+
+    def test_empty_population(self):
+        assert coverage([], {}) == 1.0
+
+
+class TestGreedySelection:
+    def test_covers_everyone_on_a_grid(self):
+        participants = grid_participants(rows=4, cols=4, spacing=10.0)
+        relays = greedy_relay_selection(participants, range_m=15.0)
+        graph = proximity_graph(participants, range_m=15.0)
+        assert coverage(relays, graph) == 1.0
+        # far fewer relays than participants
+        assert len(relays) < len(participants) / 2
+
+    def test_respects_max_relays(self):
+        participants = grid_participants(rows=4, cols=4, spacing=30.0)
+        relays = greedy_relay_selection(participants, range_m=10.0, max_relays=3)
+        assert len(relays) <= 3
+
+    def test_low_battery_participants_never_appointed(self):
+        participants = [
+            Participant("healthy", (0.0, 0.0), battery_level=0.9),
+            Participant("dying", (1.0, 0.0), battery_level=0.05),
+            Participant("ue", (2.0, 0.0), battery_level=0.5),
+        ]
+        relays = greedy_relay_selection(participants, range_m=10.0)
+        assert "dying" not in relays
+
+    def test_battery_breaks_near_ties(self):
+        # two central candidates with identical coverage; healthier wins
+        participants = [
+            Participant("weak-center", (0.0, 0.0), battery_level=0.3),
+            Participant("strong-center", (0.0, 0.1), battery_level=1.0),
+            Participant("ue-1", (3.0, 0.0)),
+            Participant("ue-2", (-3.0, 0.0)),
+        ]
+        relays = greedy_relay_selection(participants, range_m=5.0)
+        assert relays[0] == "strong-center"
+
+    def test_isolated_node_becomes_its_own_relay_or_uncovered(self):
+        participants = [
+            Participant("a", (0.0, 0.0)),
+            Participant("hermit", (500.0, 500.0)),
+        ]
+        relays = greedy_relay_selection(participants, range_m=10.0)
+        # greedy still appoints the hermit to cover itself
+        assert set(relays) == {"a", "hermit"}
+
+    def test_deterministic(self):
+        participants = grid_participants(rows=5, cols=5, spacing=12.0)
+        assert greedy_relay_selection(participants, 20.0) == greedy_relay_selection(
+            participants, 20.0
+        )
+
+
+class TestRandomSelection:
+    def test_sample_size(self):
+        participants = grid_participants()
+        rng = random.Random(0)
+        assert len(random_relay_selection(participants, 4, rng)) == 4
+
+    def test_caps_at_population(self):
+        participants = grid_participants(rows=1, cols=2)
+        assert len(random_relay_selection(participants, 10, random.Random(0))) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_relay_selection([], -1, random.Random(0))
+
+    def test_greedy_beats_random_on_clustered_population(self):
+        """The planning value: same relay budget, more coverage."""
+        rng = random.Random(7)
+        clusters = []
+        for cluster in range(4):
+            cx, cy = rng.uniform(0, 200), rng.uniform(0, 200)
+            for i in range(8):
+                clusters.append(
+                    Participant(
+                        f"c{cluster}-{i}",
+                        (cx + rng.gauss(0, 4), cy + rng.gauss(0, 4)),
+                    )
+                )
+        graph = proximity_graph(clusters, range_m=20.0)
+        greedy = greedy_relay_selection(clusters, 20.0, max_relays=4)
+        greedy_cov = coverage(greedy, graph)
+        random_covs = [
+            coverage(random_relay_selection(clusters, 4, random.Random(s)), graph)
+            for s in range(20)
+        ]
+        mean_random = sum(random_covs) / len(random_covs)
+        assert greedy_cov > mean_random
+        assert greedy_cov == 1.0
+
+
+class TestSelectionReport:
+    def test_report_fields(self):
+        participants = grid_participants(rows=1, cols=5, spacing=5.0)
+        relays = greedy_relay_selection(participants, range_m=6.0)
+        cov, ues_per_relay = selection_report(relays, participants, 6.0)
+        assert cov == 1.0
+        assert ues_per_relay > 0
+
+    def test_empty_selection(self):
+        participants = grid_participants(rows=1, cols=2)
+        cov, load = selection_report([], participants, 10.0)
+        assert cov == 0.0
+        assert load == 0.0

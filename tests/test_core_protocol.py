@@ -1,0 +1,58 @@
+"""Unit tests for the UE↔relay wire protocol types."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.protocol import (
+    BeatTransfer,
+    D2D_HEADER_BYTES,
+    DeliveryAck,
+    RejectNotice,
+)
+from repro.workload.messages import PeriodicMessage
+
+
+def beat(size=54):
+    return PeriodicMessage(
+        app="standard", origin_device="ue-0", size_bytes=size,
+        created_at_s=0.0, period_s=270.0, expiry_s=270.0,
+    )
+
+
+class TestBeatTransfer:
+    def test_wire_bytes_adds_framing(self):
+        transfer = BeatTransfer(message=beat(54), sent_at_s=1.0)
+        assert transfer.wire_bytes == 54 + D2D_HEADER_BYTES
+
+    def test_frozen(self):
+        transfer = BeatTransfer(message=beat(), sent_at_s=1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            transfer.sent_at_s = 2.0
+
+    def test_carries_the_message_unmodified(self):
+        message = beat()
+        transfer = BeatTransfer(message=message, sent_at_s=1.0)
+        assert transfer.message is message
+
+
+class TestDeliveryAck:
+    def test_wire_bytes_scale_with_acked_beats(self):
+        small = DeliveryAck(beat_seqs=(1,), delivered_at_s=5.0)
+        large = DeliveryAck(beat_seqs=tuple(range(10)), delivered_at_s=5.0)
+        assert large.wire_bytes > small.wire_bytes
+        assert small.wire_bytes == D2D_HEADER_BYTES + 4
+
+    def test_seqs_are_a_tuple(self):
+        ack = DeliveryAck(beat_seqs=(3, 4), delivered_at_s=5.0)
+        assert ack.beat_seqs == (3, 4)
+
+
+class TestRejectNotice:
+    def test_fixed_wire_size(self):
+        notice = RejectNotice(beat_seq=9, reason="capacity")
+        assert notice.wire_bytes == D2D_HEADER_BYTES
+
+    def test_reason_is_advisory_text(self):
+        notice = RejectNotice(beat_seq=9, reason="not accepting")
+        assert "accepting" in notice.reason

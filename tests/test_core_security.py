@@ -1,0 +1,106 @@
+"""Unit tests for end-to-end sealing (the paper's Sec. III-A property)."""
+
+import pytest
+
+from repro.core.security import (
+    IntegrityError,
+    SealedBeat,
+    SecureChannel,
+    ServerKeyRing,
+)
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(7, b"heartbeat payload")
+        assert channel.open(sealed) == b"heartbeat payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        channel = SecureChannel("ue-0", KEY)
+        body = b"heartbeat payload"
+        sealed = channel.seal(7, body)
+        assert sealed.ciphertext != body
+
+    def test_same_body_different_seq_different_ciphertext(self):
+        channel = SecureChannel("ue-0", KEY)
+        a = channel.seal(1, b"same body")
+        b = channel.seal(2, b"same body")
+        assert a.ciphertext != b.ciphertext
+
+    def test_empty_body(self):
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(1, b"")
+        assert channel.open(sealed) == b""
+
+    def test_long_body_spans_keystream_blocks(self):
+        channel = SecureChannel("ue-0", KEY)
+        body = bytes(range(256)) * 3  # 768 B > one BLAKE2b block
+        assert channel.open(channel.seal(9, body)) == body
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel("ue-0", b"short")
+
+
+class TestRelayOpacityAndTampering:
+    def test_relay_without_key_cannot_open(self):
+        """The paper's claim: a malicious relay learns nothing."""
+        ue_channel = SecureChannel("ue-0", KEY)
+        sealed = ue_channel.seal(3, b"secret presence token")
+        relay_guess = SecureChannel("ue-0", b"wrong-key-wrong-key-wrong-key!!!")
+        with pytest.raises(IntegrityError):
+            relay_guess.open(sealed)
+
+    def test_tampered_ciphertext_detected(self):
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(3, b"secret")
+        flipped = bytes([sealed.ciphertext[0] ^ 0xFF]) + sealed.ciphertext[1:]
+        with pytest.raises(IntegrityError):
+            channel.open(sealed.tampered(flipped))
+
+    def test_replay_under_wrong_origin_detected(self):
+        channel_a = SecureChannel("ue-a", KEY)
+        sealed = channel_a.seal(3, b"secret")
+        import dataclasses
+
+        forged = dataclasses.replace(sealed, origin_device="ue-b")
+        channel_b = SecureChannel("ue-b", KEY)
+        with pytest.raises(IntegrityError):
+            channel_b.open(forged)
+
+    def test_tag_is_over_sequence_number(self):
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(3, b"secret")
+        import dataclasses
+
+        replayed = dataclasses.replace(sealed, seq=4)
+        with pytest.raises(IntegrityError):
+            channel.open(replayed)
+
+
+class TestServerKeyRing:
+    def test_provision_and_open(self):
+        ring = ServerKeyRing()
+        device_side, __ = ring.provision("ue-0", KEY)
+        sealed = device_side.seal(1, b"hello server")
+        assert ring.open(sealed) == b"hello server"
+        assert "ue-0" in ring
+
+    def test_duplicate_provision_rejected(self):
+        ring = ServerKeyRing()
+        ring.provision("ue-0", KEY)
+        with pytest.raises(ValueError):
+            ring.provision("ue-0", KEY)
+
+    def test_unknown_device_rejected(self):
+        ring = ServerKeyRing()
+        stray = SecureChannel("ghost", KEY).seal(1, b"x")
+        with pytest.raises(IntegrityError):
+            ring.open(stray)
+
+    def test_wire_bytes_accounts_overhead(self):
+        sealed = SecureChannel("ue-0", KEY).seal(1, b"x" * 54)
+        assert sealed.wire_bytes > 54

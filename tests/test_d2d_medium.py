@@ -1,0 +1,315 @@
+"""Unit tests for the D2D medium: discovery, connection, transfer, breaks."""
+
+import pytest
+
+from repro.d2d.base import D2DEndpoint, D2DMedium, D2DTransferError
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.mobility.models import LinearMobility, StaticMobility
+
+
+def make_endpoint(device_id, position=(0.0, 0.0), advertising=False, role=None):
+    endpoint = D2DEndpoint(
+        device_id,
+        StaticMobility(position),
+        energy=EnergyModel(owner=device_id),
+        advertisement={"role": role} if role else {},
+    )
+    endpoint.advertising = advertising
+    return endpoint
+
+
+@pytest.fixture
+def medium(sim):
+    return D2DMedium(sim, WIFI_DIRECT)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, medium):
+        endpoint = make_endpoint("a")
+        medium.register(endpoint)
+        assert medium.endpoint("a") is endpoint
+
+    def test_duplicate_rejected(self, medium):
+        medium.register(make_endpoint("a"))
+        with pytest.raises(ValueError):
+            medium.register(make_endpoint("a"))
+
+    def test_unknown_lookup_raises(self, medium):
+        with pytest.raises(KeyError):
+            medium.endpoint("ghost")
+
+    def test_undeployed_technology_gated(self, sim):
+        from repro.d2d.lte_direct import LTE_DIRECT
+
+        with pytest.raises(ValueError):
+            D2DMedium(sim, LTE_DIRECT)
+        # explicit opt-in works
+        D2DMedium(sim, LTE_DIRECT, allow_undeployed=True)
+
+
+class TestDiscovery:
+    def test_finds_advertising_peers_in_range(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(make_endpoint("relay", (3.0, 0.0), advertising=True, role="relay"))
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        assert [p.device_id for p in found] == ["relay"]
+        assert found[0].advertisement["role"] == "relay"
+
+    def test_non_advertising_peers_invisible(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(make_endpoint("silent", (3.0, 0.0), advertising=False))
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        assert found == []
+
+    def test_out_of_range_peers_invisible(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(
+            make_endpoint("far", (WIFI_DIRECT.max_range_m + 10, 0.0), advertising=True)
+        )
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        assert found == []
+
+    def test_discovery_takes_latency(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        done_at = []
+        medium.discover("ue", lambda peers: done_at.append(sim.now))
+        sim.run_until(10.0)
+        assert done_at == [WIFI_DIRECT.discovery_latency_s]
+
+    def test_discovery_energy_charged_to_requester_only(self, sim, medium):
+        """A probe response is free; the responder's discovery-phase cost
+        is deferred to connection time (find-phase participation)."""
+        ue = make_endpoint("ue")
+        relay = make_endpoint("relay", (3.0, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        medium.discover("ue", lambda peers: None)
+        sim.run_until(10.0)
+        assert ue.energy.phase_uah(EnergyPhase.D2D_DISCOVERY) == pytest.approx(
+            DEFAULT_PROFILE.ue_discovery_uah
+        )
+        assert relay.energy.phase_uah(EnergyPhase.D2D_DISCOVERY) == 0.0
+        # after pairing, the relay has paid its Table III discovery charge
+        medium.connect("ue", "relay", lambda conn: None)
+        sim.run_until(20.0)
+        assert relay.energy.phase_uah(EnergyPhase.D2D_DISCOVERY) == pytest.approx(
+            DEFAULT_PROFILE.relay_discovery_uah
+        )
+
+    def test_third_party_scans_do_not_drain_relays(self, sim, medium):
+        """A crowd of scanning UEs must not multiply-bill every relay in
+        range — the artifact that motivated deferring the responder cost."""
+        relay = make_endpoint("relay", (3.0, 0.0), advertising=True)
+        medium.register(relay)
+        for i in range(5):
+            scanner = make_endpoint(f"scanner-{i}")
+            medium.register(scanner)
+            medium.discover(f"scanner-{i}", lambda peers: None)
+        sim.run_until(30.0)
+        assert relay.energy.total_uah == 0.0
+
+    def test_peers_sorted_strongest_first(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(make_endpoint("near", (1.0, 0.0), advertising=True))
+        medium.register(make_endpoint("far", (15.0, 0.0), advertising=True))
+        found = []
+        medium.discover("ue", found.extend, rssi_noise=False)
+        sim.run_until(10.0)
+        assert [p.device_id for p in found] == ["near", "far"]
+
+    def test_distance_estimate_exact_without_noise(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(make_endpoint("relay", (4.0, 0.0), advertising=True))
+        found = []
+        medium.discover("ue", found.extend, rssi_noise=False)
+        sim.run_until(10.0)
+        assert found[0].estimated_distance_m == pytest.approx(4.0, rel=1e-9)
+
+    def test_powered_off_requester_rejected(self, medium):
+        endpoint = make_endpoint("ue")
+        endpoint.powered_on = False
+        medium.register(endpoint)
+        with pytest.raises(D2DTransferError):
+            medium.discover("ue", lambda peers: None)
+
+
+class TestConnection:
+    def _pair(self, sim, medium, distance=3.0):
+        ue = make_endpoint("ue")
+        relay = make_endpoint("relay", (distance, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        result = []
+        medium.connect("ue", "relay", result.append)
+        sim.run_until(10.0)
+        return ue, relay, result[0]
+
+    def test_connect_succeeds_in_range(self, sim, medium):
+        __, __, connection = self._pair(sim, medium)
+        assert connection is not None and connection.alive
+        assert medium.connections_established == 1
+
+    def test_connect_energy_both_sides(self, sim, medium):
+        ue, relay, __ = self._pair(sim, medium)
+        assert ue.energy.phase_uah(EnergyPhase.D2D_CONNECTION) == pytest.approx(
+            DEFAULT_PROFILE.ue_connection_uah
+        )
+        assert relay.energy.phase_uah(EnergyPhase.D2D_CONNECTION) == pytest.approx(
+            DEFAULT_PROFILE.relay_connection_uah
+        )
+
+    def test_self_connect_rejected(self, sim, medium):
+        medium.register(make_endpoint("narcissist"))
+        with pytest.raises(D2DTransferError):
+            medium.connect("narcissist", "narcissist", lambda c: None)
+
+    def test_connect_fails_out_of_range(self, sim, medium):
+        __, __, connection = self._pair(sim, medium, distance=WIFI_DIRECT.max_range_m + 5)
+        assert connection is None
+        assert medium.connections_failed == 1
+
+    def test_connect_fails_if_responder_powers_off_mid_handshake(self, sim, medium):
+        ue = make_endpoint("ue")
+        relay = make_endpoint("relay", (2.0, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        result = []
+        medium.connect("ue", "relay", result.append)
+        relay.powered_on = False
+        sim.run_until(10.0)
+        assert result == [None]
+
+    def test_transfer_delivers_payload(self, sim, medium):
+        ue, relay, connection = self._pair(sim, medium)
+        inbox = []
+        relay.on_message = lambda conn, sender, payload, size: inbox.append(
+            (sender, payload, size)
+        )
+        outcomes = []
+        connection.send("ue", 78, "beat", on_result=outcomes.append)
+        sim.run_until(20.0)
+        assert inbox == [("ue", "beat", 78)]
+        assert outcomes == [True]
+        assert connection.messages_delivered == 1
+        assert connection.bytes_transferred == 78
+
+    def test_transfer_energy_tx_rx_split(self, sim, medium):
+        ue, relay, connection = self._pair(sim, medium, distance=1.0)
+        connection.send("ue", 54, "beat")
+        sim.run_until(20.0)
+        assert ue.energy.phase_uah(EnergyPhase.D2D_FORWARD) == pytest.approx(
+            DEFAULT_PROFILE.ue_forward_cost_uah(54, 1.0)
+        )
+        assert relay.energy.phase_uah(EnergyPhase.D2D_RECEIVE) == pytest.approx(
+            DEFAULT_PROFILE.relay_receive_cost_uah(54)
+        )
+
+    def test_transfer_energy_scales_with_distance(self, sim):
+        costs = []
+        for distance in (1.0, 10.0):
+            from repro.sim.engine import Simulator
+
+            sim2 = Simulator(seed=1)
+            medium2 = D2DMedium(sim2, WIFI_DIRECT)
+            ue = make_endpoint("ue")
+            relay = make_endpoint("relay", (distance, 0.0), advertising=True)
+            medium2.register(ue)
+            medium2.register(relay)
+            holder = []
+            medium2.connect("ue", "relay", holder.append)
+            sim2.run_until(5.0)
+            holder[0].send("ue", 54, "x")
+            sim2.run_until(10.0)
+            costs.append(ue.energy.phase_uah(EnergyPhase.D2D_FORWARD))
+        assert costs[1] > costs[0] * 2
+
+    def test_control_messages_use_ack_charge(self, sim, medium):
+        ue, relay, connection = self._pair(sim, medium)
+        connection.send("relay", 24, "ack", control=True)
+        sim.run_until(20.0)
+        assert relay.energy.phase_uah(EnergyPhase.D2D_ACK) == pytest.approx(
+            DEFAULT_PROFILE.relay_ack_uah
+        )
+        assert ue.energy.phase_uah(EnergyPhase.D2D_ACK) == pytest.approx(
+            DEFAULT_PROFILE.relay_ack_uah
+        )
+
+    def test_send_from_non_member_raises(self, sim, medium):
+        __, __, connection = self._pair(sim, medium)
+        with pytest.raises(D2DTransferError):
+            connection.send("stranger", 10, "x")
+
+    def test_close_notifies_both_sides(self, sim, medium):
+        ue, relay, connection = self._pair(sim, medium)
+        reasons = []
+        ue.on_disconnect = lambda conn, reason: reasons.append(("ue", reason))
+        relay.on_disconnect = lambda conn, reason: reasons.append(("relay", reason))
+        connection.close("done")
+        assert not connection.alive
+        assert set(reasons) == {("ue", "done"), ("relay", "done")}
+
+    def test_send_on_closed_connection_fails(self, sim, medium):
+        __, __, connection = self._pair(sim, medium)
+        connection.close()
+        outcomes = []
+        assert connection.send("ue", 10, "x", on_result=outcomes.append) is False
+        assert outcomes == [False]
+
+
+class TestMobilityBreaks:
+    def test_link_breaks_when_peer_walks_away(self, sim, medium):
+        ue = D2DEndpoint(
+            "ue",
+            LinearMobility((0.0, 0.0), (2.0, 0.0)),  # 2 m/s away
+            energy=EnergyModel(owner="ue"),
+        )
+        relay = make_endpoint("relay", (0.0, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        holder = []
+        medium.connect("ue", "relay", holder.append)
+        sim.run_until(5.0)
+        connection = holder[0]
+        assert connection.alive
+        breaks = []
+        ue.on_disconnect = lambda conn, reason: breaks.append(reason)
+        # after ~25 s the UE is past the 50 m Wi-Fi Direct range
+        sim.run_until(60.0)
+        assert not connection.alive
+        assert breaks == ["out of range"]
+        assert medium.connections_broken == 1
+
+    def test_send_beyond_range_breaks_link(self, sim, medium):
+        ue = D2DEndpoint("ue", LinearMobility((0.0, 0.0), (30.0, 0.0)))
+        relay = make_endpoint("relay", advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        holder = []
+        medium.connect("ue", "relay", holder.append)
+        sim.run_until(WIFI_DIRECT.connection_latency_s)
+        connection = holder[0]
+        sim.run_until(4.0)  # 120 m away now, before the first link check
+        outcomes = []
+        assert connection.send("ue", 10, "x", on_result=outcomes.append) is False
+        assert outcomes == [False]
+        assert not connection.alive
+
+    def test_power_off_breaks_connections(self, sim, medium):
+        ue = make_endpoint("ue")
+        relay = make_endpoint("relay", (2.0, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        holder = []
+        medium.connect("ue", "relay", holder.append)
+        sim.run_until(5.0)
+        medium.power_off("relay")
+        assert not holder[0].alive
+        assert medium.connections_of("ue") == []

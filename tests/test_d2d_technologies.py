@@ -1,0 +1,104 @@
+"""Unit tests for the three D2D technology models (paper Sec. IV-A)."""
+
+import pytest
+
+from repro.d2d.bluetooth import BLUETOOTH
+from repro.d2d.lte_direct import LTE_DIRECT
+from repro.d2d.wifi_direct import (
+    GroupOwnerNegotiator,
+    MAX_GO_INTENT,
+    WIFI_DIRECT,
+)
+
+
+class TestTechnologyTradeoffs:
+    def test_bluetooth_is_short_ranged(self):
+        """Sec. IV-A: 'its communication range is typically less than 10 m'."""
+        assert BLUETOOTH.max_range_m <= 10.0
+        assert WIFI_DIRECT.max_range_m > 3 * BLUETOOTH.max_range_m
+
+    def test_bluetooth_is_cheaper_per_transfer(self):
+        assert BLUETOOTH.tx_scale < WIFI_DIRECT.tx_scale
+        assert BLUETOOTH.discovery_scale < WIFI_DIRECT.discovery_scale
+
+    def test_lte_direct_has_500m_discovery(self):
+        """Sec. IV-A: 'discovery of thousands of devices ... approximately
+        500 meters'."""
+        assert LTE_DIRECT.max_range_m == pytest.approx(500.0)
+
+    def test_lte_direct_flagged_undeployed(self):
+        assert LTE_DIRECT.deployed is False
+        assert WIFI_DIRECT.deployed is True
+        assert BLUETOOTH.deployed is True
+
+    def test_wifi_direct_is_the_energy_calibration_baseline(self):
+        assert WIFI_DIRECT.tx_scale == 1.0
+        assert WIFI_DIRECT.rx_scale == 1.0
+        assert WIFI_DIRECT.discovery_scale == 1.0
+        assert WIFI_DIRECT.connection_scale == 1.0
+
+    def test_link_ranges_are_self_consistent(self):
+        # each technology's nominal range is reachable by its link model
+        for tech in (WIFI_DIRECT, BLUETOOTH, LTE_DIRECT):
+            assert tech.link.in_range(tech.max_range_m * 0.5), tech.name
+
+
+class TestGroupOwnerNegotiation:
+    def test_fresh_relay_has_max_intent(self):
+        negotiator = GroupOwnerNegotiator(is_relay=True, capacity=10)
+        assert negotiator.intent == MAX_GO_INTENT
+
+    def test_ue_pins_intent_zero(self):
+        negotiator = GroupOwnerNegotiator(is_relay=False)
+        negotiator.note_collected(5)
+        assert negotiator.intent == 0
+
+    def test_intent_decays_proportionally_with_collection(self):
+        """Sec. IV-C: 'reduce groupOwnerIntend proportionally until 0'."""
+        negotiator = GroupOwnerNegotiator(is_relay=True, capacity=10)
+        intents = []
+        for _ in range(10):
+            negotiator.note_collected()
+            intents.append(negotiator.intent)
+        assert intents[0] < MAX_GO_INTENT
+        assert intents[-1] == 0
+        assert all(b <= a for a, b in zip(intents, intents[1:]))
+
+    def test_collection_caps_at_capacity(self):
+        negotiator = GroupOwnerNegotiator(is_relay=True, capacity=3)
+        negotiator.note_collected(10)
+        assert negotiator.collected == 3
+        assert negotiator.intent == 0
+
+    def test_reset_period_restores_intent(self):
+        negotiator = GroupOwnerNegotiator(is_relay=True, capacity=4)
+        negotiator.note_collected(4)
+        negotiator.reset_period()
+        assert negotiator.intent == MAX_GO_INTENT
+
+    def test_relay_requires_capacity(self):
+        with pytest.raises(ValueError):
+            GroupOwnerNegotiator(is_relay=True, capacity=0)
+
+    def test_negative_collection_rejected(self):
+        negotiator = GroupOwnerNegotiator(is_relay=True, capacity=5)
+        with pytest.raises(ValueError):
+            negotiator.note_collected(-1)
+
+    def test_negotiate_higher_intent_wins(self):
+        assert GroupOwnerNegotiator.negotiate(15, 0) == 0
+        assert GroupOwnerNegotiator.negotiate(0, 15) == 1
+
+    def test_negotiate_tie_is_deterministic(self):
+        assert GroupOwnerNegotiator.negotiate(7, 7) == 0
+
+    def test_negotiate_rejects_out_of_range_intent(self):
+        with pytest.raises(ValueError):
+            GroupOwnerNegotiator.negotiate(16, 0)
+
+    def test_loaded_relay_loses_to_fresh_relay(self):
+        """The load-balancing effect: fresh relays win group ownership."""
+        fresh = GroupOwnerNegotiator(is_relay=True, capacity=10)
+        loaded = GroupOwnerNegotiator(is_relay=True, capacity=10)
+        loaded.note_collected(8)
+        assert GroupOwnerNegotiator.negotiate(loaded.intent, fresh.intent) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the Smartphone device model."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.battery import Battery
+from repro.energy.power_monitor import PowerMonitor
+from repro.mobility.models import LinearMobility, StaticMobility
+from repro.workload.apps import STANDARD_APP
+from repro.workload.generator import HeartbeatGenerator
+
+
+class TestConstruction:
+    def test_defaults(self, sim):
+        phone = Smartphone(sim, "dev")
+        assert phone.role == Role.STANDALONE
+        assert phone.alive
+        assert phone.d2d is None
+        assert phone.position() == (0.0, 0.0)
+
+    def test_d2d_endpoint_registered_with_medium(self, sim):
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        phone = Smartphone(sim, "dev", d2d_medium=medium)
+        assert medium.endpoint("dev") is phone.d2d
+
+    def test_position_follows_mobility(self, sim):
+        phone = Smartphone(sim, "dev", mobility=LinearMobility((0.0, 0.0), (1.0, 0.0)))
+        sim.run_until(5.0)
+        assert phone.position() == (5.0, 0.0)
+        assert phone.position(2.0) == (2.0, 0.0)
+
+    def test_role_helpers(self, sim):
+        assert Smartphone(sim, "r", role=Role.RELAY).is_relay
+        assert Smartphone(sim, "u", role=Role.UE).is_ue
+        assert not Smartphone(sim, "s").is_relay
+
+    def test_power_monitor_wired_to_energy(self, sim):
+        monitor = PowerMonitor()
+        phone = Smartphone(sim, "dev", power_monitor=monitor)
+        from repro.energy.model import EnergyPhase
+
+        phone.energy.charge(EnergyPhase.OTHER, 100.0, duration_s=1.0)
+        assert monitor.integral_uah() == pytest.approx(100.0)
+
+
+class TestPowerOff:
+    def test_power_off_stops_everything(self, sim, ledger):
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        basestation = BaseStation(sim, ledger=ledger)
+        phone = Smartphone(
+            sim, "dev", ledger=ledger, basestation=basestation, d2d_medium=medium
+        )
+        beats = []
+        generator = HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, beats.append, phase_fraction=0.0
+        ).start()
+        phone.add_generator(generator)
+        sim.run_until(1.0)
+        phone.power_off()
+        sim.run_until(1000.0)
+        assert len(beats) == 1
+        assert not phone.alive
+        assert not phone.modem.powered_on
+        assert not medium.endpoint("dev").powered_on
+
+    def test_power_off_idempotent(self, sim):
+        phone = Smartphone(sim, "dev")
+        phone.power_off()
+        phone.power_off()
+
+    def test_battery_depletion_powers_off(self, sim):
+        battery = Battery(capacity_mah=0.0005)  # 0.5 µAh: dies immediately
+        phone = Smartphone(sim, "dev", battery=battery)
+        from repro.energy.model import EnergyPhase
+
+        phone.energy.charge(EnergyPhase.OTHER, 10.0)
+        assert battery.is_depleted
+        assert not phone.alive
+
+    def test_healthy_battery_keeps_phone_alive(self, sim):
+        battery = Battery()
+        phone = Smartphone(sim, "dev", battery=battery)
+        from repro.energy.model import EnergyPhase
+
+        phone.energy.charge(EnergyPhase.OTHER, 10.0)
+        assert phone.alive
+        assert battery.level < 1.0

@@ -1,0 +1,76 @@
+"""The prejudgment's closed-form economics must match the simulator.
+
+The matcher decides whether to pair using `core.modes` closed forms; if
+those drift from what the simulation actually charges, the prejudgment
+starts making wrong calls silently. These tests pin the two together.
+"""
+
+import pytest
+
+from repro.core.modes import cellular_session_cost_uah, d2d_session_cost_uah
+from repro.core.protocol import D2D_HEADER_BYTES
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.scenarios import run_relay_scenario
+from repro.workload.apps import STANDARD_APP
+
+
+class TestClosedFormsMatchSimulation:
+    @pytest.mark.parametrize("periods", [1, 3, 7])
+    def test_ue_session_cost(self, periods):
+        """Measured UE energy = closed-form session cost + ack overhead.
+
+        The closed form prices discovery + connection + per-beat forwards
+        of the on-the-wire size (beat + framing); the simulation adds only
+        the tiny feedback-ack charges on top.
+        """
+        result = run_relay_scenario(n_ues=1, distance_m=1.0, periods=periods)
+        measured = result.per_device_energy_uah("ue-0")
+        wire_bytes = STANDARD_APP.heartbeat_bytes + D2D_HEADER_BYTES
+        predicted = d2d_session_cost_uah(
+            DEFAULT_PROFILE, periods, distance_m=1.0, size_bytes=wire_bytes
+        )
+        acks = periods * DEFAULT_PROFILE.relay_ack_uah
+        assert measured == pytest.approx(predicted + acks, rel=1e-6)
+
+    @pytest.mark.parametrize("periods", [1, 4])
+    def test_cellular_session_cost(self, periods):
+        """Measured original-system UE energy = closed-form cellular cost."""
+        result = run_relay_scenario(n_ues=1, distance_m=1.0, periods=periods,
+                                    mode="original")
+        measured = result.per_device_energy_uah("ue-0")
+        predicted = cellular_session_cost_uah(
+            DEFAULT_PROFILE, periods, size_bytes=STANDARD_APP.heartbeat_bytes
+        )
+        assert measured == pytest.approx(predicted, rel=1e-6)
+
+    @pytest.mark.parametrize("distance", [1.0, 8.0, 15.0])
+    def test_distance_scaling_matches(self, distance):
+        """The distance factor the prejudgment reasons with is the one the
+        medium actually charges."""
+        result = run_relay_scenario(n_ues=1, distance_m=distance, periods=2)
+        measured = result.metrics.devices["ue-0"].energy_breakdown[
+            "d2d_forward"
+        ]
+        wire_bytes = STANDARD_APP.heartbeat_bytes + D2D_HEADER_BYTES
+        predicted = 2 * DEFAULT_PROFILE.ue_forward_cost_uah(
+            wire_bytes, distance
+        )
+        assert measured == pytest.approx(predicted, rel=1e-6)
+
+    def test_prejudgment_decision_boundary_is_honest(self):
+        """Just inside the breakeven distance D2D really is cheaper for the
+        UE; just outside it really is not (single-beat sessions)."""
+        from repro.core.modes import breakeven_distance_m
+
+        wire_bytes = STANDARD_APP.heartbeat_bytes + D2D_HEADER_BYTES
+        edge = breakeven_distance_m(
+            DEFAULT_PROFILE, expected_beats=1, size_bytes=wire_bytes,
+            precision_m=0.001,
+        )
+        inside = d2d_session_cost_uah(DEFAULT_PROFILE, 1, edge - 0.05,
+                                      wire_bytes)
+        outside = d2d_session_cost_uah(DEFAULT_PROFILE, 1, edge + 0.05,
+                                       wire_bytes)
+        cellular = cellular_session_cost_uah(DEFAULT_PROFILE, 1,
+                                             wire_bytes)
+        assert inside < cellular < outside

@@ -1,0 +1,82 @@
+"""Unit tests for the battery model."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.profiles import GALAXY_S4_BATTERY_MAH
+
+
+class TestConstruction:
+    def test_defaults_to_galaxy_s4(self):
+        assert Battery().capacity_mah == GALAXY_S4_BATTERY_MAH
+
+    def test_partial_initial_level(self):
+        battery = Battery(capacity_mah=1000, level=0.25)
+        assert battery.remaining_mah == pytest.approx(250.0)
+        assert battery.level == pytest.approx(0.25)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(level=1.5)
+
+
+class TestDrain:
+    def test_drain_reduces_charge(self):
+        battery = Battery(capacity_mah=1.0)
+        battery.drain_uah(250.0)
+        assert battery.remaining_mah == pytest.approx(0.75)
+
+    def test_drain_clamps_at_zero(self):
+        battery = Battery(capacity_mah=0.001)  # 1 µAh
+        battery.drain_uah(1000.0)
+        assert battery.remaining_mah == 0.0
+        assert battery.is_depleted
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().drain_uah(-1.0)
+
+    def test_depletion_hook_fires_once(self):
+        fired = []
+        battery = Battery(capacity_mah=0.001, on_depleted=lambda: fired.append(1))
+        battery.drain_uah(500.0)
+        battery.drain_uah(500.0)
+        assert fired == [1]
+
+    def test_total_drained_caps_at_capacity(self):
+        battery = Battery(capacity_mah=1.0)
+        battery.drain_uah(2000.0)  # 2 mAh from a 1 mAh battery
+        assert battery.total_drained_mah == pytest.approx(1.0)
+
+
+class TestRechargeAndProjection:
+    def test_recharge_restores_level(self):
+        battery = Battery(capacity_mah=100)
+        battery.drain_uah(50_000)
+        battery.recharge()
+        assert battery.level == pytest.approx(1.0)
+
+    def test_recharge_rearms_depletion_hook(self):
+        fired = []
+        battery = Battery(capacity_mah=0.001, on_depleted=lambda: fired.append(1))
+        battery.drain_uah(10.0)
+        battery.recharge()
+        battery.drain_uah(10.0)
+        assert fired == [1, 1]
+
+    def test_projected_lifetime(self):
+        battery = Battery(capacity_mah=1.0)  # 1000 µAh
+        assert battery.projected_lifetime_s(10.0) == pytest.approx(100.0)
+
+    def test_projected_lifetime_infinite_at_zero_rate(self):
+        assert Battery().projected_lifetime_s(0.0) == float("inf")
+
+    def test_fraction_for_matches_paper_math(self):
+        """320 WeChat beats/day × ~598 µAh ≈ 7% of a Galaxy S4 battery."""
+        battery = Battery()
+        daily = (86_400 / 270.0) * 597.93
+        assert battery.fraction_for(daily) == pytest.approx(0.0736, abs=0.002)

@@ -1,0 +1,109 @@
+"""Cross-cutting conservation laws: ledgers, traces and breakdowns agree."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.power_monitor import PowerMonitor
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+@pytest.fixture(scope="module")
+def monitored_run():
+    """A full relaying run with Monsoon-style monitors on every phone."""
+    sim = Simulator(seed=17)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework([], app=STANDARD_APP)
+    monitors = {}
+    devices = {}
+    for device_id, role, position, phase in (
+        ("relay-0", Role.RELAY, (0.0, 0.0), 0.0),
+        ("ue-0", Role.UE, (1.0, 0.0), 0.4),
+        ("ue-1", Role.UE, (1.0, 1.0), 0.6),
+    ):
+        monitor = PowerMonitor()
+        device = Smartphone(sim, device_id, mobility=StaticMobility(position),
+                            role=role, ledger=ledger, basestation=basestation,
+                            d2d_medium=medium, power_monitor=monitor)
+        framework.add_device(device, phase_fraction=phase)
+        monitors[device_id] = monitor
+        devices[device_id] = device
+    sim.run_until(3 * T - 1)
+    framework.shutdown()
+    sim.run_until(3 * T + 60)
+    return devices, monitors, ledger, server, framework
+
+
+class TestEnergyConservation:
+    def test_trace_integral_equals_ledger_total(self, monitored_run):
+        """The synthesized Monsoon trace carries exactly the charge the
+        energy ledger booked — for every device."""
+        devices, monitors, __, __, __ = monitored_run
+        for device_id, device in devices.items():
+            assert monitors[device_id].integral_uah() == pytest.approx(
+                device.energy.total_uah, rel=1e-6
+            ), device_id
+
+    def test_breakdown_sums_to_total(self, monitored_run):
+        devices, __, __, __, __ = monitored_run
+        for device in devices.values():
+            assert sum(device.energy.breakdown().values()) == pytest.approx(
+                device.energy.total_uah
+            )
+
+    def test_d2d_plus_cellular_covers_everything(self, monitored_run):
+        """No charge lands outside the two radio categories here."""
+        devices, __, __, __, __ = monitored_run
+        for device in devices.values():
+            assert device.energy.d2d_uah + device.energy.cellular_uah == (
+                pytest.approx(device.energy.total_uah)
+            )
+
+
+class TestSignalingConservation:
+    def test_ledger_decomposes_by_device(self, monitored_run):
+        __, __, ledger, __, __ = monitored_run
+        assert sum(ledger.by_device().values()) == ledger.total
+
+    def test_cycles_match_setup_release_pairs(self, monitored_run):
+        from repro.cellular.signaling import L3MessageType
+
+        __, __, ledger, __, __ = monitored_run
+        setups = ledger.count_for_type(L3MessageType.RRC_CONNECTION_REQUEST)
+        releases = ledger.count_for_type(L3MessageType.RRC_CONNECTION_RELEASE)
+        assert ledger.total_cycles == releases
+        assert setups >= releases  # a final connection may still be in tail
+
+
+class TestDeliveryConservation:
+    def test_every_emitted_beat_is_accounted(self, monitored_run):
+        """emitted == on-time-delivered (no losses, no dupes in this run)."""
+        devices, __, __, server, framework = monitored_run
+        emitted = sum(
+            agent.monitor.generators[STANDARD_APP.name].beats_emitted
+            for agent in framework.ue_agents()
+        ) + framework.relays["relay-0"].monitor.generators[
+            STANDARD_APP.name
+        ].beats_emitted
+        on_time = {r.message.seq for r in server.records if r.on_time}
+        assert len(on_time) == emitted
+        assert server.duplicate_count == 0
+
+    def test_rewards_equal_collected(self, monitored_run):
+        __, __, __, __, framework = monitored_run
+        assert framework.rewards.total_beats == (
+            framework.total_beats_collected()
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the Monsoon-style power monitor emulation."""
+
+import pytest
+
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.power_monitor import PowerMonitor
+from repro.energy.profiles import DEFAULT_PROFILE
+
+
+@pytest.fixture
+def monitor():
+    return PowerMonitor(sample_period_s=0.1)
+
+
+class TestPulseDeposition:
+    def test_trace_integral_equals_charged_energy(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.CELLULAR_TAIL, 455.23, 7.5)
+        assert monitor.integral_uah() == pytest.approx(455.23, rel=1e-9)
+
+    def test_multiple_events_sum(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD, 73.09, 0.4)
+        monitor.on_charge(5.0, EnergyPhase.D2D_RECEIVE, 130.17, 0.4)
+        assert monitor.integral_uah() == pytest.approx(203.26, rel=1e-9)
+
+    def test_zero_charge_ignored(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD, 0.0, 1.0)
+        assert monitor.integral_uah() == 0.0
+
+    def test_default_duration_used_when_missing(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.CELLULAR_TAIL, 455.23)
+        # spreads over the profile's full tail window
+        expected_samples = int(DEFAULT_PROFILE.cellular_tail_s / 0.1)
+        assert len(monitor.currents_ma()) == expected_samples
+
+    def test_idle_baseline_present_everywhere(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD, 10.0, 0.5)
+        trace = monitor.currents_ma(until_s=2.0)
+        assert all(c >= monitor.idle_current_ma for c in trace)
+
+    def test_sample_timestamps(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD, 10.0, 0.3)
+        samples = monitor.trace()
+        assert [round(s.time_s, 3) for s in samples] == [0.0, 0.1, 0.2]
+
+    def test_invalid_sample_period_rejected(self):
+        with pytest.raises(ValueError):
+            PowerMonitor(sample_period_s=0.0)
+
+    def test_reset_clears_trace(self, monitor):
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD, 10.0, 0.3)
+        monitor.reset()
+        assert monitor.integral_uah() == 0.0
+
+
+class TestFig6Fig7Shapes:
+    """The qualitative difference between the paper's Figs. 6 and 7."""
+
+    def _d2d_trace(self):
+        monitor = PowerMonitor()
+        p = DEFAULT_PROFILE
+        monitor.on_charge(0.0, EnergyPhase.D2D_FORWARD,
+                          p.ue_forward_cost_uah(54), p.d2d_transfer_s)
+        return monitor
+
+    def _cellular_trace(self):
+        monitor = PowerMonitor()
+        p = DEFAULT_PROFILE
+        monitor.on_charge(0.0, EnergyPhase.CELLULAR_SETUP,
+                          p.cellular_setup_uah, p.cellular_setup_s)
+        monitor.on_charge(p.cellular_setup_s, EnergyPhase.CELLULAR_TX,
+                          p.cellular_send_cost_uah(54, setup_needed=False),
+                          p.cellular_tx_s)
+        monitor.on_charge(p.cellular_setup_s + p.cellular_tx_s,
+                          EnergyPhase.CELLULAR_TAIL,
+                          p.cellular_tail_uah, p.cellular_tail_s)
+        return monitor
+
+    def test_cellular_stays_elevated_much_longer_than_d2d(self):
+        d2d = self._d2d_trace().elevated_duration_s(threshold_ma=50.0)
+        cellular = self._cellular_trace().elevated_duration_s(threshold_ma=50.0)
+        assert cellular > 5.0  # multi-second tail (Fig. 7)
+        assert d2d < 1.0  # sub-second spike (Fig. 6)
+        assert cellular / d2d > 5.0
+
+    def test_cellular_total_energy_exceeds_d2d(self):
+        assert (
+            self._cellular_trace().integral_uah()
+            > 5 * self._d2d_trace().integral_uah()
+        )
+
+    def test_peaks_are_realistic_phone_currents(self):
+        # both figures peak in the hundreds of mA on a real phone
+        assert 300.0 < self._d2d_trace().peak_ma() < 1500.0
+        assert 300.0 < self._cellular_trace().peak_ma() < 1500.0
+
+
+class TestIntegrationWithEnergyModel:
+    def test_model_hook_feeds_monitor(self):
+        monitor = PowerMonitor()
+        model = EnergyModel(on_charge=monitor.on_charge)
+        model.charge(EnergyPhase.D2D_FORWARD, 50.0, time_s=1.0, duration_s=0.4)
+        assert monitor.integral_uah() == pytest.approx(50.0)
+        assert model.total_uah == pytest.approx(50.0)

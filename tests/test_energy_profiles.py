@@ -1,0 +1,165 @@
+"""Unit tests for the energy calibration profile.
+
+These tests pin the constants to the paper's published measurements — if a
+refactor drifts the calibration, the headline reproductions drift with it,
+so the numbers are asserted tightly here and nowhere else.
+"""
+
+import pytest
+
+from repro.energy.profiles import (
+    DEFAULT_PROFILE,
+    GALAXY_S4_BATTERY_MAH,
+    PROFILE_VARIANTS,
+    STANDARD_HEARTBEAT_BYTES,
+    TABLE_IV_RECEIVE_UAH,
+    microamp_hours_to_milliamps,
+)
+
+
+class TestCalibrationConstants:
+    def test_table_iii_ue_row(self):
+        p = DEFAULT_PROFILE
+        assert p.ue_discovery_uah == pytest.approx(132.24)
+        assert p.ue_connection_uah == pytest.approx(63.74)
+        assert p.ue_forward_uah == pytest.approx(73.09)
+
+    def test_table_iii_relay_row(self):
+        p = DEFAULT_PROFILE
+        assert p.relay_discovery_uah == pytest.approx(122.50)
+        assert p.relay_connection_uah == pytest.approx(60.29)
+
+    def test_table_iv_slope_matches_constant(self):
+        # 911.196 µAh over 7 beats → 130.17 µAh per beat
+        assert DEFAULT_PROFILE.relay_receive_uah == pytest.approx(
+            TABLE_IV_RECEIVE_UAH[-1] / 7, abs=0.01
+        )
+
+    def test_cellular_heartbeat_yields_55_percent_ue_saving(self):
+        """The paper's headline: one-shot D2D session saves the UE 55%."""
+        p = DEFAULT_PROFILE
+        session = p.ue_discovery_uah + p.ue_connection_uah + p.ue_forward_uah
+        cellular = p.cellular_heartbeat_uah(STANDARD_HEARTBEAT_BYTES)
+        saving = 1.0 - session / cellular
+        assert saving == pytest.approx(0.55, abs=0.005)
+
+    def test_wechat_daily_heartbeat_drain_matches_intro_claim(self):
+        """Paper intro: ≥6% of battery per day with one IM app (WeChat)."""
+        beats_per_day = 86_400 / 270.0
+        daily_uah = beats_per_day * DEFAULT_PROFILE.cellular_heartbeat_uah(74)
+        fraction = daily_uah / 1000.0 / GALAXY_S4_BATTERY_MAH
+        assert 0.06 <= fraction <= 0.09
+
+
+class TestDistanceFactor:
+    def test_unity_at_reference_distance(self):
+        assert DEFAULT_PROFILE.d2d_distance_factor(1.0) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self):
+        factors = [DEFAULT_PROFILE.d2d_distance_factor(d) for d in range(0, 20)]
+        assert all(b > a for a, b in zip(factors, factors[1:]))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.d2d_distance_factor(-1.0)
+
+    def test_fig12_range_stays_below_cellular_at_15m(self):
+        """Fig. 12: at 15 m the UE is still (just) cheaper than cellular."""
+        p = DEFAULT_PROFILE
+        per_beat_at_15m = p.ue_forward_cost_uah(STANDARD_HEARTBEAT_BYTES, 15.0)
+        assert per_beat_at_15m < p.cellular_heartbeat_uah()
+
+    def test_crossover_exists_beyond_sweep(self):
+        """...but a crossover does exist at some larger distance."""
+        p = DEFAULT_PROFILE
+        per_beat_at_40m = p.ue_forward_cost_uah(STANDARD_HEARTBEAT_BYTES, 40.0)
+        assert per_beat_at_40m > p.cellular_heartbeat_uah()
+
+
+class TestCostFunctions:
+    def test_forward_cost_grows_with_size(self):
+        small = DEFAULT_PROFILE.ue_forward_cost_uah(54)
+        large = DEFAULT_PROFILE.ue_forward_cost_uah(270)
+        assert large > small
+        # Fig. 13: ~flat across the realistic size range (1x-5x of 54 B)
+        assert (large - small) / small < 0.15
+
+    def test_receive_cost_flat_in_distance(self):
+        # receive cost has no distance argument by design (RX side)
+        assert DEFAULT_PROFILE.relay_receive_cost_uah(54) == pytest.approx(
+            DEFAULT_PROFILE.relay_receive_uah + 0.04 * 54
+        )
+
+    def test_cellular_cost_without_setup_is_much_cheaper(self):
+        with_setup = DEFAULT_PROFILE.cellular_send_cost_uah(54, setup_needed=True)
+        without = DEFAULT_PROFILE.cellular_send_cost_uah(54, setup_needed=False)
+        assert without < with_setup / 5
+
+    def test_cellular_tail_fraction_scales(self):
+        full = DEFAULT_PROFILE.cellular_send_cost_uah(54, tail_fraction=1.0)
+        half = DEFAULT_PROFILE.cellular_send_cost_uah(54, tail_fraction=0.5)
+        assert full - half == pytest.approx(DEFAULT_PROFILE.cellular_tail_uah / 2)
+
+    def test_tail_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.cellular_send_cost_uah(54, tail_fraction=1.5)
+
+    def test_ue_session_cost_closed_form(self):
+        p = DEFAULT_PROFILE
+        cost = p.ue_session_cost_uah(3, 54, distance_m=1.0)
+        expected = (
+            p.ue_discovery_uah
+            + p.ue_connection_uah
+            + 3 * p.ue_forward_cost_uah(54, 1.0)
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_ue_session_cost_negative_beats_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.ue_session_cost_uah(-1)
+
+
+class TestProfileValidation:
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.replace(ue_forward_uah=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.replace(cellular_tail_s=0.0)
+
+    def test_bad_reference_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.replace(d2d_reference_distance_m=0.0)
+
+    def test_bad_fach_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.replace(fach_power_fraction=1.5)
+
+
+class TestVariantsAndHelpers:
+    def test_replace_creates_modified_copy(self):
+        variant = DEFAULT_PROFILE.replace(cellular_setup_uah=999.0)
+        assert variant.cellular_setup_uah == 999.0
+        assert DEFAULT_PROFILE.cellular_setup_uah == 80.0
+
+    def test_named_variants_exist(self):
+        assert {"default", "lte", "expensive-d2d"} <= set(PROFILE_VARIANTS)
+
+    def test_expensive_d2d_doubles_overheads(self):
+        expensive = PROFILE_VARIANTS["expensive-d2d"]
+        assert expensive.ue_discovery_uah == pytest.approx(
+            2 * DEFAULT_PROFILE.ue_discovery_uah
+        )
+
+    def test_uah_to_ma_conversion(self):
+        # 100 µAh over one hour is 0.1 mA
+        assert microamp_hours_to_milliamps(100.0, 3600.0) == pytest.approx(0.1)
+
+    def test_uah_to_ma_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            microamp_hours_to_milliamps(100.0, 0.0)
+
+    def test_tail_current_is_plausible(self):
+        # elevated tail current should be in the hundreds of mA
+        assert 100.0 < DEFAULT_PROFILE.tail_current_ma() < 500.0

@@ -1,0 +1,69 @@
+"""Every example script must run clean — they are living documentation.
+
+Each example's ``main()`` runs inside a temporary working directory so
+scripts that write artifacts (figures, reports, CSVs) cannot touch the
+repository; they must also never consume ``sys.argv`` inside ``main()``
+(argv parsing belongs in the ``__main__`` block).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr("sys.argv", [script.name])
+    module = load_module(script)
+    assert hasattr(module, "main"), f"{script.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    """The deliverable requires at least three runnable examples."""
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    names = {s.stem for s in EXAMPLE_SCRIPTS}
+    assert "quickstart" in names
+
+
+def test_no_example_writes_into_the_repo(tmp_path):
+    """Artifact-writing examples default to the working directory."""
+    import subprocess
+    import sys
+
+    repo = EXAMPLES_DIR.parent
+
+    def snapshot():
+        return {
+            p for p in repo.rglob("*")
+            if p.is_file()
+            and ".git" not in p.parts
+            and "__pycache__" not in p.parts
+            and ".pytest_cache" not in p.parts
+            and ".hypothesis" not in p.parts
+        }
+
+    before = snapshot()
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "build_report.py")],
+        cwd=tmp_path, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert snapshot() == before
+    assert (tmp_path / "report.html").is_file()

@@ -1,0 +1,95 @@
+"""Tests for the programmatic experiment registry."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    TABLE1_PAPER,
+    TABLE3_PAPER,
+    fig9,
+    fig12,
+    run_experiment,
+    table1,
+    table3,
+    table4,
+)
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
+                "F15"} == set(REGISTRY)
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("t1")  # case-insensitive
+        assert set(result) == set(TABLE1_PAPER)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("F99")
+
+    def test_descriptions_present(self):
+        for exp_id, (description, runner) in REGISTRY.items():
+            assert description, exp_id
+            assert callable(runner), exp_id
+
+
+class TestExperimentOutputs:
+    def test_table1_close_to_paper(self):
+        measured = table1(days=3.0, repeats=2)
+        for app, share in TABLE1_PAPER.items():
+            assert measured[app] == pytest.approx(share, abs=0.05)
+
+    def test_table3_structure_matches_paper_table(self):
+        measured = table3()
+        assert set(measured) == set(TABLE3_PAPER)
+        for side in measured:
+            assert set(measured[side]) == set(TABLE3_PAPER[side])
+
+    def test_table4_length_and_monotonicity(self):
+        values = table4(max_ues=4)
+        assert len(values) == 4
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_fig9_shapes(self):
+        saved_system, saved_ue = fig9(max_k=3)
+        assert len(saved_system) == len(saved_ue) == 3
+        assert all(u > s for u, s in zip(saved_ue, saved_system))
+
+    def test_fig12_returns_flat_original(self):
+        ue, relay, original = fig12(distances=(1.0, 10.0), periods=2)
+        assert len(ue) == len(relay) == 2
+        assert ue[1] > ue[0]
+        assert original > 0
+
+    def test_deterministic(self):
+        assert fig9(max_k=2) == fig9(max_k=2)
+
+
+class TestCliIntegration:
+    def test_experiment_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "F9" in out and "Table I" in out
+
+    def test_experiment_runs_and_tabulates(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "T4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "value" in out
+
+    def test_experiment_tuple_result(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "F9"]) == 0
+        out = capsys.readouterr().out
+        assert "part 1" in out and "part 2" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "F99"]) == 2

@@ -1,0 +1,171 @@
+"""Tests for the UE cache failover fast path and edge-of-range packet loss."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.core.matching import MatchConfig
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.link import LinkModel
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def build_two_relay_rig(seed=0, cache_ttl_bump=None):
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework(
+        [], app=STANDARD_APP,
+        config=FrameworkConfig(matching=MatchConfig(distance_tie_m=0.1)),
+    )
+    relays = []
+    for i in range(2):
+        relay = Smartphone(sim, f"relay-{i}",
+                           mobility=StaticMobility((float(i), 0.0)),
+                           role=Role.RELAY, ledger=ledger,
+                           basestation=basestation, d2d_medium=medium)
+        framework.add_device(relay, phase_fraction=0.0)
+        relays.append(relay)
+    ue = Smartphone(sim, "ue-0", mobility=StaticMobility((0.0, 1.0)),
+                    role=Role.UE, ledger=ledger, basestation=basestation,
+                    d2d_medium=medium)
+    framework.add_device(ue, phase_fraction=0.4)
+    if cache_ttl_bump is not None:
+        framework.ues["ue-0"].detector.cache_ttl_s = cache_ttl_bump
+    return sim, server, framework, relays, ue
+
+
+class TestCacheFailover:
+    def test_failover_skips_rescan_when_cache_fresh(self):
+        sim, server, framework, relays, ue = build_two_relay_rig(
+            cache_ttl_bump=10_000.0,  # keep the first scan warm
+        )
+        sim.run_until(0.4 * T + 20.0)  # paired with the nearer relay
+        agent = framework.ues["ue-0"]
+        first_relay = agent.relay_id
+        assert first_relay is not None
+        # kill the attached relay; the next beat triggers the failover
+        framework.devices[first_relay].power_off()
+        sim.run_until(1.4 * T + 40.0)
+        assert agent.cache_failovers == 1
+        assert agent.searches == 1  # no second discovery scan
+        assert agent.relay_id is not None
+        assert agent.relay_id != first_relay
+
+    def test_failover_avoids_the_dead_relay(self):
+        sim, server, framework, relays, ue = build_two_relay_rig(
+            cache_ttl_bump=10_000.0,
+        )
+        sim.run_until(0.4 * T + 20.0)
+        agent = framework.ues["ue-0"]
+        dead = agent.relay_id
+        framework.devices[dead].power_off()
+        sim.run_until(2 * T)
+        assert agent.relay_id != dead
+
+    def test_stale_cache_falls_back_to_scanning(self):
+        sim, server, framework, relays, ue = build_two_relay_rig()
+        # default TTL is 30 s: by the time the relay dies mid-period the
+        # original scan is long stale → a fresh discovery is required
+        sim.run_until(0.4 * T + 20.0)
+        agent = framework.ues["ue-0"]
+        framework.devices[agent.relay_id].power_off()
+        sim.run_until(2 * T)
+        assert agent.cache_failovers == 0
+        assert agent.searches >= 2
+
+    def test_beats_survive_the_failover(self):
+        sim, server, framework, relays, ue = build_two_relay_rig(
+            cache_ttl_bump=10_000.0,
+        )
+        sim.run_until(0.4 * T + 20.0)
+        agent = framework.ues["ue-0"]
+        framework.devices[agent.relay_id].power_off()
+        sim.run_until(4 * T)
+        on_time = {
+            r.message.seq for r in server.records
+            if r.message.origin_device == "ue-0" and r.on_time
+        }
+        assert len(on_time) == 4
+
+
+class TestEdgeOfRangeLoss:
+    def _edge_pair(self, distance):
+        sim = Simulator(seed=7)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        a = D2DEndpoint("a", StaticMobility((0.0, 0.0)))
+        b = D2DEndpoint("b", StaticMobility((distance, 0.0)))
+        b.advertising = True
+        medium.register(a)
+        medium.register(b)
+        holder = []
+        medium.connect("a", "b", holder.append)
+        sim.run_until(5.0)
+        return sim, holder[0]
+
+    def test_no_loss_in_comfortable_range(self):
+        sim, connection = self._edge_pair(distance=10.0)
+        outcomes = []
+        for __ in range(30):
+            connection.send("a", 54, "x", on_result=outcomes.append)
+        sim.run_until(100.0)
+        assert outcomes == [True] * 30
+
+    def test_losses_appear_near_the_edge(self):
+        edge = WIFI_DIRECT.link.max_range_m()
+        distance = edge * 0.98  # deep in the PER ramp
+        assert WIFI_DIRECT.link.packet_error_rate(distance) > 0.1
+        sim, connection = self._edge_pair(distance=min(distance,
+                                                       WIFI_DIRECT.max_range_m - 1))
+        outcomes = []
+        for __ in range(60):
+            connection.send("a", 54, "x", on_result=outcomes.append)
+        sim.run_until(1000.0)
+        assert outcomes.count(False) > 0
+        assert connection.messages_lost == outcomes.count(False)
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run():
+            edge = WIFI_DIRECT.link.max_range_m()
+            sim, connection = self._edge_pair(
+                distance=min(edge * 0.98, WIFI_DIRECT.max_range_m - 1)
+            )
+            outcomes = []
+            for __ in range(40):
+                connection.send("a", 54, "x", on_result=outcomes.append)
+            sim.run_until(1000.0)
+            return outcomes
+
+        assert run() == run()
+
+
+class TestServerDuplicates:
+    def test_duplicate_counted_once_per_extra_copy(self, sim):
+        from repro.workload.messages import PeriodicMessage
+
+        server = IMServer(sim)
+        beat = PeriodicMessage(
+            app="standard", origin_device="ue", size_bytes=54,
+            created_at_s=0.0, period_s=270.0, expiry_s=270.0,
+        )
+        server.receive(beat, via_device="relay", time_s=1.0)
+        server.receive(beat, via_device="ue", time_s=2.0)
+        server.receive(beat, via_device="ue", time_s=3.0)
+        assert server.duplicate_count == 2
+
+    def test_clean_run_has_no_duplicates(self):
+        from repro.scenarios import run_relay_scenario
+
+        result = run_relay_scenario(n_ues=2, periods=3)
+        assert result.context.server.duplicate_count == 0

@@ -1,0 +1,163 @@
+"""Failure-injection tests: delivery must never regress under faults.
+
+The paper's Sec. III-A lists the failure modes its feedback mechanism
+exists for: "the relay has ran out of its battery or lost connection to
+cellular network before all the collected heartbeat messages are sent",
+and "the physical distance between involved smartphones might exceed the
+maximum communication distance ... while smartphones movement". Each is
+injected here and the invariant checked: every heartbeat still reaches the
+server on time (at worst as a duplicate).
+"""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.core.scheduler import SchedulerConfig
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.battery import Battery
+from repro.mobility.models import LinearMobility, StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+class FaultRig:
+    def __init__(self, seed=0, relay_battery=None, ue_mobility=None):
+        self.sim = Simulator(seed=seed)
+        self.ledger = SignalingLedger()
+        self.basestation = BaseStation(self.sim, ledger=self.ledger)
+        self.server = IMServer(self.sim)
+        self.basestation.attach_sink(self.server.uplink_sink)
+        self.medium = D2DMedium(self.sim, WIFI_DIRECT)
+        self.relay = Smartphone(
+            self.sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+            role=Role.RELAY, ledger=self.ledger, basestation=self.basestation,
+            d2d_medium=self.medium, battery=relay_battery,
+        )
+        self.ue = Smartphone(
+            self.sim, "ue-0",
+            mobility=ue_mobility or StaticMobility((1.0, 0.0)),
+            role=Role.UE, ledger=self.ledger, basestation=self.basestation,
+            d2d_medium=self.medium,
+        )
+        self.framework = HeartbeatRelayFramework([])
+        self.framework.add_device(self.relay, phase_fraction=0.0)
+        self.framework.add_device(self.ue, phase_fraction=0.5)
+
+    def ue_beats_delivered_on_time(self):
+        records = [
+            r for r in self.server.records
+            if r.message.origin_device == "ue-0" and r.on_time
+        ]
+        return {r.message.seq for r in records}
+
+
+class TestRelayDeath:
+    def test_relay_dies_after_collecting_ue_falls_back(self):
+        rig = FaultRig()
+        # let the UE pair and forward its first beat (t = 135), then kill
+        # the relay before the aggregated flush (t = 267)
+        rig.sim.run_until(200.0)
+        assert rig.framework.ues["ue-0"].beats_forwarded == 1
+        rig.relay.power_off()
+        rig.sim.run_until(2 * T)
+        # the beat reached the server via cellular fallback, on time
+        assert len(rig.ue_beats_delivered_on_time()) >= 1
+        assert rig.framework.ues["ue-0"].cellular_sends >= 1
+
+    def test_ue_recovers_and_continues_standalone(self):
+        rig = FaultRig()
+        rig.sim.run_until(200.0)
+        rig.relay.power_off()
+        rig.sim.run_until(4 * T)
+        # all 4 UE beats delivered on time despite the dead relay
+        assert len(rig.ue_beats_delivered_on_time()) == 4
+
+    def test_relay_battery_depletion_triggers_same_path(self):
+        # battery with just enough charge for discovery+connection+collect
+        battery = Battery(capacity_mah=0.8)  # 800 µAh
+        rig = FaultRig(relay_battery=battery)
+        rig.sim.run_until(4 * T)
+        assert not rig.relay.alive  # it did die
+        assert len(rig.ue_beats_delivered_on_time()) == 4
+
+
+class TestMobilityBreak:
+    def test_ue_walks_out_of_range_mid_session(self):
+        rig = FaultRig(ue_mobility=LinearMobility((1.0, 0.0), (0.5, 0.0)))
+        rig.sim.run_until(3 * T)
+        # UE crossed the 50 m Wi-Fi Direct range at t ≈ 100 s
+        assert len(rig.ue_beats_delivered_on_time()) == 3
+        ue_agent = rig.framework.ues["ue-0"]
+        assert ue_agent.cellular_sends >= 1
+
+    def test_all_relay_beats_survive_too(self):
+        rig = FaultRig(ue_mobility=LinearMobility((1.0, 0.0), (0.5, 0.0)))
+        rig.sim.run_until(3 * T)
+        relay_records = [
+            r for r in rig.server.records
+            if r.message.origin_device == "relay-0" and r.on_time
+        ]
+        assert len(relay_records) == 3
+
+
+class TestLostAck:
+    def test_link_break_after_flush_causes_harmless_duplicate(self):
+        """If the link dies between the aggregated uplink and its ack, the
+        UE re-sends: the server sees a duplicate, never a loss."""
+        rig = FaultRig()
+        rig.sim.run_until(200.0)  # beat forwarded, awaiting period flush
+
+        # break the link at t = 266, just before the flush at T-3 = 267
+        def sever():
+            for connection in rig.medium.connections_of("relay-0"):
+                connection.close("injected")
+
+        rig.sim.schedule_at(266.0, sever)
+        rig.sim.run_until(T + 60.0)
+        on_time = rig.ue_beats_delivered_on_time()
+        assert len(on_time) == 1
+        # duplicate delivery is acceptable: the beat may appear twice
+        total_ue_records = [
+            r for r in rig.server.records if r.message.origin_device == "ue-0"
+        ]
+        assert 1 <= len(total_ue_records) <= 2
+
+
+class TestCapacityPressure:
+    def test_tiny_capacity_never_loses_beats(self):
+        sim = Simulator(seed=1)
+        ledger = SignalingLedger()
+        basestation = BaseStation(sim, ledger=ledger)
+        server = IMServer(sim)
+        basestation.attach_sink(server.uplink_sink)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        framework = HeartbeatRelayFramework(
+            [], config=FrameworkConfig(scheduler=SchedulerConfig(capacity=1))
+        )
+        relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                           role=Role.RELAY, ledger=ledger,
+                           basestation=basestation, d2d_medium=medium)
+        framework.add_device(relay, phase_fraction=0.0)
+        for i in range(4):
+            ue = Smartphone(sim, f"ue-{i}",
+                            mobility=StaticMobility((1.0, float(i))),
+                            role=Role.UE, ledger=ledger,
+                            basestation=basestation, d2d_medium=medium)
+            framework.add_device(ue, phase_fraction=0.3 + 0.1 * i)
+        sim.run_until(2 * T)
+        origins = {}
+        for record in server.records:
+            if record.on_time:
+                origins.setdefault(record.message.origin_device, set()).add(
+                    record.message.seq
+                )
+        # every UE got both its beats through (D2D or fallback)
+        for i in range(4):
+            assert len(origins.get(f"ue-{i}", set())) == 2, f"ue-{i} lost beats"

@@ -1,0 +1,148 @@
+"""Tests for the public fault-injection API."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.battery import Battery
+from repro.faults import FaultPlan
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+
+
+def build_rig(relay_battery=None, seed=0):
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework([], app=STANDARD_APP)
+    relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                       role=Role.RELAY, ledger=ledger, basestation=basestation,
+                       d2d_medium=medium, battery=relay_battery)
+    framework.add_device(relay, phase_fraction=0.0)
+    ue = Smartphone(sim, "ue-0", mobility=StaticMobility((1.0, 0.0)),
+                    role=Role.UE, ledger=ledger, basestation=basestation,
+                    d2d_medium=medium)
+    framework.add_device(ue, phase_fraction=0.5)
+    return sim, medium, server, framework, relay, ue
+
+
+def ue_on_time(server):
+    return {
+        r.message.seq for r in server.records
+        if r.message.origin_device == "ue-0" and r.on_time
+    }
+
+
+class TestDeviceDeath:
+    def test_kill_fires_and_delivery_survives(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        fault = plan.kill_device_at(200.0, relay)
+        sim.run_until(3 * T)
+        assert fault.fired
+        assert not relay.alive
+        assert len(ue_on_time(server)) == 3
+        assert plan.fired_count == 1
+        assert any("FIRED" in line for line in plan.report())
+
+    def test_report_shows_pending_before_firing(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        plan.kill_device_at(5000.0, relay)
+        sim.run_until(10.0)
+        assert any("pending" in line for line in plan.report())
+
+
+class TestBatteryDrain:
+    def test_drain_triggers_depletion_path(self):
+        battery = Battery(capacity_mah=100.0)
+        sim, medium, server, framework, relay, ue = build_rig(
+            relay_battery=battery
+        )
+        plan = FaultPlan(sim)
+        fault = plan.drain_battery_at(150.0, relay, to_level=0.0)
+        sim.run_until(3 * T)
+        assert fault.fired
+        assert battery.is_depleted
+        assert not relay.alive
+        assert len(ue_on_time(server)) == 3
+
+    def test_requires_a_battery(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        with pytest.raises(ValueError):
+            FaultPlan(sim).drain_battery_at(10.0, relay)
+
+    def test_partial_drain_keeps_device_alive(self):
+        battery = Battery(capacity_mah=100.0)
+        sim, medium, server, framework, relay, ue = build_rig(
+            relay_battery=battery
+        )
+        plan = FaultPlan(sim)
+        plan.drain_battery_at(10.0, relay, to_level=0.5)
+        sim.run_until(20.0)
+        assert relay.alive
+        assert battery.level == pytest.approx(0.5, abs=0.02)
+
+
+class TestLinkBreak:
+    def test_break_severs_and_framework_recovers(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        fault = plan.break_links_at(200.0, medium, "relay-0")
+        sim.run_until(4 * T)
+        assert fault.fired
+        assert "1 link" in fault.detail
+        # the UE re-paired (same relay is still alive and advertising)
+        assert framework.ues["ue-0"].matches >= 2
+        assert len(ue_on_time(server)) == 4
+
+
+class TestAckLoss:
+    def test_dropped_acks_trigger_fallbacks_not_losses(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        # relay flushes at ~263 s; drop every ack in that window
+        fault = plan.drop_acks_between(250.0, 300.0, framework.ues["ue-0"])
+        sim.run_until(2 * T)
+        assert fault.fired
+        agent = framework.ues["ue-0"]
+        assert agent.feedback.fallbacks_fired >= 1
+        # delivered (as a duplicate at worst)
+        assert len(ue_on_time(server)) == 2
+        assert server.duplicate_count >= 1
+
+    def test_acks_flow_again_after_window(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        plan.drop_acks_between(250.0, 300.0, framework.ues["ue-0"])
+        sim.run_until(3 * T)
+        agent = framework.ues["ue-0"]
+        assert agent.feedback.acks_received >= 1  # period 2+ acks arrive
+
+    def test_invalid_window_rejected(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        with pytest.raises(ValueError):
+            FaultPlan(sim).drop_acks_between(10.0, 10.0,
+                                             framework.ues["ue-0"])
+
+
+class TestCustomFault:
+    def test_custom_action_runs(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        hits = []
+        fault = plan.custom_at(42.0, "chaos", lambda: hits.append(sim.now))
+        sim.run_until(100.0)
+        assert hits == [42.0]
+        assert fault.fired

@@ -1,0 +1,97 @@
+"""Tests for group-aware joins (second UE joins an existing group)."""
+
+import pytest
+
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.model import EnergyModel, EnergyPhase
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+
+
+def build_medium(group_aware):
+    sim = Simulator(seed=0)
+    medium = D2DMedium(sim, WIFI_DIRECT, group_aware=group_aware)
+    relay = D2DEndpoint("relay", StaticMobility((0.0, 0.0)),
+                        energy=EnergyModel("relay"))
+    relay.advertising = True
+    medium.register(relay)
+    ues = []
+    for i in range(2):
+        ue = D2DEndpoint(f"ue-{i}", StaticMobility((1.0, float(i))),
+                         energy=EnergyModel(f"ue-{i}"))
+        medium.register(ue)
+        ues.append(ue)
+    return sim, medium, relay, ues
+
+
+def connect_both(sim, medium):
+    results = []
+    medium.connect("ue-0", "relay", results.append)
+    sim.run_until(5.0)
+    medium.connect("ue-1", "relay", results.append)
+    sim.run_until(10.0)
+    return results
+
+
+class TestGroupAwareJoins:
+    def test_second_connection_counts_as_join(self):
+        sim, medium, relay, ues = build_medium(group_aware=True)
+        results = connect_both(sim, medium)
+        assert all(c is not None for c in results)
+        assert medium.group_joins == 1
+
+    def test_join_is_cheaper_for_the_relay(self):
+        sim, medium, relay, ues = build_medium(group_aware=True)
+        connect_both(sim, medium)
+        full = DEFAULT_PROFILE.relay_connection_uah
+        # first connection full price, second at the 0.5 discount
+        assert relay.energy.phase_uah(EnergyPhase.D2D_CONNECTION) == (
+            pytest.approx(full * 1.5)
+        )
+
+    def test_join_is_cheaper_for_the_joining_ue(self):
+        sim, medium, relay, ues = build_medium(group_aware=True)
+        connect_both(sim, medium)
+        first = ues[0].energy.phase_uah(EnergyPhase.D2D_CONNECTION)
+        second = ues[1].energy.phase_uah(EnergyPhase.D2D_CONNECTION)
+        assert second == pytest.approx(first * 0.5)
+
+    def test_default_medium_preserves_calibration(self):
+        """group_aware defaults OFF: both UEs pay the full Table III cost."""
+        sim, medium, relay, ues = build_medium(group_aware=False)
+        connect_both(sim, medium)
+        assert medium.group_joins == 0
+        full = DEFAULT_PROFILE.relay_connection_uah
+        assert relay.energy.phase_uah(EnergyPhase.D2D_CONNECTION) == (
+            pytest.approx(full * 2.0)
+        )
+
+    def test_join_completes_faster(self):
+        sim, medium, relay, ues = build_medium(group_aware=True)
+        done = []
+        medium.connect("ue-0", "relay", lambda c: done.append(sim.now))
+        sim.run_until(5.0)
+        medium.connect("ue-1", "relay", lambda c: done.append(sim.now))
+        sim.run_until(10.0)
+        first_latency = done[0]
+        second_latency = done[1] - 5.0
+        assert second_latency == pytest.approx(first_latency * 0.5)
+
+    def test_invalid_discount_rejected(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            D2DMedium(sim, WIFI_DIRECT, group_aware=True,
+                      group_join_discount=0.0)
+
+    def test_group_dissolves_when_all_leave(self):
+        """After the group empties, the next connect is a full formation."""
+        sim, medium, relay, ues = build_medium(group_aware=True)
+        holder = []
+        medium.connect("ue-0", "relay", holder.append)
+        sim.run_until(5.0)
+        holder[0].close()
+        medium.connect("ue-1", "relay", holder.append)
+        sim.run_until(10.0)
+        assert medium.group_joins == 0

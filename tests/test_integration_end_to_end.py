@@ -1,0 +1,150 @@
+"""Long-horizon integration tests: a full simulated day of real IM apps.
+
+These tie every subsystem together — workload, D2D, scheduling, feedback,
+RRC, energy, incentives, server — over timescales where small protocol
+races would eventually surface, and check global conservation laws that
+must hold regardless of configuration.
+"""
+
+import pytest
+
+from repro.baseline.original import expected_beats_in
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP, WECHAT
+from repro.workload.server import IMServer
+
+
+def build_star(n_ues=3, seed=0, app=WECHAT, capacity=10):
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework(
+        [], app=app, config=FrameworkConfig()
+    )
+    relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                       role=Role.RELAY, ledger=ledger, basestation=basestation,
+                       d2d_medium=medium)
+    framework.add_device(relay, phase_fraction=0.0)
+    ues = []
+    for i in range(n_ues):
+        ue = Smartphone(sim, f"ue-{i}",
+                        mobility=StaticMobility((1.5, float(i))),
+                        role=Role.UE, ledger=ledger, basestation=basestation,
+                        d2d_medium=medium)
+        framework.add_device(ue, phase_fraction=0.2 + 0.6 * i / max(1, n_ues))
+        ues.append(ue)
+    return sim, ledger, server, framework, relay, ues
+
+
+DAY_S = 86_400.0
+
+
+class TestFullDay:
+    @pytest.fixture(scope="class")
+    def day_run(self):
+        sim, ledger, server, framework, relay, ues = build_star(n_ues=3)
+        sim.run_until(DAY_S - 1)
+        framework.shutdown()
+        sim.run_until(DAY_S + 60)
+        return sim, ledger, server, framework, relay, ues
+
+    def test_every_beat_delivered_on_time(self, day_run):
+        __, __, server, __, __, ues = day_run
+        assert server.late_count == 0
+        for ue in ues:
+            expected = expected_beats_in(DAY_S - 1, WECHAT, 0.2)
+            seqs = {
+                r.message.seq
+                for r in server.deliveries_for(ue.device_id)
+                if r.on_time
+            }
+            # every beat emitted made it (duplicates collapse in the set)
+            assert len(seqs) >= expected - 1  # the last beat may be mid-flight
+
+    def test_clients_stay_online_all_day(self, day_run):
+        sim, __, server, __, relay, ues = day_run
+        for device in [relay] + ues:
+            assert server.is_online(device.device_id, "wechat", now=DAY_S)
+
+    def test_signaling_halved_at_scale(self, day_run):
+        """3 UEs + relay → ≥ 70 % fewer cycles than 4 standalone phones."""
+        __, ledger, __, __, __, __ = day_run
+        beats_per_day = expected_beats_in(DAY_S, WECHAT, 0.0)
+        original_cycles = 4 * beats_per_day
+        assert ledger.total_cycles < 0.35 * original_cycles
+
+    def test_ue_signaling_is_zero(self, day_run):
+        __, ledger, __, __, __, ues = day_run
+        for ue in ues:
+            assert ledger.count_for(ue.device_id) == 0
+
+    def test_daily_battery_fraction_beats_paper_claim(self, day_run):
+        """The paper's intro: heartbeats cost ≥6 %/day of battery on the
+        original system. Relayed UEs must land far below that."""
+        from repro.energy.profiles import GALAXY_S4_BATTERY_MAH
+
+        __, __, __, __, __, ues = day_run
+        for ue in ues:
+            fraction = ue.energy.total_uah / 1000.0 / GALAXY_S4_BATTERY_MAH
+            assert fraction < 0.02
+
+    def test_incentive_conservation(self, day_run):
+        """Rewarded beats == beats collected from UEs (never the relay's)."""
+        __, __, __, framework, __, __ = day_run
+        assert framework.rewards.total_beats == framework.total_beats_collected()
+
+    def test_energy_charge_conservation(self, day_run):
+        """Every device's total equals the sum of its phase breakdown."""
+        __, __, __, framework, relay, ues = day_run
+        for device in [relay] + ues:
+            assert device.energy.total_uah == pytest.approx(
+                sum(device.energy.breakdown().values())
+            )
+
+
+class TestScaleSweep:
+    def test_more_ues_more_system_saving(self):
+        """System-level saving improves with relay utilization."""
+        savings = []
+        for n_ues in (1, 4, 8):
+            sim, ledger, server, framework, relay, ues = build_star(
+                n_ues=n_ues, app=STANDARD_APP, seed=2,
+            )
+            horizon = 6 * STANDARD_APP.heartbeat_period_s
+            sim.run_until(horizon - 1)
+            framework.shutdown()
+            sim.run_until(horizon + 30)
+            d2d_energy = sum(d.energy.total_uah for d in [relay] + ues)
+            per_beat = 597.93
+            beats = sum(
+                expected_beats_in(horizon - 1, STANDARD_APP,
+                                  0.2 + 0.6 * i / max(1, n_ues))
+                for i in range(n_ues)
+            ) + expected_beats_in(horizon - 1, STANDARD_APP, 0.0)
+            original_energy = beats * per_beat
+            savings.append(1.0 - d2d_energy / original_energy)
+        assert savings[0] < savings[1] < savings[2]
+        assert savings[2] > 0.35
+
+    def test_determinism_at_scale(self):
+        runs = []
+        for __ in range(2):
+            sim, ledger, server, framework, relay, ues = build_star(
+                n_ues=5, seed=77
+            )
+            sim.run_until(3000.0)
+            runs.append(
+                (ledger.total, len(server.records),
+                 sum(d.energy.total_uah for d in [relay] + ues))
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,136 @@
+"""Tests for GO-intent wiring and fresh-relay load balancing."""
+
+import pytest
+
+from repro.core.matching import MatchConfig, RelayMatcher
+from repro.d2d.base import D2DEndpoint, D2DMedium, PeerInfo
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.mobility.models import StaticMobility
+
+
+def peer(device_id, distance, go_intent, capacity=10):
+    return PeerInfo(
+        device_id=device_id,
+        rssi_dbm=-40.0,
+        estimated_distance_m=distance,
+        advertisement={
+            "role": "relay",
+            "capacity_remaining": capacity,
+            "go_intent": go_intent,
+        },
+    )
+
+
+class TestFreshRelayPreference:
+    def test_near_tie_broken_by_intent(self):
+        matcher = RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig())
+        loaded = peer("loaded", distance=2.0, go_intent=3)
+        fresh = peer("fresh", distance=2.4, go_intent=15)
+        best = matcher.select([loaded, fresh], 270.0, 54,
+                              relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "fresh"
+
+    def test_clear_distance_gap_still_wins(self):
+        matcher = RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig())
+        near_loaded = peer("near-loaded", distance=2.0, go_intent=1)
+        far_fresh = peer("far-fresh", distance=9.0, go_intent=15)
+        best = matcher.select([near_loaded, far_fresh], 270.0, 54,
+                              relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "near-loaded"
+
+    def test_preference_can_be_disabled(self):
+        matcher = RelayMatcher(
+            WIFI_DIRECT, DEFAULT_PROFILE,
+            MatchConfig(prefer_fresh_relays=False),
+        )
+        loaded = peer("loaded", distance=2.0, go_intent=0)
+        fresh = peer("fresh", distance=2.4, go_intent=15)
+        best = matcher.select([loaded, fresh], 270.0, 54,
+                              relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "loaded"
+
+    def test_missing_intent_treated_as_zero(self):
+        matcher = RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig())
+        no_intent = PeerInfo("plain", -40.0, 2.0,
+                             {"role": "relay", "capacity_remaining": 5})
+        fresh = peer("fresh", distance=2.2, go_intent=15)
+        best = matcher.select([no_intent, fresh], 270.0, 54,
+                              relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "fresh"
+
+
+class TestGroupOwnerOnConnections:
+    def _connect(self, sim, initiator_intent, responder_intent):
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        a = D2DEndpoint("a", StaticMobility((0.0, 0.0)),
+                        advertisement={"go_intent": initiator_intent})
+        b = D2DEndpoint("b", StaticMobility((2.0, 0.0)),
+                        advertisement={"go_intent": responder_intent})
+        b.advertising = True
+        medium.register(a)
+        medium.register(b)
+        holder = []
+        medium.connect("a", "b", holder.append)
+        sim.run_until(5.0)
+        return holder[0]
+
+    def test_relay_becomes_group_owner(self, sim):
+        connection = self._connect(sim, initiator_intent=0, responder_intent=15)
+        assert connection.group_owner_id == "b"
+
+    def test_tie_goes_to_responder(self, sim):
+        # UEs pin 0; a 0/0 tie means neither is a relay — responder hosts
+        connection = self._connect(sim, initiator_intent=0, responder_intent=0)
+        assert connection.group_owner_id == "b"
+
+    def test_higher_initiator_intent_wins(self, sim):
+        connection = self._connect(sim, initiator_intent=15, responder_intent=7)
+        assert connection.group_owner_id == "a"
+
+
+class TestEndToEndLoadBalance:
+    def test_ues_spread_across_relays(self):
+        """Two equidistant relays, four UEs arriving in sequence: the GO
+        intent decay steers later UEs toward the emptier relay."""
+        from repro.cellular.basestation import BaseStation
+        from repro.cellular.signaling import SignalingLedger
+        from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+        from repro.core.scheduler import SchedulerConfig
+        from repro.device import Role, Smartphone
+        from repro.sim.engine import Simulator
+        from repro.workload.apps import STANDARD_APP
+        from repro.workload.server import IMServer
+
+        sim = Simulator(seed=4)
+        ledger = SignalingLedger()
+        basestation = BaseStation(sim, ledger=ledger)
+        server = IMServer(sim)
+        basestation.attach_sink(server.uplink_sink)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        framework = HeartbeatRelayFramework(
+            [], app=STANDARD_APP,
+            config=FrameworkConfig(
+                scheduler=SchedulerConfig(capacity=3),
+                matching=MatchConfig(distance_tie_m=3.0),
+            ),
+        )
+        for i in range(2):
+            relay = Smartphone(sim, f"relay-{i}",
+                               mobility=StaticMobility((float(2 * i - 1), 0.0)),
+                               role=Role.RELAY, ledger=ledger,
+                               basestation=basestation, d2d_medium=medium)
+            framework.add_device(relay, phase_fraction=0.0)
+        for i in range(4):
+            ue = Smartphone(sim, f"ue-{i}",
+                            mobility=StaticMobility((0.0, 1.0 + 0.1 * i)),
+                            role=Role.UE, ledger=ledger,
+                            basestation=basestation, d2d_medium=medium)
+            framework.add_device(ue, phase_fraction=0.3 + 0.1 * i)
+        sim.run_until(STANDARD_APP.heartbeat_period_s + 30.0)
+        loads = sorted(
+            agent.beats_collected for agent in framework.relay_agents()
+        )
+        # both relays participate — no relay hogs all four UEs
+        assert loads[0] >= 1
+        assert sum(loads) == 4

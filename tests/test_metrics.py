@@ -1,0 +1,80 @@
+"""Unit tests for metric collection."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.device import Role, Smartphone
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyPhase
+from repro.metrics import collect_metrics
+from repro.workload.messages import PeriodicMessage
+from repro.workload.server import IMServer
+
+
+@pytest.fixture
+def populated(sim, ledger):
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    relay = Smartphone(sim, "relay-0", role=Role.RELAY, ledger=ledger,
+                       basestation=basestation, battery=Battery())
+    ue = Smartphone(sim, "ue-0", role=Role.UE, ledger=ledger,
+                    basestation=basestation)
+    relay.energy.charge(EnergyPhase.CELLULAR_TX, 100.0)
+    relay.energy.charge(EnergyPhase.D2D_RECEIVE, 50.0)
+    ue.energy.charge(EnergyPhase.D2D_FORWARD, 30.0)
+    message = PeriodicMessage(
+        app="standard", origin_device="ue-0", size_bytes=54,
+        created_at_s=0.0, period_s=270.0, expiry_s=270.0,
+    )
+    server.receive(message, via_device="relay-0", time_s=5.0)
+    return sim, ledger, server, [relay, ue]
+
+
+class TestCollect:
+    def test_per_device_metrics(self, populated):
+        sim, ledger, server, devices = populated
+        metrics = collect_metrics(devices, ledger, server, horizon_s=100.0)
+        relay = metrics.devices["relay-0"]
+        assert relay.role == "relay"
+        assert relay.energy_uah == pytest.approx(150.0)
+        assert relay.cellular_energy_uah == pytest.approx(100.0)
+        assert relay.d2d_energy_uah == pytest.approx(50.0)
+        assert relay.battery_level == pytest.approx(1.0, abs=0.01)
+        assert metrics.devices["ue-0"].battery_level is None
+
+    def test_delivery_metrics(self, populated):
+        sim, ledger, server, devices = populated
+        metrics = collect_metrics(devices, ledger, server)
+        assert metrics.delivery.received == 1
+        assert metrics.delivery.on_time == 1
+        assert metrics.delivery.relayed == 1
+        assert metrics.delivery.on_time_fraction == 1.0
+        assert metrics.delivery.mean_delay_s == pytest.approx(5.0)
+
+    def test_no_server_no_delivery(self, populated):
+        sim, ledger, __, devices = populated
+        metrics = collect_metrics(devices, ledger)
+        assert metrics.delivery is None
+
+    def test_aggregates(self, populated):
+        sim, ledger, server, devices = populated
+        metrics = collect_metrics(devices, ledger, server)
+        assert metrics.total_energy_uah() == pytest.approx(180.0)
+        assert metrics.total_energy_uah(roles=["ue"]) == pytest.approx(30.0)
+        assert metrics.energy_by_role() == {
+            "relay": pytest.approx(150.0),
+            "ue": pytest.approx(30.0),
+        }
+        assert [d.device_id for d in metrics.devices_with_role("ue")] == ["ue-0"]
+
+    def test_accessors(self, populated):
+        sim, ledger, server, devices = populated
+        metrics = collect_metrics(devices, ledger, server)
+        assert metrics.energy_of("ue-0") == pytest.approx(30.0)
+        assert metrics.l3_of("ue-0") == 0
+
+    def test_on_time_fraction_empty_delivery(self, populated):
+        from repro.metrics import DeliveryMetrics
+
+        empty = DeliveryMetrics(0, 0, 0, 0, 0.0)
+        assert empty.on_time_fraction == 1.0

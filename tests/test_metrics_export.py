@@ -1,0 +1,56 @@
+"""Tests for metric export (JSON / CSV)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.scenarios import run_relay_scenario
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_relay_scenario(n_ues=1, periods=2).metrics
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self, metrics):
+        data = json.loads(metrics.to_json())
+        assert data["total_l3_messages"] == metrics.total_l3_messages
+        assert set(data["devices"]) == set(metrics.devices)
+
+    def test_delivery_block_present(self, metrics):
+        data = metrics.to_dict()
+        assert data["delivery"]["on_time_fraction"] == 1.0
+        assert data["delivery"]["received"] == 4  # 2 own + 2 forwarded
+
+    def test_device_fields_complete(self, metrics):
+        data = metrics.to_dict()
+        ue = data["devices"]["ue-0"]
+        assert ue["role"] == "ue"
+        assert ue["energy_uah"] > 0
+        assert "energy_breakdown" in ue
+
+    def test_json_is_deterministic(self, metrics):
+        assert metrics.to_json() == metrics.to_json()
+
+
+class TestCsvExport:
+    def test_rows_have_header_and_devices(self, metrics):
+        rows = metrics.to_csv_rows()
+        assert rows[0][0] == "device_id"
+        assert len(rows) == 1 + len(metrics.devices)
+
+    def test_write_csv(self, metrics, tmp_path):
+        path = tmp_path / "run.csv"
+        metrics.write_csv(str(path))
+        with open(path) as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0][0] == "device_id"
+        device_ids = {row[0] for row in parsed[1:]}
+        assert device_ids == set(metrics.devices)
+
+    def test_rows_sorted_by_device(self, metrics):
+        rows = metrics.to_csv_rows()[1:]
+        ids = [row[0] for row in rows]
+        assert ids == sorted(ids)

@@ -1,0 +1,163 @@
+"""Unit tests for arena geometry and mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.mobility.models import (
+    LinearMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+    place_crowd,
+)
+from repro.mobility.space import Arena, distance_between
+
+
+class TestArena:
+    def test_contains_and_clamp(self):
+        arena = Arena(10.0, 20.0)
+        assert arena.contains((5.0, 5.0))
+        assert not arena.contains((11.0, 5.0))
+        assert arena.clamp((11.0, -3.0)) == (10.0, 0.0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Arena(0.0, 10.0)
+
+    def test_random_position_inside(self):
+        arena = Arena(10.0, 10.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert arena.contains(arena.random_position(rng))
+
+    def test_diagonal(self):
+        assert Arena(3.0, 4.0).diagonal == pytest.approx(5.0)
+
+    def test_distance_between(self):
+        assert distance_between((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+
+class TestStaticMobility:
+    def test_never_moves(self):
+        model = StaticMobility((1.0, 2.0))
+        assert model.position(0.0) == model.position(1e6) == (1.0, 2.0)
+
+    def test_zero_velocity(self):
+        assert StaticMobility((0.0, 0.0)).speed(100.0) == 0.0
+
+
+class TestLinearMobility:
+    def test_position_advances_linearly(self):
+        model = LinearMobility((0.0, 0.0), (2.0, -1.0))
+        assert model.position(3.0) == (6.0, -3.0)
+
+    def test_velocity_constant(self):
+        model = LinearMobility((0.0, 0.0), (3.0, 4.0))
+        assert model.speed(10.0) == pytest.approx(5.0)
+
+    def test_clamped_by_arena(self):
+        arena = Arena(10.0, 10.0)
+        model = LinearMobility((0.0, 5.0), (2.0, 0.0), arena=arena)
+        assert model.position(100.0) == (10.0, 5.0)
+        assert model.velocity(100.0) == (0.0, 0.0)
+
+
+class TestRandomWaypoint:
+    def _model(self, seed=0, **kwargs):
+        arena = Arena(50.0, 50.0)
+        return RandomWaypointMobility(arena, random.Random(seed), **kwargs)
+
+    def test_stays_inside_arena(self):
+        model = self._model()
+        for t in range(0, 2000, 37):
+            x, y = model.position(float(t))
+            assert 0.0 <= x <= 50.0 and 0.0 <= y <= 50.0
+
+    def test_deterministic_and_repeatable_queries(self):
+        model = self._model(seed=5)
+        first = model.position(500.0)
+        # earlier query after a later one must not change history
+        __ = model.position(100.0)
+        assert model.position(500.0) == first
+
+    def test_same_seed_same_trajectory(self):
+        a = self._model(seed=9)
+        b = self._model(seed=9)
+        for t in (0.0, 10.0, 100.0, 999.0):
+            assert a.position(t) == b.position(t)
+
+    def test_speed_within_configured_range(self):
+        model = self._model(speed_range=(1.0, 2.0), pause_range=(0.0, 0.0))
+        speeds = [model.speed(float(t)) for t in range(1, 300)]
+        moving = [s for s in speeds if s > 0]
+        assert moving, "should be moving most of the time with zero pause"
+        assert all(0.99 <= s <= 2.01 for s in moving)
+
+    def test_respects_start_position(self):
+        arena = Arena(50.0, 50.0)
+        model = RandomWaypointMobility(
+            arena, random.Random(0), start=(25.0, 25.0), pause_range=(5.0, 5.0)
+        )
+        assert model.position(0.0) == (25.0, 25.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            self._model().position(-1.0)
+
+    def test_invalid_ranges_rejected(self):
+        arena = Arena(10, 10)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(arena, random.Random(0), speed_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(arena, random.Random(0), pause_range=(5.0, 1.0))
+
+    def test_continuous_motion_no_teleports(self):
+        model = self._model(speed_range=(1.0, 2.0), pause_range=(0.0, 1.0))
+        prev = model.position(0.0)
+        for t in range(1, 500):
+            cur = model.position(float(t))
+            assert distance_between(prev, cur) <= 2.5  # max speed + slack
+            prev = cur
+
+
+class TestPlaceCrowd:
+    def test_count_and_containment(self):
+        arena = Arena(100.0, 100.0)
+        models = place_crowd(25, arena, random.Random(3))
+        assert len(models) == 25
+        for model in models:
+            assert arena.contains(model.position(0.0))
+
+    def test_clustering_around_hotspots(self):
+        arena = Arena(200.0, 200.0)
+        models = place_crowd(60, arena, random.Random(1), hotspots=2, spread_m=5.0)
+        positions = [m.position(0.0) for m in models]
+        # mean nearest-neighbour distance must be far below uniform placement
+        def nearest(i):
+            return min(
+                distance_between(positions[i], positions[j])
+                for j in range(len(positions))
+                if j != i
+            )
+
+        mean_nn = sum(nearest(i) for i in range(len(positions))) / len(positions)
+        assert mean_nn < 10.0
+
+    def test_mobile_fraction(self):
+        arena = Arena(50.0, 50.0)
+        models = place_crowd(10, arena, random.Random(2), mobile_fraction=0.5)
+        mobile = sum(isinstance(m, RandomWaypointMobility) for m in models)
+        assert mobile == 5
+
+    def test_zero_devices(self):
+        assert place_crowd(0, Arena(10, 10), random.Random(0)) == []
+
+    def test_invalid_args_rejected(self):
+        arena = Arena(10, 10)
+        with pytest.raises(ValueError):
+            place_crowd(-1, arena, random.Random(0))
+        with pytest.raises(ValueError):
+            place_crowd(5, arena, random.Random(0), hotspots=0)
+        with pytest.raises(ValueError):
+            place_crowd(5, arena, random.Random(0), mobile_fraction=1.5)

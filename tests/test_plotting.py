@@ -1,0 +1,170 @@
+"""Tests for the SVG figure renderer.
+
+Layout is checked structurally (no browser offline): every mark lands
+inside the viewBox, the mark specs hold (2 px lines, 8 px markers with a
+surface ring), text wears ink colors, series colors follow the fixed
+validated slot order, a legend exists for ≥ 2 series, and native
+per-point tooltips are present.
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.plotting import (
+    LineChart,
+    MAX_SERIES,
+    SERIES_COLORS,
+    SURFACE,
+    TEXT_PRIMARY,
+    line_chart,
+)
+
+NS = {"svg": "http://www.w3.org/2000/svg"}
+
+
+def two_series_chart():
+    return line_chart(
+        "Test figure", "k", "µAh", [1, 2, 3, 4],
+        {"UE": [10.0, 20.0, 30.0, 40.0], "Relay": [40.0, 60.0, 80.0, 100.0]},
+    )
+
+
+def parsed(chart):
+    return ET.fromstring(chart.to_svg())
+
+
+class TestStructure:
+    def test_valid_xml_with_surface(self):
+        root = parsed(two_series_chart())
+        rect = root.find("svg:rect", NS)
+        assert rect.get("fill") == SURFACE
+
+    def test_every_mark_inside_viewbox(self):
+        chart = two_series_chart()
+        root = parsed(chart)
+        for circle in root.findall("svg:circle", NS):
+            cx, cy = float(circle.get("cx")), float(circle.get("cy"))
+            assert 0 <= cx <= chart.width
+            assert 0 <= cy <= chart.height
+        for poly in root.findall("svg:polyline", NS):
+            for pair in poly.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= chart.width
+                assert 0 <= y <= chart.height
+
+    def test_direct_labels_do_not_overflow(self):
+        chart = two_series_chart()
+        root = parsed(chart)
+        for text in root.findall("svg:text", NS):
+            assert float(text.get("x")) <= chart.width - 4
+
+    def test_mark_specs(self):
+        root = parsed(two_series_chart())
+        for poly in root.findall("svg:polyline", NS):
+            assert poly.get("stroke-width") == "2"
+        circles = root.findall("svg:circle", NS)
+        assert circles
+        for circle in circles:
+            assert float(circle.get("r")) >= 4.0  # ≥ 8 px marker
+            assert circle.get("stroke") == SURFACE  # surface ring
+
+    def test_tooltips_on_every_marker(self):
+        root = parsed(two_series_chart())
+        for circle in root.findall("svg:circle", NS):
+            title = circle.find("svg:title", NS)
+            assert title is not None and title.text
+
+
+class TestColorDiscipline:
+    def test_fixed_slot_order_never_cycled(self):
+        chart = two_series_chart()
+        svg = chart.to_svg()
+        first = svg.index(SERIES_COLORS[0])
+        second = svg.index(SERIES_COLORS[1])
+        assert first < second
+        assert SERIES_COLORS[2] not in svg  # unused slots stay unused
+
+    def test_text_wears_ink_not_series_color(self):
+        root = parsed(two_series_chart())
+        for text in root.findall("svg:text", NS):
+            assert text.get("fill") not in SERIES_COLORS
+
+    def test_series_cap_enforced(self):
+        chart = LineChart("t", "x", "y")
+        for i in range(MAX_SERIES):
+            chart.add_series(f"s{i}", [1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            chart.add_series("one too many", [1, 2], [1, 2])
+
+    def test_single_y_axis(self):
+        """One baseline axis line; no second scale anywhere."""
+        root = parsed(two_series_chart())
+        axis_lines = [
+            line for line in root.findall("svg:line", NS)
+            if line.get("stroke") == "#b5b4ae"
+        ]
+        assert len(axis_lines) == 1
+
+
+class TestLegendRules:
+    def test_legend_present_for_two_series(self):
+        svg = two_series_chart().to_svg()
+        assert svg.count('rx="2"') >= 2  # two legend swatches
+
+    def test_no_legend_for_single_series(self):
+        chart = line_chart("solo", "x", "y", [1, 2], {"only": [1.0, 2.0]})
+        svg = chart.to_svg()
+        assert 'rx="2"' not in svg  # the title names the single series
+
+    def test_direct_label_per_series(self):
+        svg = two_series_chart().to_svg()
+        assert svg.count(f'fill="{TEXT_PRIMARY}">UE<') == 1
+        assert svg.count(f'fill="{TEXT_PRIMARY}">Relay<') == 1
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        chart = LineChart("t", "x", "y")
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [1, 2], [1.0])
+
+    def test_empty_series_rejected(self):
+        chart = LineChart("t", "x", "y")
+        with pytest.raises(ValueError):
+            chart.add_series("empty", [], [])
+
+    def test_chart_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t", "x", "y").to_svg()
+
+    def test_save_roundtrip(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        two_series_chart().save(str(path))
+        ET.parse(path)  # parses cleanly
+
+    def test_escapes_markup_in_labels(self):
+        chart = line_chart("a <b> & c", "x<", "y&", [1, 2],
+                           {"s<1>": [1.0, 2.0]})
+        ET.fromstring(chart.to_svg())  # would raise on bad escaping
+
+
+class TestRealFigures:
+    def test_render_figures_example(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        script = (pathlib.Path(__file__).resolve().parent.parent
+                  / "examples" / "render_figures.py")
+        spec = importlib.util.spec_from_file_location("render_figures", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main(str(tmp_path))
+        rendered = sorted(p.name for p in tmp_path.glob("*.svg"))
+        assert rendered == [
+            "fig10.svg", "fig11.svg", "fig12.svg", "fig13.svg",
+            "fig15.svg", "fig8.svg", "fig9.svg",
+        ]
+        for path in tmp_path.glob("*.svg"):
+            ET.parse(path)

@@ -1,0 +1,103 @@
+"""Property-based tests for the link model and energy calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import saved_fraction, wasted_to_saved_ratio
+from repro.core.modes import (
+    cellular_session_cost_uah,
+    d2d_session_beneficial,
+    d2d_session_cost_uah,
+)
+from repro.d2d.link import LinkModel, distance_from_rssi, rssi_at
+from repro.energy.profiles import DEFAULT_PROFILE
+
+distances = st.floats(min_value=0.0, max_value=400.0)
+positive_distances = st.floats(min_value=0.05, max_value=400.0)
+
+
+class TestLinkProperties:
+    @given(positive_distances, positive_distances)
+    @settings(max_examples=100, deadline=None)
+    def test_rssi_strictly_monotone_decreasing(self, a, b):
+        if a == b:
+            return
+        near, far = min(a, b), max(a, b)
+        assert rssi_at(near) > rssi_at(far)
+
+    @given(positive_distances)
+    @settings(max_examples=100, deadline=None)
+    def test_rssi_distance_roundtrip(self, d):
+        assert distance_from_rssi(rssi_at(d)) == pytest.approx(d, rel=1e-6)
+
+    @given(positive_distances)
+    @settings(max_examples=100, deadline=None)
+    def test_per_bounded(self, d):
+        per = LinkModel().packet_error_rate(d)
+        assert 0.0 <= per <= 1.0
+
+    @given(st.floats(min_value=1.5, max_value=3.8))
+    @settings(max_examples=50, deadline=None)
+    def test_higher_exponent_shrinks_range(self, exponent):
+        base = LinkModel(path_loss_exponent=exponent)
+        harsher = LinkModel(path_loss_exponent=exponent + 0.2)
+        assert harsher.max_range_m() < base.max_range_m()
+
+
+class TestEnergyProperties:
+    @given(distances)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_factor_at_least_reference(self, d):
+        factor = DEFAULT_PROFILE.d2d_distance_factor(d)
+        if d >= DEFAULT_PROFILE.d2d_reference_distance_m:
+            assert factor >= 1.0 - 1e-9
+
+    @given(st.integers(min_value=1, max_value=1000), positive_distances)
+    @settings(max_examples=100, deadline=None)
+    def test_ue_session_cost_monotone_in_beats(self, n, d):
+        p = DEFAULT_PROFILE
+        assert p.ue_session_cost_uah(n + 1, 54, d) > p.ue_session_cost_uah(n, 54, d)
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_benefit_monotone_in_session_length(self, n):
+        """If n beats at distance d are beneficial, n+1 beats are too."""
+        p = DEFAULT_PROFILE
+        for d in (1.0, 8.0, 15.0):
+            if d2d_session_beneficial(p, n, d, 54):
+                assert d2d_session_beneficial(p, n + 1, d, 54)
+
+    @given(st.integers(min_value=1, max_value=20), positive_distances)
+    @settings(max_examples=100, deadline=None)
+    def test_costs_positive(self, n, d):
+        assert d2d_session_cost_uah(DEFAULT_PROFILE, n, d, 54) > 0
+        assert cellular_session_cost_uah(DEFAULT_PROFILE, n, 54) > 0
+
+    @given(st.integers(min_value=54, max_value=1024))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_monotone_in_size(self, size):
+        p = DEFAULT_PROFILE
+        assert p.ue_forward_cost_uah(size + 1) > p.ue_forward_cost_uah(size)
+        assert p.cellular_send_cost_uah(size + 1) > p.cellular_send_cost_uah(size)
+
+
+class TestAnalysisProperties:
+    @given(st.floats(min_value=0.1, max_value=1e6),
+           st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_saved_fraction_bounds(self, baseline, actual):
+        s = saved_fraction(baseline, actual)
+        assert s <= 1.0
+        if actual <= baseline:
+            assert s >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.1, max_value=1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wasted_saved_ratio_nonnegative(self, r_d2d, r_base, u_d2d, u_base):
+        ratio = wasted_to_saved_ratio(r_d2d, r_base, u_d2d, u_base)
+        assert ratio >= 0.0

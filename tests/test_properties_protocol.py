@@ -1,0 +1,136 @@
+"""Property-based tests: RRC machine, feedback tracker, server accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cellular.rrc import RrcState, RrcStateMachine, WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.core.feedback import FeedbackTracker
+from repro.sim.engine import Simulator
+from repro.workload.messages import PeriodicMessage
+from repro.workload.server import IMServer
+
+
+# ----------------------------------------------------------------------
+# RRC machine under arbitrary transmission schedules
+# ----------------------------------------------------------------------
+transmission_gaps = st.lists(
+    st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=20
+)
+
+
+@given(transmission_gaps)
+@settings(max_examples=80, deadline=None)
+def test_rrc_invariants_under_any_schedule(gaps):
+    sim = Simulator(seed=0)
+    ledger = SignalingLedger()
+    machine = RrcStateMachine(sim, "dev", profile=WCDMA_PROFILE, ledger=ledger)
+    t = 0.0
+    for gap in gaps:
+        t += gap
+        sim.schedule_at(t, machine.request_transmission, 54, lambda ready: None)
+    sim.run_until(t + 60.0)
+
+    # ends demoted, with promotions == demotions (all sessions closed)
+    assert machine.state == RrcState.IDLE
+    assert machine.promotions == machine.demotions
+    assert machine.promotions >= 1
+    # cycles never exceed transmissions (aggregation can only reduce them)
+    assert ledger.cycles_for("dev") <= len(gaps)
+    # every cycle contributes exactly one setup + one release sequence
+    expected = ledger.cycles_for("dev") * WCDMA_PROFILE.messages_per_cycle
+    assert ledger.count_for("dev") == expected
+    # connected time is bounded: at most (span + one tail), at least one tail
+    span = sum(gaps)
+    assert WCDMA_PROFILE.tail_s <= machine.connected_time_s + 1e-6
+    assert machine.connected_time_s <= span + WCDMA_PROFILE.tail_s + 1e-6
+
+
+@given(st.floats(min_value=0.1, max_value=7.4))
+@settings(max_examples=40, deadline=None)
+def test_rrc_send_within_tail_never_costs_a_cycle(gap):
+    """Any second send inside the tail window joins the first cycle."""
+    sim = Simulator(seed=0)
+    ledger = SignalingLedger()
+    machine = RrcStateMachine(sim, "dev", ledger=ledger)
+    machine.request_transmission(54, lambda ready: None)
+    sim.run_until(WCDMA_PROFILE.setup_latency_s + gap * 0.999)
+    machine.request_transmission(54, lambda ready: None)
+    sim.run_until(1000.0)
+    assert ledger.cycles_for("dev") == 1
+
+
+# ----------------------------------------------------------------------
+# feedback tracker: acks and fallbacks partition the tracked set
+# ----------------------------------------------------------------------
+@st.composite
+def feedback_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    acked = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    ack_delay = draw(st.floats(min_value=0.1, max_value=50.0))
+    return n, acked, ack_delay
+
+
+@given(feedback_cases())
+@settings(max_examples=80, deadline=None)
+def test_feedback_exactly_once(case):
+    """Every tracked beat is either acked or falls back — exactly once."""
+    n, acked_indices, ack_delay = case
+    sim = Simulator(seed=0)
+    fallbacks = []
+    tracker = FeedbackTracker(sim, on_fallback=fallbacks.append)
+    messages = [
+        PeriodicMessage(
+            app="standard", origin_device="ue", size_bytes=54,
+            created_at_s=0.0, period_s=270.0, expiry_s=100.0,
+        )
+        for __ in range(n)
+    ]
+    for message in messages:
+        tracker.track(message)
+    acked_seqs = [messages[i].seq for i in sorted(acked_indices)]
+    sim.schedule(ack_delay, tracker.ack, acked_seqs)
+    sim.run_until(500.0)
+
+    fallback_seqs = {m.seq for m in fallbacks}
+    acked_in_time = set(acked_seqs) if ack_delay < 96.0 else set()
+    # partition: acked-in-time beats never fall back, all others do
+    assert fallback_seqs == {m.seq for m in messages} - acked_in_time
+    assert tracker.pending_count == 0
+    assert tracker.fallbacks_fired == len(fallback_seqs)
+    # exactly-once: no seq appears twice in the fallback list
+    assert len(fallbacks) == len(fallback_seqs)
+
+
+# ----------------------------------------------------------------------
+# IM server: counters always consistent with records
+# ----------------------------------------------------------------------
+deliveries = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),  # delivery time
+        st.booleans(),  # relayed?
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(deliveries)
+@settings(max_examples=80, deadline=None)
+def test_server_counters_consistent(events):
+    sim = Simulator(seed=0)
+    server = IMServer(sim)
+    for time_s, relayed in events:
+        message = PeriodicMessage(
+            app="wechat", origin_device="ue-0", size_bytes=74,
+            created_at_s=0.0, period_s=270.0, expiry_s=270.0,
+        )
+        server.receive(message, via_device="relay-0" if relayed else "ue-0",
+                       time_s=time_s)
+    assert server.on_time_count + server.late_count == len(server.records)
+    assert server.on_time_count == sum(1 for r in server.records if r.on_time)
+    assert server.relayed_count == sum(1 for r in server.records if r.relayed)
+    assert 0.0 <= server.on_time_fraction() <= 1.0
+    if server.records:
+        assert server.mean_delay_s() == sum(
+            r.delay_s for r in server.records
+        ) / len(server.records)

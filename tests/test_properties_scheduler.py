@@ -1,0 +1,146 @@
+"""Property-based tests for the Message Scheduler (Algorithm 1).
+
+Invariants, under arbitrary admissible arrival patterns:
+
+1. no accepted beat is ever flushed after its guarded deadline;
+2. the collected count never exceeds the capacity ``M``;
+3. the relay's own beat is delayed at most ``min(T, expiry - guard)``;
+4. every accepted beat is flushed exactly once (none lost, none duplicated).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import CollectedBeat, MessageScheduler, SchedulerConfig
+from repro.sim.engine import Simulator
+from repro.workload.messages import PeriodicMessage
+
+T = 270.0
+GUARD = 3.0
+
+
+def _beat(created, expiry, device="ue"):
+    return PeriodicMessage(
+        app="standard",
+        origin_device=device,
+        size_bytes=54,
+        created_at_s=created,
+        period_s=T,
+        expiry_s=expiry,
+    )
+
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=T - 1.0),  # arrival offset in period
+        st.floats(min_value=10.0, max_value=3 * T),  # expiry budget
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@st.composite
+def schedules(draw):
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    arrivals = sorted(draw(arrival_lists))
+    periods = draw(st.integers(min_value=1, max_value=3))
+    return capacity, arrivals, periods
+
+
+@given(schedules())
+@settings(max_examples=120, deadline=None)
+def test_scheduler_invariants(case):
+    capacity, arrivals, periods = case
+    sim = Simulator(seed=0)
+    flushes = []
+    scheduler = MessageScheduler(
+        sim,
+        relay_period_s=T,
+        on_flush=lambda own, collected, reason: flushes.append(
+            (sim.now, own, list(collected), reason)
+        ),
+        config=SchedulerConfig(capacity=capacity, uplink_guard_s=GUARD),
+    )
+    accepted_seqs = []
+
+    def begin(period_index):
+        scheduler.begin_period(_beat(sim.now, T, device="relay"))
+
+    def offer(created, expiry):
+        beat = CollectedBeat(_beat(created, expiry), sim.now, "ue")
+        if scheduler.offer(beat):
+            accepted_seqs.append(beat.message.seq)
+
+    for period in range(periods):
+        start = period * T
+        sim.schedule_at(start, begin, period)
+        for offset, expiry in arrivals:
+            sim.schedule_at(start + offset, offer, start + offset, expiry)
+    sim.run_until(periods * T + T)
+
+    flushed_seqs = []
+    for time, own, collected, reason in flushes:
+        # (2) capacity never exceeded
+        assert len(collected) <= capacity
+        # (1) no collected beat past its guarded deadline
+        for item in collected:
+            assert time <= item.message.deadline_s - GUARD + 1e-6
+            flushed_seqs.append(item.message.seq)
+        # (3) own beat delayed at most min(T, expiry - guard)
+        if own is not None:
+            assert time - own.created_at_s <= min(T, own.expiry_s - GUARD) + 1e-6
+
+    # (4) exactly-once flushing of accepted beats that had time to flush
+    assert sorted(flushed_seqs) == sorted(accepted_seqs)
+    assert len(set(flushed_seqs)) == len(flushed_seqs)
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_capacity_binding_flushes_immediately(capacity, n_offers):
+    """Once k == M the scheduler must flush without waiting for timers."""
+    sim = Simulator(seed=0)
+    flushes = []
+    scheduler = MessageScheduler(
+        sim,
+        relay_period_s=T,
+        on_flush=lambda own, collected, reason: flushes.append(
+            (len(collected), reason)
+        ),
+        config=SchedulerConfig(capacity=capacity, uplink_guard_s=GUARD),
+    )
+    scheduler.begin_period(_beat(0.0, T, device="relay"))
+    accepted = 0
+    for __ in range(n_offers):
+        if scheduler.offer(CollectedBeat(_beat(0.0, 3 * T), 0.0, "ue")):
+            accepted += 1
+    assert accepted <= capacity
+    if n_offers >= capacity:
+        assert flushes and flushes[0][0] == capacity
+        assert flushes[0][1] == "capacity"
+        # after a capacity flush nothing further is accepted this period
+        assert scheduler.pending_count == 0
+        assert not scheduler.accepting
+    else:
+        assert flushes == []
+        assert scheduler.pending_count == accepted
+
+
+@given(st.floats(min_value=4.0, max_value=T), st.floats(min_value=0.0, max_value=T - 1))
+@settings(max_examples=60, deadline=None)
+def test_own_beat_never_late(expiry, run_slack):
+    sim = Simulator(seed=0)
+    flush_times = []
+    scheduler = MessageScheduler(
+        sim,
+        relay_period_s=T,
+        on_flush=lambda own, collected, reason: flush_times.append(sim.now),
+        config=SchedulerConfig(capacity=5, uplink_guard_s=GUARD),
+    )
+    scheduler.begin_period(_beat(0.0, expiry, device="relay"))
+    sim.run_until(T + run_slack)
+    assert flush_times
+    assert flush_times[0] <= min(T, max(0.0, expiry - GUARD)) + 1e-6

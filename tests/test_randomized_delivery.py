@@ -1,0 +1,114 @@
+"""Randomized end-to-end delivery-safety: the grand invariant under chaos.
+
+Hypothesis draws a topology (UE count, phases, distances), a fault script
+(relay death / link breaks / ack loss at random times), runs the full
+framework, and asserts the one property the paper's design promises:
+**every heartbeat emitted by a living device reaches the IM server before
+its expiration deadline** — via the relay or via fallback, duplicates
+allowed, losses never.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import HeartbeatRelayFramework
+from repro.d2d.base import D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.faults import FaultPlan
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+T = STANDARD_APP.heartbeat_period_s
+PERIODS = 4
+
+
+@st.composite
+def chaos_cases(draw):
+    n_ues = draw(st.integers(min_value=1, max_value=3))
+    phases = [
+        draw(st.floats(min_value=0.05, max_value=0.85)) for __ in range(n_ues)
+    ]
+    distances = [
+        draw(st.floats(min_value=0.5, max_value=15.0)) for __ in range(n_ues)
+    ]
+    # up to two faults, each at a random time in the run
+    faults = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["kill-relay", "break-links", "drop-acks"]),
+            st.floats(min_value=30.0, max_value=PERIODS * T - 60.0),
+        ),
+        min_size=0,
+        max_size=2,
+    ))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n_ues, phases, distances, faults, seed
+
+
+@given(chaos_cases())
+@settings(max_examples=40, deadline=None)
+def test_no_living_devices_beat_is_ever_lost(case):
+    n_ues, phases, distances, faults, seed = case
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, WIFI_DIRECT)
+    framework = HeartbeatRelayFramework([], app=STANDARD_APP)
+    relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                       role=Role.RELAY, ledger=ledger, basestation=basestation,
+                       d2d_medium=medium)
+    framework.add_device(relay, phase_fraction=0.0)
+    ues = []
+    for i in range(n_ues):
+        ue = Smartphone(sim, f"ue-{i}",
+                        mobility=StaticMobility((distances[i], float(i))),
+                        role=Role.UE, ledger=ledger, basestation=basestation,
+                        d2d_medium=medium)
+        framework.add_device(ue, phase_fraction=phases[i])
+        ues.append(ue)
+
+    plan = FaultPlan(sim)
+    relay_killed_at = None
+    for kind, at in faults:
+        if kind == "kill-relay":
+            if relay_killed_at is None or at < relay_killed_at:
+                relay_killed_at = at
+            plan.kill_device_at(at, relay)
+        elif kind == "break-links":
+            plan.break_links_at(at, medium, "relay-0")
+        else:
+            plan.drop_acks_between(at, at + 60.0,
+                                   framework.ues["ue-0"])
+
+    horizon = PERIODS * T
+    sim.run_until(horizon - 1)
+    framework.shutdown()
+    sim.run_until(horizon + 60)
+
+    on_time = {
+        (r.message.origin_device, r.message.seq)
+        for r in server.records
+        if r.on_time
+    }
+    # every UE beat emitted must have arrived on time (UEs never die here)
+    for i, ue in enumerate(ues):
+        agent = framework.ues[ue.device_id]
+        emitted = agent.monitor.generators[STANDARD_APP.name].beats_emitted
+        delivered = sum(1 for d, __ in on_time if d == ue.device_id)
+        assert delivered == emitted, (
+            f"{ue.device_id} emitted {emitted} but only {delivered} on time "
+            f"(faults={faults}, phases={phases}, distances={distances})"
+        )
+    # relay beats emitted while alive must also land (those emitted at or
+    # after its death never existed)
+    if relay_killed_at is None:
+        relay_emitted = framework.relays["relay-0"].monitor.generators[
+            STANDARD_APP.name
+        ].beats_emitted
+        relay_delivered = sum(1 for d, __ in on_time if d == "relay-0")
+        assert relay_delivered == relay_emitted

@@ -1,0 +1,56 @@
+"""Scenario-level tests for the pluggable relay-selection strategies."""
+
+import pytest
+
+from repro.mobility.space import Arena
+from repro.scenarios import run_crowd_scenario
+
+COMMON = dict(
+    n_devices=20,
+    relay_fraction=0.15,
+    duration_s=600.0,
+    arena=Arena(100.0, 100.0),
+    hotspots=3,
+    seed=6,
+)
+
+
+class TestSelectionStrategies:
+    def test_all_strategies_produce_working_systems(self):
+        for strategy in ("roundrobin", "greedy", "random"):
+            result = run_crowd_scenario(relay_selection=strategy, **COMMON)
+            assert result.on_time_fraction() == 1.0, strategy
+            assert result.metrics.delivery.received > 0, strategy
+
+    def test_relay_budget_respected(self):
+        for strategy in ("roundrobin", "greedy", "random"):
+            result = run_crowd_scenario(relay_selection=strategy, **COMMON)
+            assert len(result.relay_ids) <= round(20 * 0.15), strategy
+
+    def test_strategies_pick_different_relays(self):
+        picks = {}
+        for strategy in ("roundrobin", "greedy", "random"):
+            result = run_crowd_scenario(relay_selection=strategy, **COMMON)
+            picks[strategy] = frozenset(result.relay_ids)
+        # at least two of the three strategies disagree
+        assert len(set(picks.values())) >= 2
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_crowd_scenario(relay_selection="psychic", **COMMON)
+
+    def test_original_mode_ignores_selection(self):
+        result = run_crowd_scenario(relay_selection="greedy", mode="original",
+                                    **COMMON)
+        assert result.relay_ids == []
+
+    def test_pre_run_hook_sees_wired_devices(self):
+        seen = {}
+
+        def hook(context, devices):
+            seen["n"] = len(devices)
+            seen["sim_time"] = context.sim.now
+
+        run_crowd_scenario(pre_run=hook, **COMMON)
+        assert seen["n"] == 20
+        assert seen["sim_time"] == 0.0

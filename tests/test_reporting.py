@@ -1,0 +1,72 @@
+"""Unit tests for table/series formatting."""
+
+import pytest
+
+from repro.reporting import (
+    format_comparison,
+    format_series,
+    format_table,
+    percent,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["App", "Share"], [["WeChat", 0.5], ["QQ", 0.526]])
+        lines = text.splitlines()
+        assert lines[0].startswith("App")
+        assert "WeChat" in lines[2]
+        assert "0.53" in lines[3]
+
+    def test_title_included(self):
+        text = format_table(["a"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_format_override(self):
+        text = format_table(["x"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["x"], [[7]])
+        assert "7" in text and "7.00" not in text
+
+
+class TestFormatSeries:
+    def test_one_column_per_curve(self):
+        text = format_series(
+            "k", [1, 2], {"ue": [1.0, 2.0], "relay": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0]
+        assert "k" in header and "ue" in header and "relay" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("k", [1, 2], {"ue": [1.0]})
+
+
+class TestSmallHelpers:
+    def test_comparison_line(self):
+        line = format_comparison("Fig 9", ">50%", "52%", "OK")
+        assert "paper=>50%" in line and "[OK]" in line
+
+    def test_percent(self):
+        assert percent(0.361) == "36.1%"
+        assert percent(0.5, decimals=0) == "50%"
+
+    def test_sparkline_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] != line[-1]
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([]) == ""
+        flat = sparkline([2.0, 2.0, 2.0])
+        assert len(set(flat)) == 1
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(200)), width=40)) == 40

@@ -1,0 +1,64 @@
+"""Cross-module integration: MQTT pings, sealed end-to-end, relayed.
+
+The paper's security story in one test: the heartbeat body is a real MQTT
+PINGREQ, sealed under the device↔server key before it enters the
+framework; the relay carries ciphertext it cannot read; the server opens,
+decodes, and confirms the keep-alive.
+"""
+
+import pytest
+
+from repro.core.security import IntegrityError, SecureChannel, ServerKeyRing
+from repro.workload.mqtt import (
+    PacketType,
+    decode_packet,
+    encode_connect,
+    encode_pingreq,
+)
+
+KEY = b"a-thirty-two-byte-shared-secret!"
+
+
+class TestSealedPingPipeline:
+    def test_end_to_end(self):
+        ring = ServerKeyRing()
+        device_channel, __ = ring.provision("ue-0", KEY)
+
+        # device side: build and seal the actual keep-alive bytes
+        ping = encode_pingreq()
+        sealed = device_channel.seal(seq=1, body=ping)
+
+        # relay side: sees only the envelope; the ciphertext is not a
+        # parseable MQTT packet (the relay learns nothing)
+        assert sealed.ciphertext != ping
+        from repro.workload.mqtt import MqttCodecError
+
+        with pytest.raises(MqttCodecError):
+            decode_packet(sealed.ciphertext)
+
+        # server side: open + decode
+        body = ring.open(sealed)
+        packet = decode_packet(body)
+        assert packet.packet_type == PacketType.PINGREQ
+
+    def test_sealed_connect_carries_keepalive_contract(self):
+        channel = SecureChannel("ue-0", KEY)
+        connect = encode_connect("wechat-android", keepalive_s=270)
+        sealed = channel.seal(seq=0, body=connect)
+        packet = decode_packet(channel.open(sealed))
+        assert packet.keepalive_s == 270
+        assert packet.client_id == "wechat-android"
+
+    def test_relay_tampering_is_caught_before_decode(self):
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(seq=5, body=encode_pingreq())
+        flipped = bytes([sealed.ciphertext[0] ^ 0x01]) + sealed.ciphertext[1:]
+        with pytest.raises(IntegrityError):
+            channel.open(sealed.tampered(flipped))
+
+    def test_sealed_size_is_realistic(self):
+        """Sealing a 2-byte ping yields an envelope in the same ballpark
+        as the paper's measured heartbeat sizes."""
+        channel = SecureChannel("ue-0", KEY)
+        sealed = channel.seal(seq=1, body=encode_pingreq())
+        assert 40 <= sealed.wire_bytes <= 80

@@ -1,0 +1,62 @@
+"""Seed-robustness: the headline conclusions hold across random seeds."""
+
+import pytest
+
+from repro.analysis import mean_confidence_interval, replicate, saved_fraction
+from repro.scenarios import run_crowd_scenario
+
+
+class TestReplicationHelpers:
+    def test_replicate_collects_per_seed(self):
+        values = replicate(lambda seed: seed * 2.0, [1, 2, 3])
+        assert values == [2.0, 4.0, 6.0]
+
+    def test_replicate_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 0.0, [])
+
+    def test_ci_single_value(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_ci_exact_for_known_sample(self):
+        # mean 10, sample sd 1, n=4 → se 0.5, t(3, 97.5%) ≈ 3.182
+        values = [9.0, 9.666666, 10.333333, 11.0]
+        mean, half = mean_confidence_interval(values)
+        assert mean == pytest.approx(10.0, abs=1e-3)
+        assert half == pytest.approx(3.182 * 0.430, rel=0.05)
+
+    def test_ci_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+    def test_wider_spread_wider_interval(self):
+        __, narrow = mean_confidence_interval([10.0, 10.1, 9.9])
+        __, wide = mean_confidence_interval([5.0, 15.0, 10.0])
+        assert wide > narrow
+
+
+class TestCrowdRobustness:
+    @pytest.fixture(scope="class")
+    def signaling_savings(self):
+        def experiment(seed):
+            d2d = run_crowd_scenario(
+                n_devices=16, relay_fraction=0.25, duration_s=800.0, seed=seed
+            )
+            base = run_crowd_scenario(
+                n_devices=16, relay_fraction=0.25, duration_s=800.0, seed=seed,
+                mode="original",
+            )
+            return saved_fraction(base.total_l3(), d2d.total_l3())
+
+        return replicate(experiment, [11, 22, 33, 44])
+
+    def test_saving_positive_on_every_seed(self, signaling_savings):
+        assert all(s > 0.2 for s in signaling_savings)
+
+    def test_mean_saving_with_ci_excludes_zero(self, signaling_savings):
+        mean, half = mean_confidence_interval(signaling_savings)
+        assert mean - half > 0.2
+        assert mean > 0.4

@@ -1,0 +1,49 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockError
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert Clock(start=5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            Clock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_raises(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_advance_by_accumulates(self):
+        clock = Clock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = Clock()
+        clock.advance_by(0.0)
+        assert clock.now == 0.0
+
+    def test_advance_by_negative_raises(self):
+        with pytest.raises(ClockError):
+            Clock().advance_by(-0.1)

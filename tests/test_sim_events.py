@@ -1,0 +1,87 @@
+"""Unit tests for events and the event queue."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def _noop() -> None:
+    pass
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        a = Event(1.0, 0, _noop, ())
+        b = Event(2.0, 1, _noop, ())
+        assert a < b and not b < a
+
+    def test_equal_time_breaks_by_sequence(self):
+        a = Event(1.0, 0, _noop, ())
+        b = Event(1.0, 1, _noop, ())
+        assert a < b
+
+    def test_cancel_is_idempotent(self):
+        event = Event(1.0, 0, _noop, ())
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, _noop, name="c")
+        queue.push(1.0, _noop, name="a")
+        queue.push(2.0, _noop, name="b")
+        names = [queue.pop().name for _ in range(3)]
+        assert names == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop, name="first")
+        queue.push(1.0, _noop, name="second")
+        queue.push(1.0, _noop, name="third")
+        names = [queue.pop().name for _ in range(3)]
+        assert names == ["first", "second", "third"]
+
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop, name="cancelled")
+        queue.push(2.0, _noop, name="live")
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.pop().name == "live"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, _noop)
+        queue.push(2.0, _noop)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, _noop)
+        queue.push(4.0, _noop)
+        head.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 4.0
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        assert len(queue) == 0 and not queue
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        assert len(queue) == 2 and queue
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+    def test_args_are_passed_through(self):
+        queue = EventQueue()
+        collected = []
+        queue.push(1.0, collected.append, args=(99,))
+        event = queue.pop()
+        event.callback(*event.args)
+        assert collected == [99]

@@ -1,0 +1,49 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RngStreams, make_rng
+
+
+class TestMakeRng:
+    def test_deterministic_across_calls(self):
+        a = make_rng(1, "x").random()
+        b = make_rng(1, "x").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        assert make_rng(1, "x").random() != make_rng(1, "y").random()
+
+    def test_seeds_are_independent(self):
+        assert make_rng(1, "x").random() != make_rng(2, "x").random()
+
+
+class TestRngStreams:
+    def test_get_is_cached(self):
+        streams = RngStreams(seed=3)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_different_generators(self):
+        streams = RngStreams(seed=3)
+        assert streams.get("a") is not streams.get("b")
+
+    def test_fork_restarts_stream(self):
+        streams = RngStreams(seed=3)
+        first = streams.fork("a").random()
+        second = streams.fork("a").random()
+        assert first == second
+
+    def test_fork_does_not_disturb_registered_stream(self):
+        streams = RngStreams(seed=3)
+        registered = streams.get("a")
+        value_before = registered.random()
+        streams.fork("a")
+        # re-create from scratch and advance one draw: should match
+        fresh = RngStreams(seed=3).get("a")
+        assert fresh.random() == value_before
+
+    def test_adding_stream_does_not_shift_existing(self):
+        only = RngStreams(seed=9)
+        seq_alone = [only.get("m").random() for _ in range(5)]
+        both = RngStreams(seed=9)
+        both.get("other")  # register an extra stream first
+        seq_with_other = [both.get("m").random() for _ in range(5)]
+        assert seq_alone == seq_with_other

@@ -1,0 +1,140 @@
+"""Hypothesis stateful tests: protocol machines under arbitrary op orders.
+
+Rule-based state machines drive the RRC machine and the feedback tracker
+through random interleavings of their operations and check the invariants
+after every step — the class of bugs (timer races, double-counting,
+stuck states) that example-based tests rarely reach.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.cellular.rrc import RrcState, RrcStateMachine, WCDMA_PROFILE
+from repro.cellular.signaling import SignalingLedger
+from repro.core.feedback import FeedbackTracker
+from repro.sim.engine import Simulator
+from repro.workload.messages import PeriodicMessage
+
+
+class RrcMachine(RuleBasedStateMachine):
+    """Random sends / waits / force-releases against the RRC machine."""
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulator(seed=0)
+        self.ledger = SignalingLedger()
+        self.machine = RrcStateMachine(
+            self.sim, "dev", profile=WCDMA_PROFILE, ledger=self.ledger
+        )
+        self.requests = 0
+
+    @rule(payload=st.integers(min_value=1, max_value=500))
+    def send(self, payload):
+        self.machine.request_transmission(payload, lambda ready: None)
+        self.requests += 1
+
+    @rule(dt=st.floats(min_value=0.01, max_value=30.0))
+    def wait(self, dt):
+        self.sim.run_until(self.sim.now + dt)
+
+    @rule()
+    def force_release(self):
+        self.machine.force_release()
+
+    @invariant()
+    def promotions_bound_demotions(self):
+        # a demotion needs a matching promotion; force_release may strand
+        # a promotion without a demotion, never the reverse
+        assert self.machine.demotions <= self.machine.promotions
+
+    @invariant()
+    def cycles_bound_by_requests(self):
+        assert self.ledger.cycles_for("dev") <= self.requests
+
+    @invariant()
+    def state_is_legal(self):
+        assert self.machine.state in (
+            RrcState.IDLE, RrcState.CONNECTING, RrcState.CONNECTED,
+        )
+
+    @invariant()
+    def connected_time_nonnegative(self):
+        assert self.machine.connected_time_s >= 0.0
+
+    def teardown(self):
+        # drain: the machine must always come back to rest
+        self.sim.run_until(self.sim.now + 100.0)
+        assert self.machine.state == RrcState.IDLE
+
+
+TestRrcStateMachine = RrcMachine.TestCase
+TestRrcStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class FeedbackMachine(RuleBasedStateMachine):
+    """Random track / ack / fail / wait against the feedback tracker."""
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulator(seed=0)
+        self.fallbacks = []
+        self.tracker = FeedbackTracker(
+            self.sim, on_fallback=self.fallbacks.append
+        )
+        self.tracked = []
+
+    @rule(expiry=st.floats(min_value=5.0, max_value=200.0))
+    def track(self, expiry):
+        message = PeriodicMessage(
+            app="standard", origin_device="ue", size_bytes=54,
+            created_at_s=self.sim.now, period_s=270.0, expiry_s=expiry,
+        )
+        self.tracker.track(message)
+        self.tracked.append(message)
+
+    @rule(index=st.integers(min_value=0, max_value=200))
+    def ack_some(self, index):
+        if self.tracked:
+            message = self.tracked[index % len(self.tracked)]
+            self.tracker.ack([message.seq])
+
+    @rule(index=st.integers(min_value=0, max_value=200))
+    def fail_some(self, index):
+        if self.tracked:
+            message = self.tracked[index % len(self.tracked)]
+            self.tracker.fail_now(message.seq)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=120.0))
+    def wait(self, dt):
+        self.sim.run_until(self.sim.now + dt)
+
+    @invariant()
+    def accounting_conserves(self):
+        settled = self.tracker.acks_received + self.tracker.fallbacks_fired
+        assert settled + self.tracker.pending_count == len(self.tracked)
+
+    @invariant()
+    def no_double_fallback(self):
+        seqs = [m.seq for m in self.fallbacks]
+        assert len(seqs) == len(set(seqs))
+
+    def teardown(self):
+        # after enough time every beat is settled exactly once
+        self.sim.run_until(self.sim.now + 1000.0)
+        settled = self.tracker.acks_received + self.tracker.fallbacks_fired
+        assert settled == len(self.tracked)
+        assert self.tracker.pending_count == 0
+
+
+TestFeedbackStateMachine = FeedbackMachine.TestCase
+TestFeedbackStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

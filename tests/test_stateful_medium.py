@@ -1,0 +1,124 @@
+"""Hypothesis stateful test for the D2D medium.
+
+Random interleavings of register / connect / send / power-off / close /
+wait must never violate the medium's structural invariants: the live
+connection list only contains alive connections between powered-on
+endpoints, per-endpoint energy only grows, and message counters stay
+consistent.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+import hypothesis.strategies as st
+
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.model import EnergyModel
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+
+N_ENDPOINTS = 4
+
+
+class MediumMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.sim = Simulator(seed=0)
+        self.medium = D2DMedium(self.sim, WIFI_DIRECT)
+        self.endpoints = []
+        for i in range(N_ENDPOINTS):
+            endpoint = D2DEndpoint(
+                f"dev-{i}", StaticMobility((float(i * 3), 0.0)),
+                energy=EnergyModel(f"dev-{i}"),
+            )
+            endpoint.advertising = True
+            self.medium.register(endpoint)
+            self.endpoints.append(endpoint)
+        self.connections = []
+        self.last_energy = {e.device_id: 0.0 for e in self.endpoints}
+
+    # ------------------------------------------------------------------
+    @rule(a=st.integers(0, N_ENDPOINTS - 1), b=st.integers(0, N_ENDPOINTS - 1))
+    def connect(self, a, b):
+        if a == b:
+            return
+        initiator = self.endpoints[a]
+        if not initiator.powered_on:
+            return
+
+        def done(connection):
+            if connection is not None:
+                self.connections.append(connection)
+
+        self.medium.connect(initiator.device_id,
+                            self.endpoints[b].device_id, done)
+
+    @rule(index=st.integers(0, 50), size=st.integers(1, 300))
+    def send(self, index, size):
+        live = [c for c in self.connections if c.alive]
+        if not live:
+            return
+        connection = live[index % len(live)]
+        sender = connection.initiator
+        if not sender.powered_on:
+            sender = connection.responder
+        connection.send(sender.device_id, size, "payload")
+
+    @rule(index=st.integers(0, 50))
+    def close_one(self, index):
+        live = [c for c in self.connections if c.alive]
+        if live:
+            live[index % len(live)].close("test")
+
+    @rule(index=st.integers(0, N_ENDPOINTS - 1))
+    def power_off(self, index):
+        endpoint = self.endpoints[index]
+        if endpoint.powered_on:
+            self.medium.power_off(endpoint.device_id)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=20.0))
+    def wait(self, dt):
+        self.sim.run_until(self.sim.now + dt)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def live_list_only_contains_alive_connections(self):
+        for connection in self.medium._connections:
+            assert connection.alive
+            assert connection.initiator.powered_on
+            assert connection.responder.powered_on
+
+    @invariant()
+    def connections_of_is_consistent(self):
+        for endpoint in self.endpoints:
+            for connection in self.medium.connections_of(endpoint.device_id):
+                assert endpoint in (connection.initiator, connection.responder)
+                assert connection.alive
+
+    @invariant()
+    def energy_monotone(self):
+        for endpoint in self.endpoints:
+            total = endpoint.energy.total_uah
+            assert total >= self.last_energy[endpoint.device_id] - 1e-9
+            self.last_energy[endpoint.device_id] = total
+
+    @invariant()
+    def counters_consistent(self):
+        for connection in self.connections:
+            assert connection.messages_delivered >= 0
+            assert connection.messages_lost >= 0
+        assert self.medium.connections_broken <= (
+            self.medium.connections_established + len(self.connections) + 10
+        )
+
+    def teardown(self):
+        # let everything in flight settle; invariants must still hold
+        self.sim.run_until(self.sim.now + 60.0)
+        for connection in self.medium._connections:
+            assert connection.alive
+
+
+TestMediumStateMachine = MediumMachine.TestCase
+TestMediumStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)

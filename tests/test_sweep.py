@@ -1,0 +1,110 @@
+"""Tests for the grid-sweep utility."""
+
+import pytest
+
+from repro.sweep import SweepPoint, grid_sweep
+
+
+def toy_runner(a, b):
+    return {"sum": float(a + b), "product": float(a * b)}
+
+
+@pytest.fixture
+def sweep():
+    return grid_sweep({"a": [1, 2, 3], "b": [10, 20]}, toy_runner)
+
+
+class TestGridSweep:
+    def test_covers_full_cartesian_product(self, sweep):
+        assert len(sweep) == 6
+        combos = {(p.params["a"], p.params["b"]) for p in sweep.points}
+        assert combos == {(a, b) for a in (1, 2, 3) for b in (10, 20)}
+
+    def test_metric_names(self, sweep):
+        assert sweep.metric_names() == ["product", "sum"]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep({}, toy_runner)
+        with pytest.raises(ValueError):
+            grid_sweep({"a": []}, toy_runner)
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = []
+
+        def flaky(a):
+            calls.append(a)
+            return {"x": 1.0} if len(calls) == 1 else {"y": 1.0}
+
+        with pytest.raises(ValueError):
+            grid_sweep({"a": [1, 2]}, flaky)
+
+
+class TestQueries:
+    def test_where_filters(self, sweep):
+        points = sweep.where(a=2)
+        assert len(points) == 2
+        assert all(p.params["a"] == 2 for p in points)
+
+    def test_series_sorted_by_x(self, sweep):
+        series = sweep.series("a", "sum", b=10)
+        assert series == [(1, 11.0), (2, 12.0), (3, 13.0)]
+
+    def test_series_unknown_param(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.series("z", "sum")
+
+    def test_pivot(self, sweep):
+        table = sweep.pivot("a", "b", "product")
+        assert table[2][20] == 40.0
+        assert set(table) == {1, 2, 3}
+
+    def test_best(self, sweep):
+        assert sweep.best("product").params == {"a": 3, "b": 20}
+        assert sweep.best("sum", maximize=False).params == {"a": 1, "b": 10}
+
+    def test_best_empty_rejected(self):
+        from repro.sweep import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult(["a"], []).best("x")
+
+    def test_rows_for_tabulation(self, sweep):
+        rows = sweep.rows()
+        assert rows[0] == ["a", "b", "product", "sum"]
+        assert len(rows) == 7
+
+    def test_integrates_with_format_table(self, sweep):
+        from repro.reporting import format_table
+
+        rows = sweep.rows()
+        text = format_table(rows[0], rows[1:])
+        assert "product" in text
+
+
+class TestWithScenarios:
+    def test_small_real_sweep(self):
+        """A 2×2 sweep over the actual simulator stays consistent."""
+        from repro.analysis import saved_fraction
+        from repro.scenarios import run_relay_scenario
+
+        def runner(distance_m, periods):
+            d2d = run_relay_scenario(n_ues=1, distance_m=distance_m,
+                                     periods=periods)
+            base = run_relay_scenario(n_ues=1, distance_m=distance_m,
+                                      periods=periods, mode="original")
+            return {
+                "saved": saved_fraction(base.system_energy_uah(),
+                                        d2d.system_energy_uah()),
+            }
+
+        sweep = grid_sweep(
+            {"distance_m": [1.0, 10.0], "periods": [1, 5]}, runner
+        )
+        # saving improves with periods at both distances
+        for distance in (1.0, 10.0):
+            series = sweep.series("periods", "saved", distance_m=distance)
+            assert series[1][1] > series[0][1]
+        # and the near pair saves more than the far pair at 5 periods
+        pivot = sweep.pivot("distance_m", "periods", "saved")
+        assert pivot[1.0][5] > pivot[10.0][5]

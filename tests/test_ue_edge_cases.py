@@ -1,0 +1,124 @@
+"""Edge-case tests for the UE agent's buffering and fallback paths."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.signaling import SignalingLedger
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.core.matching import MatchConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.core.ue import UEState
+from repro.d2d.base import D2DMedium, D2DTechnology
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.mobility.models import StaticMobility
+from repro.sim.engine import Simulator
+from repro.workload.apps import AppProfile
+from repro.workload.server import IMServer
+
+import dataclasses
+
+#: an app with an aggressive period and short expiry, to stress deadlines
+TIGHT_APP = AppProfile(
+    name="standard",  # reuse the registered name for server windows
+    heartbeat_period_s=60.0,
+    heartbeat_bytes=54,
+    heartbeat_share=0.5,
+    expiry_s=20.0,
+)
+
+#: a Wi-Fi Direct variant whose scans take almost as long as the slack
+SLOW_SCAN_TECH = dataclasses.replace(
+    WIFI_DIRECT, discovery_latency_s=12.0, connection_latency_s=6.0
+)
+
+
+def build_rig(app=TIGHT_APP, technology=WIFI_DIRECT, with_relay=True, seed=0):
+    sim = Simulator(seed=seed)
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    basestation.attach_sink(server.uplink_sink)
+    medium = D2DMedium(sim, technology)
+    framework = HeartbeatRelayFramework(
+        [], app=app,
+        config=FrameworkConfig(
+            scheduler=SchedulerConfig(capacity=10, uplink_guard_s=7.0),
+        ),
+    )
+    if with_relay:
+        relay = Smartphone(sim, "relay-0", mobility=StaticMobility((0.0, 0.0)),
+                           role=Role.RELAY, ledger=ledger,
+                           basestation=basestation, d2d_medium=medium)
+        framework.add_device(relay, phase_fraction=0.0)
+    ue = Smartphone(sim, "ue-0", mobility=StaticMobility((1.0, 0.0)),
+                    role=Role.UE, ledger=ledger, basestation=basestation,
+                    d2d_medium=medium)
+    framework.add_device(ue, phase_fraction=0.5)
+    return sim, server, framework, ue
+
+
+class TestBufferDeadline:
+    def test_slow_setup_forces_buffered_beat_to_cellular(self):
+        """The buffered beat's own deadline timer fires while discovery is
+        still in flight: the beat must go cellular, on time."""
+        sim, server, framework, ue = build_rig(technology=SLOW_SCAN_TECH)
+        sim.run_until(120.0)
+        agent = framework.ues["ue-0"]
+        # discovery (12 s) + connection (6 s) exceed the guarded slack
+        # (20 s − 4 s); the deadline timer evicted the buffered beat
+        assert agent.cellular_sends >= 1
+        records = [r for r in server.records
+                   if r.message.origin_device == "ue-0"]
+        assert records and all(r.on_time for r in records)
+
+    def test_connection_still_completes_for_later_beats(self):
+        sim, server, framework, ue = build_rig(technology=SLOW_SCAN_TECH)
+        sim.run_until(400.0)
+        agent = framework.ues["ue-0"]
+        # after the slow setup finally lands, subsequent beats ride D2D
+        assert agent.state == UEState.CONNECTED
+        assert agent.beats_forwarded >= 1
+
+
+class TestTightExpiry:
+    def test_short_expiry_beats_still_meet_deadlines(self):
+        sim, server, framework, ue = build_rig()
+        sim.run_until(10 * TIGHT_APP.heartbeat_period_s)
+        records = [r for r in server.records
+                   if r.message.origin_device == "ue-0"]
+        assert len(records) >= 9
+        assert all(r.on_time for r in records)
+
+    def test_scheduler_flushes_on_expiration_not_period(self):
+        """With 20 s expiry inside a 60 s period, flushes are pulled in by
+        the collected beats' deadlines."""
+        sim, server, framework, ue = build_rig()
+        sim.run_until(5 * TIGHT_APP.heartbeat_period_s)
+        relay_agent = framework.relays["relay-0"]
+        reasons = {flush.reason for flush in relay_agent.scheduler.flushes}
+        assert "expiration" in reasons or "period" in reasons
+        # at least one uplink per period: the relay can't hold past expiry
+        assert relay_agent.aggregated_uplinks >= 4
+
+
+class TestNoRelayWorld:
+    def test_ue_without_any_relay_behaves_like_original(self):
+        sim, server, framework, ue = build_rig(with_relay=False)
+        sim.run_until(5 * TIGHT_APP.heartbeat_period_s)
+        agent = framework.ues["ue-0"]
+        assert agent.beats_forwarded == 0
+        assert agent.cellular_sends >= 4
+        assert agent.matches == 0
+        records = [r for r in server.records
+                   if r.message.origin_device == "ue-0"]
+        assert all(not r.relayed for r in records)
+        assert all(r.on_time for r in records)
+
+    def test_search_cooldown_limits_scan_energy(self):
+        sim, server, framework, ue = build_rig(with_relay=False)
+        sim.run_until(5 * TIGHT_APP.heartbeat_period_s)
+        agent = framework.ues["ue-0"]
+        # with a 60 s cooldown and 60 s periods, roughly one scan per beat;
+        # never more scans than beats
+        assert agent.searches <= agent.beats_seen

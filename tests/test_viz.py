@@ -1,0 +1,87 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.energy.model import EnergyPhase
+from repro.scenarios import run_relay_scenario
+from repro.viz import LEGEND, activity_summary, render_lane, render_timeline
+
+
+class TestRenderLane:
+    def test_places_glyphs_in_time_buckets(self):
+        log = [
+            (0.0, EnergyPhase.CELLULAR_SETUP, 80.0),
+            (50.0, EnergyPhase.D2D_FORWARD, 73.0),
+            (99.0, EnergyPhase.CELLULAR_TAIL, 455.0),
+        ]
+        lane = render_lane(log, horizon_s=100.0, width=10)
+        assert len(lane) == 10
+        assert lane[0] == "S"
+        assert lane[5] == "f"
+        assert lane[9] == "~"
+
+    def test_precedence_resolves_shared_buckets(self):
+        log = [
+            (10.0, EnergyPhase.CELLULAR_TAIL, 1.0),
+            (10.5, EnergyPhase.CELLULAR_SETUP, 1.0),
+        ]
+        lane = render_lane(log, horizon_s=100.0, width=10)
+        assert lane[1] == "S"  # setup outranks tail
+
+    def test_out_of_range_events_ignored(self):
+        log = [(200.0, EnergyPhase.D2D_FORWARD, 1.0)]
+        lane = render_lane(log, horizon_s=100.0, width=10)
+        assert lane == "." * 10
+
+    def test_empty_log_is_all_idle(self):
+        assert render_lane([], 10.0, width=5) == "....."
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_lane([], 0.0)
+        with pytest.raises(ValueError):
+            render_lane([], 10.0, width=0)
+
+
+class TestRenderTimeline:
+    def test_scenario_timeline(self):
+        result = run_relay_scenario(n_ues=1, periods=2, keep_energy_log=True)
+        horizon = result.metrics.horizon_s
+        text = render_timeline(result.devices.values(), horizon, width=60)
+        lines = text.splitlines()
+        assert lines[0].startswith("relay-0")
+        assert lines[1].startswith("ue-0")
+        assert lines[-1] == LEGEND
+        # the relay did cellular work, the UE did D2D work
+        assert "S" in lines[0] or "T" in lines[0]
+        assert "D" in lines[1] and "f" in lines[1]
+        # the UE lane shows no cellular setup (all relayed)
+        assert "S" not in lines[1].split("|")[1]
+
+    def test_no_devices(self):
+        assert render_timeline([], 100.0) == LEGEND
+        assert render_timeline([], 100.0, include_legend=False) == ""
+
+    def test_without_log_lane_is_idle(self):
+        result = run_relay_scenario(n_ues=1, periods=1)  # log disabled
+        text = render_timeline(result.devices.values(),
+                               result.metrics.horizon_s, width=20,
+                               include_legend=False)
+        for line in text.splitlines():
+            lane = line.split("|")[1]
+            assert set(lane) == {"."}
+
+
+class TestActivitySummary:
+    def test_buckets_capture_energy(self):
+        result = run_relay_scenario(n_ues=1, periods=2, keep_energy_log=True)
+        relay = result.devices["relay-0"]
+        summary = activity_summary(relay, result.metrics.horizon_s, buckets=4)
+        assert len(summary) == 4
+        total = sum(uah for __, uah in summary)
+        assert total == pytest.approx(relay.energy.total_uah, rel=1e-6)
+
+    def test_validation(self):
+        result = run_relay_scenario(n_ues=0, periods=1, keep_energy_log=True)
+        with pytest.raises(ValueError):
+            activity_summary(result.devices["relay-0"], 100.0, buckets=0)

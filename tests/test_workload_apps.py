@@ -1,0 +1,84 @@
+"""Unit tests for the IM app profiles (the paper's Sec. II-A numbers)."""
+
+import pytest
+
+from repro.workload.apps import (
+    APP_REGISTRY,
+    AppProfile,
+    FACEBOOK,
+    QQ,
+    SERVER_EXPIRY_FACTOR,
+    STANDARD_APP,
+    WECHAT,
+    WHATSAPP,
+    get_app,
+)
+
+
+class TestPaperNumbers:
+    def test_wechat_period_and_size(self):
+        assert WECHAT.heartbeat_period_s == 270.0
+        assert WECHAT.heartbeat_bytes == 74
+
+    def test_qq_period_and_size(self):
+        assert QQ.heartbeat_period_s == 300.0
+        assert QQ.heartbeat_bytes == 378
+
+    def test_whatsapp_period_and_size(self):
+        assert WHATSAPP.heartbeat_period_s == 240.0
+        assert WHATSAPP.heartbeat_bytes == 66
+
+    def test_table_i_shares(self):
+        assert WECHAT.heartbeat_share == pytest.approx(0.50)
+        assert WHATSAPP.heartbeat_share == pytest.approx(0.619)
+        assert QQ.heartbeat_share == pytest.approx(0.526)
+        assert FACEBOOK.heartbeat_share == pytest.approx(0.484)
+
+    def test_standard_app_uses_54_byte_beats(self):
+        assert STANDARD_APP.heartbeat_bytes == 54
+
+    def test_server_expiry_is_3t(self):
+        """Sec. III-C: commercial apps tolerate up to 3T (e.g. WeChat)."""
+        assert SERVER_EXPIRY_FACTOR == 3.0
+        assert WECHAT.server_expiry_s == pytest.approx(810.0)
+
+
+class TestDerivedQuantities:
+    def test_expiry_defaults_to_one_period(self):
+        assert WECHAT.expiry_s == WECHAT.heartbeat_period_s
+
+    def test_heartbeats_per_day(self):
+        assert WECHAT.heartbeats_per_day() == pytest.approx(320.0)
+
+    def test_other_message_rate_consistent_with_share(self):
+        """With share s, heartbeats / (heartbeats + others) == s."""
+        hb_rate = 1.0 / WHATSAPP.heartbeat_period_s
+        other = WHATSAPP.other_message_rate_per_s()
+        assert hb_rate / (hb_rate + other) == pytest.approx(
+            WHATSAPP.heartbeat_share
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="x", heartbeat_period_s=0, heartbeat_bytes=1,
+                       heartbeat_share=0.5)
+        with pytest.raises(ValueError):
+            AppProfile(name="x", heartbeat_period_s=60, heartbeat_bytes=0,
+                       heartbeat_share=0.5)
+        with pytest.raises(ValueError):
+            AppProfile(name="x", heartbeat_period_s=60, heartbeat_bytes=1,
+                       heartbeat_share=1.0)
+
+
+class TestRegistry:
+    def test_all_apps_registered(self):
+        assert {"wechat", "qq", "whatsapp", "facebook", "standard"} <= set(
+            APP_REGISTRY
+        )
+
+    def test_get_app(self):
+        assert get_app("wechat") is WECHAT
+
+    def test_get_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            get_app("telegram")

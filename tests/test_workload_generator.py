@@ -1,0 +1,95 @@
+"""Unit tests for per-device heartbeat generation."""
+
+import random
+
+import pytest
+
+from repro.workload.apps import STANDARD_APP, WECHAT
+from repro.workload.generator import HeartbeatGenerator
+
+
+class TestGeneration:
+    def test_beats_at_every_period_with_zero_phase(self, sim):
+        beats = []
+        HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, beats.append, phase_fraction=0.0
+        ).start()
+        sim.run_until(3 * 270.0 - 1)
+        assert [b.created_at_s for b in beats] == [0.0, 270.0, 540.0]
+
+    def test_phase_offsets_first_beat(self, sim):
+        beats = []
+        HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, beats.append, phase_fraction=0.5
+        ).start()
+        sim.run_until(300.0)
+        assert [b.created_at_s for b in beats] == [135.0]
+
+    def test_message_fields_match_app(self, sim):
+        beats = []
+        HeartbeatGenerator(
+            sim, "dev", WECHAT, beats.append, phase_fraction=0.0
+        ).start()
+        sim.run_until(1.0)
+        beat = beats[0]
+        assert beat.app == "wechat"
+        assert beat.origin_device == "dev"
+        assert beat.size_bytes == 74
+        assert beat.period_s == 270.0
+        assert beat.expiry_s == 270.0
+
+    def test_random_phase_with_rng(self, sim):
+        beats = []
+        HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, beats.append, rng=random.Random(1)
+        ).start()
+        sim.run_until(270.0)
+        assert len(beats) == 1
+        assert 0.0 <= beats[0].created_at_s < 270.0
+
+    def test_jitter_delays_within_bound(self, sim):
+        beats = []
+        HeartbeatGenerator(
+            sim,
+            "dev",
+            STANDARD_APP,
+            beats.append,
+            rng=random.Random(2),
+            phase_fraction=0.0,
+            jitter_s=5.0,
+        ).start()
+        sim.run_until(3 * 270.0)
+        for i, beat in enumerate(beats):
+            assert 0.0 <= beat.created_at_s - i * 270.0 <= 5.0
+
+    def test_stop_halts_emission(self, sim):
+        beats = []
+        generator = HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, beats.append, phase_fraction=0.0
+        ).start()
+        sim.run_until(1.0)
+        generator.stop()
+        sim.run_until(1000.0)
+        assert len(beats) == 1
+
+    def test_double_start_rejected(self, sim):
+        generator = HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, lambda b: None, phase_fraction=0.0
+        ).start()
+        with pytest.raises(RuntimeError):
+            generator.start()
+
+    def test_beats_emitted_counter(self, sim):
+        generator = HeartbeatGenerator(
+            sim, "dev", STANDARD_APP, lambda b: None, phase_fraction=0.0
+        ).start()
+        sim.run_until(270.0 * 2)
+        assert generator.beats_emitted == 3  # t = 0, 270, 540
+
+    def test_invalid_args_rejected(self, sim):
+        with pytest.raises(ValueError):
+            HeartbeatGenerator(sim, "d", STANDARD_APP, lambda b: None, jitter_s=-1)
+        with pytest.raises(ValueError):
+            HeartbeatGenerator(
+                sim, "d", STANDARD_APP, lambda b: None, phase_fraction=1.0
+            )

@@ -1,0 +1,99 @@
+"""Unit tests for message types and relayability constraints."""
+
+import pytest
+
+from repro.workload.messages import (
+    HeartbeatMessage,
+    MAX_RELAYABLE_BYTES,
+    MessageKind,
+    NotRelayableError,
+    PeriodicMessage,
+    validate_relayable,
+)
+
+
+def make_message(**overrides):
+    defaults = dict(
+        app="standard",
+        origin_device="ue-0",
+        size_bytes=54,
+        created_at_s=100.0,
+        period_s=270.0,
+        expiry_s=270.0,
+    )
+    defaults.update(overrides)
+    return PeriodicMessage(**defaults)
+
+
+class TestPeriodicMessage:
+    def test_deadline_is_creation_plus_expiry(self):
+        message = make_message()
+        assert message.deadline_s == pytest.approx(370.0)
+
+    def test_expiry_semantics(self):
+        message = make_message()
+        assert not message.is_expired(370.0)
+        assert message.is_expired(370.01)
+
+    def test_remaining_slack(self):
+        message = make_message()
+        assert message.remaining_slack_s(150.0) == pytest.approx(220.0)
+        assert message.remaining_slack_s(400.0) < 0
+
+    def test_sequence_numbers_unique(self):
+        assert make_message().seq != make_message().seq
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(size_bytes=0)
+        with pytest.raises(ValueError):
+            make_message(period_s=0)
+        with pytest.raises(ValueError):
+            make_message(expiry_s=0)
+
+    def test_default_kind_is_heartbeat(self):
+        assert make_message().kind == MessageKind.HEARTBEAT
+
+    def test_heartbeat_subclass_pins_kind(self):
+        beat = HeartbeatMessage(
+            app="x",
+            origin_device="d",
+            size_bytes=10,
+            created_at_s=0.0,
+            period_s=60.0,
+            expiry_s=60.0,
+        )
+        assert beat.kind == MessageKind.HEARTBEAT
+
+    def test_frozen(self):
+        message = make_message()
+        with pytest.raises(Exception):
+            message.size_bytes = 99
+
+
+class TestRelayabilityConstraints:
+    """The paper's three constraints (conclusion section)."""
+
+    def test_normal_heartbeat_is_relayable(self):
+        validate_relayable(make_message())  # must not raise
+
+    def test_oversized_message_refused(self):
+        with pytest.raises(NotRelayableError):
+            validate_relayable(make_message(size_bytes=MAX_RELAYABLE_BYTES + 1))
+
+    def test_reply_requiring_message_refused(self):
+        with pytest.raises(NotRelayableError):
+            validate_relayable(make_message(requires_reply=True))
+
+    def test_no_slack_message_refused(self):
+        with pytest.raises(NotRelayableError):
+            validate_relayable(make_message(expiry_s=0.5))
+
+    def test_advertisement_extension_is_relayable(self):
+        """The paper's future-work extension to ads/diagnostics."""
+        ad = make_message(kind=MessageKind.ADVERTISEMENT, size_bytes=200)
+        validate_relayable(ad)
+
+    def test_diagnostic_extension_is_relayable(self):
+        diag = make_message(kind=MessageKind.DIAGNOSTIC, period_s=600.0, expiry_s=600.0)
+        validate_relayable(diag)

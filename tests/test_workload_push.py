@@ -1,0 +1,138 @@
+"""Tests for the downlink push-notification service."""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.modem import CellularModem
+from repro.cellular.paging import PagingChannel, PagingConfig
+from repro.cellular.signaling import Direction, L3MessageType, SignalingLedger
+from repro.energy.model import EnergyModel
+from repro.workload.messages import PeriodicMessage
+from repro.workload.push import PushNotificationService, PushResult
+from repro.workload.server import IMServer
+
+
+@pytest.fixture
+def rig(sim):
+    ledger = SignalingLedger()
+    basestation = BaseStation(sim, ledger=ledger)
+    server = IMServer(sim)
+    paging = PagingChannel(sim, ledger, PagingConfig(slots_per_second=4.0))
+    service = PushNotificationService(sim, paging, server=server)
+    energy = EnergyModel("phone")
+    modem = CellularModem(sim, "phone", energy=energy, ledger=ledger,
+                          basestation=basestation)
+    service.register_client("phone", modem)
+    return sim, ledger, server, paging, service, modem, energy
+
+
+def mark_online(server, device="phone", app="standard"):
+    beat = PeriodicMessage(
+        app=app, origin_device=device, size_bytes=54,
+        created_at_s=0.0, period_s=270.0, expiry_s=270.0,
+    )
+    server.receive(beat, via_device=device, time_s=server.sim.now)
+
+
+class TestDelivery:
+    def test_push_to_online_client_delivers(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        results = []
+        service.push("phone", {"msg": "hello"}, results.append)
+        sim.run_until(30.0)
+        assert results[0].delivered
+        assert service.inbox("phone") == [{"msg": "hello"}]
+        assert service.delivered_count == 1
+
+    def test_delivery_latency_includes_wake(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        result = service.push("phone", "x")
+        sim.run_until(30.0)
+        # page (instant on quiet channel) + RRC promotion 1.5 + tx 0.5 +
+        # downlink 0.3
+        assert result.latency_s == pytest.approx(2.3, abs=0.1)
+        assert service.mean_latency_s() == pytest.approx(result.latency_s)
+
+    def test_wake_costs_real_energy_and_signaling(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        service.push("phone", "x")
+        sim.run_until(60.0)
+        assert energy.total_uah > 100.0  # full RRC wake + tail
+        assert ledger.count_for("phone") >= 5  # setup sequence at least
+
+    def test_multiple_pushes_ordered_inbox(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        service.push("phone", 1)
+        sim.run_until(5.0)
+        service.push("phone", 2)
+        sim.run_until(30.0)
+        assert service.inbox("phone") == [1, 2]
+
+
+class TestFailures:
+    def test_offline_client_fails_immediately(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        # no heartbeat ever arrived → server considers the phone offline
+        result = service.push("phone", "x")
+        assert result.failure == "offline"
+        assert not result.delivered
+        assert service.failure_breakdown() == {"offline": 1}
+
+    def test_expired_heartbeats_make_client_unreachable(self, rig):
+        """The motivating chain: no beats → timer lapses → pushes fail."""
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        sim.run_until(3 * 270.0 + 1.0)  # past the 3T server window
+        result = service.push("phone", "x")
+        assert result.failure == "offline"
+
+    def test_unregistered_client(self, rig):
+        sim, __, __, __, service, __, __ = rig
+        result = service.push("ghost", "x")
+        assert result.failure == "unregistered"
+
+    def test_storm_blocks_the_page(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        sim.run_until(10.0)
+        # flood the trailing control-channel window past paging capacity,
+        # and keep flooding through the retry window
+        for i in range(800):
+            ledger.record(sim.now - 5.0 + i * 0.01, "storm",
+                          L3MessageType.RRC_CONNECTION_REQUEST,
+                          Direction.UPLINK)
+        results = []
+        service.push("phone", "x", results.append)
+        sim.run_until(14.0)  # retry (after 2 s) also blocked
+        assert results and results[0].failure == "paging"
+
+    def test_powered_off_phone_fails_after_page(self, rig):
+        sim, ledger, server, paging, service, modem, energy = rig
+        mark_online(server)
+        modem.power_off()
+        result = service.push("phone", "x")
+        sim.run_until(10.0)
+        assert result.failure == "offline"
+
+    def test_duplicate_registration_rejected(self, rig):
+        sim, __, __, __, service, modem, __ = rig
+        with pytest.raises(ValueError):
+            service.register_client("phone", modem)
+
+
+class TestServiceWithoutPresence:
+    def test_no_server_skips_online_check(self, sim):
+        ledger = SignalingLedger()
+        basestation = BaseStation(sim, ledger=ledger)
+        paging = PagingChannel(sim, ledger)
+        service = PushNotificationService(sim, paging, server=None)
+        modem = CellularModem(sim, "phone", ledger=ledger,
+                              basestation=basestation)
+        service.register_client("phone", modem)
+        result = service.push("phone", "x")
+        sim.run_until(30.0)
+        assert result.delivered

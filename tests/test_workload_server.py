@@ -1,0 +1,109 @@
+"""Unit tests for the IM server model."""
+
+import pytest
+
+from repro.workload.messages import PeriodicMessage
+from repro.workload.server import IMServer
+
+
+def beat(created=0.0, expiry=270.0, device="ue-0", app="wechat", size=74):
+    return PeriodicMessage(
+        app=app,
+        origin_device=device,
+        size_bytes=size,
+        created_at_s=created,
+        period_s=270.0,
+        expiry_s=expiry,
+    )
+
+
+@pytest.fixture
+def server(sim):
+    return IMServer(sim)
+
+
+class TestReceive:
+    def test_on_time_delivery(self, sim, server):
+        record = server.receive(beat(created=0.0), via_device="ue-0", time_s=100.0)
+        assert record.on_time
+        assert record.delay_s == pytest.approx(100.0)
+        assert server.on_time_count == 1 and server.late_count == 0
+
+    def test_late_delivery(self, sim, server):
+        record = server.receive(beat(created=0.0), via_device="ue-0", time_s=271.0)
+        assert not record.on_time
+        assert server.late_count == 1
+
+    def test_relayed_flag(self, sim, server):
+        direct = server.receive(beat(), via_device="ue-0", time_s=1.0)
+        relayed = server.receive(beat(), via_device="relay-0", time_s=1.0)
+        assert not direct.relayed
+        assert relayed.relayed
+        assert server.relayed_count == 1
+
+    def test_on_time_fraction(self, sim, server):
+        server.receive(beat(created=0.0), via_device="x", time_s=1.0)
+        server.receive(beat(created=0.0), via_device="x", time_s=999.0)
+        assert server.on_time_fraction() == pytest.approx(0.5)
+
+    def test_on_time_fraction_empty_is_one(self, server):
+        assert server.on_time_fraction() == 1.0
+
+
+class TestOnlineStatus:
+    def test_online_after_on_time_beat(self, sim, server):
+        server.receive(beat(created=0.0), via_device="ue-0", time_s=10.0)
+        assert server.is_online("ue-0", "wechat", now=100.0)
+
+    def test_offline_after_server_expiry_window(self, sim, server):
+        """Server expiry is 3T = 810 s for WeChat."""
+        server.receive(beat(created=0.0), via_device="ue-0", time_s=10.0)
+        assert server.is_online("ue-0", "wechat", now=10.0 + 810.0)
+        assert not server.is_online("ue-0", "wechat", now=10.0 + 810.1)
+
+    def test_unknown_client_is_offline(self, server):
+        assert not server.is_online("ghost", "wechat", now=0.0)
+
+    def test_late_beat_does_not_refresh_online_status(self, sim, server):
+        server.receive(beat(created=0.0), via_device="ue-0", time_s=1.0)
+        server.receive(beat(created=0.0), via_device="ue-0", time_s=5000.0)  # late
+        assert server.last_seen("ue-0", "wechat") == pytest.approx(1.0)
+
+    def test_last_seen_keeps_latest(self, sim, server):
+        server.receive(beat(created=0.0), via_device="ue-0", time_s=1.0)
+        server.receive(beat(created=100.0), via_device="ue-0", time_s=110.0)
+        assert server.last_seen("ue-0", "wechat") == pytest.approx(110.0)
+
+
+class TestSinkInterface:
+    def test_single_message_payload(self, sim, server):
+        server.uplink_sink(5.0, "ue-0", 74, beat())
+        assert len(server.records) == 1
+
+    def test_aggregated_list_payload(self, sim, server):
+        """A relay's aggregated uplink: a list of beats in one payload."""
+        messages = [beat(device=f"ue-{i}") for i in range(3)]
+        server.uplink_sink(5.0, "relay-0", 3 * 74, messages)
+        assert len(server.records) == 3
+        assert all(r.via_device == "relay-0" for r in server.records)
+        assert server.relayed_count == 3
+
+    def test_foreign_payload_ignored(self, sim, server):
+        server.uplink_sink(5.0, "dev", 100, "random bytes")
+        server.uplink_sink(5.0, "dev", 100, None)
+        server.uplink_sink(5.0, "dev", 100, [1, 2, 3])
+        assert server.records == []
+
+    def test_deliveries_for_filters_by_origin(self, sim, server):
+        server.uplink_sink(1.0, "relay", 74, [beat(device="a"), beat(device="b")])
+        assert len(server.deliveries_for("a")) == 1
+        assert len(server.deliveries_for("missing")) == 0
+
+    def test_delay_statistics(self, sim, server):
+        server.receive(beat(created=0.0), via_device="x", time_s=10.0)
+        server.receive(beat(created=0.0), via_device="x", time_s=20.0)
+        assert server.delays() == [10.0, 20.0]
+        assert server.mean_delay_s() == pytest.approx(15.0)
+
+    def test_mean_delay_empty(self, server):
+        assert server.mean_delay_s() == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the Table I mixed-traffic model."""
+
+import random
+
+import pytest
+
+from repro.workload.apps import APP_REGISTRY, WECHAT, WHATSAPP
+from repro.workload.traffic import (
+    TrafficMix,
+    _poisson,
+    heartbeat_share_table,
+    simulate_traffic_counts,
+)
+
+
+class TestTrafficMix:
+    def test_share_computation(self):
+        mix = TrafficMix("x", 100.0, heartbeat_count=60, other_count=40,
+                         heartbeat_bytes=60 * 54, other_bytes=40 * 600)
+        assert mix.total_count == 100
+        assert mix.heartbeat_share == pytest.approx(0.6)
+
+    def test_empty_mix(self):
+        mix = TrafficMix("x", 100.0, 0, 0, 0, 0)
+        assert mix.heartbeat_share == 0.0
+        assert mix.heartbeat_byte_share == 0.0
+
+    def test_byte_share_is_small_despite_message_share(self):
+        """The paper's motivation: half the messages, a sliver of the bytes."""
+        mix = simulate_traffic_counts(WECHAT, 86_400.0, random.Random(0))
+        assert mix.heartbeat_share > 0.4
+        assert mix.heartbeat_byte_share < 0.15
+
+
+class TestPoisson:
+    def test_zero_mean(self):
+        assert _poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            _poisson(random.Random(0), -1.0)
+
+    def test_mean_is_recovered(self):
+        rng = random.Random(42)
+        samples = [_poisson(rng, 10.0) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_large_mean_normal_approximation(self):
+        rng = random.Random(42)
+        samples = [_poisson(rng, 1000.0) for _ in range(200)]
+        assert sum(samples) / len(samples) == pytest.approx(1000.0, rel=0.05)
+
+
+class TestSimulateCounts:
+    def test_heartbeat_count_is_deterministic(self):
+        mix = simulate_traffic_counts(WECHAT, 2700.0, random.Random(0))
+        assert mix.heartbeat_count == 10
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_traffic_counts(WECHAT, 0.0, random.Random(0))
+
+    def test_measured_share_converges_to_table_i(self):
+        """Table I regeneration: a day of traffic recovers the share."""
+        for app_name in ("wechat", "qq", "whatsapp", "facebook"):
+            app = APP_REGISTRY[app_name]
+            mix = simulate_traffic_counts(app, 7 * 86_400.0, random.Random(7))
+            assert mix.heartbeat_share == pytest.approx(
+                app.heartbeat_share, abs=0.03
+            ), app_name
+
+
+class TestShareTable:
+    def test_table_covers_requested_apps(self):
+        table = heartbeat_share_table(
+            ["wechat", "whatsapp"], 86_400.0, random.Random(0), repeats=3
+        )
+        assert set(table) == {"wechat", "whatsapp"}
+
+    def test_whatsapp_has_highest_share_as_in_paper(self):
+        """Table I ordering: WhatsApp (61.9%) > QQ (52.6%) > WeChat (50%) >
+        Facebook (48.4%)."""
+        table = heartbeat_share_table(
+            ["wechat", "qq", "whatsapp", "facebook"],
+            7 * 86_400.0,
+            random.Random(1),
+            repeats=3,
+        )
+        assert table["whatsapp"] > table["qq"] > table["facebook"]
+        assert abs(table["wechat"] - 0.50) < 0.03
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            heartbeat_share_table(["wechat"], 100.0, random.Random(0), repeats=0)
