@@ -6,10 +6,13 @@ is a local fix that composes across the network), and the hottest cell's
 relief is what protects paging where it matters.
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import print_header, run_once
 from repro.cellular.network import CellularNetwork
+from repro.metrics import SweepTelemetry
 from repro.core.framework import HeartbeatRelayFramework
 from repro.d2d.base import D2DMedium
 from repro.d2d.wifi_direct import WIFI_DIRECT
@@ -59,10 +62,31 @@ def run_mode(mode, seed=3):
 
 @pytest.mark.benchmark(group="multicell")
 def test_multicell_storm_relief(benchmark):
+    telemetry = SweepTelemetry(total=2, mode="serial", workers=1)
+
     def run_both():
-        return run_mode("original"), run_mode("d2d")
+        """Both modes, with per-run timings booked through repro.metrics.
+
+        The storm runs share live network objects, so unlike the grid
+        benches they can't cross process boundaries — but their cost is
+        still recorded the same way the sweep executor records points.
+        """
+        started = time.perf_counter()
+        results = []
+        for index, mode in enumerate(("original", "d2d")):
+            mode_started = time.perf_counter()
+            results.append(run_mode(mode))
+            telemetry.record(index, {"mode": mode},
+                             time.perf_counter() - mode_started)
+        telemetry.wall_seconds = time.perf_counter() - started
+        return tuple(results)
 
     (base_net, __), (d2d_net, framework) = run_once(benchmark, run_both)
+
+    print_header("Per-mode wall-clock (via repro.metrics.SweepTelemetry)")
+    print(telemetry.summary())
+    assert telemetry.completed == 2
+    assert all(t.seconds > 0.0 for t in telemetry.timings)
 
     base_load = base_net.load_by_cell()
     d2d_load = d2d_net.load_by_cell()

@@ -5,40 +5,38 @@ Discrete-event cost should grow near-linearly with the device count
 (events per device per period are constant); this bench times 30-minute
 crowds at three scales and sanity-checks throughput so a future
 accidental O(n²) hot path shows up as a wall-clock regression.
+
+Crowd runs go through :func:`repro.scenarios.crowd_metrics_runner`, the
+picklable runner the sweep executor fans out; the linearity pair runs as
+an actual ``workers=2`` grid so the two crowd sizes simulate
+concurrently and the measured speedup is printed via ``repro.metrics``.
 """
 
-import time
+import functools
 
 import pytest
 
 from benchmarks.conftest import print_header
-from repro.mobility.space import Arena
-from repro.scenarios import run_crowd_scenario
+from repro.scenarios import crowd_metrics_runner
+from repro.sweep import grid_sweep
 
-
-def run_crowd(n_devices):
-    return run_crowd_scenario(
-        n_devices=n_devices,
-        relay_fraction=0.2,
-        duration_s=1800.0,
-        arena=Arena(120.0, 120.0),
-        hotspots=max(2, n_devices // 20),
-        seed=99,
-    )
+CROWD_KWARGS = dict(relay_fraction=0.2, duration_s=1800.0, arena_m=120.0,
+                    seed=99)
 
 
 @pytest.mark.benchmark(group="scalability")
 @pytest.mark.parametrize("n_devices", [25, 50, 100])
 def test_crowd_scalability(benchmark, n_devices):
-    result = benchmark.pedantic(
-        run_crowd, args=(n_devices,), iterations=1, rounds=1
+    metrics = benchmark.pedantic(
+        crowd_metrics_runner, args=(n_devices,), kwargs=CROWD_KWARGS,
+        iterations=1, rounds=1,
     )
-    events = result.context.sim.events_fired
+    events = metrics["events_fired"]
     print_header(f"Scalability — {n_devices} devices, 30 min simulated")
-    print(f"events fired: {events}  "
-          f"beats delivered: {result.metrics.delivery.received}  "
-          f"on-time: {result.on_time_fraction():.0%}")
-    assert result.on_time_fraction() == 1.0
+    print(f"events fired: {events:.0f}  "
+          f"beats delivered: {metrics['received']:.0f}  "
+          f"on-time: {metrics['on_time_fraction']:.0%}")
+    assert metrics["on_time_fraction"] == 1.0
     # events grow roughly linearly with devices: bound events-per-device
     assert events / n_devices < 2000
 
@@ -48,14 +46,20 @@ def test_events_scale_linearly(benchmark):
     """events(100 devices) must stay within ~3x of 2*events(50 devices)."""
 
     def run_pair():
-        small = run_crowd(50)
-        large = run_crowd(100)
-        return small.context.sim.events_fired, large.context.sim.events_fired
+        return grid_sweep(
+            {"n_devices": [50, 100]},
+            functools.partial(crowd_metrics_runner, **CROWD_KWARGS),
+            workers=2,
+        )
 
-    small_events, large_events = benchmark.pedantic(
-        run_pair, iterations=1, rounds=1
+    sweep = benchmark.pedantic(run_pair, iterations=1, rounds=1)
+    small_events, large_events = (
+        point.metrics["events_fired"] for point in sweep.points
     )
     ratio = large_events / small_events
-    print(f"events: 50dev={small_events} 100dev={large_events} "
+    print(f"events: 50dev={small_events:.0f} 100dev={large_events:.0f} "
           f"ratio={ratio:.2f}")
+    print(sweep.telemetry.summary())
     assert ratio < 3.0
+    assert sweep.telemetry.mode == "process-pool"
+    assert all(t.seconds > 0.0 for t in sweep.telemetry.timings)

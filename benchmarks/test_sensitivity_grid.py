@@ -6,41 +6,50 @@ Fig. 12 sweeps distance at fixed k). This bench sweeps both and checks
 the joint structure: savings grow along k everywhere, shrink along
 distance everywhere, and the break-even frontier sits where the paper's
 prejudgment mechanism would refuse to pair.
+
+The grid runs through the parallel sweep executor (``workers=2``) with
+the picklable :func:`repro.scenarios.relay_savings_runner`; the
+per-point wall-clock timings it records via ``repro.metrics`` are
+printed and asserted below, so the parallel path stays observable.
 """
 
 import pytest
 
 from benchmarks.conftest import print_header, run_once
-from repro.analysis import saved_fraction
 from repro.reporting import format_table
-from repro.scenarios import run_relay_scenario
+from repro.scenarios import relay_savings_runner
 from repro.sweep import grid_sweep
 
 DISTANCES = (1.0, 8.0, 15.0, 19.0)
 PERIODS = (1, 3, 7)
+WORKERS = 2
 
 
 def run_grid():
-    def runner(distance_m, periods):
-        d2d = run_relay_scenario(n_ues=1, distance_m=distance_m,
-                                 periods=periods)
-        base = run_relay_scenario(n_ues=1, distance_m=distance_m,
-                                  periods=periods, mode="original")
-        return {
-            "system_saved": saved_fraction(base.system_energy_uah(),
-                                           d2d.system_energy_uah()),
-            "ue_saved": saved_fraction(base.ue_energy_uah(),
-                                       d2d.ue_energy_uah()),
-        }
-
     return grid_sweep(
-        {"distance_m": list(DISTANCES), "periods": list(PERIODS)}, runner
+        {"distance_m": list(DISTANCES), "periods": list(PERIODS)},
+        relay_savings_runner,
+        workers=WORKERS,
     )
 
 
 @pytest.mark.benchmark(group="sensitivity")
 def test_sensitivity_distance_periods(benchmark):
     sweep = run_once(benchmark, run_grid)
+
+    telemetry = sweep.telemetry
+    print_header("Sweep execution — parallel path telemetry")
+    print(format_table(
+        ["point", "distance_m", "periods", "seconds"],
+        [[t.index, t.params["distance_m"], t.params["periods"],
+          f"{t.seconds:.4f}"]
+         for t in sorted(telemetry.timings, key=lambda t: t.index)],
+    ))
+    print(telemetry.summary())
+    # the parallel path measured every point, not just ran it
+    assert telemetry.mode == "process-pool" and telemetry.workers == WORKERS
+    assert telemetry.completed == len(sweep) == len(DISTANCES) * len(PERIODS)
+    assert all(t.seconds > 0.0 for t in telemetry.timings)
 
     pivot = sweep.pivot("distance_m", "periods", "system_saved")
     print_header("System energy saved (fraction) over distance × periods")

@@ -1,0 +1,30 @@
+"""Repo-root pytest bootstrap: make ``repro`` importable everywhere.
+
+Two jobs, both about path hygiene rather than fixtures:
+
+- Put the absolute ``src/`` directory on ``sys.path`` so the suite works
+  no matter how pytest was invoked (``pytest``, ``python -m pytest``,
+  from an IDE, with or without ``PYTHONPATH=src``).
+- Export the same absolute path through ``os.environ["PYTHONPATH"]`` so
+  every subprocess the suite launches — example scripts, CLI smoke runs,
+  and ``ProcessPoolExecutor`` sweep workers under spawn-style start
+  methods — can also import ``repro`` regardless of its working
+  directory. A relative ``PYTHONPATH=src`` breaks as soon as a child
+  runs with ``cwd`` somewhere else (e.g. a tmp_path).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent
+SRC = str(ROOT / "src")
+
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+_paths = [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+if SRC not in (str(pathlib.Path(p).resolve()) for p in _paths):
+    os.environ["PYTHONPATH"] = os.pathsep.join([SRC] + _paths)

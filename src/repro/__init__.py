@@ -22,6 +22,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.sim import Simulator
+from repro.sim.rng import spawn
 from repro.device import Role, Smartphone
 from repro.energy import Battery, EnergyModel, EnergyPhase, PowerMonitor
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile, STANDARD_HEARTBEAT_BYTES
@@ -68,11 +69,23 @@ from repro.scenarios import (
     NetworkContext,
     ScenarioResult,
     build_network,
+    crowd_metrics_runner,
+    relay_savings_runner,
     run_crowd_scenario,
     run_relay_scenario,
 )
-from repro.metrics import RunMetrics, collect_metrics
-from repro.experiments import REGISTRY as EXPERIMENT_REGISTRY, run_experiment
+from repro.metrics import (
+    RunMetrics,
+    SweepPointTiming,
+    SweepTelemetry,
+    collect_metrics,
+)
+from repro.sweep import SweepCache, SweepPoint, SweepResult, grid_sweep
+from repro.experiments import (
+    REGISTRY as EXPERIMENT_REGISTRY,
+    run_experiment,
+    sensitivity_grid,
+)
 from repro.viz import render_timeline
 from repro.faults import FaultPlan, InjectedFault
 from repro.plotting import LineChart, line_chart
@@ -141,12 +154,22 @@ __all__ = [
     "NetworkContext",
     "ScenarioResult",
     "build_network",
+    "crowd_metrics_runner",
+    "relay_savings_runner",
     "run_crowd_scenario",
     "run_relay_scenario",
     "RunMetrics",
+    "SweepPointTiming",
+    "SweepTelemetry",
     "collect_metrics",
+    "SweepCache",
+    "SweepPoint",
+    "SweepResult",
+    "grid_sweep",
+    "spawn",
     "EXPERIMENT_REGISTRY",
     "run_experiment",
+    "sensitivity_grid",
     "render_timeline",
     "FaultPlan",
     "InjectedFault",

@@ -4,18 +4,23 @@ Runs the canned experiments without writing any Python::
 
     repro-sim pair --ues 1 --periods 7
     repro-sim crowd --devices 40 --duration 1800
-    repro-sim sweep --max-periods 8
+    repro-sim sweep --max-periods 8 --workers 4
+    repro-sim grid --workers 4 --cache-dir ~/.cache/repro-sweeps
     repro-sim breakeven
     repro-sim table1
     repro-sim calibration
 
 Every subcommand prints a paper-style table; `pair`, `crowd` and `sweep`
 run both the D2D framework and the original baseline for comparison.
+`sweep` and `grid` accept `--workers N` to fan grid points out over a
+process pool and `--cache-dir PATH` to re-serve unchanged points from
+the on-disk result cache; both print the sweep's measured timings.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import random
 import sys
 from typing import List, Optional
@@ -24,7 +29,12 @@ from repro.analysis import saved_percent
 from repro.core.modes import breakeven_distance_m
 from repro.energy.profiles import DEFAULT_PROFILE
 from repro.reporting import format_series, format_table, percent
-from repro.scenarios import run_crowd_scenario, run_relay_scenario
+from repro.scenarios import (
+    relay_savings_runner,
+    run_crowd_scenario,
+    run_relay_scenario,
+)
+from repro.sweep import grid_sweep
 from repro.workload.apps import APP_REGISTRY
 from repro.workload.traffic import heartbeat_share_table
 
@@ -87,20 +97,46 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     ks = list(range(1, args.max_periods + 1))
-    saved_system, saved_ue = [], []
-    for periods in ks:
-        d2d = run_relay_scenario(n_ues=args.ues, periods=periods,
-                                 seed=args.seed)
-        base = run_relay_scenario(n_ues=args.ues, periods=periods,
-                                  seed=args.seed, mode="original")
-        saved_system.append(
-            saved_percent(base.system_energy_uah(), d2d.system_energy_uah())
-        )
-        saved_ue.append(saved_percent(base.ue_energy_uah(), d2d.ue_energy_uah()))
+    runner = functools.partial(relay_savings_runner, n_ues=args.ues,
+                               seed=args.seed)
+    sweep = grid_sweep(
+        {"periods": ks}, runner,
+        workers=args.workers, cache_dir=args.cache_dir,
+    )
+    saved_system = [100.0 * v for __, v in sweep.series("periods", "system_saved")]
+    saved_ue = [100.0 * v for __, v in sweep.series("periods", "ue_saved")]
     print(format_series(
         "k", ks, {"system saved %": saved_system, "ue saved %": saved_ue},
         title=f"saved energy vs transmission times ({args.ues} UE(s))",
     ))
+    print(sweep.telemetry.summary())
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.experiments import sensitivity_grid
+
+    distances = [float(v) for v in args.distances.split(",") if v]
+    periods = [int(v) for v in args.periods.split(",") if v]
+    sweep = sensitivity_grid(
+        distances=distances, periods=periods, seed=args.seed,
+        workers=args.workers, cache_dir=args.cache_dir,
+    )
+    pivot = sweep.pivot("distance_m", "periods", "system_saved")
+    print(format_table(
+        ["distance \\ k"] + [str(k) for k in periods],
+        [[f"{d:g} m"] + [pivot[d][k] for k in periods] for d in distances],
+        title="system energy saved (fraction) over distance × periods",
+        float_format="{:+.3f}",
+    ))
+    if args.timings:
+        print(format_table(
+            ["point", "params", "seconds", "cached"],
+            [[t.index, str(t.params), f"{t.seconds:.4f}", t.cached]
+             for t in sorted(sweep.telemetry.timings, key=lambda t: t.index)],
+            title="per-point wall-clock timings",
+        ))
+    print(sweep.telemetry.summary())
     return 0
 
 
@@ -255,7 +291,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ues", type=int, default=1)
     sweep.add_argument("--max-periods", type=int, default=8)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="process-pool size; <=1 runs serially")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk sweep result cache directory")
     sweep.set_defaults(func=_cmd_sweep)
+
+    grid = sub.add_parser(
+        "grid", help="sensitivity grid over distance × periods (parallel)"
+    )
+    grid.add_argument("--distances", default="1,8,15,19",
+                      help="comma-separated distances in metres")
+    grid.add_argument("--periods", default="1,3,7",
+                      help="comma-separated transmission counts")
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--workers", type=int, default=0,
+                      help="process-pool size; <=1 runs serially")
+    grid.add_argument("--cache-dir", default=None,
+                      help="on-disk sweep result cache directory")
+    grid.add_argument("--timings", action="store_true",
+                      help="print the per-point wall-clock timing table")
+    grid.set_defaults(func=_cmd_grid)
 
     breakeven = sub.add_parser("breakeven", help="D2D-vs-cellular distances")
     breakeven.set_defaults(func=_cmd_breakeven)

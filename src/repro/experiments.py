@@ -8,11 +8,13 @@ suite wraps these with shape assertions, and the CLI exposes them as
 
 from __future__ import annotations
 
+import functools
 import random
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import saved_percent, signaling_reduction, wasted_to_saved_ratio
-from repro.scenarios import run_relay_scenario
+from repro.scenarios import relay_savings_runner, run_relay_scenario
+from repro.sweep import SweepResult, grid_sweep
 from repro.workload.traffic import heartbeat_share_table
 
 #: Paper values for Table I (heartbeat share of all messages).
@@ -214,6 +216,37 @@ def fig15(
     return series, reductions
 
 
+def sensitivity_grid(
+    distances: Sequence[float] = (1.0, 8.0, 15.0, 19.0),
+    periods: Sequence[int] = (1, 3, 7),
+    seed: int = 0,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Saved-energy sensitivity over the (distance × periods) plane.
+
+    The joint sweep behind ``benchmarks/test_sensitivity_grid.py``, run
+    through the parallel executor: ``workers`` fans points out over a
+    process pool and ``cache_dir`` re-serves unchanged points from disk.
+    Returns the full :class:`~repro.sweep.SweepResult` (telemetry
+    attached) so callers can pivot, slice, or inspect timings.
+    """
+    runner = functools.partial(relay_savings_runner, n_ues=1, seed=seed)
+    return grid_sweep(
+        {"distance_m": list(distances), "periods": list(periods)},
+        runner,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+
+
+def _sensitivity_grid_artifact() -> Dict[str, Dict[int, float]]:
+    """S1 registry entry — system-saved pivot of the sensitivity grid."""
+    sweep = sensitivity_grid()
+    pivot = sweep.pivot("distance_m", "periods", "system_saved")
+    return {f"{distance:g} m": row for distance, row in pivot.items()}
+
+
 #: Experiment id → (description, zero-argument runner).
 REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
     "T1": ("Table I — heartbeat share per app", table1),
@@ -226,6 +259,8 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
     "F12": ("Fig. 12 — energy vs. distance", fig12),
     "F13": ("Fig. 13 — energy vs. message size", fig13),
     "F15": ("Fig. 15 — layer-3 messages", fig15),
+    "S1": ("Sensitivity grid — system saved over distance × periods",
+           _sensitivity_grid_artifact),
 }
 
 

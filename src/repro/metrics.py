@@ -3,12 +3,16 @@
 Bundles the numbers every experiment reports — per-device energy (total
 and by phase), per-device layer-3 signaling, RRC cycles, delivery quality —
 into plain data structures the benches and reporting helpers consume.
+
+Also home to :class:`SweepTelemetry`, the progress counters and per-point
+wall-clock timings the parallel sweep executor (:mod:`repro.sweep`)
+records, so a sweep's speedup is observable rather than asserted.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.cellular.signaling import SignalingLedger
 from repro.device import Role, Smartphone
@@ -135,6 +139,108 @@ class RunMetrics:
 
         with open(path, "w", newline="") as handle:
             csv.writer(handle).writerows(self.to_csv_rows())
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPointTiming:
+    """Wall-clock record of one executed (or cache-served) sweep point."""
+
+    index: int
+    params: Mapping[str, Any]
+    seconds: float
+    cached: bool
+
+
+class SweepTelemetry:
+    """Progress counters and per-point timings for one grid sweep.
+
+    The executor in :mod:`repro.sweep` records one
+    :class:`SweepPointTiming` per grid point as it completes (in
+    completion order, which under a process pool need not be grid
+    order), plus cache hit/miss counters and the sweep's total wall
+    time. ``busy_seconds() / wall_seconds`` is the achieved parallel
+    speedup; for a serial sweep it is ~1.
+    """
+
+    def __init__(self, total: int, mode: str = "serial", workers: int = 0) -> None:
+        self.total = int(total)
+        self.mode = mode
+        self.workers = int(workers)
+        self.timings: List[SweepPointTiming] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.wall_seconds = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.timings)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.completed
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        index: int,
+        params: Mapping[str, Any],
+        seconds: float,
+        cached: bool = False,
+    ) -> SweepPointTiming:
+        """Book one finished point; returns the stored timing."""
+        timing = SweepPointTiming(
+            index=index, params=dict(params), seconds=seconds, cached=cached
+        )
+        self.timings.append(timing)
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return timing
+
+    def busy_seconds(self) -> float:
+        """Summed per-point compute time (what a serial run would pay)."""
+        return sum(t.seconds for t in self.timings)
+
+    def speedup(self) -> float:
+        """Busy/wall ratio — >1 means parallelism (or the cache) paid off."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.busy_seconds() / self.wall_seconds
+
+    def throughput(self) -> float:
+        """Completed points per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for JSON export alongside sweep results."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "mode": self.mode,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds(),
+            "timings": [dataclasses.asdict(t) for t in self.timings],
+        }
+
+    def summary(self) -> str:
+        """One-line progress/speedup report for CLI and bench output."""
+        return (
+            f"sweep: {self.completed}/{self.total} points "
+            f"({self.mode}, workers={self.workers}) "
+            f"wall {self.wall_seconds:.3f}s busy {self.busy_seconds():.3f}s "
+            f"speedup {self.speedup():.2f}x "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SweepTelemetry({self.summary()})"
 
 
 def collect_metrics(

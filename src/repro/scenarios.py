@@ -11,6 +11,9 @@ Three scenario families, mirroring the paper's evaluation setups:
   paper motivates.
 - :func:`build_network` — the shared substrate wiring, reusable for
   hand-rolled experiments.
+- :func:`relay_savings_runner` / :func:`crowd_metrics_runner` — picklable
+  module-level grid runners over the two scenario families, built for
+  ``repro.sweep.grid_sweep(..., workers=N)`` fan-out.
 
 Every run stops beat emission one second before the nominal horizon, then
 drains for ``drain_s`` so RRC tails demote, acks arrive, and energy/
@@ -275,6 +278,76 @@ def run_relay_scenario(
         app=app,
         periods=periods,
     )
+
+
+def relay_savings_runner(
+    distance_m: float = 1.0,
+    periods: int = 7,
+    n_ues: int = 1,
+    seed: int = 0,
+    capacity: int = 10,
+) -> Dict[str, float]:
+    """Grid runner: paired d2d/original relay runs → headline metrics.
+
+    Module-level (hence picklable) so ``grid_sweep(..., workers=N)`` can
+    ship it to ``ProcessPoolExecutor`` workers; every argument is a plain
+    scalar for the same reason. Returns the saved fractions the
+    sensitivity benches assert on plus the raw relay charge.
+    """
+    from repro.analysis import saved_fraction
+
+    d2d = run_relay_scenario(
+        n_ues=n_ues, distance_m=distance_m, periods=periods,
+        capacity=capacity, seed=seed,
+    )
+    base = run_relay_scenario(
+        n_ues=n_ues, distance_m=distance_m, periods=periods,
+        capacity=capacity, seed=seed, mode="original",
+    )
+    return {
+        "system_saved": saved_fraction(
+            base.system_energy_uah(), d2d.system_energy_uah()
+        ),
+        "ue_saved": saved_fraction(base.ue_energy_uah(), d2d.ue_energy_uah()),
+        "l3_saved": saved_fraction(float(base.total_l3()), float(d2d.total_l3())),
+        "relay_uah": d2d.relay_energy_uah(),
+    }
+
+
+def crowd_metrics_runner(
+    n_devices: int = 40,
+    relay_fraction: float = 0.2,
+    duration_s: float = 1800.0,
+    arena_m: float = 60.0,
+    hotspots: Optional[int] = None,
+    seed: int = 0,
+    mode: str = "d2d",
+) -> Dict[str, float]:
+    """Grid runner: one crowd run → plain scalar metrics.
+
+    Picklable like :func:`relay_savings_runner`. ``hotspots=None`` scales
+    the cluster count with the crowd (one per ~20 devices, at least two),
+    so a single runner covers a whole device-count axis.
+    """
+    if hotspots is None:
+        hotspots = max(2, n_devices // 20)
+    result = run_crowd_scenario(
+        n_devices=n_devices,
+        relay_fraction=relay_fraction,
+        duration_s=duration_s,
+        arena=Arena(arena_m, arena_m),
+        hotspots=hotspots,
+        seed=seed,
+        mode=mode,
+    )
+    delivery = result.metrics.delivery
+    return {
+        "events_fired": float(result.context.sim.events_fired),
+        "on_time_fraction": result.on_time_fraction(),
+        "received": float(delivery.received if delivery else 0),
+        "total_l3": float(result.total_l3()),
+        "system_uah": result.system_energy_uah(),
+    }
 
 
 def _select_relay_indices(

@@ -14,7 +14,7 @@ under a fixed seed.
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventQueue
 from repro.sim.engine import Simulator, SimulationError
-from repro.sim.rng import RngStreams, make_rng
+from repro.sim.rng import RngStreams, make_rng, spawn
 
 __all__ = [
     "Clock",
@@ -24,4 +24,5 @@ __all__ = [
     "SimulationError",
     "RngStreams",
     "make_rng",
+    "spawn",
 ]

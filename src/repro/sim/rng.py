@@ -30,6 +30,21 @@ def make_rng(master_seed: int, stream: str) -> random.Random:
     return random.Random(_derive_seed(master_seed, stream))
 
 
+def spawn(base_seed: int, point_index: int) -> int:
+    """Derive the child seed for sweep point ``point_index``.
+
+    The result is a 64-bit integer that depends only on
+    ``(base_seed, point_index)`` — never on worker count, submission
+    order, or which process computes it — so a parallel sweep sees
+    exactly the randomness a serial sweep would. Like
+    :func:`_derive_seed` it uses BLAKE2b, so it is stable across
+    interpreter runs and ``PYTHONHASHSEED`` values.
+    """
+    if point_index < 0:
+        raise ValueError(f"point_index must be non-negative, got {point_index}")
+    return _derive_seed(int(base_seed), f"sweep-point:{point_index}")
+
+
 class RngStreams:
     """Registry of named random streams for one experiment run.
 

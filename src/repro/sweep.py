@@ -1,22 +1,63 @@
-"""Parameter-sweep utilities.
+"""Parameter-sweep utilities: grids, a parallel executor, a result cache.
 
-Thin, dependency-free grid runner used by the sensitivity benches and
-handy for downstream exploration: define a grid of named parameters, a
-runner mapping one parameter combination to a dict of metrics, and get a
-:class:`SweepResult` that can slice, tabulate, and pivot.
+Define a grid of named parameters and a runner mapping one parameter
+combination to a dict of metrics, and get a :class:`SweepResult` that can
+slice, tabulate, and pivot:
 
     sweep = grid_sweep(
         {"distance_m": [1, 5, 10], "periods": [1, 4, 7]},
         lambda distance_m, periods: {"saved": run(distance_m, periods)},
     )
     sweep.pivot("distance_m", "periods", "saved")
+
+Execution scales from the inline serial loop (the default, and the
+fallback when ``workers <= 1``) to a ``ProcessPoolExecutor`` fan-out via
+the ``workers=`` knob. Three guarantees make the parallel path safe to
+adopt everywhere:
+
+- **Determinism.** With ``base_seed=`` set, every point's runner receives
+  ``seed=spawn(base_seed, point_index)`` (:func:`repro.sim.rng.spawn`),
+  which depends only on the point's position in the grid — so serial and
+  parallel sweeps produce identical :class:`SweepPoint` lists, point for
+  point, regardless of worker count or completion order.
+- **Caching.** With ``cache=``/``cache_dir=`` set, finished points are
+  stored on disk keyed by (params hash, seed, code-version tag) — see
+  :class:`SweepCache` — so re-running a grid only computes changed points.
+- **Observability.** Every sweep records per-point wall-clock timings and
+  progress counters in a :class:`repro.metrics.SweepTelemetry`, attached
+  as ``SweepResult.telemetry``, so speedups are measured, not asserted.
+
+Parallel runners must be picklable: module-level functions (or
+``functools.partial`` over them), e.g. the canned runners in
+:mod:`repro.scenarios`. Closures and lambdas only work serially.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import hashlib
 import itertools
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+import json
+import os
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.metrics import SweepTelemetry
+from repro.sim.rng import spawn
+
+#: Code-version tag baked into every cache key. Bump when runner or
+#: simulator semantics change in a way that invalidates stored metrics.
+CODE_VERSION_TAG = "repro-sweep-v1"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -28,11 +69,22 @@ class SweepPoint:
 
 
 class SweepResult:
-    """The collected points of one grid sweep."""
+    """The collected points of one grid sweep.
 
-    def __init__(self, param_names: Sequence[str], points: List[SweepPoint]) -> None:
+    ``telemetry`` (when present) carries the executor's per-point timings
+    and cache counters; it is observational and deliberately excluded
+    from any equality comparison over ``points``.
+    """
+
+    def __init__(
+        self,
+        param_names: Sequence[str],
+        points: List[SweepPoint],
+        telemetry: Optional[SweepTelemetry] = None,
+    ) -> None:
         self.param_names = list(param_names)
         self.points = points
+        self.telemetry = telemetry
 
     def __len__(self) -> int:
         return len(self.points)
@@ -92,14 +144,149 @@ class SweepResult:
         return out
 
 
+class SweepCache:
+    """On-disk cache of finished sweep points.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the BLAKE2b
+    hex digest of the canonical JSON of ``{"params", "seed", "tag"}``.
+    The tag defaults to :data:`CODE_VERSION_TAG`; pass your own
+    ``version_tag`` to segregate (and thereby invalidate) results across
+    incompatible runner versions. Because the key covers every parameter
+    value and the seed, any config change misses the cache naturally —
+    stale entries are never *read*, only left behind.
+
+    Entries store the params and metrics as JSON, written atomically
+    (tmp file + ``os.replace``) so a killed sweep never leaves a
+    half-written entry behind.
+    """
+
+    def __init__(self, root: str, version_tag: str = CODE_VERSION_TAG) -> None:
+        self.root = str(root)
+        self.version_tag = version_tag
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def key_for(self, params: Mapping[str, Any], seed: Optional[int] = None) -> str:
+        payload = json.dumps(
+            {"params": dict(params), "seed": seed, "tag": self.version_tag},
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+    def path_for(self, params: Mapping[str, Any], seed: Optional[int] = None) -> str:
+        key = self.key_for(params, seed)
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(
+        self, params: Mapping[str, Any], seed: Optional[int] = None
+    ) -> Optional[Dict[str, float]]:
+        """Stored metrics for ``(params, seed)``, or ``None`` on a miss."""
+        path = self.path_for(params, seed)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(entry["metrics"])
+
+    def put(
+        self,
+        params: Mapping[str, Any],
+        seed: Optional[int],
+        metrics: Mapping[str, float],
+    ) -> str:
+        """Store one finished point; returns the entry's path."""
+        path = self.path_for(params, seed)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "params": dict(params),
+            "seed": seed,
+            "tag": self.version_tag,
+            "metrics": dict(metrics),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, default=repr)
+        os.replace(tmp, path)
+        return path
+
+
+def _execute_point(
+    runner: Callable[..., Mapping[str, float]],
+    params: Mapping[str, Any],
+    seed: Optional[int],
+) -> Tuple[Dict[str, float], float]:
+    """Run one grid point; returns (metrics, elapsed seconds).
+
+    Module-level so a ``ProcessPoolExecutor`` can pickle it; the timing is
+    taken inside the worker, so it measures compute, not queueing.
+    """
+    started = time.perf_counter()
+    kwargs = dict(params)
+    if seed is not None:
+        kwargs["seed"] = seed
+    metrics = dict(runner(**kwargs))
+    return metrics, time.perf_counter() - started
+
+
+def _check_metrics(
+    metrics: Mapping[str, float],
+    expected: Optional[frozenset],
+    params: Mapping[str, Any],
+) -> frozenset:
+    """Enforce one metric set across all points (same error as ever)."""
+    names = frozenset(metrics)
+    if expected is not None and names != expected:
+        raise ValueError(
+            f"runner returned inconsistent metrics at {dict(params)}: "
+            f"{sorted(names)} vs {sorted(expected)}"
+        )
+    return names
+
+
 def grid_sweep(
     param_grid: Mapping[str, Sequence[Any]],
     runner: Callable[..., Mapping[str, float]],
+    *,
+    workers: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    cache_dir: Optional[str] = None,
+    version_tag: Optional[str] = None,
+    progress: Optional[Callable[[SweepTelemetry], None]] = None,
 ) -> SweepResult:
     """Run ``runner(**params)`` for every combination in the grid.
 
     The runner must return a mapping of metric name → value; the metric
     set must be identical across points.
+
+    ``workers``: ``None``/``0``/``1`` run the serial inline loop;
+    ``workers >= 2`` fans misses out over a ``ProcessPoolExecutor`` of
+    that size (the runner must then be picklable — a module-level
+    function or a ``functools.partial`` over one).
+
+    ``base_seed``: when set, each point's runner is additionally called
+    with ``seed=spawn(base_seed, point_index)`` so parallel and serial
+    runs see identical randomness. The grid must not itself contain a
+    ``seed`` axis in that case.
+
+    ``cache``/``cache_dir``: an explicit :class:`SweepCache`, or a
+    directory to build one in (with ``version_tag`` overriding the
+    default code-version tag). Cached points are served without invoking
+    the runner; fresh points are stored after they complete.
+
+    ``progress``: optional callback invoked with the live
+    :class:`~repro.metrics.SweepTelemetry` after each point completes.
+
+    Point order in the result is always canonical grid order
+    (``itertools.product`` over the grid as given), independent of
+    execution order.
     """
     if not param_grid:
         raise ValueError("parameter grid must not be empty")
@@ -107,17 +294,75 @@ def grid_sweep(
     for name, values in param_grid.items():
         if not values:
             raise ValueError(f"parameter {name!r} has no values")
+    if base_seed is not None and "seed" in param_grid:
+        raise ValueError(
+            "param_grid already has a 'seed' axis; drop it or omit base_seed"
+        )
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir, version_tag or CODE_VERSION_TAG)
+
+    combos: List[Dict[str, Any]] = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(param_grid[name] for name in names))
+    ]
+    seeds: List[Optional[int]] = [
+        spawn(base_seed, index) if base_seed is not None else None
+        for index in range(len(combos))
+    ]
+
+    n_workers = int(workers) if workers else 0
+    parallel = n_workers > 1
+    telemetry = SweepTelemetry(
+        total=len(combos),
+        mode="process-pool" if parallel else "serial",
+        workers=n_workers if parallel else 1,
+    )
+    wall_started = time.perf_counter()
+
+    results: List[Optional[Dict[str, float]]] = [None] * len(combos)
+    pending: List[int] = []
+    for index, params in enumerate(combos):
+        if cache is not None:
+            lookup_started = time.perf_counter()
+            stored = cache.get(params, seeds[index])
+            if stored is not None:
+                results[index] = stored
+                telemetry.record(
+                    index, params, time.perf_counter() - lookup_started, cached=True
+                )
+                if progress is not None:
+                    progress(telemetry)
+                continue
+        pending.append(index)
+
+    def book(index: int, metrics: Dict[str, float], seconds: float) -> None:
+        results[index] = metrics
+        if cache is not None:
+            cache.put(combos[index], seeds[index], metrics)
+        telemetry.record(index, combos[index], seconds, cached=False)
+        if progress is not None:
+            progress(telemetry)
+
+    if parallel and pending:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_execute_point, runner, combos[index], seeds[index]): index
+                for index in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                metrics, seconds = future.result()
+                book(futures[future], metrics, seconds)
+    else:
+        for index in pending:
+            metrics, seconds = _execute_point(runner, combos[index], seeds[index])
+            book(index, metrics, seconds)
+
+    telemetry.wall_seconds = time.perf_counter() - wall_started
+
     points: List[SweepPoint] = []
-    expected_metrics = None
-    for combo in itertools.product(*(param_grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        metrics = dict(runner(**params))
-        if expected_metrics is None:
-            expected_metrics = set(metrics)
-        elif set(metrics) != expected_metrics:
-            raise ValueError(
-                f"runner returned inconsistent metrics at {params}: "
-                f"{sorted(metrics)} vs {sorted(expected_metrics)}"
-            )
+    expected: Optional[frozenset] = None
+    for params, metrics in zip(combos, results):
+        assert metrics is not None
+        expected = _check_metrics(metrics, expected, params)
         points.append(SweepPoint(params=params, metrics=metrics))
-    return SweepResult(names, points)
+    return SweepResult(names, points, telemetry=telemetry)

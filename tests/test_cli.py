@@ -14,7 +14,7 @@ class TestParser:
             if hasattr(action, "choices") and action.choices
             for name in action.choices
         }
-        assert {"pair", "crowd", "sweep", "breakeven", "table1",
+        assert {"pair", "crowd", "sweep", "grid", "breakeven", "table1",
                 "calibration"} <= actions
 
     def test_missing_command_errors(self):
@@ -43,6 +43,28 @@ class TestCommands:
         assert main(["sweep", "--max-periods", "3"]) == 0
         out = capsys.readouterr().out
         assert "system saved %" in out
+        assert "sweep: 3/3 points" in out  # telemetry summary line
+
+    def test_sweep_parallel_with_cache(self, capsys, tmp_path):
+        args = ["sweep", "--max-periods", "2", "--workers", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "process-pool" in cold and "2 miss" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "2 hit" in warm
+        # the numbers themselves are identical either way
+        assert cold.split("sweep:")[0] == warm.split("sweep:")[0]
+
+    def test_grid(self, capsys, tmp_path):
+        assert main(["grid", "--distances", "1,10", "--periods", "1,2",
+                     "--workers", "2", "--cache-dir", str(tmp_path),
+                     "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "distance \\ k" in out
+        assert "per-point wall-clock timings" in out
+        assert "sweep: 4/4 points" in out
 
     def test_breakeven(self, capsys):
         assert main(["breakeven"]) == 0

@@ -7,12 +7,27 @@ repository; they must also never consume ``sys.argv`` inside ``main()``
 """
 
 import importlib.util
+import os
 import pathlib
 
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def subprocess_env() -> dict:
+    """Environment for launching scripts: absolute ``src/`` on PYTHONPATH.
+
+    Children run with ``cwd`` outside the repo (tmp dirs), so a relative
+    ``PYTHONPATH=src`` from the parent invocation would not resolve
+    ``repro`` for them.
+    """
+    env = {**os.environ}
+    existing = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join([str(SRC_DIR)] + existing)
+    return env
 
 
 def load_module(path: pathlib.Path):
@@ -62,7 +77,8 @@ def test_no_example_writes_into_the_repo(tmp_path):
     before = snapshot()
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "build_report.py")],
-        cwd=tmp_path, capture_output=True, text=True, timeout=300,
+        cwd=tmp_path, env=subprocess_env(), capture_output=True, text=True,
+        timeout=300,
     )
     assert result.returncode == 0, result.stderr
     assert snapshot() == before

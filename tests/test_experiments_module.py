@@ -18,7 +18,7 @@ from repro.experiments import (
 class TestRegistry:
     def test_every_table_and_figure_registered(self):
         assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
-                "F15"} == set(REGISTRY)
+                "F15", "S1"} == set(REGISTRY)
 
     def test_run_experiment_dispatches(self):
         result = run_experiment("t1")  # case-insensitive
@@ -64,6 +64,20 @@ class TestExperimentOutputs:
 
     def test_deterministic(self):
         assert fig9(max_k=2) == fig9(max_k=2)
+
+    def test_sensitivity_grid_parallel_matches_serial(self, tmp_path):
+        from repro.experiments import sensitivity_grid
+
+        serial = sensitivity_grid(distances=(1.0, 10.0), periods=(1, 2))
+        parallel = sensitivity_grid(
+            distances=(1.0, 10.0), periods=(1, 2), workers=2,
+            cache_dir=str(tmp_path),
+        )
+        assert serial.points == parallel.points
+        # the near/long corner wins, as in the full bench grid
+        assert parallel.best("system_saved").params == {
+            "distance_m": 1.0, "periods": 2,
+        }
 
 
 class TestCliIntegration:

@@ -1,0 +1,181 @@
+"""The parallel sweep executor: equivalence, caching, observability.
+
+The contract under test (see `repro/sweep.py`):
+
+1. a serial run and a ``workers=4`` run of the same grid produce
+   identical :class:`SweepPoint` lists — same order, same params, same
+   metric values — for a fixed ``base_seed``;
+2. the on-disk cache serves unchanged points without re-running them,
+   and any config change (parameter value, seed, version tag) misses;
+3. every sweep exports per-point timings and progress counters through
+   :class:`repro.metrics.SweepTelemetry`.
+
+The runners used with ``workers>1`` are module-level on purpose: the
+``ProcessPoolExecutor`` path pickles the callable, which is exactly the
+regression the smoke CI job also guards.
+"""
+
+import pytest
+
+from repro.metrics import SweepPointTiming, SweepTelemetry
+from repro.scenarios import relay_savings_runner
+from repro.sim.rng import make_rng, spawn
+from repro.sweep import CODE_VERSION_TAG, SweepCache, grid_sweep
+
+GRID = {"a": [1, 2], "b": [10, 20, 30]}
+
+
+def seeded_runner(a, b, seed):
+    """Deterministic in (a, b, seed) — and genuinely seed-sensitive."""
+    rng = make_rng(seed, "sweep-parallel-test")
+    return {"value": rng.random() + a * b, "seed_echo": float(seed % 1000)}
+
+
+def unseeded_runner(a, b):
+    return {"product": float(a * b)}
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_points_for_fixed_base_seed(self):
+        serial = grid_sweep(GRID, seeded_runner, base_seed=2017, workers=0)
+        parallel = grid_sweep(GRID, seeded_runner, base_seed=2017, workers=4)
+        assert serial.points == parallel.points
+        assert serial.param_names == parallel.param_names
+
+    def test_workers_one_is_the_serial_fallback(self):
+        one = grid_sweep(GRID, seeded_runner, base_seed=5, workers=1)
+        none = grid_sweep(GRID, seeded_runner, base_seed=5)
+        assert one.points == none.points
+        assert one.telemetry.mode == "serial"
+
+    def test_real_simulator_grid_matches(self):
+        """A 2×2 paired-scenario grid survives pickling and matches serial."""
+        grid = {"distance_m": [1.0, 10.0], "periods": [1, 2]}
+        serial = grid_sweep(grid, relay_savings_runner)
+        parallel = grid_sweep(grid, relay_savings_runner, workers=4)
+        assert serial.points == parallel.points
+
+    def test_seed_axis_conflicts_with_base_seed(self):
+        with pytest.raises(ValueError):
+            grid_sweep({"seed": [1, 2]}, seeded_runner, base_seed=3)
+
+    def test_point_order_is_canonical_grid_order(self):
+        parallel = grid_sweep(GRID, unseeded_runner, workers=4)
+        expected = [(a, b) for a in GRID["a"] for b in GRID["b"]]
+        got = [(p.params["a"], p.params["b"]) for p in parallel.points]
+        assert got == expected
+
+
+class CountingRunner:
+    """Serial-only runner that records how often it actually ran."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, a, b, seed):
+        self.calls += 1
+        return seeded_runner(a, b, seed)
+
+
+class TestCache:
+    def test_second_run_is_all_hits_and_skips_the_runner(self, tmp_path):
+        runner = CountingRunner()
+        first = grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path))
+        assert runner.calls == len(first)
+        assert first.telemetry.cache_misses == len(first)
+
+        second = grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path))
+        assert runner.calls == len(first)  # nothing recomputed
+        assert second.telemetry.cache_hits == len(first)
+        assert second.telemetry.cache_misses == 0
+        assert second.points == first.points
+
+    def test_changed_grid_value_misses(self, tmp_path):
+        runner = CountingRunner()
+        grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path))
+        calls_before = runner.calls
+        changed = {"a": [1, 3], "b": GRID["b"]}  # a=3 rows are new
+        grid_sweep(changed, runner, base_seed=1, cache_dir=str(tmp_path))
+        # a=1 rows were already cached under identical (params, seed) keys
+        assert runner.calls == calls_before + len(GRID["b"])
+
+    def test_changed_base_seed_misses_everything(self, tmp_path):
+        runner = CountingRunner()
+        grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path))
+        calls_before = runner.calls
+        grid_sweep(GRID, runner, base_seed=2, cache_dir=str(tmp_path))
+        assert runner.calls == calls_before + len(GRID["a"]) * len(GRID["b"])
+
+    def test_version_tag_segregates_entries(self, tmp_path):
+        runner = CountingRunner()
+        grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path))
+        calls_before = runner.calls
+        grid_sweep(GRID, runner, base_seed=1, cache_dir=str(tmp_path),
+                   version_tag="runner-v2")
+        assert runner.calls == 2 * calls_before
+
+    def test_parallel_run_populates_cache_serial_run_reads_it(self, tmp_path):
+        parallel = grid_sweep(GRID, seeded_runner, base_seed=9, workers=4,
+                              cache_dir=str(tmp_path))
+        serial = grid_sweep(GRID, seeded_runner, base_seed=9,
+                            cache_dir=str(tmp_path))
+        assert serial.points == parallel.points
+        assert serial.telemetry.cache_hits == len(parallel)
+
+    def test_cache_layout_and_key_stability(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        key = cache.key_for({"a": 1}, seed=7)
+        assert cache.key_for({"a": 1}, seed=7) == key
+        assert cache.key_for({"a": 2}, seed=7) != key
+        assert cache.key_for({"a": 1}, seed=8) != key
+        assert cache.version_tag == CODE_VERSION_TAG
+        path = cache.put({"a": 1}, 7, {"m": 1.5})
+        assert path.endswith(f"{key}.json")
+        assert f"/{key[:2]}/" in path
+        assert cache.get({"a": 1}, 7) == {"m": 1.5}
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        path = cache.put({"a": 1}, None, {"m": 2.0})
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get({"a": 1}, None) is None
+        assert cache.misses == 1
+
+
+class TestTelemetry:
+    def test_every_point_gets_a_measured_timing(self):
+        sweep = grid_sweep(GRID, seeded_runner, base_seed=3, workers=4)
+        telemetry = sweep.telemetry
+        assert isinstance(telemetry, SweepTelemetry)
+        assert telemetry.mode == "process-pool"
+        assert telemetry.workers == 4
+        assert telemetry.completed == telemetry.total == len(sweep)
+        assert telemetry.pending == 0
+        assert {t.index for t in telemetry.timings} == set(range(len(sweep)))
+        assert all(isinstance(t, SweepPointTiming) for t in telemetry.timings)
+        assert all(t.seconds > 0.0 for t in telemetry.timings)
+        assert telemetry.wall_seconds > 0.0
+        assert telemetry.busy_seconds() > 0.0
+        assert telemetry.throughput() > 0.0
+
+    def test_summary_and_dict_export(self):
+        sweep = grid_sweep(GRID, unseeded_runner, workers=2)
+        summary = sweep.telemetry.summary()
+        assert "process-pool" in summary and "workers=2" in summary
+        exported = sweep.telemetry.to_dict()
+        assert exported["completed"] == len(sweep)
+        assert len(exported["timings"]) == len(sweep)
+
+    def test_progress_callback_sees_every_completion(self):
+        seen = []
+        grid_sweep(GRID, unseeded_runner,
+                   progress=lambda t: seen.append(t.completed))
+        assert seen == list(range(1, len(GRID["a"]) * len(GRID["b"]) + 1))
+
+
+class TestSeedDerivation:
+    def test_runner_receives_spawned_seeds_in_grid_order(self):
+        sweep = grid_sweep(GRID, seeded_runner, base_seed=42, workers=4)
+        for index, point in enumerate(sweep.points):
+            assert point.metrics["seed_echo"] == float(spawn(42, index) % 1000)
