@@ -63,3 +63,4 @@ def test_events_scale_linearly(benchmark):
     assert ratio < 3.0
     assert sweep.telemetry.mode == "process-pool"
     assert all(t.seconds > 0.0 for t in sweep.telemetry.timings)
+    assert sweep.ok and sweep.telemetry.errors == 0

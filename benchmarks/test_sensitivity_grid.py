@@ -50,6 +50,10 @@ def test_sensitivity_distance_periods(benchmark):
     assert telemetry.mode == "process-pool" and telemetry.workers == WORKERS
     assert telemetry.completed == len(sweep) == len(DISTANCES) * len(PERIODS)
     assert all(t.seconds > 0.0 for t in telemetry.timings)
+    # no point needed fault-tolerance handling on the happy path
+    assert sweep.ok and telemetry.errors == 0 and telemetry.retries == 0
+    assert all(t.attempts == 1 for t in telemetry.timings)
+    assert telemetry.host  # dispatch identity is always stamped
 
     pivot = sweep.pivot("distance_m", "periods", "system_saved")
     print_header("System energy saved (fraction) over distance × periods")

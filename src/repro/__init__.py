@@ -67,6 +67,7 @@ from repro.baseline import (
 )
 from repro.scenarios import (
     NetworkContext,
+    RUNNER_REGISTRY,
     ScenarioResult,
     build_network,
     crowd_metrics_runner,
@@ -80,7 +81,15 @@ from repro.metrics import (
     SweepTelemetry,
     collect_metrics,
 )
-from repro.sweep import SweepCache, SweepPoint, SweepResult, grid_sweep
+from repro.sweep import (
+    SweepCache,
+    SweepError,
+    SweepFailure,
+    SweepPoint,
+    SweepResult,
+    grid_sweep,
+    sweep_status,
+)
 from repro.experiments import (
     REGISTRY as EXPERIMENT_REGISTRY,
     run_experiment,
@@ -152,6 +161,7 @@ __all__ = [
     "FastDormancySystem",
     "FAST_DORMANCY_PROFILE",
     "NetworkContext",
+    "RUNNER_REGISTRY",
     "ScenarioResult",
     "build_network",
     "crowd_metrics_runner",
@@ -163,9 +173,12 @@ __all__ = [
     "SweepTelemetry",
     "collect_metrics",
     "SweepCache",
+    "SweepError",
+    "SweepFailure",
     "SweepPoint",
     "SweepResult",
     "grid_sweep",
+    "sweep_status",
     "spawn",
     "EXPERIMENT_REGISTRY",
     "run_experiment",

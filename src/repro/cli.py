@@ -34,7 +34,7 @@ from repro.scenarios import (
     run_crowd_scenario,
     run_relay_scenario,
 )
-from repro.sweep import grid_sweep
+from repro.sweep import SweepFailure, grid_sweep
 from repro.workload.apps import APP_REGISTRY
 from repro.workload.traffic import heartbeat_share_table
 
@@ -99,10 +99,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ks = list(range(1, args.max_periods + 1))
     runner = functools.partial(relay_savings_runner, n_ues=args.ues,
                                seed=args.seed)
-    sweep = grid_sweep(
-        {"periods": ks}, runner,
-        workers=args.workers, cache_dir=args.cache_dir,
-    )
+    try:
+        sweep = grid_sweep(
+            {"periods": ks}, runner,
+            workers=args.workers, cache_dir=args.cache_dir,
+            backend=args.backend, max_retries=args.max_retries,
+            on_error="keep-going" if args.keep_going else "raise",
+        )
+    except SweepFailure as failure:
+        return _print_sweep_failure(failure)
+    _print_sweep_errors(sweep)
     saved_system = [100.0 * v for __, v in sweep.series("periods", "system_saved")]
     saved_ue = [100.0 * v for __, v in sweep.series("periods", "ue_saved")]
     print(format_series(
@@ -110,33 +116,99 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         title=f"saved energy vs transmission times ({args.ues} UE(s))",
     ))
     print(sweep.telemetry.summary())
-    return 0
+    return 0 if sweep.ok else 1
+
+
+def _print_sweep_errors(sweep) -> None:
+    """Tabulate a keep-going sweep's failed points, if any."""
+    if not sweep.errors:
+        return
+    print(format_table(
+        ["point", "params", "attempts", "host", "error"],
+        [[e.index, str(dict(e.params)), e.attempts, e.host, e.error]
+         for e in sweep.errors],
+        title="FAILED points (kept going; cached points are resumable)",
+    ))
+
+
+def _print_sweep_failure(failure: SweepFailure) -> int:
+    """Strict-mode sweep abort: report every failed point, exit nonzero."""
+    print(failure, file=sys.stderr)
+    for error in failure.errors:
+        print(f"  point {error.index} {dict(error.params)}: {error.error} "
+              f"(attempts {error.attempts}, host {error.host})",
+              file=sys.stderr)
+    if failure.telemetry is not None:
+        print(failure.telemetry.summary(), file=sys.stderr)
+    return 1
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    if args.status is not None:
+        return _print_grid_status(args.status, args.claim_ttl)
+
     from repro.experiments import sensitivity_grid
 
     distances = [float(v) for v in args.distances.split(",") if v]
     periods = [int(v) for v in args.periods.split(",") if v]
-    sweep = sensitivity_grid(
-        distances=distances, periods=periods, seed=args.seed,
-        workers=args.workers, cache_dir=args.cache_dir,
-    )
+    try:
+        sweep = sensitivity_grid(
+            distances=distances, periods=periods, seed=args.seed,
+            workers=args.workers, cache_dir=args.cache_dir,
+            backend=args.backend, max_retries=args.max_retries,
+            on_error="keep-going" if args.keep_going else "raise",
+            claim_ttl_s=args.claim_ttl,
+        )
+    except SweepFailure as failure:
+        return _print_sweep_failure(failure)
+    _print_sweep_errors(sweep)
     pivot = sweep.pivot("distance_m", "periods", "system_saved")
     print(format_table(
         ["distance \\ k"] + [str(k) for k in periods],
-        [[f"{d:g} m"] + [pivot[d][k] for k in periods] for d in distances],
+        [[f"{d:g} m"] + [pivot.get(d, {}).get(k, "n/a") for k in periods]
+         for d in distances],
         title="system energy saved (fraction) over distance × periods",
         float_format="{:+.3f}",
     ))
     if args.timings:
         print(format_table(
-            ["point", "params", "seconds", "cached"],
-            [[t.index, str(t.params), f"{t.seconds:.4f}", t.cached]
+            ["point", "params", "seconds", "cached", "attempts"],
+            [[t.index, str(t.params), f"{t.seconds:.4f}", t.cached, t.attempts]
              for t in sorted(sweep.telemetry.timings, key=lambda t: t.index)],
             title="per-point wall-clock timings",
         ))
     print(sweep.telemetry.summary())
+    return 0 if sweep.ok else 1
+
+
+def _print_grid_status(cache_dir: str, claim_ttl_s: float) -> int:
+    """`grid --status DIR`: progress view of a distributed sweep in flight."""
+    from repro.sweep import sweep_status
+
+    try:
+        status = sweep_status(cache_dir, ttl_s=claim_ttl_s)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for manifest in status.manifests:
+        print(f"grid: params={manifest.get('param_names')} "
+              f"total={manifest.get('total')} tag={manifest.get('tag')!r} "
+              f"started by {manifest.get('host')}")
+    if status.claims:
+        print(format_table(
+            ["point key", "host", "age (s)", "state"],
+            [[c.key[:12], c.host, f"{c.age_s:.1f}",
+              "STALE" if c.stale else "active"]
+             for c in status.claims],
+            title="claims in flight",
+        ))
+    if status.errors:
+        print(format_table(
+            ["point key", "host", "attempts", "error"],
+            [[e.key[:12], e.host, e.attempts, e.error] for e in status.errors],
+            title="failed points",
+        ))
+    print(status.summary())
     return 0
 
 
@@ -265,6 +337,23 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_dispatch_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared execution-layer flags of the `sweep` and `grid` subcommands."""
+    parser.add_argument(
+        "--backend", default=None,
+        choices=["serial", "process-pool", "shared-dir"],
+        help="execution backend (default: inferred from --workers; "
+             "shared-dir requires --cache-dir and may run concurrently "
+             "with other dispatchers on the same directory)")
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per point before it counts as failed")
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="report failed points in the result instead of aborting "
+             "the sweep")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -295,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size; <=1 runs serially")
     sweep.add_argument("--cache-dir", default=None,
                        help="on-disk sweep result cache directory")
+    _add_dispatch_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     grid = sub.add_parser(
@@ -311,6 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="on-disk sweep result cache directory")
     grid.add_argument("--timings", action="store_true",
                       help="print the per-point wall-clock timing table")
+    _add_dispatch_flags(grid)
+    grid.add_argument("--status", metavar="CACHE_DIR", default=None,
+                      help="print the progress view of a (distributed) "
+                           "sweep's shared cache directory and exit")
+    grid.add_argument("--claim-ttl", type=float, default=120.0,
+                      help="seconds before an abandoned shared-dir claim "
+                           "may be stolen (also used by --status)")
     grid.set_defaults(func=_cmd_grid)
 
     breakeven = sub.add_parser("breakeven", help="D2D-vs-cellular distances")

@@ -33,25 +33,55 @@ class D2DDetector:
         self._last_peers: List[PeerInfo] = []
         self._last_scan_s: Optional[float] = None
         self._scan_in_progress = False
+        self._waiters: List[Callable[[List[PeerInfo]], None]] = []
         self._periodic: Optional[PeriodicProcess] = None
         self.scans = 0
+        self.scan_joins = 0
 
     # ------------------------------------------------------------------
     def discover(self, on_complete: Callable[[List[PeerInfo]], None]) -> bool:
-        """Start one scan; ``False`` if one is already in flight."""
+        """Start one scan; ``False`` if one is already in flight.
+
+        On ``False`` the callback was *not* registered — callers that
+        still need the result must :meth:`join_scan` the in-flight scan
+        (or fall back), otherwise they wait forever on a completion that
+        will never be delivered to them.
+        """
         if self._scan_in_progress:
             return False
         self._scan_in_progress = True
         self.scans += 1
+        self._waiters = [on_complete]
 
         def finish(peers: List[PeerInfo]) -> None:
             self._scan_in_progress = False
             self._last_peers = peers
             self._last_scan_s = self.sim.now
-            on_complete(peers)
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                waiter(peers)
 
         self.medium.discover(self.device_id, finish)
         return True
+
+    def join_scan(self, on_complete: Callable[[List[PeerInfo]], None]) -> bool:
+        """Attach a callback to the scan already in flight.
+
+        Returns ``False`` when no scan is running (nothing to join). One
+        physical scan then serves every waiter — the radio work and its
+        energy are spent once, and no caller is left dangling because a
+        rescan happened to be in the air when it asked.
+        """
+        if not self._scan_in_progress:
+            return False
+        self._waiters.append(on_complete)
+        self.scan_joins += 1
+        return True
+
+    @property
+    def scan_in_progress(self) -> bool:
+        """Whether a scan is currently in flight."""
+        return self._scan_in_progress
 
     def cached_peers(self) -> Optional[List[PeerInfo]]:
         """The last scan's results if still fresh, else ``None``."""

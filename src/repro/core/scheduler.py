@@ -125,10 +125,15 @@ class MessageScheduler:
         self._own_message = own_message
         # The relay's own beat must also reach the server before its own
         # expiry, so the period cap is the tighter of T and the beat's
-        # guarded deadline.
-        self._period_end_s = self.sim.now + min(
-            self.relay_period_s,
-            max(0.0, own_message.expiry_s - self.config.uplink_guard_s),
+        # guarded deadline. The deadline is absolute (`created_at_s +
+        # expiry_s`, like `CollectedBeat.send_by_s`): any gap between the
+        # beat's creation and this call has already consumed budget, so
+        # re-anchoring `expiry_s` at `sim.now` would overstate the
+        # allowance and flush after the real deadline.
+        self._period_end_s = min(
+            self.sim.now + self.relay_period_s,
+            max(self.sim.now,
+                own_message.deadline_s - self.config.uplink_guard_s),
         )
         self._accepting = True
         self._arm_timer()

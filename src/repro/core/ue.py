@@ -104,9 +104,16 @@ class UEAgent:
         if not self.device.alive:
             return
         self.beats_seen += 1
-        if self.state == UEState.CONNECTED and self._connection_alive():
-            self._forward(message)
-            return
+        if self.state == UEState.CONNECTED:
+            if self._connection_alive():
+                self._forward(message)
+                return
+            # The link died without `on_disconnect` firing (e.g. the peer
+            # vanished silently). Run the full disconnect cleanup before
+            # falling back, so the dead connection, the stale relay id,
+            # and any pending feedback timers can't leak into the next
+            # search/connect cycle.
+            self._handle_link_loss("stale-link")
         if self.state in (UEState.SEARCHING, UEState.CONNECTING):
             self._buffer_beat(message)
             return
@@ -147,8 +154,12 @@ class UEAgent:
         self.state = UEState.SEARCHING
         self.searches += 1
         if not self.detector.discover(self._on_peers):
-            # a scan is somehow already in flight; treat as searching
-            pass
+            # A scan is already in flight (e.g. a periodic rescan): ride
+            # its result instead of dangling in SEARCHING with no callback
+            # registered — that left the UE stuck forever, every later
+            # beat limping out via its deadline timer.
+            if not self.detector.join_scan(self._on_peers):
+                self._search_failed()
 
     def _on_peers(self, peers: List[PeerInfo]) -> None:
         if not self.device.alive:
@@ -265,6 +276,11 @@ class UEAgent:
     def _on_disconnect(self, connection: D2DConnection, reason: str) -> None:
         if connection is not self.connection:
             return
+        self._handle_link_loss(reason)
+
+    def _handle_link_loss(self, reason: str) -> None:
+        """Tear down all state tied to the current (dead) connection."""
+        del reason  # kept for symmetry with the D2D callback signature
         self._avoid_relay_id = self.relay_id
         self.connection = None
         self.relay_id = None

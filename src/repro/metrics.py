@@ -12,11 +12,27 @@ records, so a sweep's speedup is observable rather than asserted.
 from __future__ import annotations
 
 import dataclasses
+import os
+import socket
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.cellular.signaling import SignalingLedger
 from repro.device import Role, Smartphone
 from repro.workload.server import IMServer
+
+
+def default_host_id() -> str:
+    """``hostname:pid`` identity of this dispatcher process.
+
+    Used to stamp sweep telemetry and shared-dir claim files so a
+    distributed sweep's progress view can attribute in-flight points to
+    the host (and process) working on them.
+    """
+    try:
+        hostname = socket.gethostname()
+    except OSError:  # pragma: no cover - exotic environments only
+        hostname = "unknown-host"
+    return f"{hostname}:{os.getpid()}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -143,12 +159,18 @@ class RunMetrics:
 
 @dataclasses.dataclass(frozen=True)
 class SweepPointTiming:
-    """Wall-clock record of one executed (or cache-served) sweep point."""
+    """Wall-clock record of one executed (or cache-served) sweep point.
+
+    ``attempts`` counts runner invocations behind this point: ``1`` for a
+    clean first-try success, more after retries, ``0`` when the point was
+    served from the cache (locally or published by another dispatcher).
+    """
 
     index: int
     params: Mapping[str, Any]
     seconds: float
     cached: bool
+    attempts: int = 1
 
 
 class SweepTelemetry:
@@ -160,15 +182,38 @@ class SweepTelemetry:
     order), plus cache hit/miss counters and the sweep's total wall
     time. ``busy_seconds() / wall_seconds`` is the achieved parallel
     speedup; for a serial sweep it is ~1.
+
+    Fault-tolerance and multi-host counters: ``retries`` (extra runner
+    attempts beyond the first, summed over points), ``errors`` (points
+    that exhausted their attempts), ``claim_contention`` / ``claims_stolen``
+    (shared-dir dispatch: points found claimed by another dispatcher /
+    stale claims taken over), and ``host`` (the ``hostname:pid`` identity
+    of the dispatcher that recorded this telemetry).
+
+    Cache counters only move when a cache is attached to the sweep: the
+    executor passes ``cached=None`` for points computed without a cache,
+    so a cacheless sweep reports ``0 hit / 0 miss`` rather than ``total``
+    misses, and the counters reconcile with ``SweepCache.hits/misses``.
     """
 
-    def __init__(self, total: int, mode: str = "serial", workers: int = 0) -> None:
+    def __init__(
+        self,
+        total: int,
+        mode: str = "serial",
+        workers: int = 0,
+        host: Optional[str] = None,
+    ) -> None:
         self.total = int(total)
         self.mode = mode
         self.workers = int(workers)
+        self.host = host if host is not None else default_host_id()
         self.timings: List[SweepPointTiming] = []
         self.cache_hits = 0
         self.cache_misses = 0
+        self.retries = 0
+        self.errors = 0
+        self.claim_contention = 0
+        self.claims_stolen = 0
         self.wall_seconds = 0.0
 
     @property
@@ -177,7 +222,7 @@ class SweepTelemetry:
 
     @property
     def pending(self) -> int:
-        return self.total - self.completed
+        return self.total - self.completed - self.errors
 
     # ------------------------------------------------------------------
     def record(
@@ -185,18 +230,38 @@ class SweepTelemetry:
         index: int,
         params: Mapping[str, Any],
         seconds: float,
-        cached: bool = False,
+        cached: Optional[bool] = False,
+        attempts: int = 1,
     ) -> SweepPointTiming:
-        """Book one finished point; returns the stored timing."""
+        """Book one finished point; returns the stored timing.
+
+        ``cached`` is three-valued: ``True`` (served from the cache),
+        ``False`` (computed while a cache was attached — a miss), or
+        ``None`` (computed with no cache configured — neither counter
+        moves).
+        """
         timing = SweepPointTiming(
-            index=index, params=dict(params), seconds=seconds, cached=cached
+            index=index,
+            params=dict(params),
+            seconds=seconds,
+            cached=bool(cached),
+            attempts=int(attempts),
         )
         self.timings.append(timing)
-        if cached:
+        if cached is True:
             self.cache_hits += 1
-        else:
+        elif cached is False:
             self.cache_misses += 1
+        self.retries += max(0, int(attempts) - 1)
         return timing
+
+    def record_error(
+        self, index: int, params: Mapping[str, Any], attempts: int = 1
+    ) -> None:
+        """Book one point that exhausted its attempts without a result."""
+        del index, params  # identity lives in the SweepError list
+        self.errors += 1
+        self.retries += max(0, int(attempts) - 1)
 
     def busy_seconds(self) -> float:
         """Summed per-point compute time (what a serial run would pay)."""
@@ -222,8 +287,13 @@ class SweepTelemetry:
             "completed": self.completed,
             "mode": self.mode,
             "workers": self.workers,
+            "host": self.host,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "errors": self.errors,
+            "claim_contention": self.claim_contention,
+            "claims_stolen": self.claims_stolen,
             "wall_seconds": self.wall_seconds,
             "busy_seconds": self.busy_seconds(),
             "timings": [dataclasses.asdict(t) for t in self.timings],
@@ -231,13 +301,22 @@ class SweepTelemetry:
 
     def summary(self) -> str:
         """One-line progress/speedup report for CLI and bench output."""
-        return (
+        line = (
             f"sweep: {self.completed}/{self.total} points "
             f"({self.mode}, workers={self.workers}) "
             f"wall {self.wall_seconds:.3f}s busy {self.busy_seconds():.3f}s "
-            f"speedup {self.speedup():.2f}x "
-            f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+            f"speedup {self.speedup():.2f}x"
         )
+        if self.cache_hits or self.cache_misses:
+            line += f" cache {self.cache_hits} hit / {self.cache_misses} miss"
+        if self.errors or self.retries:
+            line += f" errors {self.errors} retries {self.retries}"
+        if self.claim_contention or self.claims_stolen:
+            line += (
+                f" contention {self.claim_contention}"
+                f" stolen {self.claims_stolen}"
+            )
+        return line
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SweepTelemetry({self.summary()})"

@@ -350,6 +350,16 @@ def crowd_metrics_runner(
     }
 
 
+#: Name → picklable grid runner. Multi-host dispatch (``repro.sweep``'s
+#: shared-dir backend) needs every dispatcher process to construct the
+#: *same* runner from a plain string it can pass on the command line;
+#: this registry is that lookup table.
+RUNNER_REGISTRY: Dict[str, Callable[..., Dict[str, float]]] = {
+    "relay-savings": relay_savings_runner,
+    "crowd-metrics": crowd_metrics_runner,
+}
+
+
 def _select_relay_indices(
     strategy: str,
     mobilities: Sequence[MobilityModel],

@@ -1,0 +1,99 @@
+"""Parameter-sweep utilities: grids, pluggable executors, a result cache.
+
+Define a grid of named parameters and a runner mapping one parameter
+combination to a dict of metrics, and get a :class:`SweepResult` that can
+slice, tabulate, and pivot:
+
+    sweep = grid_sweep(
+        {"distance_m": [1, 5, 10], "periods": [1, 4, 7]},
+        lambda distance_m, periods: {"saved": run(distance_m, periods)},
+    )
+    sweep.pivot("distance_m", "periods", "saved")
+
+Execution runs through a pluggable :class:`SweepBackend` — ``serial``
+(the default, and the fallback when ``workers <= 1``), ``process-pool``
+(a local ``ProcessPoolExecutor`` fan-out via the ``workers=`` knob), or
+``shared-dir`` (N independent dispatcher processes, possibly on
+different hosts, claiming points through atomic claim files next to a
+shared cache directory). Four guarantees make every path safe to adopt:
+
+- **Determinism.** With ``base_seed=`` set, every point's runner receives
+  ``seed=spawn(base_seed, point_index)`` (:func:`repro.sim.rng.spawn`),
+  which depends only on the point's position in the grid — so serial,
+  process-pool, and shared-dir sweeps produce identical
+  :class:`SweepPoint` lists, point for point, on every host.
+- **Caching.** With ``cache=``/``cache_dir=`` set, finished points are
+  stored on disk keyed by (params hash, seed, code-version tag) — see
+  :class:`SweepCache` — so re-running a grid only computes changed points,
+  and an interrupted sweep resumes from what it already finished.
+- **Fault tolerance.** Every point runs under bounded retry/backoff and
+  reaches a terminal state; one raising runner can no longer abort the
+  sweep or discard in-flight results. Failed points surface as a
+  structured :class:`SweepError` list (``on_error="keep-going"``) or a
+  post-hoc :class:`SweepFailure` (strict mode, the default).
+- **Observability.** Every sweep records per-point wall-clock timings,
+  attempts, retry/error and claim-contention counters, and the
+  dispatcher's host identity in a
+  :class:`repro.metrics.SweepTelemetry`, attached as
+  ``SweepResult.telemetry``; :func:`sweep_status` renders the same view
+  for a distributed sweep in flight (``repro-sim grid --status DIR``).
+
+Parallel runners must be picklable: module-level functions (or
+``functools.partial`` over them), e.g. the canned runners in
+:mod:`repro.scenarios`. Closures and lambdas only work serially.
+"""
+
+from repro.sweep.backends import (
+    PointJob,
+    PointOutcome,
+    PointSink,
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialBackend,
+    SharedDirBackend,
+    SweepBackend,
+    execute_point,
+    resolve_backend,
+)
+from repro.sweep.cache import CODE_VERSION_TAG, SweepCache
+from repro.sweep.claims import (
+    DEFAULT_CLAIM_TTL_S,
+    ClaimInfo,
+    ClaimStore,
+    ErrorInfo,
+    SweepStatus,
+    sweep_status,
+)
+from repro.sweep.grid import grid_sweep
+from repro.sweep.result import (
+    SweepError,
+    SweepFailure,
+    SweepPoint,
+    SweepResult,
+)
+
+__all__ = [
+    "CODE_VERSION_TAG",
+    "DEFAULT_CLAIM_TTL_S",
+    "ClaimInfo",
+    "ClaimStore",
+    "ErrorInfo",
+    "PointJob",
+    "PointOutcome",
+    "PointSink",
+    "ProcessPoolBackend",
+    "RetryPolicy",
+    "SerialBackend",
+    "SharedDirBackend",
+    "SweepBackend",
+    "SweepCache",
+    "SweepError",
+    "SweepFailure",
+    "SweepPoint",
+    "SweepResult",
+    "SweepStatus",
+    "execute_point",
+    "grid_sweep",
+    "resolve_backend",
+    "sweep_status",
+]

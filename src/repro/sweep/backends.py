@@ -1,0 +1,369 @@
+"""Pluggable sweep execution backends.
+
+One grid, three ways to drive it, selected by ``grid_sweep(backend=...)``:
+
+- ``serial`` — the inline loop (default for ``workers <= 1``);
+- ``process-pool`` — fan pending points over a local
+  ``ProcessPoolExecutor`` (default for ``workers >= 2``);
+- ``shared-dir`` — N independent dispatcher processes (possibly on
+  different hosts) claim pending points through atomic claim files next
+  to the shared :class:`~repro.sweep.cache.SweepCache` entries, compute
+  them, and publish results through the cache. Every dispatcher returns
+  the full, identical, canonical-order result.
+
+All backends run every point through the same bounded-retry wrapper and
+report outcomes — success or structured failure — through the sink the
+executor provides; no backend lets one raising runner abort the sweep or
+discard in-flight results.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import dataclasses
+import time
+import traceback as traceback_module
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from repro.sweep.cache import SweepCache
+from repro.sweep.claims import ClaimStore
+
+#: Runner signature: ``runner(**params[, seed=...]) -> {metric: value}``.
+Runner = Callable[..., Mapping[str, float]]
+
+
+@dataclasses.dataclass(frozen=True)
+class PointJob:
+    """One pending grid point handed to a backend."""
+
+    index: int
+    params: Dict[str, Any]
+    seed: Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-point retry/backoff applied by every backend.
+
+    A point is attempted ``1 + max_retries`` times; attempt ``n`` waits
+    ``backoff_s * 2**(n-1)`` seconds first (wall clock — retries exist for
+    flaky infrastructure, not simulation time).
+    """
+
+    max_retries: int = 0
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PointOutcome:
+    """Terminal state of one point's execution: metrics or a captured error."""
+
+    metrics: Optional[Dict[str, float]]
+    seconds: float
+    attempts: int
+    error: Optional[str] = None
+    traceback: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+
+def execute_point(
+    runner: Runner,
+    params: Mapping[str, Any],
+    seed: Optional[int],
+    policy: RetryPolicy = RetryPolicy(),
+) -> PointOutcome:
+    """Run one grid point under the retry policy; never raises.
+
+    Module-level so a ``ProcessPoolExecutor`` can pickle it; the timing is
+    taken inside the worker (summed over attempts), so it measures
+    compute, not queueing. Exceptions are captured as strings because the
+    exception object itself may not survive the pickle boundary back to
+    the dispatcher.
+    """
+    kwargs = dict(params)
+    if seed is not None:
+        kwargs["seed"] = seed
+    attempts = 0
+    seconds = 0.0
+    error = ""
+    trace = ""
+    while attempts <= policy.max_retries:
+        if attempts and policy.backoff_s:
+            time.sleep(policy.backoff_s * (2 ** (attempts - 1)))
+        attempts += 1
+        started = time.perf_counter()
+        try:
+            metrics = dict(runner(**kwargs))
+        except Exception as exc:
+            seconds += time.perf_counter() - started
+            error = f"{type(exc).__name__}: {exc}"
+            trace = traceback_module.format_exc()
+            continue
+        seconds += time.perf_counter() - started
+        return PointOutcome(metrics=metrics, seconds=seconds, attempts=attempts)
+    return PointOutcome(
+        metrics=None, seconds=seconds, attempts=attempts,
+        error=error, traceback=trace,
+    )
+
+
+class PointSink(abc.ABC):
+    """Where backends report each point's terminal state (executor-owned)."""
+
+    @abc.abstractmethod
+    def complete(
+        self,
+        job: PointJob,
+        metrics: Mapping[str, float],
+        seconds: float,
+        attempts: int = 1,
+        from_cache: bool = False,
+    ) -> None:
+        """One point succeeded (computed, or served from the shared cache)."""
+
+    @abc.abstractmethod
+    def fail(self, job: PointJob, outcome: PointOutcome, host: str = "") -> None:
+        """One point exhausted its attempts; record the structured error."""
+
+    @property
+    @abc.abstractmethod
+    def claim_counters(self) -> Any:
+        """The live telemetry object (for claim-contention counters)."""
+
+
+class SweepBackend(abc.ABC):
+    """Executes a batch of pending grid points and reports via the sink."""
+
+    #: Telemetry mode string ("serial", "process-pool", "shared-dir").
+    name: str = "?"
+    #: Worker count reported to telemetry.
+    workers: int = 1
+    #: Whether the backend itself publishes computed points to the cache
+    #: (shared-dir must publish *before* releasing the claim; the others
+    #: leave it to the executor).
+    publishes_to_cache: bool = False
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        jobs: Sequence[PointJob],
+        runner: Runner,
+        policy: RetryPolicy,
+        sink: PointSink,
+    ) -> None:
+        """Drive every job to a terminal state (complete or fail)."""
+
+
+class SerialBackend(SweepBackend):
+    """The inline loop: one point after another in this process."""
+
+    name = "serial"
+    workers = 1
+
+    def execute(self, jobs, runner, policy, sink):
+        for job in jobs:
+            outcome = execute_point(runner, job.params, job.seed, policy)
+            if outcome.ok:
+                sink.complete(job, outcome.metrics, outcome.seconds,
+                              outcome.attempts)
+            else:
+                sink.fail(job, outcome)
+
+
+class ProcessPoolBackend(SweepBackend):
+    """Local fan-out over a ``ProcessPoolExecutor``.
+
+    The runner must be picklable (a module-level function or a
+    ``functools.partial`` over one). A point whose worker dies — or whose
+    crash breaks the pool — becomes a structured failure for that point;
+    every already-finished point keeps its result.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(f"process-pool needs workers >= 2, got {workers}")
+        self.workers = int(workers)
+
+    def execute(self, jobs, runner, policy, sink):
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers
+        ) as pool:
+            futures = {
+                pool.submit(execute_point, runner, job.params, job.seed, policy):
+                    job
+                for job in jobs
+            }
+            for future in concurrent.futures.as_completed(futures):
+                job = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # worker or pool death (e.g. BrokenProcessPool): this
+                    # point failed, the rest of the loop still collects
+                    # every other future's state
+                    outcome = PointOutcome(
+                        metrics=None, seconds=0.0, attempts=1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if outcome.ok:
+                    sink.complete(job, outcome.metrics, outcome.seconds,
+                                  outcome.attempts)
+                else:
+                    sink.fail(job, outcome)
+
+
+class SharedDirBackend(SweepBackend):
+    """Multi-dispatcher execution over one shared cache directory.
+
+    Each dispatcher loops over the still-unresolved points: serve it if
+    the cache has it, claim-and-compute it if the claim file is free (or
+    stale — takeover), otherwise leave it for the next pass and poll.
+    The loop ends when every point has metrics or a failure marker, so
+    every dispatcher returns the complete result. See
+    :mod:`repro.sweep.claims` for the on-disk protocol.
+    """
+
+    name = "shared-dir"
+    publishes_to_cache = True
+
+    def __init__(
+        self,
+        cache: SweepCache,
+        claim_ttl_s: float = 120.0,
+        poll_interval_s: float = 0.05,
+        host_id: Optional[str] = None,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError(
+                f"poll interval must be positive, got {poll_interval_s}"
+            )
+        self.cache = cache
+        self.claims = ClaimStore(cache.root, ttl_s=claim_ttl_s, host_id=host_id)
+        self.poll_interval_s = float(poll_interval_s)
+        self.started_at = 0.0
+
+    def execute(self, jobs, runner, policy, sink):
+        self.started_at = time.time()
+        telemetry = sink.claim_counters
+        contended: set = set()
+        remaining = list(jobs)
+        while remaining:
+            progressed = False
+            deferred = []
+            for job in remaining:
+                key = self.cache.key_for(job.params, job.seed)
+                stored = self.cache.peek(job.params, job.seed)
+                if stored is not None:
+                    # published by another dispatcher since our precheck
+                    sink.complete(job, stored, 0.0, attempts=0,
+                                  from_cache=True)
+                    progressed = True
+                    continue
+                marker = self.read_failure(key)
+                if marker is not None:
+                    sink.fail(
+                        job,
+                        PointOutcome(
+                            metrics=None,
+                            seconds=0.0,
+                            attempts=int(marker.get("attempts", 1)),
+                            error=str(marker.get("error", "?")),
+                            traceback=str(marker.get("traceback", "")),
+                        ),
+                        host=str(marker.get("host", "")),
+                    )
+                    progressed = True
+                    continue
+                grant = self.claims.acquire(key)
+                if grant is None:
+                    if key not in contended:
+                        contended.add(key)
+                        telemetry.claim_contention += 1
+                    deferred.append(job)
+                    continue
+                if grant == "stolen":
+                    telemetry.claims_stolen += 1
+                try:
+                    outcome = execute_point(runner, job.params, job.seed,
+                                            policy)
+                    if outcome.ok:
+                        # publish before releasing the claim so no other
+                        # dispatcher can ever find the point unclaimed
+                        # *and* unpublished
+                        self.cache.put(job.params, job.seed, outcome.metrics)
+                        sink.complete(job, outcome.metrics, outcome.seconds,
+                                      outcome.attempts)
+                    else:
+                        self.claims.publish_error(
+                            key, outcome.error or "?", outcome.traceback,
+                            outcome.attempts,
+                        )
+                        sink.fail(job, outcome, host=self.claims.host_id)
+                finally:
+                    self.claims.release(key)
+                progressed = True
+            remaining = deferred
+            if remaining and not progressed:
+                time.sleep(self.poll_interval_s)
+
+    def read_failure(self, key: str) -> Optional[Dict[str, Any]]:
+        """This sweep's failure marker for ``key``, clearing stale ones.
+
+        Markers older than this dispatcher's start are leftovers of a
+        previous run: they are removed so the point is retried, which is
+        what makes an interrupted or partially-failed sweep resumable.
+        """
+        marker = self.claims.read_error(key)
+        if marker is None:
+            return None
+        if float(marker.get("failed_at", 0.0)) < self.started_at:
+            self.claims.clear_error(key)
+            return None
+        return marker
+
+
+def resolve_backend(
+    backend: Optional[object],
+    workers: int,
+    cache: Optional[SweepCache],
+    claim_ttl_s: float = 120.0,
+    host_id: Optional[str] = None,
+) -> SweepBackend:
+    """Turn the ``grid_sweep`` backend spec into a backend instance.
+
+    ``None`` keeps the historical behavior: serial for ``workers <= 1``,
+    process-pool otherwise. A string picks a named backend; an existing
+    :class:`SweepBackend` instance passes through unchanged.
+    """
+    if isinstance(backend, SweepBackend):
+        return backend
+    if backend is None:
+        backend = "process-pool" if workers > 1 else "serial"
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "process-pool":
+        return ProcessPoolBackend(max(2, workers))
+    if backend == "shared-dir":
+        if cache is None:
+            raise ValueError(
+                "shared-dir dispatch needs a shared cache: pass cache= or "
+                "cache_dir="
+            )
+        return SharedDirBackend(cache, claim_ttl_s=claim_ttl_s,
+                                host_id=host_id)
+    raise ValueError(
+        f"unknown sweep backend {backend!r}; "
+        "expected 'serial', 'process-pool', or 'shared-dir'"
+    )

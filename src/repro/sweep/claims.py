@@ -1,0 +1,346 @@
+"""Claim-file protocol for multi-host sweep dispatch, plus the status scan.
+
+The ``shared-dir`` backend lets N independent dispatcher processes
+(possibly on different hosts) drive one grid through one shared cache
+directory. Coordination is pure filesystem, no server:
+
+- **Claims.** Before computing a point, a dispatcher creates
+  ``<root>/<key[:2]>/<key>.claim`` with ``os.open(..., O_CREAT|O_EXCL)``
+  — an atomic test-and-set on any POSIX filesystem (including NFS v3+
+  for local-directory layouts like this one, where the claim and the
+  result share a directory). Exactly one dispatcher wins; the others
+  poll the cache until the winner publishes the result, then serve it
+  from disk. The claim carries the holder's ``hostname:pid`` and wall
+  time so the status view can attribute in-flight points.
+- **Stale-claim takeover.** A dispatcher that dies mid-point leaves its
+  claim behind. Claims older than the TTL (claim-file mtime vs. wall
+  clock) are stolen: the stale file is unlinked and the O_EXCL create
+  retried, so at most one thief wins the re-claim race.
+- **Failure markers.** A point that exhausts its retry budget publishes
+  ``<key>.error`` (atomic tmp+rename) so other dispatchers in the same
+  sweep record the failure instead of recomputing it. Markers older
+  than a dispatcher's own start time are treated as leftovers of a
+  previous run and cleared — re-running a failed sweep retries exactly
+  the failed points (completed points still hit the cache).
+- **Manifest.** The first dispatcher to start a given grid drops a
+  ``manifest-<gridkey>.json`` describing it (param names, total points,
+  version tag), which lets ``repro-sim grid --status`` report progress
+  as done/total rather than bare counts.
+
+Everything here uses wall-clock time (claim coordination spans
+processes and hosts), never the simulation clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.metrics import default_host_id
+
+#: Default seconds after which an untouched claim is considered abandoned.
+DEFAULT_CLAIM_TTL_S = 120.0
+
+
+class ClaimStore:
+    """Atomic per-point claim files next to the cache entries of ``root``."""
+
+    def __init__(
+        self,
+        root: str,
+        ttl_s: float = DEFAULT_CLAIM_TTL_S,
+        host_id: Optional[str] = None,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"claim TTL must be positive, got {ttl_s}")
+        self.root = str(root)
+        self.ttl_s = float(ttl_s)
+        self.host_id = host_id or default_host_id()
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def claim_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.claim")
+
+    def error_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.error")
+
+    # ------------------------------------------------------------------
+    def acquire(self, key: str) -> Optional[str]:
+        """Try to claim ``key``; returns ``"fresh"``, ``"stolen"``, or ``None``.
+
+        ``None`` means another dispatcher holds a live claim. ``"stolen"``
+        means the previous claim had outlived the TTL and was taken over.
+        """
+        if self._create(key):
+            return "fresh"
+        if self.is_stale(key):
+            # unlink-then-recreate: several thieves may race the unlink
+            # (missing_ok absorbs the losers) but O_EXCL picks one winner
+            try:
+                os.unlink(self.claim_path(key))
+            except FileNotFoundError:
+                pass
+            if self._create(key):
+                return "stolen"
+        return None
+
+    def _create(self, key: str) -> bool:
+        path = self.claim_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as exc:
+            if exc.errno == errno.EEXIST:
+                return False
+            raise
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"host": self.host_id, "claimed_at": time.time()}, handle)
+        return True
+
+    def release(self, key: str) -> None:
+        try:
+            os.unlink(self.claim_path(key))
+        except FileNotFoundError:
+            pass
+
+    def holder(self, key: str) -> Optional[Dict[str, Any]]:
+        """The live claim's ``{"host", "claimed_at"}``, or ``None``."""
+        try:
+            with open(self.claim_path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def is_claimed(self, key: str) -> bool:
+        return os.path.exists(self.claim_path(key))
+
+    def is_stale(self, key: str) -> bool:
+        """Whether the claim on ``key`` has outlived the TTL (False if gone)."""
+        try:
+            age = time.time() - os.stat(self.claim_path(key)).st_mtime
+        except FileNotFoundError:
+            return False
+        return age > self.ttl_s
+
+    # ------------------------------------------------------------------
+    # failure markers
+    # ------------------------------------------------------------------
+    def publish_error(
+        self, key: str, error: str, traceback: str = "", attempts: int = 1
+    ) -> str:
+        """Atomically record that ``key`` failed terminally on this host."""
+        path = self.error_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "host": self.host_id,
+            "failed_at": time.time(),
+            "error": error,
+            "traceback": traceback,
+            "attempts": int(attempts),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    def read_error(self, key: str) -> Optional[Dict[str, Any]]:
+        """The failure marker for ``key``, or ``None``."""
+        try:
+            with open(self.error_path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def clear_error(self, key: str) -> None:
+        try:
+            os.unlink(self.error_path(key))
+        except FileNotFoundError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# grid manifest
+# ----------------------------------------------------------------------
+def grid_fingerprint(
+    param_names: List[str], total: int, version_tag: str, base_seed: Optional[int]
+) -> str:
+    """Stable id of one grid shape, for the manifest filename."""
+    payload = json.dumps(
+        {
+            "param_names": list(param_names),
+            "total": int(total),
+            "tag": version_tag,
+            "base_seed": base_seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def publish_manifest(
+    root: str,
+    param_names: List[str],
+    total: int,
+    version_tag: str,
+    base_seed: Optional[int],
+    host_id: Optional[str] = None,
+) -> str:
+    """Drop the grid's manifest into ``root`` (first dispatcher wins)."""
+    fingerprint = grid_fingerprint(param_names, total, version_tag, base_seed)
+    path = os.path.join(root, f"manifest-{fingerprint}.json")
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError as exc:
+        if exc.errno == errno.EEXIST:
+            return path
+        raise
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "param_names": list(param_names),
+                "total": int(total),
+                "tag": version_tag,
+                "base_seed": base_seed,
+                "host": host_id or default_host_id(),
+                "started_at": time.time(),
+            },
+            handle,
+            sort_keys=True,
+        )
+    return path
+
+
+# ----------------------------------------------------------------------
+# status scan (`repro-sim grid --status <cache_dir>`)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ClaimInfo:
+    """One in-flight (or abandoned) point claim found by the status scan."""
+
+    key: str
+    host: str
+    age_s: float
+    stale: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorInfo:
+    """One published point-failure marker found by the status scan."""
+
+    key: str
+    host: str
+    error: str
+    attempts: int
+    age_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepStatus:
+    """Snapshot of a (possibly distributed) sweep's shared cache directory."""
+
+    root: str
+    results: int
+    claims: List[ClaimInfo]
+    errors: List[ErrorInfo]
+    manifests: List[Dict[str, Any]]
+
+    @property
+    def active_claims(self) -> List[ClaimInfo]:
+        return [c for c in self.claims if not c.stale]
+
+    @property
+    def stale_claims(self) -> List[ClaimInfo]:
+        return [c for c in self.claims if c.stale]
+
+    @property
+    def total(self) -> Optional[int]:
+        """Grid size per the manifest(s), when exactly one grid is known."""
+        totals = {int(m["total"]) for m in self.manifests if "total" in m}
+        return totals.pop() if len(totals) == 1 else None
+
+    def summary(self) -> str:
+        """One-line progress report of the directory's sweep state."""
+        done = (
+            f"{self.results}/{self.total}" if self.total is not None
+            else f"{self.results}"
+        )
+        return (
+            f"status: {done} points done, "
+            f"{len(self.active_claims)} in flight, "
+            f"{len(self.stale_claims)} stale claims, "
+            f"{len(self.errors)} failed"
+        )
+
+
+def sweep_status(
+    root: str, ttl_s: float = DEFAULT_CLAIM_TTL_S
+) -> SweepStatus:
+    """Scan a shared cache directory for a distributed sweep's progress.
+
+    Counts published results, reads every claim file (splitting them into
+    active and stale against ``ttl_s``) and failure marker, and collects
+    any grid manifests — the data behind ``repro-sim grid --status``.
+    """
+    results = 0
+    claims: List[ClaimInfo] = []
+    errors: List[ErrorInfo] = []
+    manifests: List[Dict[str, Any]] = []
+    now = time.time()
+    root = str(root)
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no such sweep cache directory: {root!r}")
+    for dirpath, __, filenames in os.walk(root):
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            if name.startswith("manifest-") and name.endswith(".json"):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        manifests.append(json.load(handle))
+                except (OSError, json.JSONDecodeError):
+                    pass
+            elif name.endswith(".claim"):
+                key = name[: -len(".claim")]
+                try:
+                    age = now - os.stat(path).st_mtime
+                except FileNotFoundError:
+                    continue  # released between listing and stat
+                holder: Dict[str, Any] = {}
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        holder = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    pass
+                claims.append(ClaimInfo(
+                    key=key,
+                    host=str(holder.get("host", "?")),
+                    age_s=max(0.0, age),
+                    stale=age > ttl_s,
+                ))
+            elif name.endswith(".error"):
+                key = name[: -len(".error")]
+                payload: Dict[str, Any] = {}
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    pass
+                errors.append(ErrorInfo(
+                    key=key,
+                    host=str(payload.get("host", "?")),
+                    error=str(payload.get("error", "?")),
+                    attempts=int(payload.get("attempts", 1)),
+                    age_s=max(0.0, now - float(payload.get("failed_at", now))),
+                ))
+            elif name.endswith(".json") and ".tmp." not in name:
+                results += 1
+    return SweepStatus(
+        root=root, results=results, claims=claims, errors=errors,
+        manifests=manifests,
+    )

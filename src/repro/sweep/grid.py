@@ -1,0 +1,253 @@
+"""The grid-sweep executor: combos, seeds, cache precheck, dispatch.
+
+``grid_sweep`` owns everything backend-independent — enumerating the
+grid in canonical order, deriving per-point seeds, serving cached points,
+booking telemetry, and assembling the :class:`SweepResult` — and hands
+the pending points to whichever :class:`~repro.sweep.backends.SweepBackend`
+was selected. Failures never abort the dispatch loop: every point reaches
+a terminal state, and strict mode raises :class:`SweepFailure` only after
+the fact (with every completed point already in the cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.metrics import SweepTelemetry
+from repro.sim.rng import spawn
+from repro.sweep.backends import (
+    PointJob,
+    PointOutcome,
+    PointSink,
+    RetryPolicy,
+    SweepBackend,
+    resolve_backend,
+)
+from repro.sweep.cache import CODE_VERSION_TAG, SweepCache
+from repro.sweep.claims import publish_manifest
+from repro.sweep.result import SweepError, SweepFailure, SweepPoint, SweepResult
+
+
+def _check_metrics(
+    metrics: Mapping[str, float],
+    expected: Optional[frozenset],
+    params: Mapping[str, Any],
+) -> frozenset:
+    """Enforce one metric set across all points (same error as ever)."""
+    names = frozenset(metrics)
+    if expected is not None and names != expected:
+        raise ValueError(
+            f"runner returned inconsistent metrics at {dict(params)}: "
+            f"{sorted(names)} vs {sorted(expected)}"
+        )
+    return names
+
+
+class _ExecutorSink(PointSink):
+    """Books backend outcomes into results, cache, telemetry, errors."""
+
+    def __init__(
+        self,
+        results: List[Optional[Dict[str, float]]],
+        errors: List[SweepError],
+        cache: Optional[SweepCache],
+        store_on_complete: bool,
+        telemetry: SweepTelemetry,
+        progress: Optional[Callable[[SweepTelemetry], None]],
+    ) -> None:
+        self.results = results
+        self.errors = errors
+        self.cache = cache
+        self.store_on_complete = store_on_complete
+        self.telemetry = telemetry
+        self.progress = progress
+
+    def complete(self, job, metrics, seconds, attempts=1, from_cache=False):
+        self.results[job.index] = dict(metrics)
+        if self.cache is not None and self.store_on_complete and not from_cache:
+            self.cache.put(job.params, job.seed, metrics)
+        cached: Optional[bool]
+        if self.cache is None:
+            cached = None  # no cache attached: neither counter moves
+        else:
+            cached = bool(from_cache)
+        self.telemetry.record(
+            job.index, job.params, seconds, cached=cached, attempts=attempts
+        )
+        if self.progress is not None:
+            self.progress(self.telemetry)
+
+    def fail(self, job, outcome: PointOutcome, host: str = "") -> None:
+        self.errors.append(SweepError(
+            index=job.index,
+            params=dict(job.params),
+            error=outcome.error or "?",
+            traceback=outcome.traceback,
+            attempts=outcome.attempts,
+            host=host or self.telemetry.host,
+        ))
+        self.telemetry.record_error(job.index, job.params, outcome.attempts)
+        if self.progress is not None:
+            self.progress(self.telemetry)
+
+    @property
+    def claim_counters(self) -> SweepTelemetry:
+        return self.telemetry
+
+
+def grid_sweep(
+    param_grid: Mapping[str, Sequence[Any]],
+    runner: Callable[..., Mapping[str, float]],
+    *,
+    workers: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    cache_dir: Optional[str] = None,
+    version_tag: Optional[str] = None,
+    progress: Optional[Callable[[SweepTelemetry], None]] = None,
+    backend: Optional[object] = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    on_error: str = "raise",
+    claim_ttl_s: float = 120.0,
+    host_id: Optional[str] = None,
+) -> SweepResult:
+    """Run ``runner(**params)`` for every combination in the grid.
+
+    The runner must return a mapping of metric name → value; the metric
+    set must be identical across points.
+
+    ``workers``: ``None``/``0``/``1`` run the serial inline loop;
+    ``workers >= 2`` fans misses out over a ``ProcessPoolExecutor`` of
+    that size (the runner must then be picklable — a module-level
+    function or a ``functools.partial`` over one).
+
+    ``base_seed``: when set, each point's runner is additionally called
+    with ``seed=spawn(base_seed, point_index)`` so parallel and serial
+    runs see identical randomness. The grid must not itself contain a
+    ``seed`` axis in that case.
+
+    ``cache``/``cache_dir``: an explicit :class:`SweepCache`, or a
+    directory to build one in (with ``version_tag`` overriding the
+    default code-version tag). Cached points are served without invoking
+    the runner; fresh points are stored after they complete.
+
+    ``progress``: optional callback invoked with the live
+    :class:`~repro.metrics.SweepTelemetry` after each point completes.
+
+    ``backend``: ``None`` (infer from ``workers``), ``"serial"``,
+    ``"process-pool"``, ``"shared-dir"`` (multi-host dispatch through a
+    shared ``cache_dir`` — several dispatcher processes may run the same
+    call concurrently and each returns the full identical result), or a
+    :class:`~repro.sweep.backends.SweepBackend` instance.
+
+    ``max_retries``/``retry_backoff_s``: bounded per-point retry with
+    exponential backoff before a point is declared failed.
+
+    ``on_error``: ``"raise"`` (strict — raise :class:`SweepFailure` after
+    the whole grid has been driven; completed points stay cached, so a
+    re-run resumes) or ``"keep-going"`` (failed points surface as
+    ``SweepResult.errors`` and the surviving points are returned).
+
+    ``claim_ttl_s``/``host_id``: shared-dir dispatch knobs — seconds
+    before another dispatcher may steal an abandoned claim, and the
+    identity stamped into claims and telemetry (default ``hostname:pid``).
+
+    Point order in the result is always canonical grid order
+    (``itertools.product`` over the grid as given), independent of
+    execution order.
+    """
+    if not param_grid:
+        raise ValueError("parameter grid must not be empty")
+    names = list(param_grid)
+    for name, values in param_grid.items():
+        if not values:
+            raise ValueError(f"parameter {name!r} has no values")
+    if base_seed is not None and "seed" in param_grid:
+        raise ValueError(
+            "param_grid already has a 'seed' axis; drop it or omit base_seed"
+        )
+    if on_error not in ("raise", "keep-going"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'keep-going', got {on_error!r}"
+        )
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir, version_tag or CODE_VERSION_TAG)
+
+    executor = resolve_backend(
+        backend, int(workers) if workers else 0, cache,
+        claim_ttl_s=claim_ttl_s, host_id=host_id,
+    )
+    policy = RetryPolicy(max_retries=max_retries, backoff_s=retry_backoff_s)
+
+    combos: List[Dict[str, Any]] = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(param_grid[name] for name in names))
+    ]
+    seeds: List[Optional[int]] = [
+        spawn(base_seed, index) if base_seed is not None else None
+        for index in range(len(combos))
+    ]
+
+    telemetry = SweepTelemetry(
+        total=len(combos),
+        mode=executor.name,
+        workers=executor.workers,
+        host=host_id,
+    )
+    if executor.publishes_to_cache and cache is not None:
+        publish_manifest(
+            cache.root, names, len(combos), cache.version_tag, base_seed,
+            host_id=telemetry.host,
+        )
+    wall_started = time.perf_counter()
+
+    results: List[Optional[Dict[str, float]]] = [None] * len(combos)
+    errors: List[SweepError] = []
+    pending: List[PointJob] = []
+    for index, params in enumerate(combos):
+        if cache is not None:
+            lookup_started = time.perf_counter()
+            stored = cache.get(params, seeds[index])
+            if stored is not None:
+                results[index] = stored
+                telemetry.record(
+                    index, params, time.perf_counter() - lookup_started,
+                    cached=True, attempts=0,
+                )
+                if progress is not None:
+                    progress(telemetry)
+                continue
+        pending.append(PointJob(index=index, params=params, seed=seeds[index]))
+
+    sink = _ExecutorSink(
+        results=results,
+        errors=errors,
+        cache=cache,
+        store_on_complete=not executor.publishes_to_cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    if pending:
+        executor.execute(pending, runner, policy, sink)
+
+    telemetry.wall_seconds = time.perf_counter() - wall_started
+    errors.sort(key=lambda e: e.index)
+
+    if errors and on_error == "raise":
+        raise SweepFailure(errors, total=len(combos), telemetry=telemetry)
+
+    points: List[SweepPoint] = []
+    expected: Optional[frozenset] = None
+    failed_indices = {error.index for error in errors}
+    for index, (params, metrics) in enumerate(zip(combos, results)):
+        if metrics is None:
+            assert index in failed_indices, (
+                f"point {index} has neither metrics nor a failure record"
+            )
+            continue
+        expected = _check_metrics(metrics, expected, params)
+        points.append(SweepPoint(params=params, metrics=metrics))
+    return SweepResult(names, points, telemetry=telemetry, errors=errors)

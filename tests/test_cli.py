@@ -87,3 +87,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "relay-0" in out and "ue-0" in out
         assert "d2d send" in out  # the legend
+
+
+
+class TestDispatchFlags:
+    def test_sweep_and_grid_accept_dispatch_flags(self):
+        parser = build_parser()
+        for command in ("sweep", "grid"):
+            args = parser.parse_args(
+                [command, "--backend", "serial", "--max-retries", "2",
+                 "--keep-going"]
+            )
+            assert args.backend == "serial"
+            assert args.max_retries == 2
+            assert args.keep_going is True
+
+    def test_grid_shared_dir_backend(self, capsys, tmp_path):
+        assert main(["grid", "--distances", "1,10", "--periods", "1,2",
+                     "--backend", "shared-dir",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shared-dir" in out
+        assert "distance \\ k" in out
+
+    def test_grid_status_reports_progress(self, capsys, tmp_path):
+        main(["grid", "--distances", "1,10", "--periods", "1,2",
+              "--backend", "shared-dir", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["grid", "--status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "status: 4/4 points done" in out
+        assert "total=4" in out  # the manifest line
+
+    def test_grid_status_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["grid", "--status", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "no such sweep cache directory" in err

@@ -94,3 +94,38 @@ class TestPeriodic:
         __, __, detector = setup
         detector.stop_periodic()
         detector.stop_periodic()
+
+
+class TestJoinScan:
+    def test_join_delivers_the_in_flight_scans_result(self, setup):
+        """One physical scan serves every waiter (regression: a second
+        caller used to get `False` from discover() and then dangled with
+        no callback registered at all)."""
+        sim, __, detector = setup
+        first, second = [], []
+        assert detector.discover(first.extend) is True
+        assert detector.discover(second.extend) is False
+        assert detector.join_scan(second.extend) is True
+        sim.run_until(10.0)
+        assert [p.device_id for p in first] == ["relay"]
+        assert second == first
+        assert detector.scans == 1  # the radio work was spent once
+        assert detector.scan_joins == 1
+
+    def test_join_without_scan_in_flight_returns_false(self, setup):
+        sim, __, detector = setup
+        assert detector.scan_in_progress is False
+        assert detector.join_scan(lambda peers: None) is False
+        assert detector.scan_joins == 0
+
+    def test_waiters_cleared_between_scans(self, setup):
+        """A waiter from scan #1 must not be re-invoked by scan #2."""
+        sim, __, detector = setup
+        calls = []
+        detector.discover(lambda peers: calls.append("first"))
+        detector.join_scan(lambda peers: calls.append("joined"))
+        sim.run_until(10.0)
+        assert calls == ["first", "joined"]
+        detector.discover(lambda peers: calls.append("second"))
+        sim.run_until(20.0)
+        assert calls == ["first", "joined", "second"]

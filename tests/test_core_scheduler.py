@@ -145,6 +145,24 @@ class TestExpirationConstraint:
         sim.run_until(1000.0)
         assert harness.flushes[0][0] == pytest.approx(97.0)
 
+    def test_expiry_cap_uses_absolute_deadline(self, sim, harness):
+        """Regression: the cap re-anchored `expiry_s` at `sim.now`, so an
+        own beat created before `begin_period` got its already-consumed
+        budget back and flushed after the real deadline (created at 0 with
+        100 s expiry, period opened at 50 → flush was at 147, not 97)."""
+        sim.run_until(50.0)
+        harness.scheduler.begin_period(beat(0.0, expiry=100.0, device="relay"))
+        sim.run_until(1000.0)
+        assert harness.flushes[0][0] == pytest.approx(97.0)
+
+    def test_expiry_cap_never_schedules_in_the_past(self, sim, harness):
+        """An own beat whose guarded deadline already passed flushes
+        immediately rather than at a negative delay."""
+        sim.run_until(99.0)
+        harness.scheduler.begin_period(beat(0.0, expiry=100.0, device="relay"))
+        sim.run_until(1000.0)
+        assert harness.flushes[0][0] == pytest.approx(99.0)
+
 
 class TestNoBeatIsEverLate:
     def test_every_flushed_beat_meets_guarded_deadline(self, sim):

@@ -1,0 +1,350 @@
+"""Fault-tolerant and multi-host sweep dispatch.
+
+The contract under test (see ``repro/sweep/``):
+
+1. **Claim protocol** — at most one dispatcher computes any given point:
+   claims are atomic (``O_CREAT|O_EXCL``), released after the result is
+   published, and stealable only once stale.
+2. **Fault tolerance** — a raising runner never aborts the dispatch
+   loop: with ``on_error="keep-going"`` the surviving points come back
+   with a structured error list, with the default strict mode a
+   :class:`SweepFailure` is raised *after* the whole grid was driven and
+   completed points stay in the cache, so a re-run resumes.
+3. **Multi-dispatcher equivalence** — N concurrent dispatchers over one
+   shared cache directory each return the byte-identical point list a
+   serial run produces, with zero duplicate computations between them.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.sweep import (
+    ClaimStore,
+    RetryPolicy,
+    SweepCache,
+    SweepFailure,
+    grid_sweep,
+    sweep_status,
+)
+from repro.sweep.claims import grid_fingerprint, publish_manifest
+
+GRID = {"a": [1, 2], "b": [10, 20, 30]}
+DIST_GRID = {"x": [1, 2, 3], "y": [10, 20, 30]}
+
+
+def product_runner(a, b):
+    return {"product": float(a * b)}
+
+
+def failing_runner(a, b):
+    if a == 2 and b == 20:
+        raise RuntimeError("synthetic point failure")
+    return {"product": float(a * b)}
+
+
+def dist_runner(x, y, seed):
+    """Seed-sensitive and slow enough that two dispatchers overlap."""
+    time.sleep(0.02)
+    rng = make_rng(seed, "sweep-distributed-test")
+    return {"value": rng.random() + 10.0 * x + y}
+
+
+# ----------------------------------------------------------------------
+# claim protocol
+# ----------------------------------------------------------------------
+class TestClaimStore:
+    def test_first_acquire_wins_second_loses(self, tmp_path):
+        ours = ClaimStore(str(tmp_path), host_id="host-a")
+        theirs = ClaimStore(str(tmp_path), host_id="host-b")
+        assert ours.acquire("deadbeef") == "fresh"
+        assert theirs.acquire("deadbeef") is None
+        assert theirs.is_claimed("deadbeef")
+        assert ours.holder("deadbeef")["host"] == "host-a"
+
+    def test_release_reopens_the_point(self, tmp_path):
+        store = ClaimStore(str(tmp_path))
+        assert store.acquire("deadbeef") == "fresh"
+        store.release("deadbeef")
+        assert not store.is_claimed("deadbeef")
+        assert store.acquire("deadbeef") == "fresh"
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = ClaimStore(str(tmp_path))
+        store.release("neverclaimed")  # no-op, no raise
+
+    def test_stale_claim_is_stolen(self, tmp_path):
+        dead = ClaimStore(str(tmp_path), ttl_s=1.0, host_id="dead-host")
+        thief = ClaimStore(str(tmp_path), ttl_s=1.0, host_id="thief")
+        assert dead.acquire("deadbeef") == "fresh"
+        # backdate the claim past the TTL, as if dead-host crashed mid-point
+        path = dead.claim_path("deadbeef")
+        os.utime(path, (time.time() - 10.0, time.time() - 10.0))
+        assert thief.is_stale("deadbeef")
+        assert thief.acquire("deadbeef") == "stolen"
+        assert thief.holder("deadbeef")["host"] == "thief"
+
+    def test_fresh_claim_is_not_stealable(self, tmp_path):
+        store = ClaimStore(str(tmp_path), ttl_s=120.0)
+        store.acquire("deadbeef")
+        assert not store.is_stale("deadbeef")
+        assert store.acquire("deadbeef") is None
+
+    def test_error_markers_round_trip(self, tmp_path):
+        store = ClaimStore(str(tmp_path), host_id="host-a")
+        store.publish_error("deadbeef", "boom", traceback="tb", attempts=3)
+        marker = store.read_error("deadbeef")
+        assert marker["error"] == "boom"
+        assert marker["attempts"] == 3
+        assert marker["host"] == "host-a"
+        store.clear_error("deadbeef")
+        assert store.read_error("deadbeef") is None
+        store.clear_error("deadbeef")  # idempotent
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ClaimStore(str(tmp_path), ttl_s=0.0)
+
+
+class TestManifest:
+    def test_fingerprint_is_stable_and_shape_sensitive(self):
+        base = grid_fingerprint(["a", "b"], 6, "tag-v1", 7)
+        assert grid_fingerprint(["a", "b"], 6, "tag-v1", 7) == base
+        assert grid_fingerprint(["a", "b"], 9, "tag-v1", 7) != base
+        assert grid_fingerprint(["a", "b"], 6, "tag-v2", 7) != base
+        assert grid_fingerprint(["a", "b"], 6, "tag-v1", None) != base
+
+    def test_first_dispatcher_wins_the_manifest(self, tmp_path):
+        first = publish_manifest(str(tmp_path), ["a"], 3, "tag", None,
+                                 host_id="host-a")
+        second = publish_manifest(str(tmp_path), ["a"], 3, "tag", None,
+                                  host_id="host-b")
+        assert first == second
+        status = sweep_status(str(tmp_path))
+        assert len(status.manifests) == 1
+        assert status.manifests[0]["host"] == "host-a"
+
+
+class TestSweepStatus:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            sweep_status(str(tmp_path / "nope"))
+
+    def test_counts_results_claims_and_errors(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put({"a": 1}, None, {"m": 1.0})
+        cache.put({"a": 2}, None, {"m": 2.0})
+        store = ClaimStore(str(tmp_path), ttl_s=60.0, host_id="host-a")
+        store.acquire(cache.key_for({"a": 3}, None))
+        stale_key = cache.key_for({"a": 4}, None)
+        store.acquire(stale_key)
+        os.utime(store.claim_path(stale_key),
+                 (time.time() - 600.0, time.time() - 600.0))
+        store.publish_error(cache.key_for({"a": 5}, None), "boom")
+        publish_manifest(str(tmp_path), ["a"], 5, cache.version_tag, None)
+
+        status = sweep_status(str(tmp_path), ttl_s=60.0)
+        assert status.results == 2
+        assert len(status.active_claims) == 1
+        assert len(status.stale_claims) == 1
+        assert len(status.errors) == 1 and status.errors[0].error == "boom"
+        assert status.total == 5
+        assert status.summary() == (
+            "status: 2/5 points done, 1 in flight, 1 stale claims, 1 failed"
+        )
+
+    def test_tmp_files_are_not_counted_as_results(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        path = cache.put({"a": 1}, None, {"m": 1.0})
+        with open(f"{path}.tmp.123", "w") as handle:
+            handle.write("{}")
+        assert sweep_status(str(tmp_path)).results == 1
+
+
+# ----------------------------------------------------------------------
+# fault tolerance
+# ----------------------------------------------------------------------
+class FlakyRunner:
+    """Fails each point ``failures`` times before succeeding (serial only)."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.attempts = {}
+
+    def __call__(self, a, b):
+        key = (a, b)
+        self.attempts[key] = self.attempts.get(key, 0) + 1
+        if self.attempts[key] <= self.failures:
+            raise RuntimeError(f"transient failure #{self.attempts[key]}")
+        return product_runner(a, b)
+
+
+class TestRetry:
+    def test_bounded_retry_recovers_transient_failures(self):
+        runner = FlakyRunner(failures=2)
+        sweep = grid_sweep(GRID, runner, max_retries=2)
+        assert sweep.ok
+        assert len(sweep) == 6
+        assert sweep.telemetry.retries == 12  # 2 extra attempts per point
+        assert all(t.attempts == 3 for t in sweep.telemetry.timings)
+
+    def test_retry_budget_exhausted_is_a_failure(self):
+        runner = FlakyRunner(failures=5)
+        with pytest.raises(SweepFailure) as excinfo:
+            grid_sweep(GRID, runner, max_retries=1)
+        assert all(e.attempts == 2 for e in excinfo.value.errors)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-0.5)
+
+
+class TestKeepGoing:
+    def test_surviving_points_come_back_with_the_error_list(self):
+        sweep = grid_sweep(GRID, failing_runner, on_error="keep-going")
+        assert not sweep.ok
+        assert len(sweep) == 5  # 6 points, 1 failed
+        assert len(sweep.errors) == 1
+        error = sweep.errors[0]
+        assert error.params == {"a": 2, "b": 20}
+        assert "synthetic point failure" in error.error
+        assert "RuntimeError" in error.traceback
+        assert sweep.telemetry.errors == 1
+        assert sweep.telemetry.pending == 0
+        assert "errors 1" in sweep.telemetry.summary()
+
+    def test_strict_mode_raises_after_driving_the_whole_grid(self):
+        with pytest.raises(SweepFailure) as excinfo:
+            grid_sweep(GRID, failing_runner)
+        failure = excinfo.value
+        assert failure.total == 6
+        assert len(failure.errors) == 1
+        assert failure.telemetry.completed == 5  # the rest still ran
+        assert "1 of 6 sweep points failed" in str(failure)
+        assert "re-run to resume" in str(failure)
+
+    def test_parallel_worker_crash_is_contained(self):
+        """One raising point in a process pool must not abort the loop."""
+        sweep = grid_sweep(GRID, failing_runner, workers=2,
+                           on_error="keep-going")
+        assert len(sweep) == 5
+        assert len(sweep.errors) == 1
+        assert sweep.errors[0].params == {"a": 2, "b": 20}
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(GRID, product_runner, on_error="ignore")
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_from_the_cache(self, tmp_path):
+        """Strict failure, then a re-run: completed points are served from
+        the cache and only the failed point is recomputed."""
+        with pytest.raises(SweepFailure):
+            grid_sweep(GRID, failing_runner, cache_dir=str(tmp_path))
+        assert sweep_status(str(tmp_path)).results == 5
+
+        sweep = grid_sweep(GRID, product_runner, cache_dir=str(tmp_path))
+        assert sweep.ok and len(sweep) == 6
+        assert sweep.telemetry.cache_hits == 5
+        assert sweep.telemetry.cache_misses == 1
+
+    def test_shared_dir_failure_marker_cleared_on_rerun(self, tmp_path):
+        """A failed shared-dir sweep leaves an ``.error`` marker; the next
+        run treats it as a previous-run leftover and retries the point."""
+        failed = grid_sweep(GRID, failing_runner, cache_dir=str(tmp_path),
+                            backend="shared-dir", on_error="keep-going")
+        assert len(failed.errors) == 1
+        assert len(sweep_status(str(tmp_path)).errors) == 1
+
+        sweep = grid_sweep(GRID, product_runner, cache_dir=str(tmp_path),
+                           backend="shared-dir")
+        assert sweep.ok and len(sweep) == 6
+        assert len(sweep_status(str(tmp_path)).errors) == 0
+
+
+# ----------------------------------------------------------------------
+# shared-dir dispatch
+# ----------------------------------------------------------------------
+class TestSharedDirSingle:
+    def test_matches_serial_and_leaves_a_clean_directory(self, tmp_path):
+        serial = grid_sweep(GRID, product_runner, base_seed=None)
+        shared = grid_sweep(GRID, product_runner, cache_dir=str(tmp_path),
+                            backend="shared-dir", host_id="host-a")
+        assert shared.points == serial.points
+        assert shared.telemetry.mode == "shared-dir"
+        assert shared.telemetry.host == "host-a"
+        status = sweep_status(str(tmp_path))
+        assert status.results == 6
+        assert status.claims == []  # every claim was released
+        assert status.total == 6  # the manifest was published
+
+    def test_requires_a_cache(self):
+        with pytest.raises(ValueError):
+            grid_sweep(GRID, product_runner, backend="shared-dir")
+
+    def test_second_dispatch_is_served_entirely_from_cache(self, tmp_path):
+        grid_sweep(GRID, product_runner, cache_dir=str(tmp_path),
+                   backend="shared-dir")
+        runner = FlakyRunner(failures=99)  # would fail if ever invoked
+        sweep = grid_sweep(GRID, runner, cache_dir=str(tmp_path),
+                           backend="shared-dir")
+        assert sweep.ok
+        assert runner.attempts == {}
+        assert sweep.telemetry.cache_hits == 6
+
+
+def _dispatch(cache_dir, queue):
+    """One dispatcher process of the two-host equivalence test."""
+    result = grid_sweep(DIST_GRID, dist_runner, base_seed=7,
+                        cache_dir=cache_dir, backend="shared-dir")
+    queue.put({
+        "points": [(tuple(sorted(p.params.items())),
+                    tuple(sorted(p.metrics.items())))
+                   for p in result.points],
+        "computed": result.telemetry.cache_misses,
+        "served": result.telemetry.cache_hits,
+        "errors": len(result.errors or []),
+    })
+
+
+class TestTwoDispatchers:
+    def test_concurrent_dispatchers_split_the_grid_without_duplicates(
+        self, tmp_path
+    ):
+        """Two dispatcher processes over one cache dir: both return the
+        full serial-identical grid, and every point was computed exactly
+        once between them."""
+        serial = grid_sweep(DIST_GRID, dist_runner, base_seed=7)
+        expected = [(tuple(sorted(p.params.items())),
+                     tuple(sorted(p.metrics.items())))
+                    for p in serial.points]
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_dispatch, args=(str(tmp_path), queue))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        reports = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        total = len(serial)
+        for report in reports:
+            assert report["errors"] == 0
+            assert report["points"] == expected
+            assert report["computed"] + report["served"] == total
+        # zero duplicate computations across the fleet
+        assert sum(r["computed"] for r in reports) == total
+        status = sweep_status(str(tmp_path))
+        assert status.results == total
+        assert status.claims == [] and status.errors == []

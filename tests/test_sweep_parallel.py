@@ -179,3 +179,33 @@ class TestSeedDerivation:
         sweep = grid_sweep(GRID, seeded_runner, base_seed=42, workers=4)
         for index, point in enumerate(sweep.points):
             assert point.metrics["seed_echo"] == float(spawn(42, index) % 1000)
+
+
+class TestCounterHygiene:
+    def test_cacheless_sweep_reports_no_cache_traffic(self):
+        """Regression: a sweep with no cache attached used to report every
+        point as a cache *miss*, making `hits/(hits+misses)` look like a
+        0% hit rate instead of 'no cache in play'."""
+        sweep = grid_sweep(GRID, unseeded_runner)
+        assert sweep.telemetry.cache_hits == 0
+        assert sweep.telemetry.cache_misses == 0
+        assert "cache" not in sweep.telemetry.summary()
+
+    def test_telemetry_counters_reconcile_with_the_cache(self, tmp_path):
+        cold_cache = SweepCache(str(tmp_path))
+        cold = grid_sweep(GRID, unseeded_runner, cache=cold_cache)
+        assert cold.telemetry.cache_misses == cold_cache.misses == len(cold)
+        assert cold.telemetry.cache_hits == cold_cache.hits == 0
+
+        warm_cache = SweepCache(str(tmp_path))
+        warm = grid_sweep(GRID, unseeded_runner, cache=warm_cache)
+        assert warm.telemetry.cache_hits == warm_cache.hits == len(warm)
+        assert warm.telemetry.cache_misses == warm_cache.misses == 0
+
+    def test_attempts_distinguish_computed_from_cache_served(self, tmp_path):
+        grid_sweep(GRID, unseeded_runner, cache_dir=str(tmp_path))
+        warm = grid_sweep(GRID, unseeded_runner, cache_dir=str(tmp_path))
+        cold_attempts = {t.attempts for t in
+                         grid_sweep(GRID, unseeded_runner).telemetry.timings}
+        assert cold_attempts == {1}
+        assert {t.attempts for t in warm.telemetry.timings} == {0}

@@ -122,3 +122,63 @@ class TestNoRelayWorld:
         # with a 60 s cooldown and 60 s periods, roughly one scan per beat;
         # never more scans than beats
         assert agent.searches <= agent.beats_seen
+
+
+class TestScanCollision:
+    def test_beat_during_foreign_scan_still_connects(self):
+        """Regression: when a scan was already in flight as the beat
+        arrived, `_start_search` got `False` from `discover()` and simply
+        stayed SEARCHING with no callback registered — stuck forever,
+        every later beat limping out via its buffer deadline timer. The
+        agent must ride the in-flight scan's result instead."""
+        sim, server, framework, ue = build_rig()
+        agent = framework.ues["ue-0"]
+        # an unrelated scan (think: periodic rescan) takes off just before
+        # the first beat fires at t = 30
+        sim.schedule_at(
+            29.0, lambda: agent.detector.discover(lambda peers: None)
+        )
+        sim.run_until(10 * TIGHT_APP.heartbeat_period_s)
+        assert agent.detector.scan_joins == 1
+        assert agent.state == UEState.CONNECTED
+        assert agent.beats_forwarded >= 1
+        records = [r for r in server.records
+                   if r.message.origin_device == "ue-0"]
+        assert len(records) >= 9
+        assert all(r.on_time for r in records)
+
+
+class TestStaleLink:
+    def test_silent_link_death_triggers_cleanup_and_reconnect(self):
+        """A beat that finds the link dead (no disconnect callback ever
+        fired) must run the full teardown and re-search — not keep
+        pointing at the dead connection."""
+        sim, server, framework, ue = build_rig()
+        sim.run_until(100.0)  # first beat at t=30 drove the connect
+        agent = framework.ues["ue-0"]
+        assert agent.state == UEState.CONNECTED
+        dead = agent.connection
+        dead.alive = False
+        matches_before = agent.matches
+        sim.run_until(10 * TIGHT_APP.heartbeat_period_s)
+        assert agent.connection is not dead
+        assert agent.matches > matches_before  # re-paired on a fresh link
+        records = [r for r in server.records
+                   if r.message.origin_device == "ue-0"]
+        assert len(records) >= 9
+        assert all(r.on_time for r in records)
+
+    def test_stale_link_beat_does_not_leak_state(self):
+        """Right after the stale-link beat, the dead connection and any
+        pending feedback timers are gone (regression: the old path left
+        both in place while the next search/connect cycle ran)."""
+        sim, server, framework, ue = build_rig()
+        sim.run_until(100.0)
+        agent = framework.ues["ue-0"]
+        dead = agent.connection
+        dead.alive = False
+        sim.run_until(150.5)  # the t=150 beat found the dead link
+        assert agent.connection is not dead
+        assert agent.connection is None or agent.connection.alive
+        assert agent.relay_id is None or agent.connection is not None
+        assert agent.feedback.pending_count == 0 or agent.connection is not None
