@@ -96,7 +96,16 @@ from repro.experiments import (
     sensitivity_grid,
 )
 from repro.viz import render_timeline
-from repro.faults import FaultPlan, InjectedFault
+from repro.faults import (
+    CHAOS_PROFILES,
+    ChaosEngine,
+    ChaosProfile,
+    FaultPlan,
+    InjectedFault,
+    InvariantAuditor,
+    run_differential,
+    run_differential_suite,
+)
 from repro.plotting import LineChart, line_chart
 from repro.analysis import (
     linear_fit,
@@ -186,6 +195,12 @@ __all__ = [
     "render_timeline",
     "FaultPlan",
     "InjectedFault",
+    "CHAOS_PROFILES",
+    "ChaosEngine",
+    "ChaosProfile",
+    "InvariantAuditor",
+    "run_differential",
+    "run_differential_suite",
     "LineChart",
     "line_chart",
     "linear_fit",

@@ -6,6 +6,7 @@ Runs the canned experiments without writing any Python::
     repro-sim crowd --devices 40 --duration 1800
     repro-sim sweep --max-periods 8 --workers 4
     repro-sim grid --workers 4 --cache-dir ~/.cache/repro-sweeps
+    repro-sim chaos --profiles mild,adversarial --seeds 0,1
     repro-sim breakeven
     repro-sim table1
     repro-sim calibration
@@ -15,15 +16,23 @@ run both the D2D framework and the original baseline for comparison.
 `sweep` and `grid` accept `--workers N` to fan grid points out over a
 process pool and `--cache-dir PATH` to re-serve unchanged points from
 the on-disk result cache; both print the sweep's measured timings.
+
+`pair` and `crowd` take `--chaos-profile NAME` (with `--chaos-seed N`)
+to layer stochastic faults on the D2D run and audit delivery safety;
+`chaos` runs the differential harness over profiles × seeds and exits
+nonzero on any safety regression. `sweep` and `grid` accept
+`--runner NAME --param key=v1,v2,...` to fan out any registered grid
+runner (see `repro.scenarios.RUNNER_REGISTRY`) without writing Python.
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import inspect
 import random
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis import saved_percent
 from repro.core.modes import breakeven_distance_m
@@ -39,10 +48,22 @@ from repro.workload.apps import APP_REGISTRY
 from repro.workload.traffic import heartbeat_share_table
 
 
+def _print_chaos_outcome(result) -> int:
+    """Report a chaos-enabled run's fault/audit outcome; 1 on violations."""
+    if result.chaos_report is not None:
+        print(result.chaos_report.summary())
+    if result.audit_report is not None:
+        print(result.audit_report.summary())
+        if not result.audit_report.ok:
+            return 1
+    return 0
+
+
 def _cmd_pair(args: argparse.Namespace) -> int:
     d2d = run_relay_scenario(
         n_ues=args.ues, distance_m=args.distance, periods=args.periods,
         capacity=args.capacity, seed=args.seed, mode="d2d",
+        chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
     )
     base = run_relay_scenario(
         n_ues=args.ues, distance_m=args.distance, periods=args.periods,
@@ -63,13 +84,14 @@ def _cmd_pair(args: argparse.Namespace) -> int:
           f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
     print(f"energy saved    : "
           f"{saved_percent(base.system_energy_uah(), d2d.system_energy_uah()):.1f}%")
-    return 0
+    return _print_chaos_outcome(d2d)
 
 
 def _cmd_crowd(args: argparse.Namespace) -> int:
     d2d = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
         duration_s=args.duration, seed=args.seed, mode="d2d",
+        chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
     )
     base = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
@@ -92,10 +114,95 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
           f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
     print(f"beats via D2D   : {d2d.framework.total_beats_forwarded()}"
           f" (fallbacks {d2d.framework.total_cellular_fallbacks()})")
-    return 0
+    return _print_chaos_outcome(d2d)
+
+
+def _coerce_param(token: str):
+    """`--param` value token → int | float | str (first cast that fits)."""
+    token = token.strip()
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_param_grid(entries: Optional[List[str]]) -> Dict[str, List[object]]:
+    """Repeatable `--param key=v1,v2,...` flags → grid_sweep axes."""
+    grid: Dict[str, List[object]] = {}
+    for entry in entries or []:
+        key, sep, values = entry.partition("=")
+        axis = [_coerce_param(v) for v in values.split(",") if v.strip()]
+        if not sep or not key.strip() or not axis:
+            raise ValueError(
+                f"bad --param {entry!r}; expected key=v1,v2,... "
+                "with at least one value"
+            )
+        grid[key.strip()] = axis
+    return grid
+
+
+def _cmd_runner_sweep(args: argparse.Namespace) -> int:
+    """`sweep`/`grid` with `--runner NAME`: registry-dispatched fan-out."""
+    from repro.scenarios import RUNNER_REGISTRY
+
+    runner = RUNNER_REGISTRY.get(args.runner)
+    if runner is None:
+        print(f"unknown runner {args.runner!r}; "
+              f"known: {', '.join(sorted(RUNNER_REGISTRY))}", file=sys.stderr)
+        return 2
+    try:
+        grid = _parse_param_grid(args.param)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not grid:
+        print("--runner needs at least one --param key=v1,v2,...",
+              file=sys.stderr)
+        return 2
+    accepted = inspect.signature(runner).parameters
+    unknown = [name for name in grid if name not in accepted]
+    if unknown:
+        print(f"runner {args.runner!r} does not accept parameter(s) "
+              f"{', '.join(sorted(unknown))}; it takes: "
+              f"{', '.join(accepted)}", file=sys.stderr)
+        return 2
+    fixed = {}
+    chaos_profile = getattr(args, "chaos_profile", None)
+    if chaos_profile is not None and "chaos_profile" in accepted:
+        fixed["chaos_profile"] = chaos_profile
+    chaos_seed = getattr(args, "chaos_seed", None)
+    if chaos_seed is not None and "chaos_seed" in accepted:
+        fixed["chaos_seed"] = chaos_seed
+    if fixed:
+        runner = functools.partial(runner, **fixed)
+    try:
+        sweep = grid_sweep(
+            grid, runner,
+            workers=args.workers, cache_dir=args.cache_dir,
+            backend=args.backend, max_retries=args.max_retries,
+            on_error="keep-going" if args.keep_going else "raise",
+        )
+    except SweepFailure as failure:
+        return _print_sweep_failure(failure)
+    _print_sweep_errors(sweep)
+    param_names = list(grid)
+    metric_names = sorted({k for p in sweep.points for k in p.metrics})
+    print(format_table(
+        param_names + metric_names,
+        [[p.params.get(n) for n in param_names]
+         + [p.metrics.get(m, "n/a") for m in metric_names]
+         for p in sweep.points],
+        title=f"runner {args.runner!r} over {' × '.join(param_names)}",
+    ))
+    print(sweep.telemetry.summary())
+    return 0 if sweep.ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.runner is not None:
+        return _cmd_runner_sweep(args)
     ks = list(range(1, args.max_periods + 1))
     runner = functools.partial(relay_savings_runner, n_ues=args.ues,
                                seed=args.seed)
@@ -146,6 +253,8 @@ def _print_sweep_failure(failure: SweepFailure) -> int:
 def _cmd_grid(args: argparse.Namespace) -> int:
     if args.status is not None:
         return _print_grid_status(args.status, args.claim_ttl)
+    if args.runner is not None:
+        return _cmd_runner_sweep(args)
 
     from repro.experiments import sensitivity_grid
 
@@ -210,6 +319,34 @@ def _print_grid_status(cache_dir: str, claim_ttl_s: float) -> int:
         ))
     print(status.summary())
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Differential chaos harness: audited baseline vs audited chaos."""
+    from repro.faults.harness import run_differential_suite
+
+    profiles = ([p for p in args.profiles.split(",") if p]
+                if args.profiles else None)
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    scenarios = tuple(s for s in args.scenarios.split(",") if s)
+    suite = run_differential_suite(
+        profiles=profiles, seeds=seeds, scenarios=scenarios,
+        n_ues=args.ues, periods=args.periods,
+        n_devices=args.devices, duration_s=args.duration,
+    )
+    print(format_table(
+        ["scenario", "profile", "seed", "status", "safe", "violations",
+         "events", "fallbacks", "failures"],
+        [[c.scenario, c.profile, c.seed,
+          "PASS" if c.passed else "FAIL",
+          c.chaos_deadline_safe, c.audit_violations, c.chaos_events,
+          c.fallbacks_fired, "; ".join(c.failures)]
+         for c in suite.cases],
+        title="differential chaos harness (baseline vs chaos, audited)",
+    ))
+    print(f"{len(suite.cases) - len(suite.failed_cases)}"
+          f"/{len(suite.cases)} cases passed")
+    return 0 if suite.passed else 1
 
 
 def _cmd_breakeven(args: argparse.Namespace) -> int:
@@ -337,6 +474,30 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
+    """Chaos-injection flags shared by scenario and sweep subcommands."""
+    parser.add_argument(
+        "--chaos-profile", default=None, metavar="NAME",
+        help="layer stochastic fault processes on the D2D run and audit "
+             "delivery safety (mild | relay-hostile | link-hostile | "
+             "adversarial)")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="chaos RNG seed (default: the scenario --seed)")
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    """Registry-dispatch flags shared by `sweep` and `grid`."""
+    parser.add_argument(
+        "--runner", default=None, metavar="NAME",
+        help="dispatch a registered grid runner instead of the built-in "
+             "sweep (see repro.scenarios.RUNNER_REGISTRY); needs --param")
+    parser.add_argument(
+        "--param", action="append", default=None, metavar="KEY=V1,V2,...",
+        help="one grid axis for --runner (repeatable); values are "
+             "coerced to int/float where possible")
+
+
 def _add_dispatch_flags(parser: argparse.ArgumentParser) -> None:
     """Shared execution-layer flags of the `sweep` and `grid` subcommands."""
     parser.add_argument(
@@ -367,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     pair.add_argument("--periods", type=int, default=7)
     pair.add_argument("--capacity", type=int, default=10)
     pair.add_argument("--seed", type=int, default=0)
+    _add_chaos_flags(pair)
     pair.set_defaults(func=_cmd_pair)
 
     crowd = sub.add_parser("crowd", help="clustered-crowd signaling storm")
@@ -374,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     crowd.add_argument("--relay-fraction", type=float, default=0.2)
     crowd.add_argument("--duration", type=float, default=1800.0)
     crowd.add_argument("--seed", type=int, default=0)
+    _add_chaos_flags(crowd)
     crowd.set_defaults(func=_cmd_crowd)
 
     sweep = sub.add_parser("sweep", help="saved energy vs. transmission times")
@@ -385,6 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="on-disk sweep result cache directory")
     _add_dispatch_flags(sweep)
+    _add_runner_flags(sweep)
+    _add_chaos_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     grid = sub.add_parser(
@@ -402,6 +567,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--timings", action="store_true",
                       help="print the per-point wall-clock timing table")
     _add_dispatch_flags(grid)
+    _add_runner_flags(grid)
+    _add_chaos_flags(grid)
     grid.add_argument("--status", metavar="CACHE_DIR", default=None,
                       help="print the progress view of a (distributed) "
                            "sweep's shared cache directory and exit")
@@ -409,6 +576,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seconds before an abandoned shared-dir claim "
                            "may be stolen (also used by --status)")
     grid.set_defaults(func=_cmd_grid)
+
+    chaos = sub.add_parser(
+        "chaos", help="differential chaos harness (delivery-safety gate)"
+    )
+    chaos.add_argument("--scenarios", default="pair",
+                       help="comma-separated scenario names (pair, crowd)")
+    chaos.add_argument("--profiles", default=None,
+                       help="comma-separated chaos profiles "
+                            "(default: all built-ins)")
+    chaos.add_argument("--seeds", default="0,1,2,3,4",
+                       help="comma-separated seeds per (scenario, profile)")
+    chaos.add_argument("--ues", type=int, default=2,
+                       help="UEs in the pair scenario")
+    chaos.add_argument("--periods", type=int, default=4,
+                       help="heartbeat periods in the pair scenario")
+    chaos.add_argument("--devices", type=int, default=12,
+                       help="devices in the crowd scenario")
+    chaos.add_argument("--duration", type=float, default=900.0,
+                       help="crowd scenario duration in seconds")
+    chaos.set_defaults(func=_cmd_chaos)
 
     breakeven = sub.add_parser("breakeven", help="D2D-vs-cellular distances")
     breakeven.set_defaults(func=_cmd_breakeven)

@@ -58,11 +58,15 @@ class FeedbackTracker:
         self.cellular_resend_guard_s = cellular_resend_guard_s
         self.min_wait_s = min_wait_s
         self._pending: Dict[int, PendingForward] = {}
+        #: seqs whose fallback already fired — distinguishes a *late* ack
+        #: (slow relay; the beat went out twice) from a protocol duplicate.
+        self._fallback_seqs: set = set()
         # statistics
         self.forwards_tracked = 0
         self.acks_received = 0
         self.fallbacks_fired = 0
         self.duplicate_acks = 0
+        self.late_acks = 0
 
     # ------------------------------------------------------------------
     def track(self, message: PeriodicMessage) -> PendingForward:
@@ -89,7 +93,11 @@ class FeedbackTracker:
         for seq in beat_seqs:
             pending = self._pending.pop(seq, None)
             if pending is None:
-                self.duplicate_acks += 1
+                if seq in self._fallback_seqs:
+                    self._fallback_seqs.discard(seq)
+                    self.late_acks += 1
+                else:
+                    self.duplicate_acks += 1
                 continue
             pending.acked = True
             self.sim.cancel(pending.timer)
@@ -135,4 +143,5 @@ class FeedbackTracker:
         pending.fallback_fired = True
         pending.timer = None
         self.fallbacks_fired += 1
+        self._fallback_seqs.add(beat_seq)
         self.on_fallback(pending.message)

@@ -94,6 +94,18 @@ class RelayAgent:
         if self.device.d2d is not None:
             self.device.d2d.advertising = False
 
+    def revive(self) -> None:
+        """Resume volunteering after the device powered back on.
+
+        The scheduler and beat sources were flushed/dropped at death; all
+        that is needed is to refresh and re-enable the advertisement so
+        UEs can re-match. No-op while dead or after :meth:`resign`.
+        """
+        if self.resigned or self.device.d2d is None or not self.device.alive:
+            return
+        self._update_advertisement()
+        self.device.d2d.advertising = True
+
     def resign(self, grace_s: float = 10.0) -> None:
         """Stop relaying but keep living (the battery-preservation exit).
 

@@ -243,6 +243,13 @@ class UEAgent:
         return self.connection is not None and self.connection.alive
 
     def _forward(self, message: PeriodicMessage) -> None:
+        if not self._connection_alive():
+            # The link died mid-drain: an earlier send in this same batch
+            # can break the connection synchronously (gate down, peer
+            # gone), which runs the full link-loss cleanup. Later beats in
+            # the batch must go out directly instead of crashing here.
+            self._send_cellular(message)
+            return
         assert self.connection is not None
         transfer = BeatTransfer(message=message, sent_at_s=self.sim.now)
         self.feedback.track(message)

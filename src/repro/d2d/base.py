@@ -188,6 +188,11 @@ class D2DConnection:
             if on_result is not None:
                 on_result(False)
             return False
+        if not self.medium.link_allowed(sender.device_id, receiver.device_id):
+            self.medium._break_connection(self, "link down")
+            if on_result is not None:
+                on_result(False)
+            return False
         distance = self.current_distance_m()
         if distance > self.medium.technology.max_range_m or not self.medium.technology.link.in_range(
             distance
@@ -296,6 +301,11 @@ class D2DMedium:
         self.group_join_discount = group_join_discount
         self._endpoints: Dict[str, D2DEndpoint] = {}
         self._connections: List[D2DConnection] = []
+        #: Optional veto on pairwise reachability (chaos link flap): called
+        #: as ``link_gate(a_id, b_id)``; returning ``False`` makes the pair
+        #: mutually unreachable — discovery hides them, connects fail, live
+        #: links break at the next send or link check.
+        self.link_gate: Optional[Callable[[str, str], bool]] = None
         # statistics
         self.discoveries = 0
         self.connections_established = 0
@@ -325,9 +335,21 @@ class D2DMedium:
         for connection in [c for c in self._connections if endpoint in (c.initiator, c.responder)]:
             self._break_connection(connection, "peer powered off")
 
+    def power_on(self, device_id: str) -> None:
+        """Device came back: restore radio power (advertising stays off)."""
+        self.endpoint(device_id).powered_on = True
+
     def connections_of(self, device_id: str) -> List[D2DConnection]:
         endpoint = self.endpoint(device_id)
         return [c for c in self._connections if endpoint in (c.initiator, c.responder)]
+
+    def live_connections(self) -> List[D2DConnection]:
+        """Snapshot of every currently established connection."""
+        return list(self._connections)
+
+    def link_allowed(self, a_id: str, b_id: str) -> bool:
+        """Whether the gate (if any) permits the ``a``–``b`` pair."""
+        return self.link_gate is None or self.link_gate(a_id, b_id)
 
     # ------------------------------------------------------------------
     # discovery
@@ -372,6 +394,8 @@ class D2DMedium:
                     continue
                 distance = distance_between(origin, peer.position(t))
                 if distance > tech.max_range_m or not tech.link.in_range(distance):
+                    continue
+                if not self.link_allowed(requester_id, peer.device_id):
                     continue
                 rssi = tech.link.rssi(distance, rng)
                 found.append(
@@ -443,6 +467,7 @@ class D2DMedium:
                 or not initiator.powered_on
                 or distance > tech.max_range_m
                 or not tech.link.in_range(distance)
+                or not self.link_allowed(initiator_id, responder_id)
             ):
                 self.connections_failed += 1
                 on_complete(None)
@@ -465,6 +490,11 @@ class D2DMedium:
     # ------------------------------------------------------------------
     def _check_link(self, connection: D2DConnection) -> None:
         if not connection.alive:
+            return
+        if not self.link_allowed(
+            connection.initiator.device_id, connection.responder.device_id
+        ):
+            self._break_connection(connection, "link down")
             return
         distance = connection.current_distance_m()
         if distance > self.technology.max_range_m or not self.technology.link.in_range(

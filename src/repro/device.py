@@ -134,6 +134,24 @@ class Smartphone:
         if self.d2d_medium is not None:
             self.d2d_medium.power_off(self.device_id)
 
+    def power_on(self) -> None:
+        """Bring a dead phone back up (battery swap / reboot); idempotent.
+
+        A depleted battery is recharged to full — a phone cannot boot on
+        an empty battery. D2D advertising is NOT resumed here: a relay
+        decides whether to volunteer again (see ``RelayAgent.revive``).
+        """
+        if self.alive:
+            return
+        if self.battery is not None and self.battery.is_depleted:
+            self.battery.recharge()
+        self.alive = True
+        self.modem.power_on()
+        if self.d2d_medium is not None:
+            self.d2d_medium.power_on(self.device_id)
+        for generator in self.generators.values():
+            generator.restart()
+
     def _on_battery_depleted(self) -> None:
         self.power_off()
 

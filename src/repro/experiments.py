@@ -259,6 +259,41 @@ def _sensitivity_grid_artifact() -> Dict[str, Dict[int, float]]:
     return {f"{distance:g} m": row for distance, row in pivot.items()}
 
 
+def chaos_reliability(
+    profiles: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1),
+    scenario: str = "pair",
+) -> Dict[str, Dict[str, float]]:
+    """Delivery safety under chaos, per profile (paper Sec. III-A claim).
+
+    Runs the differential harness for every built-in chaos profile and
+    folds the per-seed cases into one row per profile: worst audited
+    deadline-safety, total auditor violations, total chaos events, and
+    how many cases passed. The paper's reliability argument holds iff
+    every ``deadline_safe`` is 1.0 and every ``violations`` is 0.
+    """
+    from repro.faults.chaos import CHAOS_PROFILES
+    from repro.faults.harness import run_differential_suite
+
+    names = list(profiles) if profiles is not None else sorted(CHAOS_PROFILES)
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        suite = run_differential_suite(
+            profiles=[name], seeds=seeds, scenarios=(scenario,)
+        )
+        rows[name] = {
+            "deadline_safe": min(c.chaos_deadline_safe for c in suite.cases),
+            "violations": float(sum(c.audit_violations for c in suite.cases)),
+            "chaos_events": float(sum(c.chaos_events for c in suite.cases)),
+            "fallbacks": float(sum(c.fallbacks_fired for c in suite.cases)),
+            "cases_passed": float(
+                sum(1 for c in suite.cases if c.passed)
+            ),
+            "cases": float(len(suite.cases)),
+        }
+    return rows
+
+
 #: Experiment id → (description, zero-argument runner).
 REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
     "T1": ("Table I — heartbeat share per app", table1),
@@ -273,6 +308,8 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
     "F15": ("Fig. 15 — layer-3 messages", fig15),
     "S1": ("Sensitivity grid — system saved over distance × periods",
            _sensitivity_grid_artifact),
+    "C1": ("Chaos reliability — delivery safety per chaos profile",
+           chaos_reliability),
 }
 
 

@@ -1,0 +1,64 @@
+"""Fault injection, chaos processes and delivery-safety auditing.
+
+Three layers, from hand-scheduled to fully stochastic:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`: one-shot scheduled
+  faults (kill/revive a device, drain a battery, break links, drop acks)
+  for targeted experiments;
+- :mod:`repro.faults.chaos` — :class:`ChaosEngine` +
+  :class:`ChaosProfile`: seeded stochastic fault processes (relay churn,
+  link flap, ack bursts, storms, battery ramps, clock skew) layered on
+  whole scenarios, replayable from ``(scenario, profile, seed)``;
+- :mod:`repro.faults.auditor` — :class:`InvariantAuditor`: runtime
+  checks of the paper's safety claims while the sim runs;
+- :mod:`repro.faults.harness` — the differential gate asserting chaos
+  never costs deadline-safe delivery.
+"""
+
+from repro.faults.auditor import (
+    AuditReport,
+    AuditViolation,
+    InvariantAuditor,
+    TraceEntry,
+)
+from repro.faults.chaos import (
+    CHAOS_PROFILES,
+    ChaosEngine,
+    ChaosEvent,
+    ChaosProfile,
+    ChaosReport,
+    resolve_profile,
+)
+from repro.faults.harness import (
+    DifferentialCase,
+    DifferentialSuite,
+    run_differential,
+    run_differential_suite,
+)
+from repro.faults.plan import (
+    AckLossSwitch,
+    AckLossWindow,
+    FaultPlan,
+    InjectedFault,
+)
+
+__all__ = [
+    "AckLossSwitch",
+    "AckLossWindow",
+    "AuditReport",
+    "AuditViolation",
+    "CHAOS_PROFILES",
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosProfile",
+    "ChaosReport",
+    "DifferentialCase",
+    "DifferentialSuite",
+    "FaultPlan",
+    "InjectedFault",
+    "InvariantAuditor",
+    "TraceEntry",
+    "resolve_profile",
+    "run_differential",
+    "run_differential_suite",
+]

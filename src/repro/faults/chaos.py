@@ -1,0 +1,531 @@
+"""Seeded stochastic fault processes ("chaos") for whole scenarios.
+
+Where :class:`repro.faults.plan.FaultPlan` injects hand-scheduled one-shot
+faults, the chaos engine layers continuous *fault processes* over a running
+simulation — the failure statistics related deployments actually observe
+(battery-limited relays churn throughout a session; shadowing makes D2D
+links flap rather than break cleanly):
+
+- **relay churn** — Poisson death/revival per relay device;
+- **link flap** — an on/off Markov process per live D2D pair, enforced
+  through :attr:`repro.d2d.base.D2DMedium.link_gate`;
+- **ack loss** — Poisson-started suppression bursts with exponential
+  lengths, composed through :class:`repro.faults.plan.AckLossSwitch`;
+- **heartbeat storms** — every live device submits extra periodic
+  messages through its Message Monitor (a push-notification burst);
+- **battery-drain ramps** — relays get finite batteries bled at a
+  constant background rate until depletion powers them off;
+- **clock skew** — per-UE phase shifts on every heartbeat generator.
+
+All randomness comes from private named streams derived from
+``(chaos seed, profile name, process)`` via :func:`repro.sim.rng.make_rng`,
+so (1) a chaos run is exactly replayable from ``(scenario, profile, seed)``
+and (2) enabling chaos never perturbs the simulation's own streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.sim.rng import make_rng
+from repro.workload.messages import MessageKind, PeriodicMessage
+
+#: App name stamped on storm-injected messages. Deliberately distinct from
+#: any registered app: a storm beat must never masquerade as a relay's
+#: primary heartbeat (which would open a new collection period).
+STORM_APP = "chaos-storm"
+
+#: Storm beats are delay-tolerant but tighter than a heartbeat period, so
+#: they exercise the scheduler's expiration bound as well as its capacity.
+STORM_EXPIRY_S = 120.0
+STORM_PERIOD_S = 600.0
+STORM_BYTES = 54
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosProfile:
+    """Declarative description of one chaos mix.
+
+    All rates are per simulated second; a rate of ``0`` disables that
+    process. Death/flap/burst lengths are exponential; clock skew is a
+    one-shot uniform draw in ``±clock_skew_max_s`` per UE.
+    """
+
+    name: str
+    description: str = ""
+    #: Poisson relay power-off rate, and power-on rate while dead.
+    relay_death_rate_hz: float = 0.0
+    relay_revival_rate_hz: float = 0.0
+    #: Markov link flap: per-tick hazard of a live pair going down / a
+    #: down pair recovering.
+    link_down_rate_hz: float = 0.0
+    link_up_rate_hz: float = 0.0
+    #: Ack-suppression bursts per UE: start rate and mean burst length.
+    ack_burst_rate_hz: float = 0.0
+    ack_burst_mean_s: float = 0.0
+    #: Heartbeat-burst storms: global start rate; extra beats per device.
+    storm_rate_hz: float = 0.0
+    storm_beats_per_device: int = 0
+    #: Constant background battery drain applied to relays (µAh/s) on a
+    #: battery of ``relay_battery_mah`` (small by default so ramps matter
+    #: within a session).
+    relay_drain_uah_per_s: float = 0.0
+    relay_battery_mah: float = 5.0
+    #: One-shot heartbeat phase skew per UE, uniform in ±max.
+    clock_skew_max_s: float = 0.0
+    #: Cadence of the discrete processes (flap + drain ramps).
+    tick_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "relay_death_rate_hz", "relay_revival_rate_hz",
+            "link_down_rate_hz", "link_up_rate_hz", "ack_burst_rate_hz",
+            "ack_burst_mean_s", "storm_rate_hz", "relay_drain_uah_per_s",
+            "clock_skew_max_s",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+        if self.storm_beats_per_device < 0:
+            raise ValueError("storm_beats_per_device must be >= 0")
+        if self.relay_battery_mah <= 0:
+            raise ValueError("relay_battery_mah must be positive")
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+#: The built-in chaos mixes. Rates are tuned for session lengths of
+#: ~1000-2000 s (3-7 heartbeat periods), the scale every scenario runs at.
+CHAOS_PROFILES: Dict[str, ChaosProfile] = {
+    profile.name: profile
+    for profile in (
+        ChaosProfile(
+            name="mild",
+            description="occasional relay loss and lost ack frames",
+            relay_death_rate_hz=1 / 1800.0,
+            relay_revival_rate_hz=1 / 240.0,
+            ack_burst_rate_hz=1 / 900.0,
+            ack_burst_mean_s=30.0,
+            clock_skew_max_s=15.0,
+        ),
+        ChaosProfile(
+            name="relay-hostile",
+            description="relays churn hard and run on dying batteries",
+            relay_death_rate_hz=1 / 450.0,
+            relay_revival_rate_hz=1 / 180.0,
+            relay_drain_uah_per_s=4.0,
+            relay_battery_mah=3.0,
+            storm_rate_hz=1 / 900.0,
+            storm_beats_per_device=2,
+        ),
+        ChaosProfile(
+            name="link-hostile",
+            description="D2D links flap and acks vanish in long bursts",
+            link_down_rate_hz=1 / 240.0,
+            link_up_rate_hz=1 / 90.0,
+            ack_burst_rate_hz=1 / 400.0,
+            ack_burst_mean_s=45.0,
+            clock_skew_max_s=30.0,
+        ),
+        ChaosProfile(
+            name="adversarial",
+            description="every process at once, aggressively",
+            relay_death_rate_hz=1 / 500.0,
+            relay_revival_rate_hz=1 / 150.0,
+            link_down_rate_hz=1 / 300.0,
+            link_up_rate_hz=1 / 120.0,
+            ack_burst_rate_hz=1 / 450.0,
+            ack_burst_mean_s=60.0,
+            storm_rate_hz=1 / 600.0,
+            storm_beats_per_device=3,
+            relay_drain_uah_per_s=2.0,
+            relay_battery_mah=4.0,
+            clock_skew_max_s=60.0,
+        ),
+    )
+}
+
+
+def resolve_profile(chaos: Union[None, str, ChaosProfile]) -> Optional[ChaosProfile]:
+    """``None`` | profile name | profile instance → profile (or ``None``)."""
+    if chaos is None or isinstance(chaos, ChaosProfile):
+        return chaos
+    try:
+        return CHAOS_PROFILES[chaos]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {chaos!r}; "
+            f"known: {sorted(CHAOS_PROFILES)}"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosEvent:
+    """One fault-process firing, for replay comparison and debugging."""
+
+    time_s: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """What one chaos run actually did."""
+
+    profile: str
+    seed: int
+    events: List[ChaosEvent] = dataclasses.field(default_factory=list)
+    relay_deaths: int = 0
+    relay_revivals: int = 0
+    link_downs: int = 0
+    link_ups: int = 0
+    ack_bursts: int = 0
+    acks_dropped: int = 0
+    storms: int = 0
+    storm_beats: int = 0
+    batteries_depleted: int = 0
+    ues_skewed: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["total_events"] = self.total_events
+        return data
+
+    def summary(self) -> str:
+        return (
+            f"chaos[{self.profile} seed={self.seed}]: "
+            f"{self.total_events} events — "
+            f"deaths {self.relay_deaths} revivals {self.relay_revivals}, "
+            f"link downs {self.link_downs} ups {self.link_ups}, "
+            f"ack bursts {self.ack_bursts} ({self.acks_dropped} dropped), "
+            f"storms {self.storms} ({self.storm_beats} beats), "
+            f"batteries {self.batteries_depleted}, "
+            f"skewed UEs {self.ues_skewed}"
+        )
+
+
+class ChaosEngine:
+    """Drives one :class:`ChaosProfile`'s fault processes over a scenario.
+
+    Usage::
+
+        engine = ChaosEngine(profile, seed=chaos_seed)
+        engine.attach(sim, devices, medium=medium, framework=framework)
+        ... run the simulation ...
+        report = engine.report
+
+    ``attach`` must be called after the framework (or baseline) is wired —
+    it inspects the live agents — and before the clock starts.
+    """
+
+    def __init__(self, profile: Union[str, ChaosProfile], seed: int = 0) -> None:
+        resolved = resolve_profile(profile)
+        if resolved is None:
+            raise ValueError("ChaosEngine needs a profile")
+        self.profile = resolved
+        self.seed = int(seed)
+        self.report = ChaosReport(profile=resolved.name, seed=self.seed)
+        self._attached = False
+        self.sim = None
+        self._medium = None
+        self._framework = None
+        self._relay_devices: List = []
+        self._down_pairs: Dict[Tuple[str, str], bool] = {}
+        self._ramp_batteries: List = []
+        self._storm_targets: List[Tuple[str, Callable[[], bool], Callable[[PeriodicMessage], None]]] = []
+
+    # ------------------------------------------------------------------
+    def _rng(self, stream: str) -> random.Random:
+        return make_rng(self.seed, f"chaos:{self.profile.name}:{stream}")
+
+    def _record(self, kind: str, target: str, detail: str = "") -> None:
+        self.report.events.append(
+            ChaosEvent(time_s=self.sim.now, kind=kind, target=target, detail=detail)
+        )
+
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        sim,
+        devices: Dict[str, object],
+        medium=None,
+        framework=None,
+        original=None,
+    ) -> "ChaosEngine":
+        """Wire every enabled fault process into a built scenario."""
+        if self._attached:
+            raise RuntimeError("ChaosEngine.attach called twice")
+        self._attached = True
+        self.sim = sim
+        self._medium = medium
+        self._framework = framework
+        profile = self.profile
+
+        relay_agents: Dict[str, object] = {}
+        if framework is not None:
+            relay_agents = dict(framework.relays)
+            for device_id, agent in framework.ues.items():
+                device = devices[device_id]
+                self._storm_targets.append(
+                    (device_id, lambda d=device: d.alive, agent.monitor.submit)
+                )
+            for device_id, agent in framework.relays.items():
+                device = devices[device_id]
+                self._storm_targets.append(
+                    (device_id, lambda d=device: d.alive, agent.monitor.submit)
+                )
+            for device_id, sender in framework.standalones.items():
+                device = devices[device_id]
+                self._storm_targets.append(
+                    (device_id, lambda d=device: d.alive, sender.monitor.submit)
+                )
+        if original is not None:
+            for device_id, monitor in original.monitors.items():
+                device = devices[device_id]
+                self._storm_targets.append(
+                    (device_id, lambda d=device: d.alive, monitor.submit)
+                )
+
+        self._relay_devices = [
+            device for device in devices.values()
+            if getattr(device.role, "value", None) == "relay"
+        ]
+
+        # relay churn -------------------------------------------------
+        if profile.relay_death_rate_hz > 0:
+            for device in self._relay_devices:
+                agent = relay_agents.get(device.device_id)
+                self._start_relay_churn(device, agent)
+
+        # link flap ---------------------------------------------------
+        if medium is not None and profile.link_down_rate_hz > 0:
+            if medium.link_gate is not None:
+                raise RuntimeError("D2D medium already has a link gate")
+            medium.link_gate = self._link_allowed
+            self._flap_rng = self._rng("link-flap")
+
+        # ack bursts --------------------------------------------------
+        if framework is not None and profile.ack_burst_rate_hz > 0:
+            from repro.faults.plan import AckLossSwitch
+
+            for device_id, agent in framework.ues.items():
+                switch = AckLossSwitch.install(agent.feedback)
+                self._start_ack_bursts(device_id, switch)
+
+        # storms ------------------------------------------------------
+        if profile.storm_rate_hz > 0 and profile.storm_beats_per_device > 0:
+            self._storm_rng = self._rng("storm")
+            self.sim.schedule(
+                self._storm_rng.expovariate(profile.storm_rate_hz),
+                self._fire_storm,
+                name="chaos_storm",
+            )
+
+        # battery ramps ----------------------------------------------
+        if profile.relay_drain_uah_per_s > 0 and self._relay_devices:
+            from repro.energy.battery import Battery
+
+            for device in self._relay_devices:
+                battery = device.battery
+                if battery is None:
+                    battery = Battery(capacity_mah=profile.relay_battery_mah)
+                    battery.on_depleted = device._on_battery_depleted
+                    device.battery = battery
+                    device.energy.battery = battery
+                self._watch_depletion(device, battery)
+                self._ramp_batteries.append((device, battery))
+
+        # clock skew --------------------------------------------------
+        if profile.clock_skew_max_s > 0:
+            skew_rng = self._rng("clock-skew")
+            monitors = []
+            if framework is not None:
+                monitors = [
+                    (device_id, agent.monitor)
+                    for device_id, agent in sorted(framework.ues.items())
+                ]
+            elif original is not None:
+                monitors = sorted(original.monitors.items())
+            for device_id, monitor in monitors:
+                skew = skew_rng.uniform(
+                    -profile.clock_skew_max_s, profile.clock_skew_max_s
+                )
+                for generator in monitor.generators.values():
+                    generator.shift_phase(skew)
+                self.report.ues_skewed += 1
+                self._record("clock-skew", device_id, f"{skew:+.1f}s")
+
+        # discrete tick (flap + ramps) -------------------------------
+        needs_tick = (
+            (medium is not None and profile.link_down_rate_hz > 0)
+            or self._ramp_batteries
+        )
+        if needs_tick:
+            self.sim.every(profile.tick_s, self._tick, name="chaos_tick")
+        return self
+
+    # ------------------------------------------------------------------
+    # relay churn
+    # ------------------------------------------------------------------
+    def _start_relay_churn(self, device, agent) -> None:
+        profile = self.profile
+        rng = self._rng(f"relay-churn:{device.device_id}")
+
+        def kill() -> None:
+            if device.alive:
+                device.power_off()
+                self.report.relay_deaths += 1
+                self._record("relay-death", device.device_id)
+            if profile.relay_revival_rate_hz > 0:
+                self.sim.schedule(
+                    rng.expovariate(profile.relay_revival_rate_hz),
+                    revive,
+                    name="chaos_relay_revive",
+                )
+
+        def revive() -> None:
+            if not device.alive:
+                device.power_on()
+                if agent is not None and hasattr(agent, "revive"):
+                    agent.revive()
+                self.report.relay_revivals += 1
+                self._record("relay-revival", device.device_id)
+            self.sim.schedule(
+                rng.expovariate(profile.relay_death_rate_hz),
+                kill,
+                name="chaos_relay_kill",
+            )
+
+        self.sim.schedule(
+            rng.expovariate(profile.relay_death_rate_hz),
+            kill,
+            name="chaos_relay_kill",
+        )
+
+    # ------------------------------------------------------------------
+    # link flap (Markov on observed pairs, enforced via the medium gate)
+    # ------------------------------------------------------------------
+    def _pair_key(self, a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _link_allowed(self, a: str, b: str) -> bool:
+        return self._pair_key(a, b) not in self._down_pairs
+
+    def _tick(self) -> None:
+        profile = self.profile
+        # link flap: live pairs may go down; down pairs may recover
+        if self._medium is not None and profile.link_down_rate_hz > 0:
+            p_down = 1.0 - pow(2.718281828459045, -profile.link_down_rate_hz * profile.tick_s)
+            p_up = 1.0 - pow(2.718281828459045, -profile.link_up_rate_hz * profile.tick_s)
+            for connection in list(self._medium.live_connections()):
+                key = self._pair_key(
+                    connection.initiator.device_id, connection.responder.device_id
+                )
+                if key in self._down_pairs:
+                    continue
+                if self._flap_rng.random() < p_down:
+                    self._down_pairs[key] = True
+                    self.report.link_downs += 1
+                    self._record("link-down", f"{key[0]}~{key[1]}")
+                    connection.close("chaos link down")
+            for key in [k for k, down in list(self._down_pairs.items()) if down]:
+                if self._flap_rng.random() < p_up:
+                    del self._down_pairs[key]
+                    self.report.link_ups += 1
+                    self._record("link-up", f"{key[0]}~{key[1]}")
+        # battery ramps: the depletion itself is recorded by the chained
+        # on_depleted hook (see _watch_depletion) because the organic
+        # energy model drains the same battery between ticks and may be
+        # the charge that crosses zero.
+        if self._ramp_batteries:
+            drain = self.profile.relay_drain_uah_per_s * self.profile.tick_s
+            for device, battery in self._ramp_batteries:
+                if not device.alive or battery.is_depleted:
+                    continue
+                battery.drain_uah(drain)
+
+    def _watch_depletion(self, device, battery) -> None:
+        """Record depletion whichever charge crosses zero (ramp or organic)."""
+        inner = battery.on_depleted
+
+        def on_depleted() -> None:
+            self.report.batteries_depleted += 1
+            self._record(
+                "battery-depleted", device.device_id,
+                f"after {battery.total_drained_mah:.2f} mAh",
+            )
+            if inner is not None:
+                inner()
+
+        battery.on_depleted = on_depleted
+
+    # ------------------------------------------------------------------
+    # ack bursts
+    # ------------------------------------------------------------------
+    def _start_ack_bursts(self, device_id: str, switch) -> None:
+        profile = self.profile
+        rng = self._rng(f"ack-burst:{device_id}")
+
+        def start_burst() -> None:
+            length = rng.expovariate(1.0 / max(profile.ack_burst_mean_s, 1e-9))
+            window = switch.open_window()
+            self.report.ack_bursts += 1
+            self._record("ack-burst", device_id, f"{length:.1f}s")
+
+            def end_burst() -> None:
+                self.report.acks_dropped += window.dropped
+                switch.close_window(window)
+
+            self.sim.schedule(length, end_burst, name="chaos_ack_burst_end")
+            self.sim.schedule(
+                rng.expovariate(profile.ack_burst_rate_hz),
+                start_burst,
+                name="chaos_ack_burst",
+            )
+
+        self.sim.schedule(
+            rng.expovariate(profile.ack_burst_rate_hz),
+            start_burst,
+            name="chaos_ack_burst",
+        )
+
+    # ------------------------------------------------------------------
+    # storms
+    # ------------------------------------------------------------------
+    def _fire_storm(self) -> None:
+        profile = self.profile
+        self.report.storms += 1
+        self._record(
+            "storm", "all-devices", f"{profile.storm_beats_per_device}/device"
+        )
+        now = self.sim.now
+        for device_id, is_alive, submit in self._storm_targets:
+            if not is_alive():
+                continue
+            for _ in range(profile.storm_beats_per_device):
+                submit(
+                    PeriodicMessage(
+                        app=STORM_APP,
+                        origin_device=device_id,
+                        size_bytes=STORM_BYTES,
+                        created_at_s=now,
+                        period_s=STORM_PERIOD_S,
+                        expiry_s=STORM_EXPIRY_S,
+                        kind=MessageKind.DIAGNOSTIC,
+                    )
+                )
+                self.report.storm_beats += 1
+        self.sim.schedule(
+            self._storm_rng.expovariate(profile.storm_rate_hz),
+            self._fire_storm,
+            name="chaos_storm",
+        )

@@ -1,0 +1,226 @@
+"""Differential chaos harness.
+
+Runs a scenario twice from the same seed — audited baseline versus
+audited chaos — and asserts the paper's strict-safety claim: whatever the
+fault processes do, delivery-rate and deadline-safety never drop. This is
+the acceptance gate the CI ``chaos-smoke`` job and the soak workflow run.
+
+A case **fails** when any of:
+
+- either run's invariant auditor reports a violation;
+- the chaos run's audited deadline-safety (on-time fraction of
+  adjudicated, non-exempt beats) is below 1.0;
+- the chaos run's audited deadline-safety drops below the baseline's.
+
+Raw server-side ``on_time_fraction`` is reported for context but not
+gated: chaos legitimately adds *duplicate* fallback deliveries whose
+second copy can arrive late, and kills devices whose beats nobody owes.
+The audited figure already accounts for both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.faults.chaos import CHAOS_PROFILES, ChaosProfile, resolve_profile
+
+#: Scenario names the harness knows how to drive.
+SCENARIOS = ("pair", "crowd")
+
+#: Default sweep used by the acceptance gate and the CLI ``chaos`` command.
+DEFAULT_SEEDS = (0, 1, 2, 3, 4)
+
+
+@dataclasses.dataclass
+class DifferentialCase:
+    """Outcome of one (scenario, profile, seed) differential run."""
+
+    scenario: str
+    profile: str
+    seed: int
+    baseline_on_time: float
+    chaos_on_time: float
+    baseline_deadline_safe: float
+    chaos_deadline_safe: float
+    audit_violations: int
+    baseline_violations: int
+    chaos_events: int
+    fallbacks_fired: int
+    failures: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["passed"] = self.passed
+        return data
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL " + "; ".join(self.failures)
+        return (
+            f"{self.scenario}/{self.profile} seed={self.seed}: {status} "
+            f"(safe {self.chaos_deadline_safe:.3f}, "
+            f"violations {self.audit_violations}, "
+            f"chaos events {self.chaos_events}, "
+            f"fallbacks {self.fallbacks_fired})"
+        )
+
+
+@dataclasses.dataclass
+class DifferentialSuite:
+    """All cases of one harness invocation."""
+
+    cases: List[DifferentialCase] = dataclasses.field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.cases) and all(c.passed for c in self.cases)
+
+    @property
+    def failed_cases(self) -> List[DifferentialCase]:
+        return [c for c in self.cases if not c.passed]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "cases": [c.to_dict() for c in self.cases],
+        }
+
+    def summary(self) -> str:
+        lines = [c.summary() for c in self.cases]
+        lines.append(
+            f"differential: {len(self.cases) - len(self.failed_cases)}"
+            f"/{len(self.cases)} cases passed"
+        )
+        return "\n".join(lines)
+
+
+def _run_scenario(
+    scenario: str,
+    seed: int,
+    chaos: Optional[ChaosProfile],
+    chaos_seed: Optional[int],
+    n_ues: int,
+    periods: int,
+    n_devices: int,
+    duration_s: float,
+):
+    from repro import scenarios
+
+    if scenario == "pair":
+        return scenarios.run_relay_scenario(
+            n_ues=n_ues,
+            periods=periods,
+            seed=seed,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
+            audit=True,
+        )
+    if scenario == "crowd":
+        return scenarios.run_crowd_scenario(
+            n_devices=n_devices,
+            duration_s=duration_s,
+            seed=seed,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
+            audit=True,
+        )
+    raise ValueError(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
+
+
+def run_differential(
+    scenario: str = "pair",
+    profile: Union[str, ChaosProfile] = "mild",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> DifferentialCase:
+    """One differential case: audited baseline vs audited chaos run."""
+    resolved = resolve_profile(profile)
+    assert resolved is not None
+    baseline = _run_scenario(
+        scenario, seed, None, None, n_ues, periods, n_devices, duration_s
+    )
+    chaotic = _run_scenario(
+        scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s
+    )
+    baseline_violations = (
+        len(baseline.audit_report.violations) if baseline.audit_report else 0
+    )
+    chaos_violations = (
+        len(chaotic.audit_report.violations) if chaotic.audit_report else 0
+    )
+    baseline_safe = baseline.deadline_safe_fraction()
+    chaos_safe = chaotic.deadline_safe_fraction()
+    fallbacks = (
+        chaotic.metrics.faults.fallbacks_fired
+        if chaotic.metrics.faults is not None
+        else 0
+    )
+    case = DifferentialCase(
+        scenario=scenario,
+        profile=resolved.name,
+        seed=seed,
+        baseline_on_time=baseline.on_time_fraction(),
+        chaos_on_time=chaotic.on_time_fraction(),
+        baseline_deadline_safe=baseline_safe,
+        chaos_deadline_safe=chaos_safe,
+        audit_violations=chaos_violations,
+        baseline_violations=baseline_violations,
+        chaos_events=(
+            chaotic.chaos_report.total_events if chaotic.chaos_report else 0
+        ),
+        fallbacks_fired=fallbacks,
+    )
+    if baseline_violations:
+        first = baseline.audit_report.first_violation
+        case.failures.append(f"baseline audit: {first}")
+    if chaos_violations:
+        first = chaotic.audit_report.first_violation
+        case.failures.append(f"chaos audit: {first}")
+    if chaos_safe < 1.0:
+        case.failures.append(f"deadline safety {chaos_safe:.4f} < 1.0")
+    if chaos_safe < baseline_safe:
+        case.failures.append(
+            f"deadline safety dropped {baseline_safe:.4f} → {chaos_safe:.4f}"
+        )
+    return case
+
+
+def run_differential_suite(
+    profiles: Optional[Sequence[Union[str, ChaosProfile]]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    scenarios: Sequence[str] = ("pair",),
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> DifferentialSuite:
+    """Every (scenario × profile × seed) differential case.
+
+    Defaults to all built-in profiles over the acceptance seed set on the
+    fast pair scenario; pass ``scenarios=("pair", "crowd")`` for the soak.
+    """
+    if profiles is None:
+        profiles = list(CHAOS_PROFILES)
+    suite = DifferentialSuite()
+    for scenario in scenarios:
+        for profile in profiles:
+            for seed in seeds:
+                suite.cases.append(
+                    run_differential(
+                        scenario=scenario,
+                        profile=profile,
+                        seed=seed,
+                        n_ues=n_ues,
+                        periods=periods,
+                        n_devices=n_devices,
+                        duration_s=duration_s,
+                    )
+                )
+    return suite

@@ -1,4 +1,4 @@
-"""Fault injection for experiments.
+"""Hand-scheduled fault injection for experiments.
 
 The paper's reliability argument (Sec. III-A) is that the feedback
 mechanism survives "the relay has ran out of its battery or lost
@@ -13,13 +13,17 @@ suite — can assert delivery safety under faults:
     plan.drop_acks_between(800.0, 1100.0, ue_agent)
     ... run ...
     plan.report()
+
+For *stochastic* fault processes (Poisson churn, Markov link flap, ack
+bursts) layered on a whole scenario, see :mod:`repro.faults.chaos`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.core.feedback import FeedbackTracker
 from repro.core.ue import UEAgent
 from repro.d2d.base import D2DMedium
 from repro.device import Smartphone
@@ -35,6 +39,86 @@ class InjectedFault:
     target: str
     fired: bool = False
     detail: str = ""
+
+
+class AckLossWindow:
+    """One open ack-suppression window on a tracker (see AckLossSwitch)."""
+
+    __slots__ = ("dropped_seqs", "closed")
+
+    def __init__(self) -> None:
+        self.dropped_seqs: List[int] = []
+        self.closed = False
+
+    @property
+    def dropped(self) -> int:
+        return len(self.dropped_seqs)
+
+
+class AckLossSwitch:
+    """Composable ack suppression over one :class:`FeedbackTracker`.
+
+    Installs a single interceptor in front of ``tracker.ack`` (idempotent —
+    one switch per tracker, shared by every client). Clients open and close
+    *windows*; while at least one window is open, every ack batch is
+    discarded and credited to each open window. The original ``ack`` is
+    only restored when the last window closes, so overlapping windows from
+    independent sources (two ``FaultPlan.drop_acks_between`` calls, or a
+    plan window and a chaos ack-burst) compose instead of the earlier
+    close silently disarming the later window.
+    """
+
+    def __init__(self, tracker: FeedbackTracker) -> None:
+        self._tracker = tracker
+        self._original_ack = tracker.ack
+        self._windows: List[AckLossWindow] = []
+        self.total_dropped = 0
+        # a stable bound-method reference: attribute access creates a new
+        # bound method each time, so identity checks need this one object
+        self._interceptor = self._intercept
+        tracker.ack = self._interceptor  # type: ignore[method-assign]
+
+    @classmethod
+    def install(cls, tracker: FeedbackTracker) -> "AckLossSwitch":
+        """The switch for ``tracker``, creating and installing it once."""
+        switch = getattr(tracker, "_ack_loss_switch", None)
+        if switch is None:
+            switch = cls(tracker)
+            tracker._ack_loss_switch = switch  # type: ignore[attr-defined]
+        return switch
+
+    # ------------------------------------------------------------------
+    @property
+    def suppressing(self) -> bool:
+        return bool(self._windows)
+
+    def open_window(self) -> AckLossWindow:
+        window = AckLossWindow()
+        self._windows.append(window)
+        if self._tracker.ack is not self._interceptor:
+            # someone re-wrapped ack after we uninstalled; re-capture it
+            self._original_ack = self._tracker.ack
+            self._tracker.ack = self._interceptor  # type: ignore[method-assign]
+        return window
+
+    def close_window(self, window: AckLossWindow) -> None:
+        if window.closed:
+            return
+        window.closed = True
+        if window in self._windows:
+            self._windows.remove(window)
+        if not self._windows and self._tracker.ack is self._interceptor:
+            self._tracker.ack = self._original_ack  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def _intercept(self, beat_seqs) -> int:
+        seqs = list(beat_seqs)
+        if not self._windows:
+            return self._original_ack(seqs)
+        self.total_dropped += len(seqs)
+        for window in self._windows:
+            window.dropped_seqs.extend(seqs)
+        return 0
 
 
 class FaultPlan:
@@ -55,6 +139,18 @@ class FaultPlan:
             device.power_off()
 
         self.sim.schedule_at(at_s, fire, name="fault_kill")
+        return fault
+
+    def revive_device_at(self, at_s: float, device: Smartphone) -> InjectedFault:
+        """Power a dead phone back on at ``at_s`` (battery swap / reboot)."""
+        fault = self._register("device-revival", at_s, device.device_id)
+
+        def fire() -> None:
+            fault.fired = True
+            fault.detail = "already alive" if device.alive else "powered on"
+            device.power_on()
+
+        self.sim.schedule_at(at_s, fire, name="fault_revive")
         return fault
 
     def drain_battery_at(
@@ -100,28 +196,26 @@ class FaultPlan:
 
         Models ack-frame loss: the relay believes it confirmed, the UE
         never hears it — the fallback timers must cover the gap.
+        Windows are ref-counted through :class:`AckLossSwitch`, so
+        overlapping windows on the same UE compose correctly.
         """
         if end_s <= start_s:
             raise ValueError("window must have positive length")
-        fault = self._register(
-            "ack-loss", start_s, agent.device.device_id,
-        )
-        original_ack = agent.feedback.ack
-        dropped = []
-
-        def lossy_ack(seqs):
-            if start_s <= self.sim.now < end_s:
-                dropped.extend(seqs)
-                fault.fired = True
-                fault.detail = f"dropped {len(dropped)} ack(s)"
-                return 0
-            return original_ack(seqs)
+        fault = self._register("ack-loss", start_s, agent.device.device_id)
+        switch = AckLossSwitch.install(agent.feedback)
+        window: Dict[str, Optional[AckLossWindow]] = {"open": None}
 
         def arm() -> None:
-            agent.feedback.ack = lossy_ack
+            fault.fired = True
+            window["open"] = switch.open_window()
 
         def disarm() -> None:
-            agent.feedback.ack = original_ack
+            open_window = window["open"]
+            if open_window is None:
+                return
+            fault.detail = f"dropped {open_window.dropped} ack(s)"
+            switch.close_window(open_window)
+            window["open"] = None
 
         self.sim.schedule_at(start_s, arm, name="fault_ackloss_on")
         self.sim.schedule_at(end_s, disarm, name="fault_ackloss_off")

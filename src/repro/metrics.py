@@ -68,6 +68,51 @@ class DeliveryMetrics:
 
 
 @dataclasses.dataclass(frozen=True)
+class FaultMetrics:
+    """Fault-process activity and safety-audit outcome of one run.
+
+    Populated when a run enables the chaos engine and/or the invariant
+    auditor (:mod:`repro.faults`); ``None`` fields mean the corresponding
+    subsystem was off.
+    """
+
+    chaos_profile: Optional[str] = None
+    chaos_seed: Optional[int] = None
+    chaos_events: int = 0
+    relay_deaths: int = 0
+    relay_revivals: int = 0
+    link_downs: int = 0
+    link_ups: int = 0
+    ack_bursts: int = 0
+    acks_dropped: int = 0
+    storm_beats: int = 0
+    batteries_depleted: int = 0
+    fallbacks_fired: int = 0
+    late_acks: int = 0
+    duplicate_acks: int = 0
+    audit_violations: Optional[int] = None
+    beats_adjudicated: int = 0
+    beats_on_time: int = 0
+    beats_exempt_downtime: int = 0
+
+    @property
+    def audited(self) -> bool:
+        return self.audit_violations is not None
+
+    @property
+    def deadline_safe_fraction(self) -> float:
+        """On-time fraction of adjudicated, non-exempt beats (1.0 if none)."""
+        eligible = self.beats_adjudicated - self.beats_exempt_downtime
+        return 1.0 if eligible <= 0 else self.beats_on_time / eligible
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["audited"] = self.audited
+        data["deadline_safe_fraction"] = self.deadline_safe_fraction
+        return data
+
+
+@dataclasses.dataclass(frozen=True)
 class RunMetrics:
     """Everything measured in one experiment run."""
 
@@ -75,6 +120,7 @@ class RunMetrics:
     devices: Dict[str, DeviceMetrics]
     delivery: Optional[DeliveryMetrics]
     total_l3_messages: int
+    faults: Optional[FaultMetrics] = None
 
     # ------------------------------------------------------------------
     def energy_of(self, device_id: str) -> float:
@@ -124,6 +170,7 @@ class RunMetrics:
                 device_id: dataclasses.asdict(device)
                 for device_id, device in self.devices.items()
             },
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -327,6 +374,7 @@ def collect_metrics(
     ledger: SignalingLedger,
     server: Optional[IMServer] = None,
     horizon_s: float = 0.0,
+    faults: Optional[FaultMetrics] = None,
 ) -> RunMetrics:
     """Snapshot the run's metrics from the live objects."""
     per_device: Dict[str, DeviceMetrics] = {}
@@ -357,4 +405,5 @@ def collect_metrics(
         devices=per_device,
         delivery=delivery,
         total_l3_messages=ledger.total,
+        faults=faults,
     )

@@ -37,7 +37,7 @@ from repro.d2d.base import D2DMedium, D2DTechnology
 from repro.d2d.wifi_direct import WIFI_DIRECT
 from repro.device import Role, Smartphone
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
-from repro.metrics import RunMetrics, collect_metrics
+from repro.metrics import FaultMetrics, RunMetrics, collect_metrics
 from repro.mobility.models import MobilityModel, StaticMobility, place_crowd
 from repro.mobility.space import Arena
 from repro.sim.engine import Simulator
@@ -105,6 +105,10 @@ class ScenarioResult:
     original: Optional[OriginalSystem]
     app: AppProfile
     periods: int
+    #: Populated when the run enabled chaos and/or the invariant auditor
+    #: (see :mod:`repro.faults`); ``None`` otherwise.
+    chaos_report: Optional[object] = None
+    audit_report: Optional[object] = None
 
     # convenience accessors -------------------------------------------------
     def relay_energy_uah(self) -> float:
@@ -130,6 +134,104 @@ class ScenarioResult:
 
     def on_time_fraction(self) -> float:
         return self.metrics.delivery.on_time_fraction if self.metrics.delivery else 1.0
+
+    def audit_ok(self) -> bool:
+        """Whether the invariant auditor ran and found zero violations."""
+        return self.audit_report is not None and self.audit_report.ok
+
+    def deadline_safe_fraction(self) -> float:
+        """Audited on-time fraction of non-exempt beats (1.0 unaudited)."""
+        if self.metrics.faults is None:
+            return 1.0
+        return self.metrics.faults.deadline_safe_fraction
+
+
+def _attach_faults(
+    context: NetworkContext,
+    devices: Dict[str, Smartphone],
+    framework: Optional[HeartbeatRelayFramework],
+    original: Optional[OriginalSystem],
+    chaos,
+    chaos_seed: Optional[int],
+    audit: Optional[bool],
+    seed: int,
+):
+    """Attach the invariant auditor and/or chaos engine to a built scenario.
+
+    Auditor first, chaos second: ack suppression must wrap *outside* the
+    audit hook so the auditor only sees acks the UE really received.
+    Returns ``(auditor, engine)`` (either may be ``None``).
+    """
+    audit_enabled = (chaos is not None) if audit is None else audit
+    auditor = None
+    if audit_enabled:
+        from repro.faults.auditor import InvariantAuditor
+
+        auditor = InvariantAuditor(
+            context.sim,
+            server=context.server,
+            rewards=framework.rewards if framework is not None else None,
+        )
+        if framework is not None:
+            auditor.attach_framework(framework, devices)
+        elif original is not None:
+            auditor.attach_original(original, devices)
+    engine = None
+    if chaos is not None:
+        from repro.faults.chaos import ChaosEngine
+
+        engine = ChaosEngine(
+            chaos, seed=seed if chaos_seed is None else chaos_seed
+        )
+        engine.attach(
+            context.sim,
+            devices,
+            medium=context.medium,
+            framework=framework,
+            original=original,
+        )
+    return auditor, engine
+
+
+def _fault_metrics(
+    engine,
+    auditor,
+    horizon: float,
+    framework: Optional[HeartbeatRelayFramework],
+) -> Optional[FaultMetrics]:
+    """Fold chaos/audit outcomes into one :class:`FaultMetrics` record."""
+    if engine is None and auditor is None:
+        return None
+    fallbacks = late = duplicates = 0
+    if framework is not None:
+        for agent in framework.ues.values():
+            fallbacks += agent.feedback.fallbacks_fired
+            late += agent.feedback.late_acks
+            duplicates += agent.feedback.duplicate_acks
+    chaos = engine.report if engine is not None else None
+    report = auditor.finalize(horizon) if auditor is not None else None
+    return FaultMetrics(
+        chaos_profile=chaos.profile if chaos else None,
+        chaos_seed=chaos.seed if chaos else None,
+        chaos_events=chaos.total_events if chaos else 0,
+        relay_deaths=chaos.relay_deaths if chaos else 0,
+        relay_revivals=chaos.relay_revivals if chaos else 0,
+        link_downs=chaos.link_downs if chaos else 0,
+        link_ups=chaos.link_ups if chaos else 0,
+        ack_bursts=chaos.ack_bursts if chaos else 0,
+        acks_dropped=chaos.acks_dropped if chaos else 0,
+        storm_beats=chaos.storm_beats if chaos else 0,
+        batteries_depleted=chaos.batteries_depleted if chaos else 0,
+        fallbacks_fired=fallbacks,
+        late_acks=late,
+        duplicate_acks=duplicates,
+        audit_violations=len(report.violations) if report is not None else None,
+        beats_adjudicated=report.beats_adjudicated if report is not None else 0,
+        beats_on_time=report.beats_on_time if report is not None else 0,
+        beats_exempt_downtime=(
+            report.beats_exempt_downtime if report is not None else 0
+        ),
+    )
 
 
 def _ue_positions(n: int, distance_m: float) -> List[MobilityModel]:
@@ -174,6 +276,9 @@ def run_relay_scenario(
     ue_phases: Optional[Sequence[float]] = None,
     keep_energy_log: bool = False,
     group_aware: bool = False,
+    chaos=None,
+    chaos_seed: Optional[int] = None,
+    audit: Optional[bool] = None,
 ) -> ScenarioResult:
     """The paper's bench rig: one relay, ``n_ues`` UEs at ``distance_m``.
 
@@ -184,6 +289,11 @@ def run_relay_scenario(
 
     ``mode="original"`` runs the identical device layout without the
     framework (the baseline); ``mode="d2d"`` deploys the framework.
+
+    ``chaos`` (a :class:`repro.faults.ChaosProfile` or its name) layers
+    stochastic fault processes on the run, seeded by ``chaos_seed``
+    (default: ``seed``). ``audit`` runs the delivery-safety auditor
+    (default: on whenever chaos is on).
     """
     if n_ues < 0:
         raise ValueError(f"n_ues must be non-negative, got {n_ues}")
@@ -255,6 +365,9 @@ def run_relay_scenario(
         for ue, phase in zip(ues, phases):
             original.add_device(ue, phase_fraction=phase)
 
+    auditor, engine = _attach_faults(
+        context, devices, framework, original, chaos, chaos_seed, audit, seed
+    )
     stop_at = periods * app.heartbeat_period_s - 1.0
     context.sim.run_until(stop_at)
     if framework is not None:
@@ -264,8 +377,10 @@ def run_relay_scenario(
     horizon = periods * app.heartbeat_period_s + drain_s
     context.sim.run_until(horizon)
 
+    faults = _fault_metrics(engine, auditor, horizon, framework)
     metrics = collect_metrics(
-        devices.values(), context.ledger, context.server, horizon_s=horizon
+        devices.values(), context.ledger, context.server, horizon_s=horizon,
+        faults=faults,
     )
     return ScenarioResult(
         context=context,
@@ -277,6 +392,8 @@ def run_relay_scenario(
         original=original,
         app=app,
         periods=periods,
+        chaos_report=engine.report if engine is not None else None,
+        audit_report=auditor.report if auditor is not None else None,
     )
 
 
@@ -286,6 +403,8 @@ def relay_savings_runner(
     n_ues: int = 1,
     seed: int = 0,
     capacity: int = 10,
+    chaos_profile: Optional[str] = None,
+    chaos_seed: Optional[int] = None,
 ) -> Dict[str, float]:
     """Grid runner: paired d2d/original relay runs → headline metrics.
 
@@ -299,12 +418,13 @@ def relay_savings_runner(
     d2d = run_relay_scenario(
         n_ues=n_ues, distance_m=distance_m, periods=periods,
         capacity=capacity, seed=seed,
+        chaos=chaos_profile, chaos_seed=chaos_seed,
     )
     base = run_relay_scenario(
         n_ues=n_ues, distance_m=distance_m, periods=periods,
         capacity=capacity, seed=seed, mode="original",
     )
-    return {
+    result = {
         "system_saved": saved_fraction(
             base.system_energy_uah(), d2d.system_energy_uah()
         ),
@@ -312,6 +432,12 @@ def relay_savings_runner(
         "l3_saved": saved_fraction(float(base.total_l3()), float(d2d.total_l3())),
         "relay_uah": d2d.relay_energy_uah(),
     }
+    if chaos_profile is not None:
+        result["audit_violations"] = float(
+            len(d2d.audit_report.violations) if d2d.audit_report else 0
+        )
+        result["deadline_safe_fraction"] = d2d.deadline_safe_fraction()
+    return result
 
 
 def crowd_metrics_runner(
@@ -322,6 +448,8 @@ def crowd_metrics_runner(
     hotspots: Optional[int] = None,
     seed: int = 0,
     mode: str = "d2d",
+    chaos_profile: Optional[str] = None,
+    chaos_seed: Optional[int] = None,
 ) -> Dict[str, float]:
     """Grid runner: one crowd run → plain scalar metrics.
 
@@ -339,14 +467,59 @@ def crowd_metrics_runner(
         hotspots=hotspots,
         seed=seed,
         mode=mode,
+        chaos=chaos_profile,
+        chaos_seed=chaos_seed,
     )
     delivery = result.metrics.delivery
-    return {
+    out = {
         "events_fired": float(result.context.sim.events_fired),
         "on_time_fraction": result.on_time_fraction(),
         "received": float(delivery.received if delivery else 0),
         "total_l3": float(result.total_l3()),
         "system_uah": result.system_energy_uah(),
+    }
+    if chaos_profile is not None:
+        out["audit_violations"] = float(
+            len(result.audit_report.violations) if result.audit_report else 0
+        )
+        out["deadline_safe_fraction"] = result.deadline_safe_fraction()
+    return out
+
+
+def chaos_differential_runner(
+    scenario: str = "pair",
+    profile: str = "mild",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> Dict[str, float]:
+    """Grid runner: one differential chaos case → pass/fail scalars.
+
+    Runs the scenario audited with and without chaos and reports the
+    safety deltas (see :func:`repro.faults.harness.run_differential`).
+    Picklable, so distributed sweeps can fan a whole profile × seed grid
+    across hosts.
+    """
+    from repro.faults.harness import run_differential
+
+    case = run_differential(
+        scenario=scenario,
+        profile=profile,
+        seed=seed,
+        n_ues=n_ues,
+        periods=periods,
+        n_devices=n_devices,
+        duration_s=duration_s,
+    )
+    return {
+        "passed": 1.0 if case.passed else 0.0,
+        "baseline_on_time": case.baseline_on_time,
+        "chaos_on_time": case.chaos_on_time,
+        "chaos_deadline_safe": case.chaos_deadline_safe,
+        "audit_violations": float(case.audit_violations),
+        "chaos_events": float(case.chaos_events),
     }
 
 
@@ -357,6 +530,7 @@ def crowd_metrics_runner(
 RUNNER_REGISTRY: Dict[str, Callable[..., Dict[str, float]]] = {
     "relay-savings": relay_savings_runner,
     "crowd-metrics": crowd_metrics_runner,
+    "chaos-differential": chaos_differential_runner,
 }
 
 
@@ -410,6 +584,9 @@ def run_crowd_scenario(
     drain_s: float = DEFAULT_DRAIN_S,
     relay_selection: str = "roundrobin",
     pre_run: Optional[Callable[[NetworkContext, Dict[str, Smartphone]], None]] = None,
+    chaos=None,
+    chaos_seed: Optional[int] = None,
+    audit: Optional[bool] = None,
 ) -> ScenarioResult:
     """A dense crowd: the signaling-storm setting of the paper's Sec. I.
 
@@ -498,6 +675,9 @@ def run_crowd_scenario(
             assert original is not None
             original.add_device(device, phase_fraction=phase)
 
+    auditor, engine = _attach_faults(
+        context, devices, framework, original, chaos, chaos_seed, audit, seed
+    )
     if pre_run is not None:
         pre_run(context, devices)
     context.sim.run_until(max(0.0, duration_s - 1.0))
@@ -507,8 +687,10 @@ def run_crowd_scenario(
         original.shutdown()
     horizon = duration_s + drain_s
     context.sim.run_until(horizon)
+    faults = _fault_metrics(engine, auditor, horizon, framework)
     metrics = collect_metrics(
-        devices.values(), context.ledger, context.server, horizon_s=horizon
+        devices.values(), context.ledger, context.server, horizon_s=horizon,
+        faults=faults,
     )
     periods = max(1, int(duration_s / app.heartbeat_period_s))
     return ScenarioResult(
@@ -521,4 +703,6 @@ def run_crowd_scenario(
         original=original,
         app=app,
         periods=periods,
+        chaos_report=engine.report if engine is not None else None,
+        audit_report=auditor.report if auditor is not None else None,
     )

@@ -225,6 +225,13 @@ class PeriodicProcess:
     def stopped(self) -> bool:
         return self._stopped
 
+    @property
+    def next_fire_s(self) -> Optional[float]:
+        """Absolute time of the next firing; ``None`` once stopped."""
+        if self._stopped or self._event is None or self._event.cancelled:
+            return None
+        return self._event.time
+
     def stop(self) -> None:
         """Cancel all future firings; idempotent."""
         if self._stopped:

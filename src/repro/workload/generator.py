@@ -80,6 +80,50 @@ class HeartbeatGenerator:
         if self._process is not None:
             self._process.stop()
 
+    def restart(self) -> "HeartbeatGenerator":
+        """Resume after :meth:`stop`; keeps the original phase alignment.
+
+        The next beat fires at the next phase-aligned tick strictly after
+        now, as if the app had kept its schedule while the device was down.
+        """
+        if self._process is not None and not self._process.stopped:
+            return self
+        self._stopped = False
+        period = self.app.heartbeat_period_s
+        elapsed = self.sim.now - self._phase_s
+        periods_done = int(elapsed // period) + 1 if elapsed >= 0 else 0
+        delay = self._phase_s + periods_done * period - self.sim.now
+        self._process = self.sim.every(
+            period,
+            self._emit,
+            start_after=delay,
+            name=f"heartbeat:{self.device_id}:{self.app.name}",
+        )
+        return self
+
+    def shift_phase(self, delta_s: float) -> None:
+        """Skew the emission schedule by ``delta_s`` (clock drift).
+
+        Negative skews wrap to the equivalent positive offset within one
+        period, so the next firing is never pulled into the past.
+        """
+        period = self.app.heartbeat_period_s
+        shift = delta_s % period
+        if shift == 0.0:
+            return
+        self._phase_s = (self._phase_s + shift) % period
+        if self._process is None or self._stopped:
+            return
+        next_fire = self._process.next_fire_s
+        self._process.stop()
+        target = (next_fire if next_fire is not None else self.sim.now) + shift
+        self._process = self.sim.every(
+            period,
+            self._emit,
+            start_after=max(0.0, target - self.sim.now),
+            name=f"heartbeat:{self.device_id}:{self.app.name}",
+        )
+
     def _emit(self) -> None:
         if self._stopped:
             return

@@ -1,0 +1,69 @@
+"""The differential chaos acceptance gate.
+
+Every built-in chaos profile, over the default acceptance seed set, must
+keep the audited pair scenario 100% deadline-safe with zero auditor
+violations — chaos never costs delivery safety.
+"""
+
+import pytest
+
+from repro.faults.chaos import CHAOS_PROFILES
+from repro.faults.harness import (
+    DEFAULT_SEEDS,
+    run_differential,
+    run_differential_suite,
+)
+from repro.scenarios import RUNNER_REGISTRY, chaos_differential_runner
+
+
+@pytest.mark.parametrize("profile", sorted(CHAOS_PROFILES))
+def test_acceptance_gate_profile_over_default_seeds(profile):
+    assert len(DEFAULT_SEEDS) >= 5
+    suite = run_differential_suite(
+        profiles=[profile], seeds=DEFAULT_SEEDS, scenarios=("pair",)
+    )
+    assert len(suite.cases) == len(DEFAULT_SEEDS)
+    assert suite.passed, suite.summary()
+    for case in suite.cases:
+        assert case.chaos_deadline_safe == 1.0
+        assert case.audit_violations == 0
+        assert case.baseline_violations == 0
+
+
+def test_crowd_differential_smoke():
+    case = run_differential(
+        scenario="crowd", profile="mild", seed=0,
+        n_devices=10, duration_s=600.0,
+    )
+    assert case.passed, case.summary()
+    assert case.scenario == "crowd"
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_differential(scenario="galaxy")
+
+
+def test_case_serialization_and_summary():
+    case = run_differential(scenario="pair", profile="mild", seed=0,
+                            n_ues=1, periods=2)
+    data = case.to_dict()
+    assert data["passed"] is True
+    assert data["profile"] == "mild"
+    assert "PASS" in case.summary()
+
+
+def test_empty_suite_does_not_pass():
+    from repro.faults.harness import DifferentialSuite
+
+    assert not DifferentialSuite().passed
+
+
+def test_registered_runner_reports_pass():
+    assert RUNNER_REGISTRY["chaos-differential"] is chaos_differential_runner
+    out = chaos_differential_runner(
+        scenario="pair", profile="mild", seed=0, n_ues=1, periods=2
+    )
+    assert out["passed"] == 1.0
+    assert out["chaos_deadline_safe"] == 1.0
+    assert out["audit_violations"] == 0.0

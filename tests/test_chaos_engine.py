@@ -1,0 +1,159 @@
+"""Tests for the chaos engine: profiles, processes, determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.chaos import (
+    CHAOS_PROFILES,
+    STORM_APP,
+    ChaosEngine,
+    ChaosProfile,
+    resolve_profile,
+)
+from repro.scenarios import build_network, run_relay_scenario
+
+
+def event_tuples(report):
+    return [(e.time_s, e.kind, e.target, e.detail) for e in report.events]
+
+
+class TestProfiles:
+    def test_builtin_profiles_registered(self):
+        assert set(CHAOS_PROFILES) == {
+            "mild", "relay-hostile", "link-hostile", "adversarial"
+        }
+
+    def test_resolve_by_name_none_and_instance(self):
+        assert resolve_profile(None) is None
+        assert resolve_profile("mild") is CHAOS_PROFILES["mild"]
+        custom = ChaosProfile(name="custom")
+        assert resolve_profile(custom) is custom
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            resolve_profile("nope")
+
+    def test_profiles_are_frozen_and_serializable(self):
+        profile = CHAOS_PROFILES["adversarial"]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.tick_s = 1.0
+        data = profile.to_dict()
+        assert data["name"] == "adversarial"
+        assert data["relay_death_rate_hz"] > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("relay_death_rate_hz", -1.0),
+        ("link_down_rate_hz", -0.1),
+        ("storm_beats_per_device", -1),
+        ("relay_battery_mah", 0.0),
+        ("tick_s", 0.0),
+    ])
+    def test_validation_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            ChaosProfile(name="bad", **{field: value})
+
+
+class TestEngineLifecycle:
+    def test_needs_a_profile(self):
+        with pytest.raises(ValueError):
+            ChaosEngine(None)
+
+    def test_attach_twice_raises(self):
+        context = build_network(seed=0)
+        engine = ChaosEngine("mild", seed=0)
+        engine.attach(context.sim, {}, medium=context.medium)
+        with pytest.raises(RuntimeError, match="attach called twice"):
+            engine.attach(context.sim, {}, medium=context.medium)
+
+    def test_refuses_to_stack_link_gates(self):
+        context = build_network(seed=0)
+        context.medium.link_gate = lambda a, b: True
+        engine = ChaosEngine("link-hostile", seed=0)
+        with pytest.raises(RuntimeError, match="link gate"):
+            engine.attach(context.sim, {}, medium=context.medium)
+
+
+#: Rates hot enough that every process demonstrably fires inside a short
+#: three-period pair run.
+HOT = ChaosProfile(
+    name="hot",
+    relay_death_rate_hz=1 / 90.0,
+    relay_revival_rate_hz=1 / 45.0,
+    link_down_rate_hz=1 / 90.0,
+    link_up_rate_hz=1 / 45.0,
+    ack_burst_rate_hz=1 / 150.0,
+    ack_burst_mean_s=30.0,
+    storm_rate_hz=1 / 200.0,
+    storm_beats_per_device=1,
+    relay_drain_uah_per_s=8.0,
+    relay_battery_mah=3.0,
+    clock_skew_max_s=30.0,
+)
+
+
+class TestProcessesFire:
+    def test_hot_profile_exercises_every_process(self):
+        result = run_relay_scenario(n_ues=3, periods=3, seed=1, chaos=HOT)
+        report = result.chaos_report
+        assert report.relay_deaths + report.batteries_depleted >= 1
+        assert report.ack_bursts >= 1
+        assert report.storms >= 1 and report.storm_beats >= 1
+        assert report.ues_skewed == 3
+        assert report.total_events == len(report.events)
+        # the run stayed delivery-safe through all of it
+        assert result.audit_ok(), result.audit_report.summary()
+        assert result.deadline_safe_fraction() == 1.0
+
+    def test_storm_beats_reach_the_server_as_their_own_app(self):
+        result = run_relay_scenario(n_ues=2, periods=3, seed=3, chaos=HOT)
+        if result.chaos_report.storm_beats == 0:
+            pytest.skip("no storm drawn for this seed")
+        storm_records = [
+            r for r in result.context.server.records
+            if r.message.app == STORM_APP
+        ]
+        assert storm_records, "storm beats never delivered"
+
+    def test_battery_ramp_depletion_is_recorded(self):
+        # relay-hostile bleeds a 3 mAh relay battery; whichever charge
+        # crosses zero (chaos ramp or the organic energy model), the
+        # depletion must appear in the report exactly once per battery.
+        result = run_relay_scenario(
+            n_ues=3, periods=4, seed=5, chaos="relay-hostile"
+        )
+        report = result.chaos_report
+        assert report.batteries_depleted == 1
+        kinds = [e.kind for e in report.events]
+        assert kinds.count("battery-depleted") == 1
+        assert result.devices["relay-0"].battery.is_depleted
+
+    def test_fault_metrics_folded_into_run_metrics(self):
+        result = run_relay_scenario(n_ues=2, periods=3, seed=1, chaos="mild")
+        faults = result.metrics.faults
+        assert faults is not None
+        assert faults.chaos_profile == "mild"
+        assert faults.audited
+        assert faults.deadline_safe_fraction == 1.0
+        assert "faults" in result.metrics.to_dict()
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        runs = [
+            run_relay_scenario(n_ues=2, periods=3, seed=7,
+                               chaos="adversarial", chaos_seed=11)
+            for _ in range(2)
+        ]
+        assert event_tuples(runs[0].chaos_report) == \
+            event_tuples(runs[1].chaos_report)
+        assert runs[0].audit_report.to_dict() == runs[1].audit_report.to_dict()
+        assert runs[0].metrics.faults.to_dict() == \
+            runs[1].metrics.faults.to_dict()
+
+    def test_chaos_seed_decouples_from_scenario_seed(self):
+        a = run_relay_scenario(n_ues=2, periods=3, seed=7,
+                               chaos="adversarial", chaos_seed=1)
+        b = run_relay_scenario(n_ues=2, periods=3, seed=7,
+                               chaos="adversarial", chaos_seed=2)
+        assert event_tuples(a.chaos_report) != event_tuples(b.chaos_report)

@@ -14,8 +14,8 @@ class TestParser:
             if hasattr(action, "choices") and action.choices
             for name in action.choices
         }
-        assert {"pair", "crowd", "sweep", "grid", "breakeven", "table1",
-                "calibration"} <= actions
+        assert {"pair", "crowd", "sweep", "grid", "chaos", "breakeven",
+                "table1", "calibration"} <= actions
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -123,3 +123,67 @@ class TestDispatchFlags:
         assert main(["grid", "--status", str(tmp_path / "nope")]) == 2
         err = capsys.readouterr().err
         assert "no such sweep cache directory" in err
+
+
+class TestChaosFlags:
+    def test_pair_with_chaos_profile_audits(self, capsys):
+        assert main(["pair", "--ues", "1", "--periods", "2",
+                     "--chaos-profile", "mild", "--chaos-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos[mild seed=3]" in out
+        assert "audit OK" in out
+
+    def test_chaos_subcommand_passes(self, capsys):
+        assert main(["chaos", "--profiles", "mild", "--seeds", "0",
+                     "--ues", "1", "--periods", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "differential chaos harness" in out
+        assert "PASS" in out
+        assert "1/1 cases passed" in out
+
+    def test_chaos_unknown_profile_errors(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            main(["chaos", "--profiles", "nope", "--seeds", "0"])
+
+
+class TestRunnerDispatch:
+    def test_sweep_runner_by_name(self, capsys):
+        assert main(["sweep", "--runner", "relay-savings",
+                     "--param", "periods=1,2", "--param", "n_ues=1"]) == 0
+        out = capsys.readouterr().out
+        assert "runner 'relay-savings'" in out
+        assert "system_saved" in out
+
+    def test_grid_runner_by_name_with_chaos(self, capsys):
+        assert main(["grid", "--runner", "chaos-differential",
+                     "--param", "profile=mild", "--param", "seed=0,1",
+                     "--param", "periods=2", "--param", "n_ues=1"]) == 0
+        out = capsys.readouterr().out
+        assert "runner 'chaos-differential'" in out
+        assert "chaos_deadline_safe" in out
+
+    def test_unknown_runner_exits_2(self, capsys):
+        assert main(["sweep", "--runner", "nope", "--param", "x=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown runner" in err
+        assert "relay-savings" in err
+
+    def test_runner_without_params_exits_2(self, capsys):
+        assert main(["sweep", "--runner", "relay-savings"]) == 2
+        assert "--param" in capsys.readouterr().err
+
+    def test_runner_rejects_unknown_param(self, capsys):
+        assert main(["sweep", "--runner", "relay-savings",
+                     "--param", "warp=9"]) == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_malformed_param_exits_2(self, capsys):
+        assert main(["sweep", "--runner", "relay-savings",
+                     "--param", "periods"]) == 2
+        assert "bad --param" in capsys.readouterr().err
+
+    def test_param_values_coerced(self):
+        from repro.cli import _parse_param_grid
+
+        grid = _parse_param_grid(["a=1,2", "b=0.5", "c=x,y"])
+        assert grid == {"a": [1, 2], "b": [0.5], "c": ["x", "y"]}

@@ -101,11 +101,21 @@ class TestFallbackPath:
         assert tracker.fail_all_now() == 3
         assert set(tracker.test_fallbacks) == set(messages)
 
-    def test_ack_after_fallback_is_duplicate(self, sim, tracker):
+    def test_ack_after_fallback_is_late_not_duplicate(self, sim, tracker):
         message = beat(created=0.0, expiry=50.0)
         tracker.track(message)
         sim.run_until(100.0)  # fallback fired
         assert tracker.ack([message.seq]) == 0
+        assert tracker.late_acks == 1
+        assert tracker.duplicate_acks == 0
+
+    def test_late_ack_only_counted_once(self, sim, tracker):
+        message = beat(created=0.0, expiry=50.0)
+        tracker.track(message)
+        sim.run_until(100.0)  # fallback fired
+        tracker.ack([message.seq])
+        tracker.ack([message.seq])  # second ack has no pending, no fallback
+        assert tracker.late_acks == 1
         assert tracker.duplicate_acks == 1
 
     def test_no_double_fallback(self, sim, tracker):

@@ -18,7 +18,17 @@ from repro.experiments import (
 class TestRegistry:
     def test_every_table_and_figure_registered(self):
         assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
-                "F15", "S1"} == set(REGISTRY)
+                "F15", "S1", "C1"} == set(REGISTRY)
+
+    def test_chaos_reliability_artifact_shape(self):
+        from repro.experiments import chaos_reliability
+
+        rows = chaos_reliability(profiles=["mild"], seeds=(0,))
+        assert set(rows) == {"mild"}
+        row = rows["mild"]
+        assert row["deadline_safe"] == 1.0
+        assert row["violations"] == 0.0
+        assert row["cases_passed"] == row["cases"] == 1.0
 
     def test_run_experiment_dispatches(self):
         result = run_experiment("t1")  # case-insensitive

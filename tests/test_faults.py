@@ -4,15 +4,17 @@ import pytest
 
 from repro.cellular.basestation import BaseStation
 from repro.cellular.signaling import SignalingLedger
+from repro.core.feedback import FeedbackTracker
 from repro.core.framework import HeartbeatRelayFramework
 from repro.d2d.base import D2DMedium
 from repro.d2d.wifi_direct import WIFI_DIRECT
 from repro.device import Role, Smartphone
 from repro.energy.battery import Battery
-from repro.faults import FaultPlan
+from repro.faults import AckLossSwitch, FaultPlan
 from repro.mobility.models import StaticMobility
 from repro.sim.engine import Simulator
 from repro.workload.apps import STANDARD_APP
+from repro.workload.messages import PeriodicMessage
 from repro.workload.server import IMServer
 
 T = STANDARD_APP.heartbeat_period_s
@@ -135,6 +137,100 @@ class TestAckLoss:
         with pytest.raises(ValueError):
             FaultPlan(sim).drop_acks_between(10.0, 10.0,
                                              framework.ues["ue-0"])
+
+
+class TestDeviceRevival:
+    def test_revive_restores_heartbeats(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        plan.kill_device_at(0.5 * T, ue)
+        fault = plan.revive_device_at(2.2 * T, ue)
+        sim.run_until(4 * T)
+        assert fault.fired
+        assert "powered on" in fault.detail
+        assert ue.alive
+        # the UE beat again after revival (periods 3 and 4)
+        assert len(ue_on_time(server)) >= 2
+
+    def test_revive_alive_device_is_noop(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        plan = FaultPlan(sim)
+        fault = plan.revive_device_at(10.0, ue)
+        sim.run_until(20.0)
+        assert fault.fired
+        assert "already alive" in fault.detail
+
+
+def tracked_beat(seq_start=0.0, expiry=270.0):
+    return PeriodicMessage(
+        app="standard", origin_device="ue-0", size_bytes=54,
+        created_at_s=seq_start, period_s=270.0, expiry_s=expiry,
+    )
+
+
+class TestAckLossSwitchComposition:
+    """Regression for the ack-hook stacking bug.
+
+    Two overlapping ``drop_acks_between`` windows used to each wrap
+    ``tracker.ack``; the earlier window's disarm restored its captured
+    original, silently disarming the later window. The ref-counted
+    switch keeps suppressing until the *last* window closes.
+    """
+
+    def test_install_is_idempotent(self, sim):
+        tracker = FeedbackTracker(sim, on_fallback=lambda m: None)
+        assert AckLossSwitch.install(tracker) is AckLossSwitch.install(tracker)
+
+    def test_overlapping_windows_refcount(self, sim):
+        tracker = FeedbackTracker(sim, on_fallback=lambda m: None)
+        switch = AckLossSwitch.install(tracker)
+        first = switch.open_window()
+        second = switch.open_window()
+        a, b = tracked_beat(), tracked_beat()
+        tracker.track(a)
+        tracker.track(b)
+        assert tracker.ack([a.seq]) == 0  # suppressed, credited to both
+        assert first.dropped == 1 and second.dropped == 1
+        switch.close_window(first)
+        assert switch.suppressing  # second window still open
+        assert tracker.ack([a.seq]) == 0
+        assert second.dropped == 2
+        switch.close_window(second)
+        assert not switch.suppressing
+        assert tracker.ack([b.seq]) == 1  # original ack restored
+        assert switch.total_dropped == 2
+
+    def test_close_window_twice_is_safe(self, sim):
+        tracker = FeedbackTracker(sim, on_fallback=lambda m: None)
+        switch = AckLossSwitch.install(tracker)
+        window = switch.open_window()
+        switch.close_window(window)
+        switch.close_window(window)
+        assert not switch.suppressing
+        message = tracked_beat()
+        tracker.track(message)
+        assert tracker.ack([message.seq]) == 1
+
+    def test_overlapping_plan_windows_keep_suppressing(self):
+        sim, medium, server, framework, relay, ue = build_rig()
+        agent = framework.ues["ue-0"]
+        plan = FaultPlan(sim)
+        a = plan.drop_acks_between(250.0, 300.0, agent)
+        b = plan.drop_acks_between(260.0, 320.0, agent)
+        switch = AckLossSwitch.install(agent.feedback)
+        probes = []
+        # pre-fix, closing window `a` at 300 restored the unsuppressed
+        # ack and window `b` stopped doing anything
+        plan.custom_at(310.0, "probe", lambda: probes.append(switch.suppressing))
+        plan.custom_at(330.0, "probe2", lambda: probes.append(switch.suppressing))
+        sim.run_until(3 * T)
+        assert a.fired and b.fired
+        assert probes == [True, False]
+        # the relay's ~263 s ack was dropped → fallback covered delivery
+        assert agent.feedback.fallbacks_fired >= 1
+        assert len(ue_on_time(server)) == 3
+        # acks flow again after the last window: period-3 ack lands
+        assert agent.feedback.acks_received >= 1
 
 
 class TestCustomFault:
