@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples figures report smoke clean all
+.PHONY: install test bench bench-tables bench-perf examples figures report smoke clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q -s
+
+bench-perf:
+	PYTHONPATH=src $(PYTHON) -m repro bench --out benchmarks
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,315 @@
+"""Pinned performance suite — the `repro-sim bench` backend.
+
+The scaling work (spatial-index discovery, adjacency maps, the event-kernel
+fast path) needs a *trajectory*, not anecdotes: a fixed set of micro and
+macro cases, run the same way every time, written to ``BENCH_<rev>.json``
+so successive revisions can be compared and CI can catch regressions.
+
+Cases
+-----
+- ``kernel`` — micro: events/second through the discrete-event kernel
+  (heap churn with a cancelled-event mix, exercising lazy deletion).
+- ``pair`` — macro: the paper's bench rig (1 relay + 8 UEs), end to end.
+- ``crowd-200`` — macro + gate: a 200-device discovery-heavy crowd run
+  twice, spatial index vs ``brute_force=True``. Reports the speedup and
+  asserts the two runs' :class:`~repro.metrics.RunMetrics` are identical
+  (minus the observability-only ``perf`` block). CI gates on this case's
+  speedup: the *ratio* is machine-independent where raw seconds are not.
+- ``crowd-500-storm`` — the headline demonstration (skipped in
+  ``--quick``): 500 devices, every endpoint advertising, a scan every
+  5 s per device. Indexed vs brute-force, same identity check; the
+  speedup here is the O(N) → O(local density) story at full size.
+
+Timing discipline: every timed run repeats ``repeats`` times and keeps
+the **minimum** wall time per mode — the standard way to strip scheduler
+noise from a deterministic workload (the minimum is the run with the
+least interference; the workload itself never varies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.metrics import RunMetrics
+from repro.mobility.space import Arena
+from repro.scenarios import (
+    NetworkContext,
+    run_crowd_scenario,
+    run_relay_scenario,
+)
+from repro.sim.engine import Simulator
+
+#: Bump when the case set or a case's parameters change incompatibly —
+#: reports with different schemas must not be speedup-compared.
+BENCH_SCHEMA = 1
+
+#: The acceptance target the storm case demonstrates.
+STORM_TARGET_SPEEDUP = 5.0
+
+#: The case CI's regression gate compares between report and baseline.
+GATE_CASE = "crowd-200"
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseResult:
+    """One bench case's outcome."""
+
+    name: str
+    wall_s: float
+    detail: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"wall_s": self.wall_s, **self.detail}
+
+
+# ----------------------------------------------------------------------
+# timing helpers
+# ----------------------------------------------------------------------
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Minimum wall time over ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _identical(a: RunMetrics, b: RunMetrics) -> bool:
+    """Whether two runs produced byte-identical simulation output."""
+    return a.to_comparable_dict() == b.to_comparable_dict()
+
+
+# ----------------------------------------------------------------------
+# cases
+# ----------------------------------------------------------------------
+def bench_kernel(events: int = 200_000) -> CaseResult:
+    """Event-kernel throughput: push, cancel a third, drain."""
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        fired = [0]
+
+        def bump() -> None:
+            fired[0] += 1
+
+        handles = []
+        for i in range(events):
+            # deterministic scatter (no RNG): prime-stride heap churn
+            handles.append(sim.schedule((i * 7919) % events / 1000.0, bump))
+        for handle in handles[::3]:
+            handle.cancel()
+        sim.run_all(max_events=events + 1)
+        return fired[0]
+
+    wall, fired = _best_of(run, repeats=1)
+    return CaseResult(
+        name="kernel",
+        wall_s=wall,
+        detail={
+            "events_scheduled": events,
+            "events_fired": fired,
+            "events_per_s": fired / wall if wall > 0 else 0.0,
+        },
+    )
+
+
+def bench_pair(repeats: int) -> CaseResult:
+    """The paper's bench rig, end to end (framework + energy + RRC)."""
+    wall, result = _best_of(
+        lambda: run_relay_scenario(n_ues=8, periods=5, seed=0), repeats
+    )
+    return CaseResult(
+        name="pair",
+        wall_s=wall,
+        detail={
+            "events_fired": result.context.sim.events_fired,
+            "total_l3": result.total_l3(),
+        },
+    )
+
+
+def _storm_pre_run(scan_period_s: float):
+    """Every device advertises and scans periodically — discovery-heavy."""
+
+    def pre_run(context: NetworkContext, devices: Dict[str, Any]) -> None:
+        medium, sim = context.medium, context.sim
+        assert medium is not None
+        for device_id in devices:
+            endpoint = medium.endpoint(device_id)
+            endpoint.advertising = True
+            endpoint.advertisement.setdefault("storm", 1)
+
+            def tick(did: str = device_id) -> None:
+                if medium.endpoint(did).powered_on:
+                    medium.discover(did, lambda peers: None)
+
+            sim.every(scan_period_s, tick, name=f"storm-{device_id}")
+
+    return pre_run
+
+
+def bench_crowd_storm(
+    name: str,
+    n_devices: int,
+    arena_m: float,
+    hotspots: int,
+    duration_s: float,
+    scan_period_s: float,
+    repeats: int,
+) -> CaseResult:
+    """Discovery-heavy crowd, spatial index vs brute force.
+
+    Both modes must produce identical :class:`RunMetrics` (minus the
+    ``perf`` observability block) — the determinism guard run as a bench.
+    """
+
+    def run(brute: bool):
+        return run_crowd_scenario(
+            n_devices=n_devices,
+            relay_fraction=0.2,
+            duration_s=duration_s,
+            arena=Arena(arena_m, arena_m),
+            hotspots=hotspots,
+            seed=0,
+            brute_force=brute,
+            pre_run=_storm_pre_run(scan_period_s),
+        )
+
+    indexed_wall, indexed = _best_of(lambda: run(False), repeats)
+    brute_wall, brute = _best_of(lambda: run(True), repeats)
+    identical = _identical(indexed.metrics, brute.metrics)
+    speedup = brute_wall / indexed_wall if indexed_wall > 0 else 0.0
+    perf = indexed.metrics.perf or {}
+    brute_perf = brute.metrics.perf or {}
+    return CaseResult(
+        name=name,
+        wall_s=indexed_wall,
+        detail={
+            "n_devices": n_devices,
+            "indexed_wall_s": indexed_wall,
+            "brute_wall_s": brute_wall,
+            "speedup": speedup,
+            "identical_metrics": identical,
+            "scans": perf.get("scans", 0),
+            "mean_candidates_indexed": perf.get("mean_candidates_per_scan", 0.0),
+            "mean_candidates_brute": brute_perf.get(
+                "mean_candidates_per_scan", 0.0
+            ),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# suite
+# ----------------------------------------------------------------------
+def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, Any]:
+    """Run the pinned suite; ``quick`` drops the 500-device storm case."""
+    if repeats is None:
+        repeats = 2 if quick else 3
+    cases: List[CaseResult] = [
+        bench_kernel(events=50_000 if quick else 200_000),
+        bench_pair(repeats=repeats),
+        bench_crowd_storm(
+            GATE_CASE,
+            n_devices=200,
+            arena_m=2000.0,
+            hotspots=50,
+            duration_s=180.0,
+            scan_period_s=5.0,
+            repeats=repeats,
+        ),
+    ]
+    if not quick:
+        cases.append(
+            bench_crowd_storm(
+                "crowd-500-storm",
+                n_devices=500,
+                arena_m=3000.0,
+                hotspots=120,
+                duration_s=240.0,
+                scan_period_s=5.0,
+                repeats=repeats,
+            )
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": current_rev(),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "generated_unix": time.time(),
+        "cases": {case.name: case.to_dict() for case in cases},
+    }
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def write_report(report: Dict[str, Any], out_dir: str = "benchmarks") -> str:
+    """Write ``BENCH_<rev>.json`` into ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{report['rev']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Regression check of ``current`` against a committed ``baseline``.
+
+    Returns human-readable failure strings (empty = pass). Gates on the
+    :data:`GATE_CASE` **speedup ratio**, not raw seconds: the ratio holds
+    across machines of different absolute speed, so a committed baseline
+    from one box meaningfully gates CI runners. Also fails on any case
+    whose determinism identity check failed, regardless of baseline.
+    """
+    failures: List[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        return [
+            f"schema mismatch: current {current.get('schema')} vs "
+            f"baseline {baseline.get('schema')} — regenerate the baseline"
+        ]
+    for name, case in current.get("cases", {}).items():
+        if case.get("identical_metrics") is False:
+            failures.append(
+                f"{name}: indexed and brute-force runs diverged — "
+                "determinism contract broken"
+            )
+    gate_now = current.get("cases", {}).get(GATE_CASE, {}).get("speedup")
+    gate_base = baseline.get("cases", {}).get(GATE_CASE, {}).get("speedup")
+    if gate_now is None or gate_base is None:
+        failures.append(
+            f"{GATE_CASE}: speedup missing from "
+            f"{'current' if gate_now is None else 'baseline'} report"
+        )
+    elif gate_now < gate_base * (1.0 - tolerance):
+        failures.append(
+            f"{GATE_CASE}: speedup regressed {gate_base:.2f}x -> "
+            f"{gate_now:.2f}x (more than {tolerance:.0%} below baseline)"
+        )
+    return failures

@@ -349,6 +349,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if suite.passed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Pinned perf suite → table + BENCH_<rev>.json (+ regression gate)."""
+    import json
+
+    from repro.bench import (
+        STORM_TARGET_SPEEDUP,
+        compare_reports,
+        run_suite,
+        write_report,
+    )
+
+    report = run_suite(quick=args.quick, repeats=args.repeats)
+    rows = []
+    for name, case in report["cases"].items():
+        speedup = case.get("speedup")
+        rows.append([
+            name,
+            f"{case['wall_s']:.3f}",
+            f"{speedup:.2f}x" if speedup is not None else "-",
+            {True: "yes", False: "DIVERGED"}.get(
+                case.get("identical_metrics"), "-"
+            ),
+        ])
+    print(format_table(
+        ["case", "wall (s)", "idx/brute speedup", "identical"],
+        rows,
+        title=f"perf suite (rev {report['rev']}, "
+              f"{'quick' if args.quick else 'full'})",
+    ))
+    status = 0
+    storm = report["cases"].get("crowd-500-storm")
+    if storm is not None:
+        met = storm["speedup"] >= STORM_TARGET_SPEEDUP
+        print(f"crowd-500-storm speedup: {storm['speedup']:.2f}x "
+              f"(target >= {STORM_TARGET_SPEEDUP:.0f}x: "
+              f"{'met' if met else 'NOT met'})")
+    for name, case in report["cases"].items():
+        if case.get("identical_metrics") is False:
+            print(f"FAIL {name}: indexed and brute-force runs diverged",
+                  file=sys.stderr)
+            status = 1
+    if not args.no_write:
+        path = write_report(report, out_dir=args.out)
+        print(f"wrote {path}")
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures = compare_reports(report, baseline, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"no regression vs {args.compare} "
+                  f"(tolerance {args.tolerance:.0%})")
+    return status
+
+
 def _cmd_breakeven(args: argparse.Namespace) -> int:
     print("D2D-vs-cellular breakeven distance (UE side):")
     for beats in (1, 2, 3, 5, 7, 10):
@@ -596,6 +659,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--duration", type=float, default=900.0,
                        help="crowd scenario duration in seconds")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="pinned perf suite; writes BENCH_<rev>.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller cases, skip the 500-device storm "
+                            "(the CI perf-smoke configuration)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed repeats per case, keeping the minimum "
+                            "(default: 3, or 2 with --quick)")
+    bench.add_argument("--out", default="benchmarks",
+                       help="directory for BENCH_<rev>.json")
+    bench.add_argument("--no-write", action="store_true",
+                       help="don't write the report file")
+    bench.add_argument("--compare", default=None, metavar="BASELINE_JSON",
+                       help="fail if the gate case's speedup regressed "
+                            "more than --tolerance vs this baseline")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed relative speedup regression "
+                            "(default 0.25)")
+    bench.set_defaults(func=_cmd_bench)
 
     breakeven = sub.add_parser("breakeven", help="D2D-vs-cellular distances")
     breakeven.set_defaults(func=_cmd_breakeven)

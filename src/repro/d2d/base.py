@@ -15,14 +15,21 @@ and the receiver the receive charge (Table IV slope).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Mapping, Optional
+import operator
+import types
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set
 
 from repro.d2d.link import LinkModel
 from repro.energy.model import EnergyModel, EnergyPhase
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.mobility.index import SpatialIndex
 from repro.mobility.models import MobilityModel
 from repro.mobility.space import Position, distance_between
+from repro.perf import PerfCounters
 from repro.sim.engine import PeriodicProcess, Simulator
+
+#: Scan-result ordering key (strongest signal first via ``reverse=True``).
+_RSSI_KEY = operator.attrgetter("rssi_dbm")
 
 
 class D2DTransferError(RuntimeError):
@@ -51,9 +58,17 @@ class D2DTechnology:
     link: LinkModel = dataclasses.field(default_factory=LinkModel)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PeerInfo:
-    """What a discovery scan reveals about one nearby peer."""
+    """What a discovery scan reveals about one nearby peer.
+
+    ``advertisement`` is a **read-only view** of the peer's live service
+    record, not a per-scan copy (scans used to deep-copy every record for
+    every peer, which dominated dense-crowd scan cost). Consumers that
+    need a point-in-time snapshot should take ``dict(peer.advertisement)``
+    themselves; attempts to mutate the view raise ``TypeError``, so a
+    misbehaving consumer can never corrupt the endpoint's record.
+    """
 
     device_id: str
     rssi_dbm: float
@@ -81,6 +96,13 @@ class D2DEndpoint:
         self.mobility = mobility
         self.energy = energy
         self.advertisement: Dict[str, Any] = dict(advertisement or {})
+        #: Live read-only view of ``advertisement``, shared by every
+        #: ``PeerInfo`` naming this endpoint (one proxy per endpoint, not
+        #: one per scan result). Stays valid because the record is only
+        #: ever mutated in place, never rebound.
+        self.advertisement_view: Mapping[str, Any] = types.MappingProxyType(
+            self.advertisement
+        )
         self.advertising = False
         self.powered_on = True
         #: Time of the last data receive — drives wake coalescing.
@@ -272,6 +294,18 @@ class D2DMedium:
         formations — stays exact.
     group_join_discount:
         Fraction of the connection latency/energy a join costs.
+    brute_force:
+        Escape hatch: disable the spatial index and scan every endpoint
+        on each discovery, exactly as the pre-index implementation did.
+        Discovery results are byte-identical either way (same peers, same
+        RSSI draws, same order) — the flag exists for the determinism
+        guard and for A/B benchmarking, not because the results differ.
+    index_refresh_s:
+        How stale the binned positions of *moving* endpoints may get
+        before a scan triggers an incremental re-bin pass. Between
+        passes, queries widen by ``max mobile speed × staleness`` so a
+        mover can never escape its candidate cells unseen. Static
+        endpoints are binned once and never touched.
     """
 
     def __init__(
@@ -283,6 +317,8 @@ class D2DMedium:
         allow_undeployed: bool = False,
         group_aware: bool = False,
         group_join_discount: float = 0.5,
+        brute_force: bool = False,
+        index_refresh_s: float = 1.0,
     ) -> None:
         if not 0.0 < group_join_discount <= 1.0:
             raise ValueError(
@@ -293,14 +329,38 @@ class D2DMedium:
                 f"{technology.name} is not deployed in the modelled network; "
                 "pass allow_undeployed=True to simulate it anyway"
             )
+        if index_refresh_s <= 0:
+            raise ValueError(f"index_refresh_s must be positive, got {index_refresh_s}")
         self.sim = sim
         self.technology = technology
         self.profile = profile
         self.link_check_period_s = link_check_period_s
         self.group_aware = group_aware
         self.group_join_discount = group_join_discount
+        self.brute_force = brute_force
+        self.index_refresh_s = index_refresh_s
+        self.perf = PerfCounters()
         self._endpoints: Dict[str, D2DEndpoint] = {}
-        self._connections: List[D2DConnection] = []
+        #: registration order per device — candidate sets from the spatial
+        #: index are re-sorted by this so scans examine peers in exactly
+        #: the order a full walk of ``_endpoints`` would, keeping RSSI
+        #: noise draws and result ordering identical to brute force.
+        self._seq: Dict[str, int] = {}
+        self._index: Optional[SpatialIndex] = (
+            None if brute_force else SpatialIndex(technology.max_range_m)
+        )
+        #: endpoints with a finite, nonzero speed bound (rebinned lazily)
+        self._mobile: Dict[str, D2DEndpoint] = {}
+        #: endpoints whose mobility model has no known speed bound: the
+        #: index can't promise they stay near their bin, so scans always
+        #: examine them exactly
+        self._unindexed: Set[str] = set()
+        self._max_mobile_speed = 0.0
+        self._last_refresh_s = sim.now
+        #: insertion-ordered live-connection set and per-endpoint adjacency
+        #: (dicts as ordered sets: O(1) add/remove, stable iteration)
+        self._connections: Dict[D2DConnection, None] = {}
+        self._adjacency: Dict[str, Dict[D2DConnection, None]] = {}
         #: Optional veto on pairwise reachability (chaos link flap): called
         #: as ``link_gate(a_id, b_id)``; returning ``False`` makes the pair
         #: mutually unreachable — discovery hides them, connects fail, live
@@ -319,7 +379,20 @@ class D2DMedium:
     def register(self, endpoint: D2DEndpoint) -> None:
         if endpoint.device_id in self._endpoints:
             raise ValueError(f"duplicate endpoint {endpoint.device_id}")
-        self._endpoints[endpoint.device_id] = endpoint
+        device_id = endpoint.device_id
+        self._seq[device_id] = len(self._endpoints)
+        self._endpoints[device_id] = endpoint
+        if self._index is None:
+            return
+        max_speed = endpoint.mobility.max_speed_m_s()
+        if max_speed is None:
+            self._unindexed.add(device_id)
+            return
+        self._index.insert(device_id, endpoint.position(self.sim.now))
+        if max_speed > 0.0:
+            self._mobile[device_id] = endpoint
+            if max_speed > self._max_mobile_speed:
+                self._max_mobile_speed = max_speed
 
     def endpoint(self, device_id: str) -> D2DEndpoint:
         try:
@@ -332,7 +405,7 @@ class D2DMedium:
         endpoint = self.endpoint(device_id)
         endpoint.powered_on = False
         endpoint.advertising = False
-        for connection in [c for c in self._connections if endpoint in (c.initiator, c.responder)]:
+        for connection in list(self._adjacency.get(device_id, ())):
             self._break_connection(connection, "peer powered off")
 
     def power_on(self, device_id: str) -> None:
@@ -340,8 +413,8 @@ class D2DMedium:
         self.endpoint(device_id).powered_on = True
 
     def connections_of(self, device_id: str) -> List[D2DConnection]:
-        endpoint = self.endpoint(device_id)
-        return [c for c in self._connections if endpoint in (c.initiator, c.responder)]
+        self.endpoint(device_id)  # keep the unknown-device KeyError contract
+        return list(self._adjacency.get(device_id, ()))
 
     def live_connections(self) -> List[D2DConnection]:
         """Snapshot of every currently established connection."""
@@ -387,29 +460,97 @@ class D2DMedium:
             rng = self.sim.rng.get("d2d-discovery") if rssi_noise else None
             found: List[PeerInfo] = []
             origin = requester.position(t)
-            for peer in self._endpoints.values():
-                if peer.device_id == requester_id:
-                    continue
+            perf = self.perf
+            perf.scans += 1
+            # Hot loop: hoist everything invariant out of the candidate walk.
+            link = tech.link
+            probe = link.probe
+            shadowed = link.shadowed
+            estimate_distance = link.estimate_distance
+            max_range = tech.max_range_m
+            link_allowed = self.link_allowed
+            append = found.append
+            for peer in self._scan_candidates(requester_id, origin, t):
                 if not (peer.advertising and peer.powered_on):
                     continue
                 distance = distance_between(origin, peer.position(t))
-                if distance > tech.max_range_m or not tech.link.in_range(distance):
+                if distance > max_range:
                     continue
-                if not self.link_allowed(requester_id, peer.device_id):
+                mean_rssi = probe(distance)
+                if mean_rssi is None:
                     continue
-                rssi = tech.link.rssi(distance, rng)
-                found.append(
+                if not link_allowed(requester_id, peer.device_id):
+                    continue
+                rssi = shadowed(mean_rssi, rng)
+                append(
                     PeerInfo(
                         device_id=peer.device_id,
                         rssi_dbm=rssi,
-                        estimated_distance_m=tech.link.estimate_distance(rssi),
-                        advertisement=dict(peer.advertisement),
+                        estimated_distance_m=estimate_distance(rssi),
+                        advertisement=peer.advertisement_view,
                     )
                 )
-            found.sort(key=lambda p: -p.rssi_dbm)
+            # reverse=True keeps insertion order for equal RSSI (stable
+            # sort), exactly like the previous ascending negated-key sort.
+            found.sort(key=_RSSI_KEY, reverse=True)
+            perf.scan_peers_returned += len(found)
             on_complete(found)
 
         self.sim.schedule(tech.discovery_latency_s, finish, name="d2d_discover")
+
+    def _scan_candidates(
+        self, requester_id: str, origin: Position, t: float
+    ) -> List[D2DEndpoint]:
+        """Endpoints a scan must examine, in registration order.
+
+        With the spatial index on, this is the union of the index's
+        candidate cells (range + drift slack) and the always-checked
+        unindexable set — a superset of every in-range peer, usually a
+        tiny fraction of the crowd. Brute force (or no index) returns
+        everyone. Registration-order iteration keeps the RSSI noise
+        stream and the result ordering identical across both paths.
+        """
+        perf = self.perf
+        index = self._index
+        if index is None:
+            perf.brute_force_scans += 1
+            candidates = [
+                peer
+                for device_id, peer in self._endpoints.items()
+                if device_id != requester_id
+            ]
+            perf.scan_candidates_examined += len(candidates)
+            return candidates
+        self._refresh_index(t)
+        slack = self._max_mobile_speed * (t - self._last_refresh_s)
+        # query_block returns a cached, shared list — never mutate it;
+        # the requester filter below rebinds to a fresh list either way.
+        ids = index.query_block(origin, self.technology.max_range_m, slack)
+        if self._unindexed:
+            merged = set(ids)
+            merged.update(self._unindexed)
+            ids = list(merged)
+        ids = [device_id for device_id in ids if device_id != requester_id]
+        ids.sort(key=self._seq.__getitem__)
+        perf.index_queries += 1
+        perf.index_block_cache_hits = index.block_cache_hits
+        perf.scan_candidates_examined += len(ids)
+        endpoints = self._endpoints
+        return [endpoints[device_id] for device_id in ids]
+
+    def _refresh_index(self, t: float) -> None:
+        """Re-bin moving endpoints once their drift bound grows stale."""
+        if not self._mobile or t - self._last_refresh_s < self.index_refresh_s:
+            return
+        index = self._index
+        assert index is not None
+        for device_id, endpoint in self._mobile.items():
+            index.update(device_id, endpoint.position(t))
+        self._last_refresh_s = t
+        perf = self.perf
+        perf.index_rebuild_passes += 1
+        perf.index_updates = index.updates
+        perf.index_moves = index.moves
 
     # ------------------------------------------------------------------
     # connection establishment
@@ -435,7 +576,7 @@ class D2DMedium:
         now = self.sim.now
         tech = self.technology
         # joining an existing group skips the second GO negotiation
-        is_join = self.group_aware and bool(self.connections_of(responder_id))
+        is_join = self.group_aware and bool(self._adjacency.get(responder_id))
         join_scale = self.group_join_discount if is_join else 1.0
         if is_join:
             self.group_joins += 1
@@ -473,7 +614,9 @@ class D2DMedium:
                 on_complete(None)
                 return
             connection = D2DConnection(self, initiator, responder, t)
-            self._connections.append(connection)
+            self._connections[connection] = None
+            self._adjacency.setdefault(initiator_id, {})[connection] = None
+            self._adjacency.setdefault(responder_id, {})[connection] = None
             self.connections_established += 1
             connection._monitor = self.sim.every(
                 self.link_check_period_s,
@@ -509,8 +652,13 @@ class D2DMedium:
         if connection._monitor is not None:
             connection._monitor.stop()
             connection._monitor = None
-        if connection in self._connections:
-            self._connections.remove(connection)
+        self._connections.pop(connection, None)
+        for device_id in (connection.initiator.device_id, connection.responder.device_id):
+            adjacency = self._adjacency.get(device_id)
+            if adjacency is not None:
+                adjacency.pop(connection, None)
+                if not adjacency:
+                    del self._adjacency[device_id]
         self.connections_broken += 1
         for endpoint in (connection.initiator, connection.responder):
             if endpoint.on_disconnect is not None:

@@ -69,6 +69,33 @@ class LinkModel:
             value += rng.gauss(0.0, self.shadowing_sigma_db)
         return value
 
+    def probe(self, distance_m: float) -> Optional[float]:
+        """One-pass :meth:`in_range` + mean :meth:`rssi` for the scan path.
+
+        ``None`` when the mean RSSI at ``distance_m`` is below sensitivity
+        (out of range), else the mean RSSI. Computes the path-loss formula
+        once where separate ``in_range()`` + ``rssi()`` calls compute it
+        twice. No noise: callers apply :meth:`shadowed` only after the
+        candidate passes every filter, so the RNG draw sequence matches
+        the separate-call code exactly.
+        """
+        value = rssi_at(
+            distance_m,
+            self.tx_power_dbm,
+            self.path_loss_at_ref_db,
+            self.path_loss_exponent,
+            self.reference_m,
+        )
+        return None if value < self.sensitivity_dbm else value
+
+    def shadowed(
+        self, mean_rssi_dbm: float, rng: Optional[random.Random] = None
+    ) -> float:
+        """Apply log-normal shadowing to a mean RSSI from :meth:`probe`."""
+        if rng is not None and self.shadowing_sigma_db > 0:
+            return mean_rssi_dbm + rng.gauss(0.0, self.shadowing_sigma_db)
+        return mean_rssi_dbm
+
     def estimate_distance(self, rssi_dbm: float) -> float:
         """Distance estimate from a (possibly noisy) RSSI reading."""
         return distance_from_rssi(

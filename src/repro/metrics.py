@@ -114,13 +114,24 @@ class FaultMetrics:
 
 @dataclasses.dataclass(frozen=True)
 class RunMetrics:
-    """Everything measured in one experiment run."""
+    """Everything measured in one experiment run.
+
+    ``perf`` carries the hot-path observability counters of the run
+    (scan candidates examined, spatial-index activity, wall-clock
+    timers — see :mod:`repro.perf`). Unlike every other field it is
+    *not* part of the simulation's deterministic output: a brute-force
+    and an index-accelerated run produce identical metrics everywhere
+    else but legitimately different perf counters. Equality/determinism
+    checks should compare :meth:`to_dict` with the ``perf`` key removed
+    (or use :meth:`to_comparable_dict`).
+    """
 
     horizon_s: float
     devices: Dict[str, DeviceMetrics]
     delivery: Optional[DeliveryMetrics]
     total_l3_messages: int
     faults: Optional[FaultMetrics] = None
+    perf: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def energy_of(self, device_id: str) -> float:
@@ -171,7 +182,19 @@ class RunMetrics:
                 for device_id, device in self.devices.items()
             },
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "perf": None if self.perf is None else dict(self.perf),
         }
+
+    def to_comparable_dict(self) -> Dict:
+        """:meth:`to_dict` minus observability-only fields.
+
+        This is the form two runs of the same scenario must agree on
+        byte-for-byte regardless of which acceleration paths (spatial
+        index vs. brute force) computed them.
+        """
+        data = self.to_dict()
+        data.pop("perf", None)
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """JSON document of the whole run (for archival/plotting)."""
@@ -375,6 +398,7 @@ def collect_metrics(
     server: Optional[IMServer] = None,
     horizon_s: float = 0.0,
     faults: Optional[FaultMetrics] = None,
+    perf: Optional[Dict[str, float]] = None,
 ) -> RunMetrics:
     """Snapshot the run's metrics from the live objects."""
     per_device: Dict[str, DeviceMetrics] = {}
@@ -406,4 +430,5 @@ def collect_metrics(
         delivery=delivery,
         total_l3_messages=ledger.total,
         faults=faults,
+        perf=perf,
     )

@@ -10,6 +10,7 @@ event-driven updates, which keeps the discrete-event schedule small.
 """
 
 from repro.mobility.space import Arena, Position, distance_between
+from repro.mobility.index import SpatialIndex
 from repro.mobility.models import (
     MobilityModel,
     StaticMobility,
@@ -21,6 +22,7 @@ from repro.mobility.models import (
 __all__ = [
     "Arena",
     "Position",
+    "SpatialIndex",
     "distance_between",
     "MobilityModel",
     "StaticMobility",

@@ -30,6 +30,15 @@ class MobilityModel:
         vx, vy = self.velocity(t)
         return math.hypot(vx, vy)
 
+    def max_speed_m_s(self) -> Optional[float]:
+        """Upper bound on this model's speed over all time, if known.
+
+        ``None`` means "unbounded/unknown" — spatial acceleration
+        structures must then treat the device as unindexable and fall back
+        to exact checks. Built-in models all return a finite bound.
+        """
+        return None
+
 
 class StaticMobility(MobilityModel):
     """A device that never moves (the paper's bench experiments)."""
@@ -42,6 +51,9 @@ class StaticMobility(MobilityModel):
 
     def velocity(self, t: float) -> Tuple[float, float]:
         return (0.0, 0.0)
+
+    def max_speed_m_s(self) -> float:
+        return 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"StaticMobility({self._position})"
@@ -80,6 +92,9 @@ class LinearMobility(MobilityModel):
         ):
             return (0.0, 0.0)  # pinned at the wall
         return self._velocity
+
+    def max_speed_m_s(self) -> float:
+        return math.hypot(*self._velocity)
 
 
 class _Segment:
@@ -175,6 +190,9 @@ class RandomWaypointMobility(MobilityModel):
     def velocity(self, t: float) -> Tuple[float, float]:
         return self._segment_for(t).velocity(t)
 
+    def max_speed_m_s(self) -> float:
+        return self.speed_range[1]
+
 
 def place_crowd(
     n: int,
@@ -210,8 +228,17 @@ def place_crowd(
             )
         )
         if i < n_mobile:
+            # Each mover owns a child RNG: waypoint legs are generated
+            # lazily on position queries, so a shared stream would make
+            # trajectories depend on *who asks when* — e.g. indexed vs
+            # brute-force discovery querying positions in different orders.
             models.append(
-                RandomWaypointMobility(arena, rng, speed_range=speed_range, start=pos)
+                RandomWaypointMobility(
+                    arena,
+                    random.Random(rng.getrandbits(64)),
+                    speed_range=speed_range,
+                    start=pos,
+                )
             )
         else:
             models.append(StaticMobility(pos))

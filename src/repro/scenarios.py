@@ -68,8 +68,14 @@ def build_network(
     technology: Optional[D2DTechnology] = WIFI_DIRECT,
     allow_undeployed: bool = False,
     group_aware: bool = False,
+    brute_force: bool = False,
 ) -> NetworkContext:
-    """Wire up simulator, signaling ledger, base station, server, medium."""
+    """Wire up simulator, signaling ledger, base station, server, medium.
+
+    ``brute_force=True`` disables the medium's spatial index (every scan
+    walks all endpoints) — the determinism guard's escape hatch and the
+    bench's reference mode. Results must be identical either way.
+    """
     sim = Simulator(seed=seed)
     ledger = SignalingLedger()
     basestation = BaseStation(sim, ledger=ledger)
@@ -79,7 +85,7 @@ def build_network(
     if technology is not None:
         medium = D2DMedium(
             sim, technology, profile=profile, allow_undeployed=allow_undeployed,
-            group_aware=group_aware,
+            group_aware=group_aware, brute_force=brute_force,
         )
     return NetworkContext(
         sim=sim,
@@ -276,6 +282,7 @@ def run_relay_scenario(
     ue_phases: Optional[Sequence[float]] = None,
     keep_energy_log: bool = False,
     group_aware: bool = False,
+    brute_force: bool = False,
     chaos=None,
     chaos_seed: Optional[int] = None,
     audit: Optional[bool] = None,
@@ -310,6 +317,7 @@ def run_relay_scenario(
         technology=technology if mode == "d2d" else None,
         allow_undeployed=allow_undeployed,
         group_aware=group_aware,
+        brute_force=brute_force,
     )
     relay_role = Role.RELAY if mode == "d2d" else Role.STANDALONE
     ue_role = Role.UE if mode == "d2d" else Role.STANDALONE
@@ -381,6 +389,7 @@ def run_relay_scenario(
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
+        perf=context.medium.perf.to_dict() if context.medium else None,
     )
     return ScenarioResult(
         context=context,
@@ -583,6 +592,7 @@ def run_crowd_scenario(
     match_config: Optional[MatchConfig] = None,
     drain_s: float = DEFAULT_DRAIN_S,
     relay_selection: str = "roundrobin",
+    brute_force: bool = False,
     pre_run: Optional[Callable[[NetworkContext, Dict[str, Smartphone]], None]] = None,
     chaos=None,
     chaos_seed: Optional[int] = None,
@@ -613,6 +623,7 @@ def run_crowd_scenario(
         profile=profile,
         rrc_profile=rrc_profile,
         technology=technology if mode == "d2d" else None,
+        brute_force=brute_force,
     )
     placement_rng = context.sim.rng.get("crowd-placement")
     mobilities = place_crowd(
@@ -691,6 +702,7 @@ def run_crowd_scenario(
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
+        perf=context.medium.perf.to_dict() if context.medium else None,
     )
     periods = max(1, int(duration_s / app.heartbeat_period_s))
     return ScenarioResult(

@@ -97,10 +97,14 @@ class Simulator:
         return self.queue.push(time, callback, args, name)
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a previously scheduled event; ``None`` is ignored."""
-        if event is not None and not event.cancelled:
+        """Cancel a previously scheduled event; ``None`` is ignored.
+
+        Equivalent to ``event.cancel()`` — the queue's live count is kept
+        by the event itself, so cancelling through the simulator or through
+        the handle directly makes no bookkeeping difference.
+        """
+        if event is not None:
             event.cancel()
-            self.queue.note_cancelled()
 
     def every(
         self,
@@ -146,24 +150,33 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         fired_before = self._fired
+        # Hot path: this loop dominates every long run, so the per-event
+        # attribute chases are hoisted into locals and the old
+        # peek_time()/pop() double heap traversal is fused into one
+        # pop_until(horizon) call. `self._fired` is still written back every
+        # iteration so callbacks reading `events_fired`/`pending` mid-run
+        # observe the truth.
+        pop_until = self.queue.pop_until
+        advance_to = self.clock.advance_to
+        trace = self.trace
+        event_log = self.event_log
+        limit = fired_before + max_events
         try:
             while not self._stop_requested:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > horizon:
+                event = pop_until(horizon)
+                if event is None:
                     break
-                if self._fired - fired_before >= max_events:
+                if self._fired >= limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"
                     )
-                event = self.queue.pop()
-                assert event is not None
-                self.clock.advance_to(event.time)
+                advance_to(event.time)
                 self._fired += 1
-                if self.trace:
-                    self.event_log.append((event.time, event.name))
+                if trace:
+                    event_log.append((event.time, event.name))
                 event.callback(*event.args)
             if not self._stop_requested:
-                self.clock.advance_to(horizon)
+                advance_to(horizon)
         finally:
             self._running = False
         return self._fired - fired_before
@@ -171,17 +184,18 @@ class Simulator:
     def run_all(self, max_events: int = 10_000_000) -> int:
         """Fire every queued event regardless of horizon (tests/tools)."""
         fired_before = self._fired
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or self._stop_requested:
+        pop = self.queue.pop
+        advance_to = self.clock.advance_to
+        limit = fired_before + max_events
+        while not self._stop_requested:
+            event = pop()
+            if event is None:
                 break
-            if self._fired - fired_before >= max_events:
+            if self._fired >= limit:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway schedule?"
                 )
-            event = self.queue.pop()
-            assert event is not None
-            self.clock.advance_to(event.time)
+            advance_to(event.time)
             self._fired += 1
             if self.trace:
                 self.event_log.append((event.time, event.name))

@@ -295,6 +295,17 @@ class SharedDirBackend(SweepBackend):
                     continue
                 if grant == "stolen":
                     telemetry.claims_stolen += 1
+                # The previous holder publishes before releasing, so the
+                # point may have been published between our peek above and
+                # this acquire — re-check now that we hold the claim, or
+                # we would recompute a finished point.
+                stored = self.cache.peek(job.params, job.seed)
+                if stored is not None:
+                    self.claims.release(key)
+                    sink.complete(job, stored, 0.0, attempts=0,
+                                  from_cache=True)
+                    progressed = True
+                    continue
                 try:
                     outcome = execute_point(runner, job.params, job.seed,
                                             policy)

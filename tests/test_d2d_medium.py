@@ -313,3 +313,43 @@ class TestMobilityBreaks:
         medium.power_off("relay")
         assert not holder[0].alive
         assert medium.connections_of("ue") == []
+
+
+class TestAdvertisementSafety:
+    """Peers see a live read-only view of the advertiser's record — no
+    per-scan copies, and no way for a consumer to corrupt the source."""
+
+    def test_peer_view_is_read_only(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        medium.register(make_endpoint("relay", (3.0, 0.0), advertising=True, role="relay"))
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        peer = found[0]
+        with pytest.raises(TypeError):
+            peer.advertisement["role"] = "hacked"
+        with pytest.raises(TypeError):
+            del peer.advertisement["role"]
+
+    def test_consumer_snapshot_leaves_source_intact(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        relay = make_endpoint("relay", (3.0, 0.0), advertising=True, role="relay")
+        medium.register(relay)
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        snapshot = dict(found[0].advertisement)
+        snapshot["role"] = "edited-copy"
+        assert relay.advertisement == {"role": "relay"}
+
+    def test_view_tracks_in_place_advertiser_updates(self, sim, medium):
+        medium.register(make_endpoint("ue"))
+        relay = make_endpoint("relay", (3.0, 0.0), advertising=True, role="relay")
+        medium.register(relay)
+        found = []
+        medium.discover("ue", found.extend)
+        sim.run_until(10.0)
+        # The advertiser mutates its record in place; the already-handed-out
+        # view reflects it (it is a proxy, not a frozen copy).
+        relay.advertisement["load"] = 0.7
+        assert found[0].advertisement["load"] == 0.7

@@ -1,0 +1,99 @@
+"""Determinism guard: indexed discovery must be byte-identical to brute force.
+
+The spatial index is an acceleration structure only — for any seed it must
+produce the same peers, the same RSSI draws (RNG consumed in the same
+order), and the same result ordering as the O(N) brute-force scan. These
+tests pin that contract at two levels: raw `D2DMedium.discover` output and
+full crowd-scenario `RunMetrics`.
+"""
+
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.energy.model import EnergyModel
+from repro.mobility.models import LinearMobility, StaticMobility
+from repro.scenarios import run_crowd_scenario
+from repro.sim.engine import Simulator
+
+SEEDS = (0, 1, 2)
+
+
+def _run_discovery_rounds(seed, brute_force):
+    """Scatter endpoints (static + mobile), run repeated interleaved scans,
+    and return every (scan, peer, rssi, distance) observation in order."""
+    sim = Simulator(seed=seed)
+    medium = D2DMedium(sim, WIFI_DIRECT, brute_force=brute_force)
+    for i in range(30):
+        pos = (float((i * 37) % 240), float((i * 59) % 240))
+        if i % 5 == 0:
+            mobility = LinearMobility(pos, (2.0, -1.5))
+        else:
+            mobility = StaticMobility(pos)
+        endpoint = D2DEndpoint(
+            f"d{i}",
+            mobility,
+            energy=EnergyModel(owner=f"d{i}"),
+            advertisement={"n": i},
+        )
+        endpoint.advertising = i % 2 == 0
+        medium.register(endpoint)
+
+    observations = []
+
+    def scan(requester_id, tag):
+        def record(peers):
+            for peer in peers:
+                observations.append(
+                    (tag, peer.device_id, peer.rssi_dbm, peer.estimated_distance_m)
+                )
+
+        medium.discover(requester_id, record)
+
+    for round_no in range(6):
+        start = round_no * 10.0
+        sim.schedule_at(start, scan, f"d{round_no * 3 % 30}", f"r{round_no}-a")
+        sim.schedule_at(start + 2.5, scan, f"d{(round_no * 7 + 1) % 30}", f"r{round_no}-b")
+    sim.run_until(70.0)
+    return observations, sim.events_fired
+
+
+class TestDiscoveryIdentity:
+    def test_indexed_scan_matches_brute_force_exactly(self):
+        for seed in SEEDS:
+            indexed, indexed_events = _run_discovery_rounds(seed, brute_force=False)
+            brute, brute_events = _run_discovery_rounds(seed, brute_force=True)
+            # Same peers, same RSSI draws, same ordering — not just same sets.
+            assert indexed == brute, f"discovery diverged for seed {seed}"
+            assert indexed_events == brute_events
+            assert indexed, f"seed {seed} produced no observations (vacuous)"
+
+
+class TestCrowdMetricsIdentity:
+    def test_crowd_metrics_identical_across_seeds(self):
+        for seed in SEEDS:
+            kwargs = dict(
+                n_devices=40,
+                relay_fraction=0.25,
+                duration_s=120.0,
+                hotspots=4,
+                mobile_fraction=0.3,
+                seed=seed,
+            )
+            indexed = run_crowd_scenario(brute_force=False, **kwargs)
+            brute = run_crowd_scenario(brute_force=True, **kwargs)
+            assert (
+                indexed.metrics.to_comparable_dict()
+                == brute.metrics.to_comparable_dict()
+            ), f"crowd metrics diverged for seed {seed}"
+
+    def test_perf_counters_reflect_the_chosen_path(self):
+        """Sanity: the two paths really did take different code routes."""
+        indexed = run_crowd_scenario(
+            n_devices=20, duration_s=60.0, seed=0, brute_force=False
+        )
+        brute = run_crowd_scenario(
+            n_devices=20, duration_s=60.0, seed=0, brute_force=True
+        )
+        assert indexed.metrics.perf["index_queries"] > 0
+        assert indexed.metrics.perf["brute_force_scans"] == 0
+        assert brute.metrics.perf["brute_force_scans"] > 0
+        assert brute.metrics.perf["index_queries"] == 0

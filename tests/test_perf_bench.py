@@ -1,0 +1,89 @@
+"""Smoke tests for the benchmark harness and its regression gate."""
+
+import json
+
+from repro import bench
+
+
+def _report(gate_speedup, schema=bench.BENCH_SCHEMA, identical=True):
+    return {
+        "schema": schema,
+        "rev": "deadbee",
+        "cases": {
+            bench.GATE_CASE: {
+                "wall_s": 1.0,
+                "speedup": gate_speedup,
+                "identical_metrics": identical,
+            }
+        },
+    }
+
+
+class TestCases:
+    def test_kernel_case_fires_the_expected_events(self):
+        case = bench.bench_kernel(events=3_000)
+        # A third of the handles are cancelled before the drain.
+        assert case.detail["events_fired"] == 3_000 - len(range(0, 3_000, 3))
+        assert case.detail["events_per_s"] > 0
+        assert case.wall_s > 0
+
+    def test_pair_case_runs_the_relay_rig(self):
+        case = bench.bench_pair(repeats=1)
+        assert case.detail["events_fired"] > 0
+        assert case.wall_s > 0
+
+    def test_crowd_storm_case_keeps_identity(self):
+        case = bench.bench_crowd_storm(
+            "tiny-storm",
+            n_devices=20,
+            arena_m=400.0,
+            hotspots=4,
+            duration_s=30.0,
+            scan_period_s=10.0,
+            repeats=1,
+        )
+        assert case.detail["identical_metrics"] is True
+        assert case.detail["scans"] > 0
+        assert case.detail["speedup"] > 0
+
+
+class TestReport:
+    def test_write_report_uses_rev_in_filename(self, tmp_path):
+        report = _report(3.0)
+        path = bench.write_report(report, out_dir=str(tmp_path))
+        assert path.endswith("BENCH_deadbee.json")
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == report
+
+    def test_case_result_to_dict_flattens_detail(self):
+        case = bench.CaseResult("x", 0.5, {"speedup": 2.0})
+        assert case.to_dict() == {"wall_s": 0.5, "speedup": 2.0}
+
+
+class TestCompareReports:
+    def test_equal_reports_pass(self):
+        assert bench.compare_reports(_report(3.0), _report(3.0)) == []
+
+    def test_small_dip_within_tolerance_passes(self):
+        assert bench.compare_reports(_report(2.5), _report(3.0), tolerance=0.25) == []
+
+    def test_large_regression_fails(self):
+        failures = bench.compare_reports(_report(1.5), _report(3.0), tolerance=0.25)
+        assert failures and "regressed" in failures[0]
+
+    def test_speedup_improvements_always_pass(self):
+        assert bench.compare_reports(_report(9.0), _report(3.0)) == []
+
+    def test_schema_mismatch_asks_for_regeneration(self):
+        failures = bench.compare_reports(_report(3.0), _report(3.0, schema=0))
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_identity_divergence_fails_regardless_of_speedup(self):
+        failures = bench.compare_reports(_report(9.0, identical=False), _report(3.0))
+        assert failures and "diverged" in failures[0]
+
+    def test_missing_gate_case_fails(self):
+        current = _report(3.0)
+        del current["cases"][bench.GATE_CASE]
+        failures = bench.compare_reports(current, _report(3.0))
+        assert failures and "missing" in failures[0]

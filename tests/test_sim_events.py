@@ -85,3 +85,64 @@ class TestEventQueue:
         event = queue.pop()
         event.callback(*event.args)
         assert collected == [99]
+
+
+class TestLiveCountBookkeeping:
+    """Regression tests: the live count must survive every cancel path.
+
+    Bookkeeping lives in ``Event.cancel`` itself (the event knows its
+    owning queue), so user code holding a handle can cancel directly —
+    without ``Simulator.cancel`` or the old ``note_cancelled`` protocol —
+    and ``len(queue)`` stays truthful.
+    """
+
+    def test_direct_cancel_decrements_live_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        event.cancel()  # no note_cancelled() — the old API's drift bug
+        assert len(queue) == 1
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_then_note_cancelled_does_not_double_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        event.cancel()
+        queue.note_cancelled()  # legacy callers still do this; now a no-op
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_touch_live_count(self):
+        """Cancelling an already-fired event must not drift the count."""
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        assert queue.pop() is event
+        assert len(queue) == 1
+        event.cancel()  # fired already — a late cancel is a no-op
+        assert len(queue) == 1
+
+    def test_pop_until_respects_horizon_and_live_count(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop, name="early")
+        queue.push(5.0, _noop, name="late")
+        assert queue.pop_until(2.0).name == "early"
+        assert queue.pop_until(2.0) is None  # "late" stays queued
+        assert len(queue) == 1
+        assert queue.pop_until(10.0).name == "late"
+        assert len(queue) == 0
+
+    def test_pop_until_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, _noop)
+        queue.push(1.5, _noop, name="live")
+        head.cancel()
+        assert queue.pop_until(2.0).name == "live"
+        assert queue.pop_until(2.0) is None
