@@ -44,6 +44,7 @@ from repro.scenarios import (
     run_relay_scenario,
 )
 from repro.sim.engine import Simulator
+from repro.workload.apps import STANDARD_APP
 
 #: Bump when the case set or a case's parameters change incompatibly —
 #: reports with different schemas must not be speedup-compared.
@@ -207,17 +208,91 @@ def bench_crowd_storm(
     )
 
 
+def bench_channel_crowd(
+    name: str,
+    n_devices: int,
+    duration_s: float,
+    repeats: int,
+) -> CaseResult:
+    """Interference-aware 500-device storm: capacity under RB contention.
+
+    A dense crowd on a fast heartbeat runs with ``channel="sinr"`` so
+    concurrent transfers contend for the shared resource blocks. The run
+    executes twice with identical inputs and the two
+    :class:`RunMetrics` — channel aggregates included — must match
+    exactly (the replay-from-``(scenario, seed)`` contract extended to
+    channel mode). The detail records the rate-vs-density buckets and
+    whether the mean granted rate degrades from the interference-free
+    bucket to the contended ones.
+    """
+    app = dataclasses.replace(STANDARD_APP, heartbeat_period_s=45.0)
+
+    def run():
+        return run_crowd_scenario(
+            n_devices=n_devices,
+            relay_fraction=0.2,
+            duration_s=duration_s,
+            arena=Arena(250.0, 250.0),
+            hotspots=12,
+            seed=0,
+            app=app,
+            channel="sinr",
+        )
+
+    wall, first = _best_of(run, repeats)
+    replay = run()
+    identical = _identical(first.metrics, replay.metrics)
+    stats = first.metrics.channel or {}
+    density = stats.get("density", {})
+    solo = density.get("0", {}).get("mean_rate_bps")
+    contended = [
+        bucket["mean_rate_bps"]
+        for k, bucket in density.items()
+        if k != "0"
+    ]
+    degrades = (
+        solo is not None
+        and bool(contended)
+        and all(rate < solo for rate in contended)
+    )
+    return CaseResult(
+        name=name,
+        wall_s=wall,
+        detail={
+            "n_devices": n_devices,
+            "identical_metrics": identical,
+            "transfers": stats.get("transfers", 0),
+            "mean_sinr_db": stats.get("mean_sinr_db"),
+            "mean_rate_bps": stats.get("mean_rate_bps"),
+            "rb_utilization": stats.get("rb_utilization"),
+            "rb_peak_live": stats.get("rb_peak_live"),
+            "density": density,
+            "rate_degrades_with_density": degrades,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
-def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, Any]:
-    """Run the pinned suite; ``quick`` drops the 500-device storm case."""
+def run_suite(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    only: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the pinned suite; ``quick`` drops the 500-device cases.
+
+    ``only`` selects a single case by name (any case, even one ``quick``
+    would drop) — the CI channel-smoke job uses it to run just
+    ``crowd-500-channel`` without paying for the whole suite.
+    """
     if repeats is None:
         repeats = 2 if quick else 3
-    cases: List[CaseResult] = [
-        bench_kernel(events=50_000 if quick else 200_000),
-        bench_pair(repeats=repeats),
-        bench_crowd_storm(
+    builders: List[tuple] = [
+        ("kernel", False,
+         lambda: bench_kernel(events=50_000 if quick else 200_000)),
+        ("pair", False, lambda: bench_pair(repeats=repeats)),
+        (GATE_CASE, False, lambda: bench_crowd_storm(
             GATE_CASE,
             n_devices=200,
             arena_m=2000.0,
@@ -225,20 +300,31 @@ def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
             duration_s=180.0,
             scan_period_s=5.0,
             repeats=repeats,
-        ),
+        )),
+        ("crowd-500-storm", True, lambda: bench_crowd_storm(
+            "crowd-500-storm",
+            n_devices=500,
+            arena_m=3000.0,
+            hotspots=120,
+            duration_s=240.0,
+            scan_period_s=5.0,
+            repeats=repeats,
+        )),
+        ("crowd-500-channel", True, lambda: bench_channel_crowd(
+            "crowd-500-channel",
+            n_devices=500,
+            duration_s=240.0,
+            repeats=repeats,
+        )),
     ]
-    if not quick:
-        cases.append(
-            bench_crowd_storm(
-                "crowd-500-storm",
-                n_devices=500,
-                arena_m=3000.0,
-                hotspots=120,
-                duration_s=240.0,
-                scan_period_s=5.0,
-                repeats=repeats,
-            )
-        )
+    if only is not None:
+        known = [name for name, __, __build in builders]
+        if only not in known:
+            raise ValueError(f"unknown bench case {only!r}; known: {known}")
+        selected = [b for b in builders if b[0] == only]
+    else:
+        selected = [b for b in builders if not (quick and b[1])]
+    cases: List[CaseResult] = [build() for __, __skip, build in selected]
     return {
         "schema": BENCH_SCHEMA,
         "rev": current_rev(),

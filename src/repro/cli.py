@@ -48,6 +48,32 @@ from repro.workload.apps import APP_REGISTRY
 from repro.workload.traffic import heartbeat_share_table
 
 
+def _print_channel_summary(result) -> None:
+    """One-line channel-layer report for a `--channel sinr` run."""
+    stats = result.metrics.channel
+    if stats is None:
+        return
+    mean_rate = stats["mean_rate_bps"]
+    print(
+        f"channel ({stats['allocator']}, {stats['num_rbs']} RBs): "
+        f"{stats['transfers']} transfers, "
+        f"mean SINR {stats['mean_sinr_db']:.1f} dB, "
+        f"mean rate {mean_rate / 1e6:.2f} Mb/s, "
+        f"RB utilization {stats['rb_utilization']:.1%}, "
+        f"peak co-channel leases {stats['rb_peak_live']}"
+        if stats["transfers"]
+        else "channel: no D2D transfers"
+    )
+    density = stats.get("density") or {}
+    if len(density) > 1:
+        buckets = ", ".join(
+            f"k={k}: {bucket['mean_rate_bps'] / 1e6:.2f} Mb/s "
+            f"(n={bucket['transfers']})"
+            for k, bucket in density.items()
+        )
+        print(f"rate vs concurrent-transfer density: {buckets}")
+
+
 def _print_chaos_outcome(result) -> int:
     """Report a chaos-enabled run's fault/audit outcome; 1 on violations."""
     if result.chaos_report is not None:
@@ -64,6 +90,8 @@ def _cmd_pair(args: argparse.Namespace) -> int:
         n_ues=args.ues, distance_m=args.distance, periods=args.periods,
         capacity=args.capacity, seed=args.seed, mode="d2d",
         chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
+        channel=args.channel, allocator=args.allocator,
+        num_rbs=args.num_rbs, shadowing_sigma_db=args.shadowing_sigma,
     )
     base = run_relay_scenario(
         n_ues=args.ues, distance_m=args.distance, periods=args.periods,
@@ -84,6 +112,7 @@ def _cmd_pair(args: argparse.Namespace) -> int:
           f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
     print(f"energy saved    : "
           f"{saved_percent(base.system_energy_uah(), d2d.system_energy_uah()):.1f}%")
+    _print_channel_summary(d2d)
     return _print_chaos_outcome(d2d)
 
 
@@ -92,6 +121,8 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
         n_devices=args.devices, relay_fraction=args.relay_fraction,
         duration_s=args.duration, seed=args.seed, mode="d2d",
         chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
+        channel=args.channel, allocator=args.allocator,
+        num_rbs=args.num_rbs, shadowing_sigma_db=args.shadowing_sigma,
     )
     base = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
@@ -114,6 +145,7 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
           f"{saved_percent(base.total_l3(), d2d.total_l3()):.1f}%")
     print(f"beats via D2D   : {d2d.framework.total_beats_forwarded()}"
           f" (fallbacks {d2d.framework.total_cellular_fallbacks()})")
+    _print_channel_summary(d2d)
     return _print_chaos_outcome(d2d)
 
 
@@ -175,6 +207,15 @@ def _cmd_runner_sweep(args: argparse.Namespace) -> int:
     chaos_seed = getattr(args, "chaos_seed", None)
     if chaos_seed is not None and "chaos_seed" in accepted:
         fixed["chaos_seed"] = chaos_seed
+    for flag, param in (
+        ("channel", "channel"),
+        ("allocator", "allocator"),
+        ("num_rbs", "num_rbs"),
+        ("shadowing_sigma", "shadowing_sigma_db"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None and param in accepted and param not in grid:
+            fixed[param] = value
     if fixed:
         runner = functools.partial(runner, **fixed)
     try:
@@ -360,7 +401,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    report = run_suite(quick=args.quick, repeats=args.repeats)
+    try:
+        report = run_suite(quick=args.quick, repeats=args.repeats,
+                           only=args.only)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     rows = []
     for name, case in report["cases"].items():
         speedup = case.get("speedup")
@@ -537,6 +583,26 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_channel_flags(parser: argparse.ArgumentParser) -> None:
+    """Channel-layer flags shared by scenario and sweep subcommands."""
+    parser.add_argument(
+        "--channel", default=None, choices=["fixed", "sinr"],
+        help="transfer model: 'fixed' (calibrated constants, default) or "
+             "'sinr' (interference-aware Shannon-capacity rates over "
+             "shared resource blocks)")
+    parser.add_argument(
+        "--allocator", default="centralized",
+        choices=["centralized", "message-passing"],
+        help="resource-block allocator for --channel sinr")
+    parser.add_argument(
+        "--num-rbs", type=int, default=6,
+        help="shared resource blocks for --channel sinr (default 6)")
+    parser.add_argument(
+        "--shadowing-sigma", type=float, default=None, metavar="DB",
+        help="override the link model's lognormal shadowing sigma (dB), "
+             "the Zafaruddin et al. fading-regime axis")
+
+
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
     """Chaos-injection flags shared by scenario and sweep subcommands."""
     parser.add_argument(
@@ -592,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     pair.add_argument("--capacity", type=int, default=10)
     pair.add_argument("--seed", type=int, default=0)
     _add_chaos_flags(pair)
+    _add_channel_flags(pair)
     pair.set_defaults(func=_cmd_pair)
 
     crowd = sub.add_parser("crowd", help="clustered-crowd signaling storm")
@@ -600,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     crowd.add_argument("--duration", type=float, default=1800.0)
     crowd.add_argument("--seed", type=int, default=0)
     _add_chaos_flags(crowd)
+    _add_channel_flags(crowd)
     crowd.set_defaults(func=_cmd_crowd)
 
     sweep = sub.add_parser("sweep", help="saved energy vs. transmission times")
@@ -613,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dispatch_flags(sweep)
     _add_runner_flags(sweep)
     _add_chaos_flags(sweep)
+    _add_channel_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     grid = sub.add_parser(
@@ -632,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dispatch_flags(grid)
     _add_runner_flags(grid)
     _add_chaos_flags(grid)
+    _add_channel_flags(grid)
     grid.add_argument("--status", metavar="CACHE_DIR", default=None,
                       help="print the progress view of a (distributed) "
                            "sweep's shared cache directory and exit")
@@ -669,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None,
                        help="timed repeats per case, keeping the minimum "
                             "(default: 3, or 2 with --quick)")
+    bench.add_argument("--only", default=None, metavar="CASE",
+                       help="run a single case by name (e.g. "
+                            "crowd-500-channel), even one --quick drops")
     bench.add_argument("--out", default="benchmarks",
                        help="directory for BENCH_<rev>.json")
     bench.add_argument("--no-write", action="store_true",

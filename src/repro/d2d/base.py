@@ -15,10 +15,12 @@ and the receiver the receive charge (Table IV slope).
 from __future__ import annotations
 
 import dataclasses
+import math
 import operator
 import types
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set
 
+from repro.channel.model import ChannelModel
 from repro.d2d.link import LinkModel
 from repro.energy.model import EnergyModel, EnergyPhase
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
@@ -232,21 +234,50 @@ class D2DConnection:
         # at 1-15 m are unaffected.
         per = tech.link.packet_error_rate(distance)
         lost = per > 0.0 and self.medium.sim.rng.get("d2d-loss").random() < per
+        transfer_latency_s = tech.transfer_latency_s
         if control:
             sender.charge(EnergyPhase.D2D_ACK, profile.relay_ack_uah, now)
             receiver.charge(EnergyPhase.D2D_ACK, profile.relay_ack_uah, now)
         else:
-            tx_uah = profile.ue_forward_cost_uah(size_bytes, distance) * tech.tx_scale
+            channel = self.medium.channel
+            if channel is None:
+                airtime_scale = 1.0
+                charge_duration_s = profile.d2d_transfer_s
+            else:
+                # interference-aware mode: the transfer runs at the
+                # Shannon rate the channel grants, and both sides pay
+                # energy in proportion to the actual airtime (the fixed
+                # per-message charge is calibrated at d2d_transfer_s).
+                grant = channel.begin_transfer(
+                    sender.device_id,
+                    receiver.device_id,
+                    sender.position(now),
+                    receiver.position(now),
+                    size_bytes,
+                    now,
+                )
+                transfer_latency_s = grant.duration_s
+                charge_duration_s = grant.duration_s
+                airtime_scale = grant.duration_s / profile.d2d_transfer_s
+            tx_uah = (
+                profile.ue_forward_cost_uah(size_bytes, distance)
+                * tech.tx_scale
+                * airtime_scale
+            )
             coalesced = (
                 now - receiver.last_data_rx_s <= profile.d2d_rx_coalesce_window_s
             )
-            rx_uah = profile.relay_receive_cost_uah(size_bytes, coalesced) * tech.rx_scale
+            rx_uah = (
+                profile.relay_receive_cost_uah(size_bytes, coalesced)
+                * tech.rx_scale
+                * airtime_scale
+            )
             receiver.last_data_rx_s = now
             sender.charge(
-                EnergyPhase.D2D_FORWARD, tx_uah, now, duration_s=profile.d2d_transfer_s
+                EnergyPhase.D2D_FORWARD, tx_uah, now, duration_s=charge_duration_s
             )
             receiver.charge(
-                EnergyPhase.D2D_RECEIVE, rx_uah, now, duration_s=profile.d2d_transfer_s
+                EnergyPhase.D2D_RECEIVE, rx_uah, now, duration_s=charge_duration_s
             )
 
         def deliver() -> None:
@@ -262,12 +293,46 @@ class D2DConnection:
             if on_result is not None:
                 on_result(True)
 
-        self.medium.sim.schedule(tech.transfer_latency_s, deliver, name="d2d_deliver")
+        self.medium.sim.schedule(transfer_latency_s, deliver, name="d2d_deliver")
         return True
 
     def close(self, reason: str = "closed") -> None:
         """Tear the connection down; idempotent."""
         self.medium._break_connection(self, reason)
+
+
+class _SortedCandidateCache:
+    """Memo for the registration-order sort of scan candidate sets.
+
+    The spatial index already caches the *unsorted* merged cell block per
+    ``(cell, k)``; on static crowds every scan from the same neighbourhood
+    then re-filtered and re-sorted that same block. This cache keys the
+    finished (requester-filtered, registration-order-sorted) id list by
+    ``(requester_id, cell, k)`` and stamps it with ``(index version,
+    endpoint count)`` — any membership or bin change, or any new
+    registration (which can grow the unindexable side set without
+    touching the index), invalidates every entry. ``enabled`` exists so
+    regression tests can force the re-sort path and prove identical
+    output.
+    """
+
+    __slots__ = ("enabled", "_entries")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._entries: Dict[tuple, tuple] = {}
+
+    def get(self, key: tuple, stamp: tuple) -> Optional[List[str]]:
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == stamp:
+            return entry[1]
+        return None
+
+    def put(self, key: tuple, stamp: tuple, ids: List[str]) -> None:
+        if self.enabled:
+            self._entries[key] = (stamp, ids)
 
 
 class D2DMedium:
@@ -306,6 +371,12 @@ class D2DMedium:
         passes, queries widen by ``max mobile speed × staleness`` so a
         mover can never escape its candidate cells unseen. Static
         endpoints are binned once and never touched.
+    channel:
+        Optional interference-aware channel model. When set, data
+        transfers run at Shannon-capacity rates under co-channel
+        interference and bill energy per actual airtime; when ``None``
+        (the default) the fixed latency/energy constants apply and
+        behaviour is byte-identical to the pre-channel implementation.
     """
 
     def __init__(
@@ -319,6 +390,7 @@ class D2DMedium:
         group_join_discount: float = 0.5,
         brute_force: bool = False,
         index_refresh_s: float = 1.0,
+        channel: Optional[ChannelModel] = None,
     ) -> None:
         if not 0.0 < group_join_discount <= 1.0:
             raise ValueError(
@@ -339,8 +411,17 @@ class D2DMedium:
         self.group_join_discount = group_join_discount
         self.brute_force = brute_force
         self.index_refresh_s = index_refresh_s
+        self.channel = channel
         self.perf = PerfCounters()
         self._endpoints: Dict[str, D2DEndpoint] = {}
+        #: device_id → fixed position for endpoints whose mobility model
+        #: has a zero speed bound: their position never changes, so scans
+        #: skip the per-candidate ``position(t)`` call entirely. Clearing
+        #: this dict (tests do) falls back to live position lookups.
+        self._static_pos: Dict[str, Position] = {}
+        #: (requester, cell, k) → (stamp, sorted candidate ids); see
+        #: ``_scan_candidates``. ``enabled=False`` forces full re-sorts.
+        self._sorted_cache = _SortedCandidateCache()
         #: registration order per device — candidate sets from the spatial
         #: index are re-sorted by this so scans examine peers in exactly
         #: the order a full walk of ``_endpoints`` would, keeping RSSI
@@ -382,9 +463,13 @@ class D2DMedium:
         device_id = endpoint.device_id
         self._seq[device_id] = len(self._endpoints)
         self._endpoints[device_id] = endpoint
+        max_speed = endpoint.mobility.max_speed_m_s()
+        if max_speed == 0.0:
+            # a zero speed bound means the position is time-invariant:
+            # memoise it once and spare every future scan the call.
+            self._static_pos[device_id] = endpoint.position(self.sim.now)
         if self._index is None:
             return
-        max_speed = endpoint.mobility.max_speed_m_s()
         if max_speed is None:
             self._unindexed.add(device_id)
             return
@@ -459,7 +544,10 @@ class D2DMedium:
             t = self.sim.now
             rng = self.sim.rng.get("d2d-discovery") if rssi_noise else None
             found: List[PeerInfo] = []
-            origin = requester.position(t)
+            static_pos = self._static_pos
+            origin = static_pos.get(requester_id)
+            if origin is None:
+                origin = requester.position(t)
             perf = self.perf
             perf.scans += 1
             # Hot loop: hoist everything invariant out of the candidate walk.
@@ -470,10 +558,16 @@ class D2DMedium:
             max_range = tech.max_range_m
             link_allowed = self.link_allowed
             append = found.append
+            static_get = static_pos.get
             for peer in self._scan_candidates(requester_id, origin, t):
                 if not (peer.advertising and peer.powered_on):
                     continue
-                distance = distance_between(origin, peer.position(t))
+                peer_pos = static_get(peer.device_id)
+                if peer_pos is None:
+                    peer_pos = peer.position(t)
+                else:
+                    perf.static_position_hits += 1
+                distance = distance_between(origin, peer_pos)
                 if distance > max_range:
                     continue
                 mean_rssi = probe(distance)
@@ -523,15 +617,30 @@ class D2DMedium:
             return candidates
         self._refresh_index(t)
         slack = self._max_mobile_speed * (t - self._last_refresh_s)
-        # query_block returns a cached, shared list — never mutate it;
-        # the requester filter below rebinds to a fresh list either way.
-        ids = index.query_block(origin, self.technology.max_range_m, slack)
-        if self._unindexed:
-            merged = set(ids)
-            merged.update(self._unindexed)
-            ids = list(merged)
-        ids = [device_id for device_id in ids if device_id != requester_id]
-        ids.sort(key=self._seq.__getitem__)
+        reach = self.technology.max_range_m + slack
+        # Incremental re-sort: the filtered, registration-order-sorted id
+        # list for a (requester, cell block) pair is cached and reused
+        # while neither the index nor the endpoint set has changed —
+        # mirrors query_block's (cell, k) key so the cache is exact.
+        cell = index._cell_of(origin)
+        k = max(0, math.ceil(reach / index.cell_size_m))
+        cache_key = (requester_id, cell, k)
+        stamp = (index._version, len(self._endpoints))
+        cached_ids = self._sorted_cache.get(cache_key, stamp)
+        if cached_ids is not None:
+            perf.sorted_cache_hits += 1
+            ids = cached_ids
+        else:
+            # query_block returns a cached, shared list — never mutate it;
+            # the requester filter below rebinds to a fresh list either way.
+            ids = index.query_block(origin, self.technology.max_range_m, slack)
+            if self._unindexed:
+                merged = set(ids)
+                merged.update(self._unindexed)
+                ids = list(merged)
+            ids = [device_id for device_id in ids if device_id != requester_id]
+            ids.sort(key=self._seq.__getitem__)
+            self._sorted_cache.put(cache_key, stamp, ids)
         perf.index_queries += 1
         perf.index_block_cache_hits = index.block_cache_hits
         perf.scan_candidates_examined += len(ids)

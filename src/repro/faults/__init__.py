@@ -30,8 +30,10 @@ from repro.faults.chaos import (
     resolve_profile,
 )
 from repro.faults.harness import (
+    ChannelDifferentialCase,
     DifferentialCase,
     DifferentialSuite,
+    run_channel_differential,
     run_differential,
     run_differential_suite,
 )
@@ -48,6 +50,7 @@ __all__ = [
     "AuditReport",
     "AuditViolation",
     "CHAOS_PROFILES",
+    "ChannelDifferentialCase",
     "ChaosEngine",
     "ChaosEvent",
     "ChaosProfile",
@@ -59,6 +62,7 @@ __all__ = [
     "InvariantAuditor",
     "TraceEntry",
     "resolve_profile",
+    "run_channel_differential",
     "run_differential",
     "run_differential_suite",
 ]

@@ -107,6 +107,7 @@ def _run_scenario(
     periods: int,
     n_devices: int,
     duration_s: float,
+    channel: Optional[str] = None,
 ):
     from repro import scenarios
 
@@ -118,6 +119,7 @@ def _run_scenario(
             chaos=chaos,
             chaos_seed=chaos_seed,
             audit=True,
+            channel=channel,
         )
     if scenario == "crowd":
         return scenarios.run_crowd_scenario(
@@ -127,6 +129,7 @@ def _run_scenario(
             chaos=chaos,
             chaos_seed=chaos_seed,
             audit=True,
+            channel=channel,
         )
     raise ValueError(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
 
@@ -139,15 +142,23 @@ def run_differential(
     periods: int = 4,
     n_devices: int = 12,
     duration_s: float = 900.0,
+    channel: Optional[str] = None,
 ) -> DifferentialCase:
-    """One differential case: audited baseline vs audited chaos run."""
+    """One differential case: audited baseline vs audited chaos run.
+
+    ``channel="sinr"`` runs *both* legs under the interference-aware
+    capacity layer, asserting the safety contract also holds when
+    capacity-derived transfer durations replace the fixed constants.
+    """
     resolved = resolve_profile(profile)
     assert resolved is not None
     baseline = _run_scenario(
-        scenario, seed, None, None, n_ues, periods, n_devices, duration_s
+        scenario, seed, None, None, n_ues, periods, n_devices, duration_s,
+        channel=channel,
     )
     chaotic = _run_scenario(
-        scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s
+        scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s,
+        channel=channel,
     )
     baseline_violations = (
         len(baseline.audit_report.violations) if baseline.audit_report else 0
@@ -188,6 +199,108 @@ def run_differential(
     if chaos_safe < baseline_safe:
         case.failures.append(
             f"deadline safety dropped {baseline_safe:.4f} → {chaos_safe:.4f}"
+        )
+    return case
+
+
+@dataclasses.dataclass
+class ChannelDifferentialCase:
+    """Outcome of one audited fixed-vs-channel comparison run.
+
+    Both legs run the identical scenario and seed; the only difference
+    is the transfer model. The safety contract: the invariant auditor
+    stays clean in *both* modes and the channel run keeps audited
+    deadline safety at 1.0 — RB contention may slow transfers, never
+    break delivery.
+    """
+
+    scenario: str
+    seed: int
+    fixed_violations: int
+    channel_violations: int
+    fixed_deadline_safe: float
+    channel_deadline_safe: float
+    channel_transfers: int
+    channel_peak_live: int
+    failures: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["passed"] = self.passed
+        return data
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL " + "; ".join(self.failures)
+        return (
+            f"{self.scenario} seed={self.seed} fixed-vs-channel: {status} "
+            f"(safe {self.channel_deadline_safe:.3f}, "
+            f"violations {self.channel_violations}, "
+            f"transfers {self.channel_transfers}, "
+            f"peak co-channel leases {self.channel_peak_live})"
+        )
+
+
+def run_channel_differential(
+    scenario: str = "crowd",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+    chaos: Optional[Union[str, ChaosProfile]] = None,
+) -> ChannelDifferentialCase:
+    """Audited fixed-cost run vs audited ``channel="sinr"`` run.
+
+    With ``chaos`` set, both legs additionally run under that fault
+    profile — the composition case (link flaps + RB contention) the
+    chaos/channel interaction tests gate on.
+    """
+    resolved = resolve_profile(chaos) if chaos is not None else None
+    fixed = _run_scenario(
+        scenario, seed, resolved, seed if resolved else None,
+        n_ues, periods, n_devices, duration_s, channel=None,
+    )
+    channel = _run_scenario(
+        scenario, seed, resolved, seed if resolved else None,
+        n_ues, periods, n_devices, duration_s, channel="sinr",
+    )
+    fixed_violations = (
+        len(fixed.audit_report.violations) if fixed.audit_report else 0
+    )
+    channel_violations = (
+        len(channel.audit_report.violations) if channel.audit_report else 0
+    )
+    stats = channel.metrics.channel or {}
+    case = ChannelDifferentialCase(
+        scenario=scenario,
+        seed=seed,
+        fixed_violations=fixed_violations,
+        channel_violations=channel_violations,
+        fixed_deadline_safe=fixed.deadline_safe_fraction(),
+        channel_deadline_safe=channel.deadline_safe_fraction(),
+        channel_transfers=int(stats.get("transfers", 0)),
+        channel_peak_live=int(stats.get("rb_peak_live", 0)),
+    )
+    if fixed_violations:
+        case.failures.append(
+            f"fixed-mode audit: {fixed.audit_report.first_violation}"
+        )
+    if channel_violations:
+        case.failures.append(
+            f"channel-mode audit: {channel.audit_report.first_violation}"
+        )
+    if resolved is None and case.channel_deadline_safe < 1.0:
+        case.failures.append(
+            f"channel deadline safety {case.channel_deadline_safe:.4f} < 1.0"
+        )
+    if case.channel_deadline_safe < case.fixed_deadline_safe:
+        case.failures.append(
+            f"deadline safety dropped {case.fixed_deadline_safe:.4f} → "
+            f"{case.channel_deadline_safe:.4f} under channel mode"
         )
     return case
 

@@ -132,6 +132,11 @@ class RunMetrics:
     total_l3_messages: int
     faults: Optional[FaultMetrics] = None
     perf: Optional[Dict[str, float]] = None
+    #: Channel-layer aggregates (SINR, rates, RB utilization) when the
+    #: run used the interference-aware channel; ``None`` in fixed mode.
+    #: Unlike ``perf`` this IS deterministic simulation output and stays
+    #: in :meth:`to_comparable_dict`.
+    channel: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def energy_of(self, device_id: str) -> float:
@@ -183,6 +188,7 @@ class RunMetrics:
             },
             "faults": None if self.faults is None else self.faults.to_dict(),
             "perf": None if self.perf is None else dict(self.perf),
+            "channel": None if self.channel is None else dict(self.channel),
         }
 
     def to_comparable_dict(self) -> Dict:
@@ -399,6 +405,7 @@ def collect_metrics(
     horizon_s: float = 0.0,
     faults: Optional[FaultMetrics] = None,
     perf: Optional[Dict[str, float]] = None,
+    channel: Optional[Dict[str, Any]] = None,
 ) -> RunMetrics:
     """Snapshot the run's metrics from the live objects."""
     per_device: Dict[str, DeviceMetrics] = {}
@@ -431,4 +438,5 @@ def collect_metrics(
         total_l3_messages=ledger.total,
         faults=faults,
         perf=perf,
+        channel=channel,
     )

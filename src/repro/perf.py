@@ -38,6 +38,8 @@ class PerfCounters:
         "index_updates",
         "index_moves",
         "index_rebuild_passes",
+        "static_position_hits",
+        "sorted_cache_hits",
         "_timers",
     )
 
@@ -63,6 +65,10 @@ class PerfCounters:
         self.index_moves = 0
         #: lazy refresh passes over the mobile-endpoint set
         self.index_rebuild_passes = 0
+        #: per-candidate position() calls skipped for static endpoints
+        self.static_position_hits = 0
+        #: scans whose candidate sort was served from the re-sort memo
+        self.sorted_cache_hits = 0
         self._timers: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -100,6 +106,8 @@ class PerfCounters:
             "index_updates": self.index_updates,
             "index_moves": self.index_moves,
             "index_rebuild_passes": self.index_rebuild_passes,
+            "static_position_hits": self.static_position_hits,
+            "sorted_cache_hits": self.sorted_cache_hits,
             "mean_candidates_per_scan": self.mean_candidates_per_scan,
         }
         for name, seconds in sorted(self._timers.items()):

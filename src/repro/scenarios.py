@@ -69,13 +69,29 @@ def build_network(
     allow_undeployed: bool = False,
     group_aware: bool = False,
     brute_force: bool = False,
+    channel: Optional[str] = None,
+    allocator: str = "centralized",
+    num_rbs: int = 6,
+    shadowing_sigma_db: Optional[float] = None,
 ) -> NetworkContext:
     """Wire up simulator, signaling ledger, base station, server, medium.
 
     ``brute_force=True`` disables the medium's spatial index (every scan
     walks all endpoints) — the determinism guard's escape hatch and the
     bench's reference mode. Results must be identical either way.
+
+    ``channel`` selects the transfer model: ``None``/``"fixed"`` keeps
+    the calibrated fixed-cost constants (the default, byte-identical to
+    the pre-channel implementation), ``"sinr"`` activates the
+    interference-aware capacity layer with ``num_rbs`` resource blocks
+    assigned by ``allocator`` (see :data:`repro.channel.ALLOCATORS`).
+
+    ``shadowing_sigma_db`` overrides the link model's lognormal shadowing
+    standard deviation (the Zafaruddin et al. sweep axis) without
+    touching the technology's other parameters.
     """
+    if channel not in (None, "fixed", "sinr"):
+        raise ValueError(f"channel must be 'fixed' or 'sinr', got {channel!r}")
     sim = Simulator(seed=seed)
     ledger = SignalingLedger()
     basestation = BaseStation(sim, ledger=ledger)
@@ -83,9 +99,25 @@ def build_network(
     basestation.attach_sink(server.uplink_sink)
     medium = None
     if technology is not None:
+        if shadowing_sigma_db is not None:
+            technology = dataclasses.replace(
+                technology,
+                link=dataclasses.replace(
+                    technology.link, shadowing_sigma_db=shadowing_sigma_db
+                ),
+            )
+        channel_model = None
+        if channel == "sinr":
+            from repro.channel.model import ChannelConfig, ChannelModel
+
+            channel_model = ChannelModel(
+                config=ChannelConfig(num_rbs=num_rbs, allocator=allocator),
+                link=technology.link,
+            )
         medium = D2DMedium(
             sim, technology, profile=profile, allow_undeployed=allow_undeployed,
             group_aware=group_aware, brute_force=brute_force,
+            channel=channel_model,
         )
     return NetworkContext(
         sim=sim,
@@ -240,6 +272,13 @@ def _fault_metrics(
     )
 
 
+def _channel_snapshot(context: NetworkContext, horizon: float):
+    """Channel aggregates of the run, or ``None`` in fixed mode."""
+    if context.medium is None or context.medium.channel is None:
+        return None
+    return context.medium.channel.stats_snapshot(horizon)
+
+
 def _ue_positions(n: int, distance_m: float) -> List[MobilityModel]:
     """``n`` static UEs on a circle of radius ``distance_m`` round the relay."""
     models: List[MobilityModel] = []
@@ -286,6 +325,10 @@ def run_relay_scenario(
     chaos=None,
     chaos_seed: Optional[int] = None,
     audit: Optional[bool] = None,
+    channel: Optional[str] = None,
+    allocator: str = "centralized",
+    num_rbs: int = 6,
+    shadowing_sigma_db: Optional[float] = None,
 ) -> ScenarioResult:
     """The paper's bench rig: one relay, ``n_ues`` UEs at ``distance_m``.
 
@@ -318,6 +361,10 @@ def run_relay_scenario(
         allow_undeployed=allow_undeployed,
         group_aware=group_aware,
         brute_force=brute_force,
+        channel=channel,
+        allocator=allocator,
+        num_rbs=num_rbs,
+        shadowing_sigma_db=shadowing_sigma_db,
     )
     relay_role = Role.RELAY if mode == "d2d" else Role.STANDALONE
     ue_role = Role.UE if mode == "d2d" else Role.STANDALONE
@@ -390,6 +437,7 @@ def run_relay_scenario(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
         perf=context.medium.perf.to_dict() if context.medium else None,
+        channel=_channel_snapshot(context, horizon),
     )
     return ScenarioResult(
         context=context,
@@ -459,12 +507,18 @@ def crowd_metrics_runner(
     mode: str = "d2d",
     chaos_profile: Optional[str] = None,
     chaos_seed: Optional[int] = None,
+    channel: Optional[str] = None,
+    allocator: str = "centralized",
+    num_rbs: int = 6,
+    shadowing_sigma_db: Optional[float] = None,
 ) -> Dict[str, float]:
     """Grid runner: one crowd run → plain scalar metrics.
 
     Picklable like :func:`relay_savings_runner`. ``hotspots=None`` scales
     the cluster count with the crowd (one per ~20 devices, at least two),
-    so a single runner covers a whole device-count axis.
+    so a single runner covers a whole device-count axis. The channel
+    knobs (``channel``/``allocator``/``num_rbs``/``shadowing_sigma_db``)
+    are plain scalars for the same picklability reason.
     """
     if hotspots is None:
         hotspots = max(2, n_devices // 20)
@@ -478,6 +532,10 @@ def crowd_metrics_runner(
         mode=mode,
         chaos=chaos_profile,
         chaos_seed=chaos_seed,
+        channel=channel,
+        allocator=allocator,
+        num_rbs=num_rbs,
+        shadowing_sigma_db=shadowing_sigma_db,
     )
     delivery = result.metrics.delivery
     out = {
@@ -492,6 +550,11 @@ def crowd_metrics_runner(
             len(result.audit_report.violations) if result.audit_report else 0
         )
         out["deadline_safe_fraction"] = result.deadline_safe_fraction()
+    if result.metrics.channel is not None:
+        stats = result.metrics.channel
+        out["channel_transfers"] = float(stats["transfers"])
+        out["channel_mean_rate_bps"] = float(stats["mean_rate_bps"] or 0.0)
+        out["channel_rb_utilization"] = float(stats["rb_utilization"])
     return out
 
 
@@ -597,6 +660,10 @@ def run_crowd_scenario(
     chaos=None,
     chaos_seed: Optional[int] = None,
     audit: Optional[bool] = None,
+    channel: Optional[str] = None,
+    allocator: str = "centralized",
+    num_rbs: int = 6,
+    shadowing_sigma_db: Optional[float] = None,
 ) -> ScenarioResult:
     """A dense crowd: the signaling-storm setting of the paper's Sec. I.
 
@@ -624,6 +691,10 @@ def run_crowd_scenario(
         rrc_profile=rrc_profile,
         technology=technology if mode == "d2d" else None,
         brute_force=brute_force,
+        channel=channel,
+        allocator=allocator,
+        num_rbs=num_rbs,
+        shadowing_sigma_db=shadowing_sigma_db,
     )
     placement_rng = context.sim.rng.get("crowd-placement")
     mobilities = place_crowd(
@@ -703,6 +774,7 @@ def run_crowd_scenario(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
         perf=context.medium.perf.to_dict() if context.medium else None,
+        channel=_channel_snapshot(context, horizon),
     )
     periods = max(1, int(duration_s / app.heartbeat_period_s))
     return ScenarioResult(

@@ -10,6 +10,7 @@ import pytest
 from repro.faults.chaos import CHAOS_PROFILES
 from repro.faults.harness import (
     DEFAULT_SEEDS,
+    run_channel_differential,
     run_differential,
     run_differential_suite,
 )
@@ -67,3 +68,49 @@ def test_registered_runner_reports_pass():
     assert out["passed"] == 1.0
     assert out["chaos_deadline_safe"] == 1.0
     assert out["audit_violations"] == 0.0
+
+
+class TestChannelDifferential:
+    """The channel layer joins the safety contract.
+
+    Fixed-vs-sinr: capacity-derived transfer durations must keep the
+    invariant auditor clean and audited deadline safety at 1.0 — with
+    and without a chaos profile layered on top.
+    """
+
+    def test_fixed_vs_channel_crowd_stays_safe(self):
+        case = run_channel_differential(
+            scenario="crowd", seed=0, n_devices=14, duration_s=600.0
+        )
+        assert case.passed, case.summary()
+        assert case.fixed_violations == 0
+        assert case.channel_violations == 0
+        assert case.channel_deadline_safe == 1.0
+        assert case.channel_transfers > 0
+
+    def test_fixed_vs_channel_pair_stays_safe(self):
+        case = run_channel_differential(
+            scenario="pair", seed=1, n_ues=2, periods=3
+        )
+        assert case.passed, case.summary()
+        data = case.to_dict()
+        assert data["passed"] is True
+        assert "PASS" in case.summary()
+
+    def test_chaos_under_channel_mode_stays_safe(self):
+        # The composition case: stochastic faults on top of RB
+        # contention, both legs of the chaos differential in sinr mode.
+        case = run_differential(
+            scenario="crowd", profile="mild", seed=0,
+            n_devices=12, duration_s=600.0, channel="sinr",
+        )
+        assert case.passed, case.summary()
+        assert case.chaos_deadline_safe == 1.0
+        assert case.audit_violations == 0
+
+    def test_chaos_layered_on_channel_differential(self):
+        case = run_channel_differential(
+            scenario="crowd", seed=2, n_devices=12, duration_s=600.0,
+            chaos="mild",
+        )
+        assert case.passed, case.summary()

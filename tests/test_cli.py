@@ -146,6 +146,39 @@ class TestChaosFlags:
             main(["chaos", "--profiles", "nope", "--seeds", "0"])
 
 
+class TestChannelFlags:
+    def test_pair_with_sinr_channel_prints_summary(self, capsys):
+        assert main(["pair", "--ues", "2", "--periods", "2",
+                     "--channel", "sinr"]) == 0
+        out = capsys.readouterr().out
+        assert "channel (centralized, 6 RBs)" in out
+        assert "mean SINR" in out
+
+    def test_crowd_with_channel_knobs(self, capsys):
+        assert main(["crowd", "--devices", "12", "--duration", "300",
+                     "--channel", "sinr", "--allocator", "message-passing",
+                     "--num-rbs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "channel (message-passing, 4 RBs)" in out
+
+    def test_fixed_channel_prints_no_summary(self, capsys):
+        assert main(["crowd", "--devices", "10", "--duration", "300",
+                     "--channel", "fixed"]) == 0
+        assert "channel (" not in capsys.readouterr().out
+
+    def test_shadowing_sigma_flag_accepted(self, capsys):
+        assert main(["pair", "--ues", "1", "--periods", "2",
+                     "--shadowing-sigma", "8.0"]) == 0
+
+    def test_runner_sweep_forwards_channel_params(self, capsys):
+        assert main(["sweep", "--runner", "crowd-metrics",
+                     "--param", "n_devices=10,14",
+                     "--param", "duration_s=300",
+                     "--channel", "sinr"]) == 0
+        out = capsys.readouterr().out
+        assert "channel_transfers" in out
+
+
 class TestRunnerDispatch:
     def test_sweep_runner_by_name(self, capsys):
         assert main(["sweep", "--runner", "relay-savings",

@@ -17,7 +17,7 @@ from repro.sim.engine import Simulator
 SEEDS = (0, 1, 2)
 
 
-def _run_discovery_rounds(seed, brute_force):
+def _run_discovery_rounds(seed, brute_force, tweak=None):
     """Scatter endpoints (static + mobile), run repeated interleaved scans,
     and return every (scan, peer, rssi, distance) observation in order."""
     sim = Simulator(seed=seed)
@@ -36,6 +36,8 @@ def _run_discovery_rounds(seed, brute_force):
         )
         endpoint.advertising = i % 2 == 0
         medium.register(endpoint)
+    if tweak is not None:
+        tweak(medium)
 
     observations = []
 
@@ -97,3 +99,115 @@ class TestCrowdMetricsIdentity:
         assert indexed.metrics.perf["brute_force_scans"] == 0
         assert brute.metrics.perf["brute_force_scans"] > 0
         assert brute.metrics.perf["index_queries"] == 0
+
+
+class TestScanFastPathIdentity:
+    """The discovery fast paths are accelerations, never behaviour.
+
+    Static-position memoisation and the sorted-candidate cache each have
+    a kill switch; with either (or both) off, every scan must produce
+    the identical observation stream — same peers, same RSSI draws, same
+    ordering.
+    """
+
+    @staticmethod
+    def _no_memo(medium):
+        medium._static_pos.clear()
+
+    @staticmethod
+    def _no_sorted_cache(medium):
+        medium._sorted_cache.enabled = False
+
+    def test_static_position_memo_is_pure_acceleration(self):
+        for seed in SEEDS:
+            fast, fast_events = _run_discovery_rounds(seed, brute_force=False)
+            slow, slow_events = _run_discovery_rounds(
+                seed, brute_force=False, tweak=self._no_memo
+            )
+            assert fast == slow, f"memoised scan diverged for seed {seed}"
+            assert fast_events == slow_events
+            assert fast, f"seed {seed} produced no observations (vacuous)"
+
+    def test_sorted_candidate_cache_is_pure_acceleration(self):
+        for seed in SEEDS:
+            fast, fast_events = _run_discovery_rounds(seed, brute_force=False)
+            slow, slow_events = _run_discovery_rounds(
+                seed, brute_force=False, tweak=self._no_sorted_cache
+            )
+            assert fast == slow, f"cached re-sort diverged for seed {seed}"
+            assert fast_events == slow_events
+
+    def test_fast_paths_actually_fire_in_static_crowds(self):
+        result = run_crowd_scenario(
+            n_devices=30, duration_s=120.0, seed=0, mobile_fraction=0.0
+        )
+        assert result.metrics.perf["static_position_hits"] > 0
+
+    def test_repeat_scans_hit_the_sorted_cache(self):
+        sim = Simulator(seed=0)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        for i in range(12):
+            endpoint = D2DEndpoint(
+                f"s{i}",
+                StaticMobility((float(i * 13 % 60), float(i * 7 % 60))),
+                energy=EnergyModel(owner=f"s{i}"),
+            )
+            endpoint.advertising = True
+            medium.register(endpoint)
+        for start in (0.0, 10.0, 20.0):
+            sim.schedule_at(start, medium.discover, "s0", lambda peers: None)
+        sim.run_until(30.0)
+        # First scan populates the cache; the static crowd never
+        # invalidates it, so the two repeats must be served from it.
+        assert medium.perf.sorted_cache_hits == 2
+
+    def test_memo_stays_off_for_mobile_endpoints(self):
+        sim = Simulator(seed=0)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        medium.register(
+            D2DEndpoint(
+                "mover",
+                LinearMobility((0.0, 0.0), (1.0, 0.0)),
+                energy=EnergyModel(owner="mover"),
+            )
+        )
+        medium.register(
+            D2DEndpoint(
+                "rock",
+                StaticMobility((5.0, 0.0)),
+                energy=EnergyModel(owner="rock"),
+            )
+        )
+        assert "rock" in medium._static_pos
+        assert "mover" not in medium._static_pos
+
+
+class TestChannelModeIdentity:
+    """Channel-mode runs obey the same replay and index contracts."""
+
+    def test_channel_run_replays_byte_identically(self):
+        for seed in SEEDS:
+            kwargs = dict(
+                n_devices=25, duration_s=120.0, hotspots=4,
+                mobile_fraction=0.2, seed=seed, channel="sinr",
+            )
+            first = run_crowd_scenario(**kwargs)
+            second = run_crowd_scenario(**kwargs)
+            assert (
+                first.metrics.to_comparable_dict()
+                == second.metrics.to_comparable_dict()
+            ), f"channel replay diverged for seed {seed}"
+            assert first.metrics.channel["transfers"] > 0
+
+    def test_channel_indexed_scan_matches_brute_force(self):
+        for seed in SEEDS:
+            kwargs = dict(
+                n_devices=25, duration_s=120.0, hotspots=4,
+                mobile_fraction=0.2, seed=seed, channel="sinr",
+            )
+            indexed = run_crowd_scenario(brute_force=False, **kwargs)
+            brute = run_crowd_scenario(brute_force=True, **kwargs)
+            assert (
+                indexed.metrics.to_comparable_dict()
+                == brute.metrics.to_comparable_dict()
+            ), f"channel crowd metrics diverged for seed {seed}"

@@ -18,7 +18,30 @@ from repro.experiments import (
 class TestRegistry:
     def test_every_table_and_figure_registered(self):
         assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
-                "F15", "S1", "C1"} == set(REGISTRY)
+                "F15", "S1", "C1", "X1", "X2"} == set(REGISTRY)
+
+    def test_channel_capacity_artifact_shape(self):
+        from repro.experiments import channel_capacity_vs_density
+
+        rows = channel_capacity_vs_density(
+            device_counts=(20, 60), duration_s=300.0
+        )
+        assert set(rows) == {"20 devices", "60 devices"}
+        sparse, dense = rows["20 devices"], rows["60 devices"]
+        for row in (sparse, dense):
+            assert row["transfers"] > 0
+            assert row["on_time"] == 1.0
+        # More devices in the same arena → more spectrum held.
+        assert dense["rb_utilization"] > sparse["rb_utilization"]
+
+    def test_channel_safety_artifact_shape(self):
+        from repro.experiments import channel_safety
+
+        rows = channel_safety(seeds=(0,), n_devices=10, duration_s=600.0)
+        row = rows["seed 0"]
+        assert row["passed"] == 1.0
+        assert row["deadline_safe"] == 1.0
+        assert row["fixed_violations"] == row["channel_violations"] == 0.0
 
     def test_chaos_reliability_artifact_shape(self):
         from repro.experiments import chaos_reliability

@@ -46,6 +46,25 @@ class TestCases:
         assert case.detail["scans"] > 0
         assert case.detail["speedup"] > 0
 
+    def test_channel_crowd_case_shows_contention_and_replays(self):
+        case = bench.bench_channel_crowd(
+            "tiny-channel", n_devices=60, duration_s=120.0, repeats=1
+        )
+        assert case.detail["identical_metrics"] is True
+        assert case.detail["transfers"] > 0
+        assert case.detail["rb_utilization"] > 0.0
+        assert case.detail["rate_degrades_with_density"] is True
+
+    def test_run_suite_only_selects_one_case(self):
+        report = bench.run_suite(quick=True, repeats=1, only="kernel")
+        assert list(report["cases"]) == ["kernel"]
+
+    def test_run_suite_only_unknown_case_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown bench case"):
+            bench.run_suite(quick=True, repeats=1, only="warp-drive")
+
 
 class TestReport:
     def test_write_report_uses_rev_in_filename(self, tmp_path):

@@ -1,0 +1,172 @@
+"""Property-based physics suite for the channel layer.
+
+Hypothesis pins the claims that make the SINR/resource-block model
+trustworthy as *physics* rather than arbitrary arithmetic:
+
+1. **SINR monotonicity in interferer count** — adding a co-channel
+   transmitter never improves any receiver's SINR;
+2. **SINR monotonicity in interferer distance** — pushing an interferer
+   farther away never hurts;
+3. **Shannon bound** — no granted transfer rate exceeds the
+   interference-free Shannon capacity of the same geometry (modulo the
+   explicit termination floor);
+4. **no double-booking** — under arbitrary grant/release/reap sequences
+   the pool's books stay consistent and re-granting a live lease always
+   raises;
+5. **allocator equivalence** — on instances small enough to enumerate,
+   the distributed message-passing allocator lands on assignments with
+   the same total-interference objective as the exhaustive centralized
+   one.
+
+The ``ci`` settings profile (selected via ``HYPOTHESIS_PROFILE=ci``)
+caps example counts so the suite stays inside a smoke-job budget;
+``derandomize=True`` keeps both profiles deterministic.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.allocator import (
+    CentralizedAllocator,
+    LinkRequest,
+    MessagePassingAllocator,
+    total_penalty_mw,
+)
+from repro.channel.model import ChannelConfig, ChannelModel
+from repro.channel.phy import shannon_capacity_bps, sinr_db, thermal_noise_dbm
+from repro.channel.rb import RBLease, ResourceBlockPool
+from repro.d2d.link import LinkModel
+
+settings.register_profile("default", settings(deadline=None, derandomize=True))
+settings.register_profile(
+    "ci", settings(deadline=None, derandomize=True, max_examples=25)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+LINK = LinkModel()
+NOISE_DBM = thermal_noise_dbm(180_000.0, noise_figure_db=7.0)
+
+power_dbm = st.floats(min_value=-120.0, max_value=0.0)
+interferer_lists = st.lists(power_dbm, max_size=6)
+distances = st.floats(min_value=0.5, max_value=200.0)
+coords = st.floats(min_value=0.0, max_value=300.0)
+positions = st.tuples(coords, coords)
+
+
+class TestSinrMonotonicity:
+    @given(power_dbm, interferer_lists, power_dbm)
+    def test_adding_an_interferer_never_raises_sinr(
+        self, signal, interferers, extra
+    ):
+        without = sinr_db(signal, interferers, NOISE_DBM)
+        with_extra = sinr_db(signal, interferers + [extra], NOISE_DBM)
+        assert with_extra <= without
+
+    @given(distances, distances, distances)
+    def test_pushing_an_interferer_away_never_hurts(
+        self, signal_distance, near, far
+    ):
+        near, far = sorted((near, far))
+        signal = LINK.rssi(signal_distance)
+        closer = sinr_db(signal, [LINK.rssi(near)], NOISE_DBM)
+        farther = sinr_db(signal, [LINK.rssi(far)], NOISE_DBM)
+        assert farther >= closer
+
+    @given(power_dbm, interferer_lists)
+    def test_interference_free_is_the_ceiling(self, signal, interferers):
+        assert sinr_db(signal, interferers, NOISE_DBM) <= sinr_db(
+            signal, (), NOISE_DBM
+        )
+
+
+class TestShannonBound:
+    @given(
+        distances,
+        st.lists(st.tuples(positions, positions), max_size=5),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_granted_rate_never_beats_the_solo_bound(
+        self, distance, interferer_links, payload
+    ):
+        model = ChannelModel(ChannelConfig(num_rbs=1))
+        for i, (tx, rx) in enumerate(interferer_links):
+            model.begin_transfer(f"i{i}", f"j{i}", tx, rx, payload, 0.0)
+        grant = model.begin_transfer(
+            "a", "b", (0.0, 0.0), (distance, 0.0), payload, 0.1
+        )
+        ceiling = max(model.solo_rate_bps(distance), model.config.min_rate_bps)
+        assert grant.rate_bps <= ceiling * (1 + 1e-12)
+        assert grant.airtime_s > 0.0
+
+    @given(st.floats(min_value=-40.0, max_value=60.0))
+    def test_capacity_monotone_in_sinr(self, sinr):
+        lower = shannon_capacity_bps(180_000.0, sinr - 1.0)
+        upper = shannon_capacity_bps(180_000.0, sinr)
+        assert upper >= lower >= 0.0
+
+
+pool_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["grant", "release", "reap"]),
+        st.integers(min_value=0, max_value=7),  # lease slot
+        st.integers(min_value=0, max_value=3),  # rb
+    ),
+    max_size=40,
+)
+
+
+class TestPoolBookkeeping:
+    @given(pool_ops)
+    def test_no_double_booking_under_arbitrary_op_sequences(self, ops):
+        pool = ResourceBlockPool(4)
+        now = 0.0
+        for op, slot, rb in ops:
+            now += 0.5
+            lease_id = f"lease-{slot}"
+            if op == "grant":
+                lease = RBLease(
+                    lease_id=lease_id, rb=rb, tx_id="t", rx_id="r",
+                    tx_pos=(0.0, 0.0), rx_pos=(1.0, 0.0),
+                    created_s=now, busy_until_s=now + 1.0,
+                )
+                if lease_id in pool:
+                    with pytest.raises(ValueError):
+                        pool.grant(lease, now)
+                else:
+                    pool.grant(lease, now)
+            elif op == "release":
+                pool.release(lease_id, now)
+            else:
+                pool.reap_idle(now, idle_timeout_s=3.0)
+            ok, reason = pool.audit()
+            assert ok, reason
+            assert sum(pool.occupancy()) == len(pool)
+        assert pool.grants - pool.releases == len(pool)
+
+
+small_instances = st.tuples(
+    st.lists(st.tuples(positions, positions), min_size=1, max_size=3),
+    st.integers(min_value=2, max_value=3),
+)
+
+
+class TestAllocatorEquivalence:
+    @given(small_instances)
+    def test_distributed_matches_exhaustive_objective(self, instance):
+        links, num_rbs = instance
+        requests = [
+            LinkRequest(f"l{i}", tx, rx) for i, (tx, rx) in enumerate(links)
+        ]
+        exact = CentralizedAllocator().allocate(requests, num_rbs, LINK)
+        distributed = MessagePassingAllocator().allocate(
+            requests, num_rbs, LINK
+        )
+        assert set(exact) == set(distributed) == {r.link_id for r in requests}
+        assert all(0 <= rb < num_rbs for rb in distributed.values())
+        exact_cost = total_penalty_mw(exact, requests, LINK)
+        distributed_cost = total_penalty_mw(distributed, requests, LINK)
+        assert distributed_cost == pytest.approx(
+            exact_cost, rel=1e-9, abs=1e-15
+        )
