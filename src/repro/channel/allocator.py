@@ -230,19 +230,42 @@ class MessagePassingAllocator(RBAllocator):
     Each link node ``i`` keeps a message vector toward every neighbour
     ``j`` over the block alphabet; one iteration recomputes
 
-    ``m_{i→j}(s) = min_t [ cost_ij(t, s) + Σ_{k≠j} m_{k→i}(t) ]``
+    ``m_{i→j}(s) = min_t [ cost_ij(t, s) + u_i(t) + Σ_{k≠j} m_{k→i}(t) ]``
 
     with ``cost_ij(t, s) = penalty_ij`` iff ``t == s`` (co-channel) else
-    0. Messages are damped and min-normalized; after ``max_iters`` (or
-    early convergence) each node takes the argmin of its belief. A final
-    1-opt repair sweep lets every node best-respond to the others'
-    settled choices until no node wants to move — the same local rule a
-    real distributed protocol would run, and the step that guarantees
-    optimality on the small instances the equivalence property
-    enumerates.
+    0, and ``u_i`` a tiny deterministic unary tilt (see below). The
+    inner minimum excludes ``t == s`` from the zero-cost branch — folding
+    it in would collapse every message to a constant and kill
+    propagation. Messages are damped and min-normalized; after
+    ``max_iters`` (or early convergence) the beliefs
+    ``u_i(s) + Σ_k m_{k→i}(s)`` are settled into an assignment by two
+    locally-computable readouts — every node takes its belief argmin,
+    and nodes claim blocks one at a time in belief-confidence order —
+    with the lower-objective result kept.
+
+    Because the objective is purely pairwise and symmetric under block
+    relabelling, the all-zero message state is a fixed point min-sum
+    cannot leave on its own: every block looks identical from a cold
+    start. Hasan & Hossain break that symmetry with per-RB link
+    utilities (channel gains differ across blocks); our blocks are
+    physically identical, so ``u_i`` is a vanishing stand-in — node ``i``
+    prefers block ``i mod num_rbs`` by a margin of order ``1e-3`` of the
+    largest pairwise penalty, enough to tilt the factor graph without
+    measurably moving the objective.
+
+    A final repair phase lets nodes best-respond to the others' settled
+    choices — single-node block switches, then pairwise block swaps once
+    single moves dry up — until no local move lowers the objective. Both
+    move types need only information the two participants already
+    exchange, so the fixed point is still one a distributed protocol
+    reaches; the swap moves are what rescue the frustrated instances
+    where pure 1-opt parks in a poor local optimum.
     """
 
     name = "message-passing"
+
+    #: Unary tilt magnitude relative to the largest pairwise penalty.
+    TILT_FRACTION = 1e-3
 
     def __init__(
         self,
@@ -264,14 +287,49 @@ class MessagePassingAllocator(RBAllocator):
         num_rbs: int,
         link: LinkModel,
     ) -> Dict[str, int]:
+        return self._allocate(requests, num_rbs, link, {})
+
+    def _allocate(
+        self,
+        requests: Sequence[LinkRequest],
+        num_rbs: int,
+        link: LinkModel,
+        pins: Mapping[str, int],
+    ) -> Dict[str, int]:
+        """Joint assignment; links in ``pins`` are held to their block."""
         ordered = sorted(requests, key=lambda r: r.link_id)
         n = len(ordered)
         if n == 0:
             return {}
         if n == 1 or num_rbs == 1:
-            return {r.link_id: 0 for r in ordered}
+            return {r.link_id: pins.get(r.link_id, 0) for r in ordered}
         penalty = _penalty_matrix(ordered, link)
         states = range(num_rbs)
+        locked = {
+            i for i, r in enumerate(ordered) if r.link_id in pins
+        }
+        # symmetry-breaking unary tilt: node i prefers block i % num_rbs,
+        # margin shrinking with node index so ties resolve in id order.
+        # Pinned nodes instead carry a prohibitive unary away from their
+        # block — larger than any achievable total penalty — so the
+        # consensus routes around them rather than moving them.
+        max_pen = max(max(row) for row in penalty)
+        tilt = self.TILT_FRACTION * max_pen
+        pin_cost = (1.0 + max_pen) * n * n
+        unary = [
+            (
+                [
+                    0.0 if s == pins[ordered[i].link_id] else pin_cost
+                    for s in states
+                ]
+                if i in locked
+                else [
+                    tilt * ((s - i) % num_rbs) * (n - i) / (n * num_rbs)
+                    for s in states
+                ]
+            )
+            for i in range(n)
+        ]
         # messages[i][j][s]: node i's message toward node j about state s
         messages = [
             [[0.0] * num_rbs for _ in range(n)] for _ in range(n)
@@ -282,16 +340,27 @@ class MessagePassingAllocator(RBAllocator):
             delta = 0.0
             for i in range(n):
                 incoming = [
-                    sum(messages[k][i][s] for k in range(n) if k != i)
+                    unary[i][s]
+                    + sum(messages[k][i][s] for k in range(n) if k != i)
                     for s in states
                 ]
                 for j in range(n):
                     if j == i:
                         continue
                     base = [incoming[s] - messages[j][i][s] for s in states]
-                    floor = min(base)
+                    # min over t != s of base[t]: track the two smallest so
+                    # the co-channel state s is excluded from its own
+                    # zero-cost branch (min over all t would collapse every
+                    # message to a constant and kill propagation).
+                    lo_idx = min(states, key=base.__getitem__)
+                    lo = base[lo_idx]
+                    lo2 = min(base[s] for s in states if s != lo_idx)
                     fresh = [
-                        min(floor, base[s] + penalty[i][j]) for s in states
+                        min(
+                            lo2 if s == lo_idx else lo,
+                            base[s] + penalty[i][j],
+                        )
+                        for s in states
                     ]
                     norm = min(fresh)
                     for s in states:
@@ -303,14 +372,46 @@ class MessagePassingAllocator(RBAllocator):
                         messages[i][j][s] = new
             if delta <= self.tolerance:
                 break
-        choice = []
-        for i in range(n):
-            belief = [
-                sum(messages[k][i][s] for k in range(n) if k != i)
+        beliefs = [
+            [
+                unary[i][s]
+                + sum(messages[k][i][s] for k in range(n) if k != i)
                 for s in states
             ]
-            choice.append(min(states, key=lambda s: (belief[s], s)))
-        choice = self._repair(choice, penalty, num_rbs)
+            for i in range(n)
+        ]
+        # Two locally-computable decision rules settle the beliefs into
+        # an assignment; each is polished by best-response repair and the
+        # lower-objective fixed point wins. The simultaneous argmin is
+        # the classic min-sum readout; the sequential claim (nodes pick
+        # in belief-confidence order, responding to earlier claims) is
+        # what rescues Latin-square-like geometries where every
+        # simultaneous readout is a frustrated local optimum.
+        pinned_choice = [
+            pins[ordered[i].link_id] if i in locked else None for i in range(n)
+        ]
+        argmin = self._repair(
+            [
+                pinned_choice[i]
+                if i in locked
+                else min(states, key=lambda s: (beliefs[i][s], s))
+                for i in range(n)
+            ],
+            penalty,
+            num_rbs,
+            locked,
+        )
+        claimed = self._repair(
+            self._sequential_claim(
+                beliefs, penalty, num_rbs, pinned_choice
+            ),
+            penalty,
+            num_rbs,
+            locked,
+        )
+        choice = min(
+            (argmin, claimed), key=lambda c: self._objective(c, penalty)
+        )
         return {r.link_id: rb for r, rb in zip(ordered, choice)}
 
     def pick(
@@ -323,9 +424,10 @@ class MessagePassingAllocator(RBAllocator):
         """Admit one link by joining the distributed consensus.
 
         Re-runs message passing over the live leases plus the newcomer
-        and adopts the newcomer's slot from the joint fixed point (the
-        live leases keep their actual blocks — re-allocation advice for
-        them is discarded, as in-flight airtime can't hop blocks).
+        with every live lease pinned to its actual block (in-flight
+        airtime can't hop blocks), so the joint fixed point routes the
+        newcomer around the incumbents rather than advising moves they
+        cannot make.
         """
         if not active:
             return 0
@@ -333,19 +435,79 @@ class MessagePassingAllocator(RBAllocator):
             LinkRequest(lease.lease_id, lease.tx_pos, lease.rx_pos)
             for lease in active
         ]
+        pins = {lease.lease_id: lease.rb for lease in active}
         requests.append(request)
-        joint = self.allocate(requests, num_rbs, link)
+        joint = self._allocate(requests, num_rbs, link, pins)
         return joint[request.link_id]
 
     # ------------------------------------------------------------------
-    def _repair(
-        self, choice: List[int], penalty: List[List[float]], num_rbs: int
+    @staticmethod
+    def _objective(choice: List[int], penalty: List[List[float]]) -> float:
+        """Total co-channel penalty of an assignment (the shared objective)."""
+        n = len(choice)
+        return sum(
+            penalty[i][j]
+            for i in range(n)
+            for j in range(i + 1, n)
+            if choice[i] == choice[j]
+        )
+
+    @staticmethod
+    def _sequential_claim(
+        beliefs: List[List[float]],
+        penalty: List[List[float]],
+        num_rbs: int,
+        pinned_choice: List[Optional[int]],
     ) -> List[int]:
-        """1-opt best-response sweeps until no link wants to move."""
+        """Nodes claim blocks one at a time, most-decided first.
+
+        Pinned nodes hold their block up front. Confidence is the gap
+        between a node's best and second-best belief; each claimer takes
+        the block with the least penalty toward already-claimed nodes,
+        breaking ties by its own belief, then by block index.
+        Deterministic: the claim order tie-breaks on node index.
+        """
+        n = len(beliefs)
+        states = range(num_rbs)
+        choice: List[Optional[int]] = list(pinned_choice)
+
+        def confidence(i: int) -> float:
+            top_two = sorted(beliefs[i])[:2]
+            return top_two[1] - top_two[0]
+
+        order = sorted(
+            (i for i in range(n) if choice[i] is None),
+            key=lambda i: (-confidence(i), i),
+        )
+        for i in order:
+            costs = [0.0] * num_rbs
+            for j in range(n):
+                if choice[j] is not None and j != i:
+                    costs[choice[j]] += penalty[i][j]
+            choice[i] = min(states, key=lambda s: (costs[s], beliefs[i][s], s))
+        return choice
+
+    def _repair(
+        self,
+        choice: List[int],
+        penalty: List[List[float]],
+        num_rbs: int,
+        locked: frozenset = frozenset(),
+    ) -> List[int]:
+        """Local best-response until no single move or pair swap helps.
+
+        Single-node block switches run first; once they dry up, pairwise
+        block swaps (two nodes trading blocks — each needs only the
+        other's cost row) are tried. ``locked`` nodes never move. Every
+        accepted move strictly lowers the shared objective, so the sweep
+        terminates.
+        """
         n = len(choice)
         for _ in range(4 * n):
             moved = False
             for i in range(n):
+                if i in locked:
+                    continue
                 row = penalty[i]
                 costs = [0.0] * num_rbs
                 for j in range(n):
@@ -355,6 +517,26 @@ class MessagePassingAllocator(RBAllocator):
                 if costs[best] < costs[choice[i]]:
                     choice[i] = best
                     moved = True
+            if not moved:
+                for i in range(n):
+                    if i in locked:
+                        continue
+                    for j in range(i + 1, n):
+                        if j in locked:
+                            continue
+                        a, b = choice[i], choice[j]
+                        if a == b:
+                            continue
+                        gain = 0.0
+                        for k in range(n):
+                            if k == i or k == j:
+                                continue
+                            c = choice[k]
+                            gain += penalty[i][k] * ((c == b) - (c == a))
+                            gain += penalty[j][k] * ((c == a) - (c == b))
+                        if gain < 0.0:
+                            choice[i], choice[j] = b, a
+                            moved = True
             if not moved:
                 break
         return choice

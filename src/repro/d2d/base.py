@@ -241,13 +241,12 @@ class D2DConnection:
         else:
             channel = self.medium.channel
             if channel is None:
-                airtime_scale = 1.0
                 charge_duration_s = profile.d2d_transfer_s
             else:
                 # interference-aware mode: the transfer runs at the
                 # Shannon rate the channel grants, and both sides pay
                 # energy in proportion to the actual airtime (the fixed
-                # per-message charge is calibrated at d2d_transfer_s).
+                # per-message base charge is calibrated at d2d_transfer_s).
                 grant = channel.begin_transfer(
                     sender.device_id,
                     receiver.device_id,
@@ -259,19 +258,27 @@ class D2DConnection:
                 transfer_latency_s = grant.duration_s
                 charge_duration_s = grant.duration_s
                 airtime_scale = grant.duration_s / profile.d2d_transfer_s
-            tx_uah = (
-                profile.ue_forward_cost_uah(size_bytes, distance)
-                * tech.tx_scale
-                * airtime_scale
-            )
             coalesced = (
                 now - receiver.last_data_rx_s <= profile.d2d_rx_coalesce_window_s
             )
-            rx_uah = (
-                profile.relay_receive_cost_uah(size_bytes, coalesced)
-                * tech.rx_scale
-                * airtime_scale
-            )
+            tx_full = profile.ue_forward_cost_uah(size_bytes, distance)
+            rx_full = profile.relay_receive_cost_uah(size_bytes, coalesced)
+            if channel is None:
+                tx_uah = tx_full * tech.tx_scale
+                rx_uah = rx_full * tech.rx_scale
+            else:
+                # airtime scales only the time-dependent base charge; the
+                # per-byte slope already grows with payload size, and so
+                # does the grant duration, so scaling the full cost would
+                # make energy quadratic in size.
+                tx_base = profile.ue_forward_cost_uah(0, distance)
+                rx_base = profile.relay_receive_cost_uah(0, coalesced)
+                tx_uah = (
+                    tx_base * airtime_scale + (tx_full - tx_base)
+                ) * tech.tx_scale
+                rx_uah = (
+                    rx_base * airtime_scale + (rx_full - rx_base)
+                ) * tech.rx_scale
             receiver.last_data_rx_s = now
             sender.charge(
                 EnergyPhase.D2D_FORWARD, tx_uah, now, duration_s=charge_duration_s
@@ -641,7 +648,9 @@ class D2DMedium:
             ids = [device_id for device_id in ids if device_id != requester_id]
             ids.sort(key=self._seq.__getitem__)
             self._sorted_cache.put(cache_key, stamp, ids)
-        perf.index_queries += 1
+            # counted only on the miss path: a sorted-cache hit never
+            # touches the index, so hits and queries stay disjoint.
+            perf.index_queries += 1
         perf.index_block_cache_hits = index.block_cache_hits
         perf.scan_candidates_examined += len(ids)
         endpoints = self._endpoints

@@ -335,9 +335,10 @@ def channel_capacity_vs_density(
         stats = result.metrics.channel or {}
         rows[f"{n_devices} devices"] = {
             "transfers": float(stats.get("transfers", 0)),
-            "mean_sinr_db": float(stats.get("mean_sinr_db", 0.0)),
-            "min_sinr_db": float(stats.get("min_sinr_db", 0.0)),
-            "mean_rate_bps": float(stats.get("mean_rate_bps", 0.0)),
+            # zero-transfer runs record these keys as None, not absent
+            "mean_sinr_db": float(stats.get("mean_sinr_db") or 0.0),
+            "min_sinr_db": float(stats.get("min_sinr_db") or 0.0),
+            "mean_rate_bps": float(stats.get("mean_rate_bps") or 0.0),
             "rb_utilization": float(stats.get("rb_utilization", 0.0)),
             "rb_peak_live": float(stats.get("rb_peak_live", 0)),
             "on_time": result.on_time_fraction(),

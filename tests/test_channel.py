@@ -186,6 +186,25 @@ class TestAllocators:
         allocator.allocate(_requests((0.0, 0.0), (4.0, 0.0)), 2, self.link)
         assert allocator.last_iterations >= 1
 
+    def test_contended_instance_iterates_and_matches_exhaustive(self):
+        # Six clustered links over three blocks — a regression for the
+        # broken min-sum update that collapsed every message to zero:
+        # messages must actually propagate (more than one iteration) and
+        # the settled assignment must reach the exhaustive optimum, which
+        # pure 1-opt repair from an all-zeros start provably does not
+        # (~2.5x the optimal objective on this geometry).
+        requests = _requests(
+            (0.0, 0.0), (3.0, 0.0), (6.0, 0.0),
+            (0.0, 3.0), (3.0, 3.0), (6.0, 3.0),
+        )
+        allocator = MessagePassingAllocator()
+        distributed = allocator.allocate(requests, 3, self.link)
+        assert allocator.last_iterations > 1
+        exact = CentralizedAllocator().allocate(requests, 3, self.link)
+        assert total_penalty_mw(distributed, requests, self.link) == pytest.approx(
+            total_penalty_mw(exact, requests, self.link), rel=1e-9, abs=1e-18
+        )
+
     def test_centralized_pick_avoids_the_occupied_block(self):
         pool_leases = [_lease("busy", 0, pos=(0.0, 0.0))]
         request = LinkRequest("new", (1.0, 0.0), (2.0, 0.0))
@@ -193,9 +212,9 @@ class TestAllocators:
         assert rb == 1
 
     def test_message_passing_pick_joins_a_separating_consensus(self):
-        # The distributed pick re-runs the joint consensus and adopts the
-        # newcomer's slot from it. When the newcomer leads the sorted
-        # order it is the node the consensus moves off the shared block.
+        # The distributed pick re-runs the joint consensus with live
+        # leases pinned to their actual blocks, so the newcomer is the
+        # node routed off the shared block.
         pool_leases = [_lease("zz->zz", 0, pos=(0.0, 0.0))]
         request = LinkRequest("aa->bb", (1.0, 0.0), (2.0, 0.0))
         allocator = MessagePassingAllocator()

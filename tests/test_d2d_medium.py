@@ -231,6 +231,31 @@ class TestConnection:
             costs.append(ue.energy.phase_uah(EnergyPhase.D2D_FORWARD))
         assert costs[1] > costs[0] * 2
 
+    def test_channel_mode_scales_base_charge_not_per_byte_slope(self, sim):
+        # Channel-mode billing: airtime scales only the time-dependent
+        # base cost; the per-byte component stays unscaled. Scaling the
+        # full cost would compound two size-dependent factors (slope and
+        # grant duration) into energy quadratic in payload size.
+        from repro.channel.model import ChannelModel
+
+        channel = ChannelModel()
+        medium = D2DMedium(sim, WIFI_DIRECT, channel=channel)
+        ue = make_endpoint("ue")
+        relay = make_endpoint("relay", (1.0, 0.0), advertising=True)
+        medium.register(ue)
+        medium.register(relay)
+        holder = []
+        medium.connect("ue", "relay", holder.append)
+        sim.run_until(5.0)
+        size = 5000
+        holder[0].send("ue", size, "x")
+        duration = channel.config.overhead_s + channel.stats.sum_airtime_s
+        scale = duration / DEFAULT_PROFILE.d2d_transfer_s
+        tx_base = DEFAULT_PROFILE.ue_forward_cost_uah(0, 1.0)
+        tx_full = DEFAULT_PROFILE.ue_forward_cost_uah(size, 1.0)
+        expected = (tx_base * scale + (tx_full - tx_base)) * WIFI_DIRECT.tx_scale
+        assert ue.energy.phase_uah(EnergyPhase.D2D_FORWARD) == pytest.approx(expected)
+
     def test_control_messages_use_ack_charge(self, sim, medium):
         ue, relay, connection = self._pair(sim, medium)
         connection.send("relay", 24, "ack", control=True)
