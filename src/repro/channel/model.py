@@ -20,7 +20,7 @@ byte-identically from ``(scenario, seed)``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.channel.allocator import (
     LinkRequest,
@@ -67,6 +67,29 @@ class ChannelConfig:
             raise ValueError("min_rate_bps must be positive")
         if self.overhead_s < 0 or self.lease_idle_timeout_s < 0:
             raise ValueError("timing knobs must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkEstimate:
+    """What :meth:`ChannelModel.estimate_link` predicts for one geometry.
+
+    A pure query — nothing is leased, billed, or recorded. ``sinr_db`` /
+    ``rate_bps`` are the *best* the link could get across the RB
+    alphabet against the co-channel leases live right now (what an
+    admission would roughly see); the ``solo_*`` fields are the
+    interference-free ceiling for the same geometry.
+    """
+
+    solo_sinr_db: float
+    solo_rate_bps: float
+    sinr_db: float
+    rate_bps: float
+    #: Payload+framing bits over the contended rate.
+    airtime_s: float
+    #: ``overhead_s + airtime_s`` — the predicted billable duration.
+    duration_s: float
+    #: Live co-channel leases on the best block.
+    interferers: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -132,6 +155,30 @@ class ChannelModel:
         self._noise_dbm = thermal_noise_dbm(
             self.config.rb_bandwidth_hz, self.config.noise_figure_db
         )
+        #: Optional ``(device_id, t) -> Position | None`` hook the medium
+        #: installs so SINR evaluation can read co-channel transmitters'
+        #: *current* positions instead of the ones frozen into their
+        #: leases at their last transfer. ``None`` (standalone use) keeps
+        #: lease positions as-is; so does a resolver returning ``None``
+        #: for an unknown device. Deterministic as long as the resolver
+        #: is (analytic mobility models are), so replay identity holds.
+        self.position_resolver: Optional[
+            Callable[[str, float], Optional[Position]]
+        ] = None
+
+    # ------------------------------------------------------------------
+    def _refresh_lease_positions(self, now: float) -> None:
+        """Move every live lease's endpoints to their current positions."""
+        resolver = self.position_resolver
+        if resolver is None:
+            return
+        for lease in self.pool.live_leases():
+            tx = resolver(lease.tx_id, now)
+            if tx is not None:
+                lease.tx_pos = tx
+            rx = resolver(lease.rx_id, now)
+            if rx is not None:
+                lease.rx_pos = rx
 
     # ------------------------------------------------------------------
     def solo_sinr_db(self, distance_m: float) -> float:
@@ -143,6 +190,74 @@ class ChannelModel:
         granted rate may exceed this for the same geometry."""
         return shannon_capacity_bps(
             self.config.rb_bandwidth_hz, self.solo_sinr_db(distance_m)
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_link(
+        self,
+        tx_pos: Position,
+        rx_pos: Position,
+        payload_bytes: int = 0,
+        now: Optional[float] = None,
+    ) -> LinkEstimate:
+        """Cheap per-link quality query for relay selection.
+
+        Predicts what a transfer over ``tx_pos -> rx_pos`` would get
+        *without* touching any state: no lease is admitted, no idle
+        lease reaped, no stats recorded, and live leases are read (at
+        their current positions when a resolver and ``now`` are given)
+        but never mutated. The contended figure evaluates the SINR
+        against the live co-channel occupancy of every block and keeps
+        the best — the least-interfered block an admission could land
+        on. O(num_rbs × live leases) and RNG-free, so calling it any
+        number of times cannot perturb a replay.
+        """
+        cfg = self.config
+        distance = distance_between(tx_pos, rx_pos)
+        signal_dbm = self.link.rssi(distance)
+        solo_sinr = sinr_db(signal_dbm, (), self._noise_dbm)
+        solo_rate = shannon_capacity_bps(cfg.rb_bandwidth_hz, solo_sinr)
+
+        resolver = self.position_resolver if now is not None else None
+        per_rb_interferers: Dict[int, List[float]] = {}
+        for lease in self.pool.live_leases():
+            other_tx = lease.tx_pos
+            if resolver is not None:
+                assert now is not None
+                resolved = resolver(lease.tx_id, now)
+                if resolved is not None:
+                    other_tx = resolved
+            per_rb_interferers.setdefault(lease.rb, []).append(
+                self.link.rssi(distance_between(other_tx, rx_pos))
+            )
+
+        best_sinr = solo_sinr
+        best_interferers = 0
+        for rb in range(cfg.num_rbs):
+            interferer_dbms = per_rb_interferers.get(rb, [])
+            if not interferer_dbms:
+                best_sinr = solo_sinr
+                best_interferers = 0
+                break
+            sinr = sinr_db(signal_dbm, interferer_dbms, self._noise_dbm)
+            if rb == 0 or sinr > best_sinr:
+                best_sinr = sinr
+                best_interferers = len(interferer_dbms)
+
+        rate = max(
+            shannon_capacity_bps(cfg.rb_bandwidth_hz, best_sinr),
+            cfg.min_rate_bps,
+        )
+        bits = (payload_bytes + cfg.protocol_overhead_bytes) * 8
+        airtime = bits / rate
+        return LinkEstimate(
+            solo_sinr_db=solo_sinr,
+            solo_rate_bps=solo_rate,
+            sinr_db=best_sinr,
+            rate_bps=rate,
+            airtime_s=airtime,
+            duration_s=cfg.overhead_s + airtime,
+            interferers=best_interferers,
         )
 
     # ------------------------------------------------------------------
@@ -158,6 +273,9 @@ class ChannelModel:
         """Grant airtime for one transfer on the directed link's lease."""
         cfg = self.config
         self.pool.reap_idle(now, cfg.lease_idle_timeout_s)
+        # Interferer SINR must see where co-channel transmitters are *now*,
+        # not where they were at their own last transfer.
+        self._refresh_lease_positions(now)
 
         lease_id = f"{sender_id}->{receiver_id}"
         lease = self.pool.get(lease_id)

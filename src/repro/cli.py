@@ -92,6 +92,7 @@ def _cmd_pair(args: argparse.Namespace) -> int:
         chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
         channel=args.channel, allocator=args.allocator,
         num_rbs=args.num_rbs, shadowing_sigma_db=args.shadowing_sigma,
+        selection_policy=args.selection_policy,
     )
     base = run_relay_scenario(
         n_ues=args.ues, distance_m=args.distance, periods=args.periods,
@@ -123,6 +124,7 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
         chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
         channel=args.channel, allocator=args.allocator,
         num_rbs=args.num_rbs, shadowing_sigma_db=args.shadowing_sigma,
+        selection_policy=args.selection_policy,
     )
     base = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
@@ -212,6 +214,7 @@ def _cmd_runner_sweep(args: argparse.Namespace) -> int:
         ("allocator", "allocator"),
         ("num_rbs", "num_rbs"),
         ("shadowing_sigma", "shadowing_sigma_db"),
+        ("selection_policy", "selection_policy"),
     ):
         value = getattr(args, flag, None)
         if value is not None and param in accepted and param not in grid:
@@ -601,6 +604,13 @@ def _add_channel_flags(parser: argparse.ArgumentParser) -> None:
         "--shadowing-sigma", type=float, default=None, metavar="DB",
         help="override the link model's lognormal shadowing sigma (dB), "
              "the Zafaruddin et al. fading-regime axis")
+    parser.add_argument(
+        "--selection-policy", default=None,
+        choices=["distance", "rate", "hybrid"],
+        help="relay ranking: 'distance' (the paper's shortest-distance "
+             "rule, default), 'rate' (highest channel-predicted rate) or "
+             "'hybrid' (rate near-tie group, shortest distance inside); "
+             "rate/hybrid need --channel sinr")
 
 
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:

@@ -11,11 +11,26 @@ The matcher therefore:
 
 1. keeps only peers advertising the relay role with capacity remaining;
 2. estimates pair distance from discovery RSSI;
-3. predicts the session duration from distance and relative speed (time
-   until the pair drifts out of range);
+3. predicts the session duration from distance and relative speed — the
+   true UE↔candidate relative speed when velocities are wired through
+   (a co-moving pair drifts apart slowly no matter how fast both walk);
 4. runs the energy prejudgment: the predicted beats carried during that
-   session must make D2D cheaper than cellular for the UE;
-5. ranks survivors by distance (shortest first) and returns the best.
+   session must make D2D cheaper than cellular for the UE — with the
+   per-beat forward cost derived from the channel-predicted airtime
+   when a channel model is attached and a channel-aware policy is on;
+5. ranks survivors by the configured ``selection_policy`` and returns
+   the best:
+
+   - ``"distance"`` — shortest RSSI-estimated distance (the paper's
+     rule); candidates within ``distance_tie_m`` of the minimum count
+     as tied and the tie breaks toward the highest advertised GO intent.
+   - ``"rate"`` — highest channel-predicted rate, then distance.
+   - ``"hybrid"`` — candidates within ``rate_tie_fraction`` of the best
+     predicted rate form the head group; the shortest distance inside
+     it wins (distance near-ties still break by GO intent).
+
+   ``rate``/``hybrid`` silently degrade to ``distance`` when no channel
+   model is attached (fixed-cost mode has no per-link rates to rank by).
 """
 
 from __future__ import annotations
@@ -25,8 +40,12 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.modes import d2d_session_beneficial
-from repro.d2d.base import D2DTechnology, PeerInfo
+from repro.d2d.base import D2DMedium, D2DTechnology, PeerInfo
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.mobility.space import Position
+
+#: The ``MatchConfig.selection_policy`` alphabet.
+SELECTION_POLICIES = ("distance", "rate", "hybrid")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,8 +70,29 @@ class MatchConfig:
     #: GO intent (= the emptier collection buffer) — the load-balancing
     #: effect of Sec. IV-C's decaying groupOwnerIntend.
     prefer_fresh_relays: bool = True
-    #: Distances within this of each other count as a near-tie.
+    #: Distances within this of the *minimum* distance count as a near-tie.
     distance_tie_m: float = 1.0
+    #: How survivors are ranked: ``"distance"`` (the paper's shortest-
+    #: distance rule), ``"rate"`` (highest channel-predicted rate) or
+    #: ``"hybrid"`` (rate near-tie group, then shortest distance). The
+    #: channel-aware policies also switch the prejudgment to rate-derived
+    #: airtime; both need a channel model attached to the medium and
+    #: degrade to ``"distance"`` without one.
+    selection_policy: str = "distance"
+    #: ``hybrid``: predicted rates within this fraction of the best count
+    #: as tied, and distance decides inside the group.
+    rate_tie_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.selection_policy not in SELECTION_POLICIES:
+            raise ValueError(
+                f"unknown selection_policy {self.selection_policy!r}; "
+                f"known: {list(SELECTION_POLICIES)}"
+            )
+        if not 0.0 <= self.rate_tie_fraction < 1.0:
+            raise ValueError(
+                f"rate_tie_fraction must be in [0,1), got {self.rate_tie_fraction}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +104,10 @@ class RelayCandidate:
     capacity_remaining: int
     predicted_session_s: float
     predicted_beats: int
+    #: Channel-predicted contended rate / per-beat airtime for this link;
+    #: ``None`` when no channel model informed the evaluation.
+    predicted_rate_bps: Optional[float] = None
+    predicted_airtime_s: Optional[float] = None
 
 
 class RelayMatcher:
@@ -74,16 +118,75 @@ class RelayMatcher:
         technology: D2DTechnology,
         profile: EnergyProfile = DEFAULT_PROFILE,
         config: MatchConfig = MatchConfig(),
+        medium: Optional[D2DMedium] = None,
     ) -> None:
         self.technology = technology
         self.profile = profile
         self.config = config
+        #: The medium supplies per-candidate mobility (true relative
+        #: speeds) and the channel handle (per-link rate estimates);
+        #: without it the matcher falls back to the config's scalar
+        #: defaults and distance-only ranking.
+        self.medium = medium
         # statistics
         self.candidates_seen = 0
         self.rejected_role = 0
         self.rejected_capacity = 0
         self.rejected_distance = 0
         self.rejected_prejudgment = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def channel(self):
+        """The attached channel model, or ``None`` in fixed-cost mode."""
+        return self.medium.channel if self.medium is not None else None
+
+    def _peer_endpoint(self, device_id: str):
+        if self.medium is None:
+            return None
+        try:
+            return self.medium.endpoint(device_id)
+        except KeyError:
+            return None
+
+    def _relative_speed(
+        self,
+        peer: PeerInfo,
+        relative_speed_m_per_s: Optional[float],
+        own_velocity: Optional[Tuple[float, float]],
+        now: Optional[float],
+    ) -> Optional[float]:
+        """True UE↔candidate relative speed when velocities are known.
+
+        Falls back to the caller's scalar (legacy/standalone use), then
+        to the config default inside :meth:`predict_session_s`.
+        """
+        if own_velocity is not None and now is not None:
+            endpoint = self._peer_endpoint(peer.device_id)
+            if endpoint is not None:
+                return relative_speed(own_velocity, endpoint.mobility.velocity(now))
+        return relative_speed_m_per_s
+
+    def _estimate_link(
+        self,
+        peer: PeerInfo,
+        beat_bytes: int,
+        own_position: Optional[Position],
+        now: Optional[float],
+    ):
+        """Channel prediction for this pair, or ``None`` when the policy
+        is distance-only or the geometry/channel is unavailable."""
+        if self.config.selection_policy == "distance":
+            return None
+        channel = self.channel
+        if channel is None or own_position is None or now is None:
+            return None
+        endpoint = self._peer_endpoint(peer.device_id)
+        if endpoint is None:
+            return None
+        return channel.estimate_link(
+            own_position, endpoint.position(now), beat_bytes, now=now
+        )
 
     # ------------------------------------------------------------------
     def predict_session_s(
@@ -109,8 +212,19 @@ class RelayMatcher:
         beat_period_s: float,
         beat_bytes: int,
         relative_speed_m_per_s: Optional[float] = None,
+        now: Optional[float] = None,
+        own_position: Optional[Position] = None,
+        own_velocity: Optional[Tuple[float, float]] = None,
     ) -> Optional[RelayCandidate]:
-        """Apply all filters to one peer; ``None`` if it must be skipped."""
+        """Apply all filters to one peer; ``None`` if it must be skipped.
+
+        ``now``/``own_position``/``own_velocity`` are the caller's live
+        kinematic context: with them the matcher computes the true
+        per-candidate relative speed and (for channel-aware policies)
+        queries the channel model for this link's predicted rate.
+        Without them it behaves like the standalone matcher of old —
+        scalar relative speed, fixed-airtime prejudgment.
+        """
         self.candidates_seen += 1
         advertisement = peer.advertisement
         if advertisement.get("role") != "relay":
@@ -124,8 +238,15 @@ class RelayMatcher:
         if distance > self.config.max_pair_distance_m:
             self.rejected_distance += 1
             return None
-        session_s = self.predict_session_s(distance, relative_speed_m_per_s)
+        speed = self._relative_speed(
+            peer, relative_speed_m_per_s, own_velocity, now
+        )
+        session_s = self.predict_session_s(distance, speed)
         predicted_beats = min(capacity, max(0, int(session_s / beat_period_s)))
+        estimate = self._estimate_link(peer, beat_bytes, own_position, now)
+        airtime_scale = 1.0
+        if estimate is not None and self.profile.d2d_transfer_s > 0:
+            airtime_scale = estimate.duration_s / self.profile.d2d_transfer_s
         if self.config.prejudgment_enabled:
             if predicted_beats == 0 or not d2d_session_beneficial(
                 self.profile,
@@ -138,6 +259,7 @@ class RelayMatcher:
                     self.technology.discovery_scale + self.technology.connection_scale
                 )
                 / 2.0,
+                airtime_scale=airtime_scale,
             ):
                 self.rejected_prejudgment += 1
                 return None
@@ -147,6 +269,8 @@ class RelayMatcher:
             capacity_remaining=capacity,
             predicted_session_s=session_s,
             predicted_beats=max(predicted_beats, 1),
+            predicted_rate_bps=estimate.rate_bps if estimate else None,
+            predicted_airtime_s=estimate.airtime_s if estimate else None,
         )
 
     def select(
@@ -155,35 +279,64 @@ class RelayMatcher:
         beat_period_s: float,
         beat_bytes: int,
         relative_speed_m_per_s: Optional[float] = None,
+        now: Optional[float] = None,
+        own_position: Optional[Position] = None,
+        own_velocity: Optional[Tuple[float, float]] = None,
     ) -> Optional[RelayCandidate]:
-        """Best relay among ``peers``: shortest distance, with near-ties
-        broken toward the freshest (highest GO intent) relay, or ``None``.
+        """Best relay among ``peers`` under the configured policy, or
+        ``None`` when every peer is filtered out.
         """
         candidates: List[RelayCandidate] = []
         for peer in peers:
             candidate = self.evaluate(
-                peer, beat_period_s, beat_bytes, relative_speed_m_per_s
+                peer, beat_period_s, beat_bytes, relative_speed_m_per_s,
+                now=now, own_position=own_position, own_velocity=own_velocity,
             )
             if candidate is not None:
                 candidates.append(candidate)
         if not candidates:
             return None
+
+        policy = self.config.selection_policy
+        have_rates = all(c.predicted_rate_bps is not None for c in candidates)
+        if policy == "rate" and have_rates:
+            candidates.sort(
+                key=lambda c: (-c.predicted_rate_bps, c.distance_m,
+                               c.peer.device_id)
+            )
+            return candidates[0]
+        if policy == "hybrid" and have_rates:
+            # rate near-tie group first, shortest distance inside it
+            best_rate = max(c.predicted_rate_bps for c in candidates)
+            threshold = best_rate * (1.0 - self.config.rate_tie_fraction)
+            candidates = [
+                c for c in candidates if c.predicted_rate_bps >= threshold
+            ]
+        return self._best_by_distance(candidates)
+
+    def _best_by_distance(
+        self, candidates: List[RelayCandidate]
+    ) -> RelayCandidate:
+        """Shortest distance; candidates within ``distance_tie_m`` of the
+        minimum are tied and the highest GO intent wins among them."""
+        d_min = min(c.distance_m for c in candidates)
         if self.config.prefer_fresh_relays:
             tie = self.config.distance_tie_m
 
             def key(candidate: RelayCandidate):
-                bucket = round(candidate.distance_m / tie) if tie > 0 else (
-                    candidate.distance_m
+                in_group = candidate.distance_m - d_min <= tie
+                intent = (
+                    int(candidate.peer.advertisement.get("go_intent", 0))
+                    if in_group
+                    else 0
                 )
-                intent = int(candidate.peer.advertisement.get("go_intent", 0))
-                return (bucket, -intent, candidate.distance_m,
+                return (not in_group, -intent, candidate.distance_m,
                         candidate.peer.device_id)
         else:
             def key(candidate: RelayCandidate):
                 return (candidate.distance_m, candidate.peer.device_id)
 
-        candidates.sort(key=key)
-        return candidates[0]
+        return min(candidates, key=key)
 
 
 def relative_speed(

@@ -34,12 +34,28 @@ def d2d_session_cost_uah(
     size_bytes: int = STANDARD_HEARTBEAT_BYTES,
     tech_tx_scale: float = 1.0,
     tech_overhead_scale: float = 1.0,
+    airtime_scale: float = 1.0,
 ) -> float:
-    """UE-side cost of a D2D session carrying ``expected_beats`` beats."""
+    """UE-side cost of a D2D session carrying ``expected_beats`` beats.
+
+    ``airtime_scale`` rescales the *time-dependent base* of the per-beat
+    forward charge (predicted transfer duration over the calibrated
+    ``d2d_transfer_s``) — the same split the channel-mode billing in
+    :meth:`repro.d2d.base.D2DConnection.send` applies, so a channel-aware
+    prejudgment predicts the energy that run would actually bill. The
+    per-byte slope is airtime-independent by construction.
+    """
     if expected_beats < 0:
         raise ValueError(f"expected_beats must be non-negative: {expected_beats}")
+    if airtime_scale < 0:
+        raise ValueError(f"airtime_scale must be non-negative: {airtime_scale}")
     overhead = (profile.ue_discovery_uah + profile.ue_connection_uah) * tech_overhead_scale
-    per_beat = profile.ue_forward_cost_uah(size_bytes, distance_m) * tech_tx_scale
+    full = profile.ue_forward_cost_uah(size_bytes, distance_m)
+    if airtime_scale == 1.0:
+        per_beat = full * tech_tx_scale
+    else:
+        base = profile.ue_forward_cost_uah(0, distance_m)
+        per_beat = (base * airtime_scale + (full - base)) * tech_tx_scale
     return overhead + expected_beats * per_beat
 
 
@@ -62,16 +78,20 @@ def d2d_session_beneficial(
     margin: float = 1.0,
     tech_tx_scale: float = 1.0,
     tech_overhead_scale: float = 1.0,
+    airtime_scale: float = 1.0,
 ) -> bool:
     """Whether the UE saves energy by using D2D for this session.
 
     ``margin`` < 1.0 demands the D2D cost beat cellular by a factor (used
     to be conservative when the session-length estimate is shaky).
+    ``airtime_scale`` feeds a channel-predicted transfer duration into
+    the per-beat cost (see :func:`d2d_session_cost_uah`).
     """
     if expected_beats == 0:
         return False
     d2d = d2d_session_cost_uah(
-        profile, expected_beats, distance_m, size_bytes, tech_tx_scale, tech_overhead_scale
+        profile, expected_beats, distance_m, size_bytes, tech_tx_scale,
+        tech_overhead_scale, airtime_scale,
     )
     cellular = cellular_session_cost_uah(profile, expected_beats, size_bytes)
     return d2d <= cellular * margin

@@ -71,7 +71,8 @@ class UEAgent:
             self.monitor.register_app(extra, phase_fraction=start_phase_fraction)
         self.detector = D2DDetector(self.sim, device.device_id, device.d2d_medium)
         self.matcher = RelayMatcher(
-            device.d2d_medium.technology, device.profile, match_config
+            device.d2d_medium.technology, device.profile, match_config,
+            medium=device.d2d_medium,
         )
         self.feedback = FeedbackTracker(
             self.sim,
@@ -141,12 +142,7 @@ class UEAgent:
             candidates = [
                 peer for peer in cached if peer.device_id != self._avoid_relay_id
             ]
-            choice = self.matcher.select(
-                candidates,
-                beat_period_s=self.app.heartbeat_period_s,
-                beat_bytes=self.app.heartbeat_bytes,
-                relative_speed_m_per_s=self.device.mobility.speed(self.sim.now),
-            )
+            choice = self._match(candidates)
             if choice is not None:
                 self.cache_failovers += 1
                 self._connect_to(choice)
@@ -161,15 +157,28 @@ class UEAgent:
             if not self.detector.join_scan(self._on_peers):
                 self._search_failed()
 
-    def _on_peers(self, peers: List[PeerInfo]) -> None:
-        if not self.device.alive:
-            return
-        candidate = self.matcher.select(
+    def _match(self, peers: List[PeerInfo]) -> Optional[RelayCandidate]:
+        """Run the matcher with this UE's live kinematic context.
+
+        Passing the UE's own velocity (not its scalar speed — that made
+        the session prediction reject co-moving pairs) lets the matcher
+        compute the true relative speed per candidate; position and time
+        let channel-aware policies query per-link rate estimates.
+        """
+        now = self.sim.now
+        return self.matcher.select(
             peers,
             beat_period_s=self.app.heartbeat_period_s,
             beat_bytes=self.app.heartbeat_bytes,
-            relative_speed_m_per_s=self.device.mobility.speed(self.sim.now),
+            now=now,
+            own_position=self.device.mobility.position(now),
+            own_velocity=self.device.mobility.velocity(now),
         )
+
+    def _on_peers(self, peers: List[PeerInfo]) -> None:
+        if not self.device.alive:
+            return
+        candidate = self._match(peers)
         if candidate is None:
             self._search_failed()
             return

@@ -419,6 +419,12 @@ class D2DMedium:
         self.brute_force = brute_force
         self.index_refresh_s = index_refresh_s
         self.channel = channel
+        if channel is not None:
+            # SINR evaluation reads co-channel transmitters' *current*
+            # positions through this hook instead of the stale ones their
+            # leases recorded at their own last transfer. Mobility models
+            # are analytic, so the hook keeps channel mode replayable.
+            channel.position_resolver = self._channel_position
         self.perf = PerfCounters()
         self._endpoints: Dict[str, D2DEndpoint] = {}
         #: device_id → fixed position for endpoints whose mobility model
@@ -491,6 +497,13 @@ class D2DMedium:
             return self._endpoints[device_id]
         except KeyError:
             raise KeyError(f"no endpoint registered for {device_id!r}") from None
+
+    def _channel_position(self, device_id: str, t: float) -> Optional[Position]:
+        """Current position of a device for the channel's SINR refresh
+        (``None`` for ids the medium no longer knows, e.g. after tests
+        drop endpoints — the lease then keeps its last-known position)."""
+        endpoint = self._endpoints.get(device_id)
+        return None if endpoint is None else endpoint.position(t)
 
     def power_off(self, device_id: str) -> None:
         """Device died: drop its endpoint state and break its connections."""

@@ -108,6 +108,7 @@ def _run_scenario(
     n_devices: int,
     duration_s: float,
     channel: Optional[str] = None,
+    selection_policy: Optional[str] = None,
 ):
     from repro import scenarios
 
@@ -120,6 +121,7 @@ def _run_scenario(
             chaos_seed=chaos_seed,
             audit=True,
             channel=channel,
+            selection_policy=selection_policy,
         )
     if scenario == "crowd":
         return scenarios.run_crowd_scenario(
@@ -130,6 +132,7 @@ def _run_scenario(
             chaos_seed=chaos_seed,
             audit=True,
             channel=channel,
+            selection_policy=selection_policy,
         )
     raise ValueError(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
 
@@ -143,22 +146,25 @@ def run_differential(
     n_devices: int = 12,
     duration_s: float = 900.0,
     channel: Optional[str] = None,
+    selection_policy: Optional[str] = None,
 ) -> DifferentialCase:
     """One differential case: audited baseline vs audited chaos run.
 
     ``channel="sinr"`` runs *both* legs under the interference-aware
     capacity layer, asserting the safety contract also holds when
-    capacity-derived transfer durations replace the fixed constants.
+    capacity-derived transfer durations replace the fixed constants;
+    ``selection_policy`` additionally applies one of the matcher's
+    relay-selection policies (``"rate"``/``"hybrid"``) to both legs.
     """
     resolved = resolve_profile(profile)
     assert resolved is not None
     baseline = _run_scenario(
         scenario, seed, None, None, n_ues, periods, n_devices, duration_s,
-        channel=channel,
+        channel=channel, selection_policy=selection_policy,
     )
     chaotic = _run_scenario(
         scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s,
-        channel=channel,
+        channel=channel, selection_policy=selection_policy,
     )
     baseline_violations = (
         len(baseline.audit_report.violations) if baseline.audit_report else 0
@@ -252,21 +258,28 @@ def run_channel_differential(
     n_devices: int = 12,
     duration_s: float = 900.0,
     chaos: Optional[Union[str, ChaosProfile]] = None,
+    selection_policy: Optional[str] = None,
 ) -> ChannelDifferentialCase:
     """Audited fixed-cost run vs audited ``channel="sinr"`` run.
 
     With ``chaos`` set, both legs additionally run under that fault
     profile — the composition case (link flaps + RB contention) the
-    chaos/channel interaction tests gate on.
+    chaos/channel interaction tests gate on. ``selection_policy``
+    applies a matcher relay-selection policy to the channel leg only
+    (the fixed leg has no channel model, so channel-aware policies fall
+    back to distance there by construction) — the differential that
+    shows channel-aware selection preserves the delivery contract.
     """
     resolved = resolve_profile(chaos) if chaos is not None else None
     fixed = _run_scenario(
         scenario, seed, resolved, seed if resolved else None,
         n_ues, periods, n_devices, duration_s, channel=None,
+        selection_policy=selection_policy,
     )
     channel = _run_scenario(
         scenario, seed, resolved, seed if resolved else None,
         n_ues, periods, n_devices, duration_s, channel="sinr",
+        selection_policy=selection_policy,
     )
     fixed_violations = (
         len(fixed.audit_report.violations) if fixed.audit_report else 0

@@ -302,6 +302,22 @@ def _spread_phases(n: int, low: float = 0.3, high: float = 0.8) -> List[float]:
     return [low + i * step for i in range(n)]
 
 
+def _apply_selection_policy(
+    match_config: Optional[MatchConfig], selection_policy: Optional[str]
+) -> Optional[MatchConfig]:
+    """Overlay the scalar ``selection_policy`` knob onto a match config.
+
+    The scalar exists so picklable grid runners and the CLI can select a
+    policy without constructing (unpicklable-through-argv) dataclasses;
+    ``None`` leaves the config untouched.
+    """
+    if selection_policy is None:
+        return match_config
+    return dataclasses.replace(
+        match_config or MatchConfig(), selection_policy=selection_policy
+    )
+
+
 def run_relay_scenario(
     n_ues: int = 1,
     distance_m: float = 1.0,
@@ -329,6 +345,7 @@ def run_relay_scenario(
     allocator: str = "centralized",
     num_rbs: int = 6,
     shadowing_sigma_db: Optional[float] = None,
+    selection_policy: Optional[str] = None,
 ) -> ScenarioResult:
     """The paper's bench rig: one relay, ``n_ues`` UEs at ``distance_m``.
 
@@ -353,6 +370,7 @@ def run_relay_scenario(
         raise ValueError(f"mode must be 'd2d' or 'original', got {mode!r}")
     if heartbeat_bytes is not None:
         app = dataclasses.replace(app, heartbeat_bytes=heartbeat_bytes)
+    match_config = _apply_selection_policy(match_config, selection_policy)
     context = build_network(
         seed=seed,
         profile=profile,
@@ -511,17 +529,25 @@ def crowd_metrics_runner(
     allocator: str = "centralized",
     num_rbs: int = 6,
     shadowing_sigma_db: Optional[float] = None,
+    selection_policy: Optional[str] = None,
+    heartbeat_period_s: Optional[float] = None,
+    audit: Optional[bool] = None,
 ) -> Dict[str, float]:
     """Grid runner: one crowd run → plain scalar metrics.
 
     Picklable like :func:`relay_savings_runner`. ``hotspots=None`` scales
     the cluster count with the crowd (one per ~20 devices, at least two),
     so a single runner covers a whole device-count axis. The channel
-    knobs (``channel``/``allocator``/``num_rbs``/``shadowing_sigma_db``)
-    are plain scalars for the same picklability reason.
+    knobs (``channel``/``allocator``/``num_rbs``/``shadowing_sigma_db``/
+    ``selection_policy``) are plain scalars for the same picklability
+    reason; ``audit=True`` runs the invariant auditor and reports its
+    violation count even without chaos.
     """
     if hotspots is None:
         hotspots = max(2, n_devices // 20)
+    app = STANDARD_APP
+    if heartbeat_period_s is not None:
+        app = dataclasses.replace(app, heartbeat_period_s=heartbeat_period_s)
     result = run_crowd_scenario(
         n_devices=n_devices,
         relay_fraction=relay_fraction,
@@ -530,12 +556,15 @@ def crowd_metrics_runner(
         hotspots=hotspots,
         seed=seed,
         mode=mode,
+        app=app,
         chaos=chaos_profile,
         chaos_seed=chaos_seed,
         channel=channel,
         allocator=allocator,
         num_rbs=num_rbs,
         shadowing_sigma_db=shadowing_sigma_db,
+        selection_policy=selection_policy,
+        audit=audit,
     )
     delivery = result.metrics.delivery
     out = {
@@ -545,7 +574,7 @@ def crowd_metrics_runner(
         "total_l3": float(result.total_l3()),
         "system_uah": result.system_energy_uah(),
     }
-    if chaos_profile is not None:
+    if chaos_profile is not None or result.audit_report is not None:
         out["audit_violations"] = float(
             len(result.audit_report.violations) if result.audit_report else 0
         )
@@ -664,6 +693,7 @@ def run_crowd_scenario(
     allocator: str = "centralized",
     num_rbs: int = 6,
     shadowing_sigma_db: Optional[float] = None,
+    selection_policy: Optional[str] = None,
 ) -> ScenarioResult:
     """A dense crowd: the signaling-storm setting of the paper's Sec. I.
 
@@ -684,6 +714,7 @@ def run_crowd_scenario(
         raise ValueError(f"mode must be 'd2d' or 'original', got {mode!r}")
     if relay_selection not in ("roundrobin", "greedy", "random"):
         raise ValueError(f"unknown relay_selection {relay_selection!r}")
+    match_config = _apply_selection_policy(match_config, selection_policy)
     arena = arena or Arena(60.0, 60.0)
     context = build_network(
         seed=seed,

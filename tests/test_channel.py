@@ -377,3 +377,118 @@ class TestScenarioIntegration:
         sinr_ctx = build_network(channel="sinr", shadowing_sigma_db=9.5)
         # The channel model shares the (overridden) link curve.
         assert sinr_ctx.medium.channel.link.shadowing_sigma_db == 9.5
+
+
+class TestLinkEstimate:
+    """`estimate_link` — the pure query feeding channel-aware selection."""
+
+    def test_empty_channel_estimate_matches_the_solo_bound(self):
+        model = ChannelModel()
+        est = model.estimate_link((0.0, 0.0), (5.0, 0.0), 100)
+        assert est.interferers == 0
+        assert est.sinr_db == pytest.approx(model.solo_sinr_db(5.0))
+        assert est.rate_bps == pytest.approx(model.solo_rate_bps(5.0))
+        assert est.solo_rate_bps == pytest.approx(est.rate_bps)
+        bits = (100 + model.config.protocol_overhead_bytes) * 8
+        assert est.airtime_s == pytest.approx(bits / est.rate_bps)
+        assert est.duration_s == pytest.approx(
+            model.config.overhead_s + est.airtime_s
+        )
+
+    def test_estimate_sees_live_co_channel_interference(self):
+        # One block only: the live lease must show up as an interferer.
+        model = ChannelModel(ChannelConfig(num_rbs=1))
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        est = model.estimate_link((10.0, 0.0), (15.0, 0.0), 100)
+        assert est.interferers == 1
+        assert est.sinr_db < est.solo_sinr_db
+        assert est.rate_bps < est.solo_rate_bps
+
+    def test_estimate_prefers_an_empty_block(self):
+        # Six blocks, one occupied: the estimate lands on a free one and
+        # predicts the interference-free figure.
+        model = ChannelModel()
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        est = model.estimate_link((10.0, 0.0), (15.0, 0.0), 100)
+        assert est.interferers == 0
+        assert est.rate_bps == pytest.approx(est.solo_rate_bps)
+
+    def test_estimate_rate_never_below_the_floor(self):
+        model = ChannelModel(ChannelConfig(num_rbs=1, min_rate_bps=1000.0))
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        # victim receiver right next to the live transmitter
+        est = model.estimate_link((1000.0, 0.0), (0.05, 0.0), 100)
+        assert est.rate_bps >= 1000.0
+        assert math.isfinite(est.duration_s)
+
+    def test_estimate_is_pure(self):
+        # Any number of estimates must not lease, reap, bill, or record.
+        model = ChannelModel(ChannelConfig(lease_idle_timeout_s=2.0))
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        before = (
+            model.pool.grants,
+            model.pool.releases,
+            len(model.pool.live_leases()),
+            model.stats.transfers,
+        )
+        for i in range(25):
+            # far past the idle timeout: a stateful path would reap the lease
+            model.estimate_link((10.0, 0.0), (15.0, 0.0), 100, now=100.0 + i)
+        after = (
+            model.pool.grants,
+            model.pool.releases,
+            len(model.pool.live_leases()),
+            model.stats.transfers,
+        )
+        assert after == before
+
+
+class TestLeasePositionRefresh:
+    """Regression: interferer SINR used positions frozen at *their* last
+    transfer. With a position resolver installed, live-lease endpoints
+    follow the devices, so a later transfer sees co-channel transmitters
+    where they are now — and `begin_transfer` refreshes the victim's own
+    stale lease the same way."""
+
+    @staticmethod
+    def _tracked(model, positions):
+        model.position_resolver = lambda device_id, now: positions.get(device_id)
+        return model
+
+    def test_interferer_position_tracks_the_resolver(self):
+        positions = {"a": (0.0, 0.0), "b": (5.0, 0.0)}
+        stale = ChannelModel(ChannelConfig(num_rbs=1))
+        fresh = self._tracked(ChannelModel(ChannelConfig(num_rbs=1)), positions)
+        for model in (stale, fresh):
+            model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        # "a" wanders right next to the new victim receiver "d"...
+        positions["a"] = (100.0, 0.0)
+        grant_stale = stale.begin_transfer(
+            "c", "d", (95.0, 0.0), (100.0, 1.0), 100, 1.0
+        )
+        grant_fresh = fresh.begin_transfer(
+            "c", "d", (95.0, 0.0), (100.0, 1.0), 100, 1.0
+        )
+        # ...so the refreshed model sees a much louder interferer.
+        assert grant_fresh.sinr_db < grant_stale.sinr_db
+
+    def test_estimate_link_resolves_interferer_positions(self):
+        positions = {"a": (0.0, 0.0), "b": (5.0, 0.0)}
+        model = self._tracked(ChannelModel(ChannelConfig(num_rbs=1)), positions)
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        far = model.estimate_link((95.0, 0.0), (100.0, 1.0), 100, now=1.0)
+        positions["a"] = (100.0, 0.0)
+        near = model.estimate_link((95.0, 0.0), (100.0, 1.0), 100, now=1.0)
+        assert near.sinr_db < far.sinr_db
+        # without `now` the estimate reads the lease as-is (no resolver)
+        stale = model.estimate_link((95.0, 0.0), (100.0, 1.0), 100)
+        assert stale.sinr_db == pytest.approx(far.sinr_db)
+
+    def test_unknown_devices_keep_their_lease_positions(self):
+        model = ChannelModel(ChannelConfig(num_rbs=1))
+        model.position_resolver = lambda device_id, now: None
+        model.begin_transfer("a", "b", (0.0, 0.0), (5.0, 0.0), 100, 0.0)
+        grant = model.begin_transfer(
+            "c", "d", (10.0, 0.0), (15.0, 0.0), 100, 1.0
+        )
+        assert grant.interferers == 1  # resolver returning None is benign

@@ -114,3 +114,31 @@ class TestChannelDifferential:
             chaos="mild",
         )
         assert case.passed, case.summary()
+
+
+class TestSelectionPolicyDifferential:
+    """Channel-aware relay selection joins the safety contract: ranking
+    by predicted rate (or hybrid) must keep the invariant auditor clean
+    and audited deadline safety at 1.0 in every leg — fixed-cost,
+    sinr, and sinr-under-chaos."""
+
+    def test_fixed_vs_channel_with_rate_selection_stays_safe(self):
+        case = run_channel_differential(
+            scenario="crowd", seed=0, n_devices=14, duration_s=600.0,
+            selection_policy="rate",
+        )
+        assert case.passed, case.summary()
+        assert case.fixed_violations == 0
+        assert case.channel_violations == 0
+        assert case.channel_deadline_safe == 1.0
+        assert case.channel_transfers > 0
+
+    def test_chaos_under_hybrid_selection_stays_safe(self):
+        case = run_differential(
+            scenario="crowd", profile="mild", seed=1,
+            n_devices=12, duration_s=600.0, channel="sinr",
+            selection_policy="hybrid",
+        )
+        assert case.passed, case.summary()
+        assert case.chaos_deadline_safe == 1.0
+        assert case.audit_violations == 0

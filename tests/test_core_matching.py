@@ -128,3 +128,139 @@ class TestRelativeSpeed:
 
     def test_parallel_motion_is_zero(self):
         assert relative_speed((1.0, 1.0), (1.0, 1.0)) == 0.0
+
+
+class TestDistanceTieSemantics:
+    """Regression: tie groups are anchored at the *minimum* distance.
+
+    The old implementation bucketed ``round(distance / distance_tie_m)``,
+    so two candidates 0.02 m apart could land in different buckets (1.49
+    rounds to 1, 1.51 to 2) and never tie — and banker's rounding made
+    group membership parity-dependent. The documented semantics is
+    "within ``distance_tie_m`` of each other": a candidate ties iff its
+    distance is within ``distance_tie_m`` of the closest one.
+    """
+
+    def test_near_equal_distances_tie_across_old_bucket_boundary(self, matcher):
+        # 1.49 vs 1.51 with tie=1.0: old round() buckets 1 vs 2 → no tie,
+        # "worse" (slightly nearer, low-intent) candidate won.
+        peers = [
+            peer("low-intent", distance=1.49, go_intent=1),
+            peer("high-intent", distance=1.51, go_intent=14),
+        ]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "high-intent"
+
+    def test_candidate_beyond_tie_window_never_ties(self, matcher):
+        # 2.5 is more than distance_tie_m=1.0 from the 1.0 minimum: no
+        # amount of GO intent may override the shortest-distance rule.
+        peers = [
+            peer("near", distance=1.0, go_intent=0),
+            peer("far-fresh", distance=2.5, go_intent=15),
+        ]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "near"
+
+    def test_tie_window_is_anchored_at_minimum_not_chained(self, matcher):
+        # 1.0/1.9/2.8: each neighbour pair is within 1.0 m but 2.8 is not
+        # within 1.0 m of the minimum — only {1.0, 1.9} form the group.
+        peers = [
+            peer("a", distance=1.0, go_intent=0),
+            peer("b", distance=1.9, go_intent=5),
+            peer("c", distance=2.8, go_intent=15),
+        ]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "b"
+
+
+class TestSelectionPolicyConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="selection_policy"):
+            MatchConfig(selection_policy="fastest")
+
+    def test_rate_tie_fraction_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="rate_tie_fraction"):
+            MatchConfig(rate_tie_fraction=1.0)
+        with pytest.raises(ValueError, match="rate_tie_fraction"):
+            MatchConfig(rate_tie_fraction=-0.1)
+
+    def test_channel_policies_without_channel_fall_back_to_distance(self):
+        # no medium → no channel → rate policy degrades to nearest-wins
+        matcher = RelayMatcher(
+            WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig(selection_policy="rate")
+        )
+        peers = [peer("far", distance=8.0), peer("near", distance=1.0)]
+        best = matcher.select(peers, 270.0, 54, relative_speed_m_per_s=0.0)
+        assert best.peer.device_id == "near"
+        assert best.predicted_rate_bps is None
+
+
+class _StubEndpoint:
+    def __init__(self, mobility):
+        self.mobility = mobility
+
+    def position(self, t):
+        return self.mobility.position(t)
+
+
+class _StubMedium:
+    """Just enough of the D2DMedium surface for the matcher: endpoint
+    lookup plus an (absent) channel handle."""
+
+    channel = None
+
+    def __init__(self, endpoints):
+        self._endpoints = endpoints
+
+    def endpoint(self, device_id):
+        return self._endpoints[device_id]
+
+
+class TestRelativeSpeedWiring:
+    """Regression: the UE used to pass its own absolute speed as the
+    *relative* speed — a co-moving pair (same velocity, near-zero drift)
+    looked like it was separating at walking pace and was rejected."""
+
+    BEAT_PERIOD = 270.0
+
+    def _matcher_with(self, relay_velocity):
+        from repro.mobility.models import LinearMobility
+
+        medium = _StubMedium({
+            "relay-0": _StubEndpoint(LinearMobility((16.0, 0.0), relay_velocity)),
+        })
+        return RelayMatcher(WIFI_DIRECT, DEFAULT_PROFILE, MatchConfig(),
+                            medium=medium)
+
+    def test_co_moving_pair_accepted_despite_high_own_speed(self):
+        # Both walk at 1.4 m/s in the same direction, 15 m apart. The old
+        # call sites passed speed(now)=1.4 as relative speed → rejected
+        # (see test_fast_moving_pair_rejected at 5 m/s; 1.4 m/s at 15 m
+        # predicts too few beats to amortize the D2D overhead too).
+        matcher = self._matcher_with((1.4, 0.0))
+        candidate = matcher.select(
+            [peer(distance=15.0)], self.BEAT_PERIOD, 54,
+            now=0.0, own_position=(1.0, 0.0), own_velocity=(1.4, 0.0),
+        )
+        assert candidate is not None
+        assert candidate.predicted_session_s == pytest.approx(3600.0)
+
+    def test_scalar_speed_of_same_magnitude_rejects(self):
+        # The pre-fix behaviour, reproduced explicitly: a scalar relative
+        # speed equal to the own walking speed kills the same candidate.
+        matcher = self._matcher_with((1.4, 0.0))
+        candidate = matcher.select(
+            [peer(distance=15.0)], self.BEAT_PERIOD, 54,
+            relative_speed_m_per_s=1.4,
+        )
+        assert candidate is None
+
+    def test_opposing_motion_still_rejected_with_velocities(self):
+        # The fix must not blunt the prejudgment: genuinely separating
+        # pairs (opposite velocities → 2.8 m/s relative) stay rejected.
+        matcher = self._matcher_with((-1.4, 0.0))
+        candidate = matcher.select(
+            [peer(distance=15.0)], self.BEAT_PERIOD, 54,
+            now=0.0, own_position=(1.0, 0.0), own_velocity=(1.4, 0.0),
+        )
+        assert candidate is None

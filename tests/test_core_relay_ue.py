@@ -215,3 +215,61 @@ class TestMultiUE:
         # 4 UE beats + 1 own beat in a single cellular transmission
         assert rig.relay_device.modem.sends == 1
         assert len(rig.server.records) == 5
+
+
+class CoMovingRig(Rig):
+    """Relay + UE walking together at ``speed`` m/s, ``distance`` m apart."""
+
+    def __init__(self, speed=1.4, distance=15.0, seed=0):
+        self.speed = speed
+        super().__init__(n_ues=1, distance=distance, seed=seed)
+
+    def _phone(self, device_id, position, role):
+        from repro.mobility.models import LinearMobility
+
+        return Smartphone(
+            self.sim,
+            device_id,
+            mobility=LinearMobility(position, (self.speed, 0.0)),
+            role=role,
+            ledger=self.ledger,
+            basestation=self.basestation,
+            d2d_medium=self.medium,
+        )
+
+
+class TestCoMovingPair:
+    """Regression for the relative-speed call-site bug: the UE passed its
+    own absolute speed as the matcher's *relative* speed, so a pair
+    walking together — zero actual drift — looked like it was separating
+    at walking pace and the prejudgment rejected the relay."""
+
+    def test_co_moving_ue_pairs_and_forwards(self):
+        rig = CoMovingRig(speed=1.4, distance=15.0)
+        rig.sim.run_until(T)
+        ue = rig.ues[0]
+        assert ue.state == UEState.CONNECTED
+        assert ue.relay_id == "relay-0"
+        assert ue.beats_forwarded == 1
+        assert ue.cellular_sends == 0
+
+    def test_old_scalar_behaviour_rejects_the_same_geometry(self):
+        # Pin that the fixture is a real discriminator: the same distance
+        # with the same *scalar* speed fed to the matcher (the pre-fix
+        # behaviour) fails prejudgment.
+        rig = CoMovingRig(speed=1.4, distance=15.0)
+        peers_seen = {}
+
+        def probe(peers):
+            peers_seen["peers"] = list(peers)
+
+        ue = rig.ues[0]
+        rig.sim.schedule_at(1.0, lambda: ue.detector.discover(probe))
+        rig.sim.run_until(30.0)
+        [relay_peer] = [
+            p for p in peers_seen["peers"] if p.device_id == "relay-0"
+        ]
+        assert ue.matcher.evaluate(
+            relay_peer, T, STANDARD_APP.heartbeat_bytes,
+            relative_speed_m_per_s=rig.speed,
+        ) is None

@@ -211,3 +211,48 @@ class TestChannelModeIdentity:
                 indexed.metrics.to_comparable_dict()
                 == brute.metrics.to_comparable_dict()
             ), f"channel crowd metrics diverged for seed {seed}"
+
+
+class TestChannelAwareSelectionIdentity:
+    """Channel-aware selection policies keep every replay contract: the
+    pure `estimate_link` queries consume no RNG, so a `rate`/`hybrid` run
+    replays byte-identically, survives the indexed-vs-brute-force swap,
+    and the distance policy stays byte-identical to a run that never
+    computed an estimate at all."""
+
+    KWARGS = dict(
+        n_devices=25, duration_s=120.0, hotspots=4,
+        mobile_fraction=0.2, channel="sinr",
+    )
+
+    def test_rate_policy_replays_byte_identically(self):
+        for seed in SEEDS:
+            kwargs = dict(self.KWARGS, seed=seed, selection_policy="rate")
+            first = run_crowd_scenario(**kwargs)
+            second = run_crowd_scenario(**kwargs)
+            assert (
+                first.metrics.to_comparable_dict()
+                == second.metrics.to_comparable_dict()
+            ), f"rate-policy replay diverged for seed {seed}"
+            assert first.metrics.channel["transfers"] > 0
+
+    def test_hybrid_policy_indexed_scan_matches_brute_force(self):
+        for seed in SEEDS:
+            kwargs = dict(self.KWARGS, seed=seed, selection_policy="hybrid")
+            indexed = run_crowd_scenario(brute_force=False, **kwargs)
+            brute = run_crowd_scenario(brute_force=True, **kwargs)
+            assert (
+                indexed.metrics.to_comparable_dict()
+                == brute.metrics.to_comparable_dict()
+            ), f"hybrid-policy metrics diverged for seed {seed}"
+
+    def test_explicit_distance_policy_is_the_default(self):
+        # selection_policy="distance" must be a pure spelling of the
+        # default — same RNG draws, same metrics, byte for byte.
+        kwargs = dict(self.KWARGS, seed=0)
+        implicit = run_crowd_scenario(**kwargs)
+        explicit = run_crowd_scenario(selection_policy="distance", **kwargs)
+        assert (
+            implicit.metrics.to_comparable_dict()
+            == explicit.metrics.to_comparable_dict()
+        )

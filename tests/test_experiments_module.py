@@ -18,7 +18,7 @@ from repro.experiments import (
 class TestRegistry:
     def test_every_table_and_figure_registered(self):
         assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
-                "F15", "S1", "C1", "X1", "X2"} == set(REGISTRY)
+                "F15", "S1", "C1", "X1", "X2", "X3"} == set(REGISTRY)
 
     def test_channel_capacity_artifact_shape(self):
         from repro.experiments import channel_capacity_vs_density
@@ -42,6 +42,24 @@ class TestRegistry:
         assert row["passed"] == 1.0
         assert row["deadline_safe"] == 1.0
         assert row["fixed_violations"] == row["channel_violations"] == 0.0
+
+    def test_channel_selection_artifact_shape(self):
+        from repro.experiments import channel_selection_policies
+
+        rows = channel_selection_policies(
+            policies=("distance", "rate"), sigmas_db=(8.0,),
+            n_devices=120, duration_s=300.0,
+        )
+        assert set(rows) == {"sigma 8 dB / distance", "sigma 8 dB / rate"}
+        for row in rows.values():
+            assert row["transfers"] > 0
+            assert row["on_time"] == 1.0
+        # The X3 claim at high shadowing: channel-aware selection beats
+        # distance-only mean delivered rate.
+        assert (
+            rows["sigma 8 dB / rate"]["mean_rate_bps"]
+            > rows["sigma 8 dB / distance"]["mean_rate_bps"]
+        )
 
     def test_chaos_reliability_artifact_shape(self):
         from repro.experiments import chaos_reliability

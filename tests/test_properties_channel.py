@@ -170,3 +170,53 @@ class TestAllocatorEquivalence:
         assert distributed_cost == pytest.approx(
             exact_cost, rel=1e-9, abs=1e-15
         )
+
+
+class TestEstimateBound:
+    """`estimate_link` honours the same physics as granted transfers:
+    the predicted (contended) rate never beats the interference-free
+    Shannon bound for its geometry, so channel-aware relay selection can
+    never be lured by an impossible rate."""
+
+    @given(
+        distances,
+        st.lists(st.tuples(positions, positions), max_size=5),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_estimated_rate_never_beats_the_solo_bound(
+        self, distance, interferer_links, payload, num_rbs
+    ):
+        model = ChannelModel(ChannelConfig(num_rbs=num_rbs))
+        for i, (tx, rx) in enumerate(interferer_links):
+            model.begin_transfer(f"i{i}", f"j{i}", tx, rx, payload, 0.0)
+        est = model.estimate_link((0.0, 0.0), (distance, 0.0), payload, now=0.1)
+        ceiling = max(model.solo_rate_bps(distance), model.config.min_rate_bps)
+        assert est.rate_bps <= ceiling * (1 + 1e-12)
+        assert est.rate_bps <= max(est.solo_rate_bps, model.config.min_rate_bps) * (
+            1 + 1e-12
+        )
+        assert est.sinr_db <= est.solo_sinr_db + 1e-9
+        assert est.airtime_s > 0.0
+        assert est.duration_s >= est.airtime_s
+
+    @given(
+        distances,
+        st.lists(st.tuples(positions, positions), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_estimate_agrees_with_an_immediate_grant_on_one_block(
+        self, distance, interferer_links, payload
+    ):
+        # On a single block the best-RB search degenerates to "the" block,
+        # so the pure estimate must predict exactly what an immediate
+        # admission is then granted.
+        model = ChannelModel(ChannelConfig(num_rbs=1))
+        for i, (tx, rx) in enumerate(interferer_links):
+            model.begin_transfer(f"i{i}", f"j{i}", tx, rx, payload, 0.0)
+        est = model.estimate_link((0.0, 0.0), (distance, 0.0), payload, now=0.1)
+        grant = model.begin_transfer(
+            "a", "b", (0.0, 0.0), (distance, 0.0), payload, 0.1
+        )
+        assert grant.rate_bps == pytest.approx(est.rate_bps)
+        assert grant.sinr_db == pytest.approx(est.sinr_db)
