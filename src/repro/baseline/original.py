@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.cellular.rrc import RrcProfile, WCDMA_PROFILE
+from repro.core.fallback import CellularFallbackSender
 from repro.core.monitor import MessageMonitor
 from repro.device import Smartphone
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
@@ -35,6 +36,7 @@ class OriginalSystem:
         self.devices: Dict[str, Smartphone] = {}
         self.monitors: Dict[str, MessageMonitor] = {}
         self.sends_by_device: Dict[str, int] = {}
+        self.fallback_senders: Dict[str, CellularFallbackSender] = {}
         for device in devices:
             self.add_device(device, phase_fraction=phase_fraction)
 
@@ -46,6 +48,7 @@ class OriginalSystem:
             raise ValueError(f"duplicate device {device.device_id}")
         self.devices[device.device_id] = device
         self.sends_by_device[device.device_id] = 0
+        self.fallback_senders[device.device_id] = CellularFallbackSender(device)
         monitor = MessageMonitor(
             device.sim,
             device.device_id,
@@ -55,11 +58,13 @@ class OriginalSystem:
         self.monitors[device.device_id] = monitor
 
     def _make_sender(self, device: Smartphone):
+        sender = self.fallback_senders[device.device_id]
+
         def send(message: PeriodicMessage) -> None:
             if not device.alive:
                 return
             self.sends_by_device[device.device_id] += 1
-            device.modem.send(message.size_bytes, payload=message)
+            sender.send(message)
 
         return send
 

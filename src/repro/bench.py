@@ -19,6 +19,11 @@ Cases
   ``--quick``): 500 devices, every endpoint advertising, a scan every
   5 s per device. Indexed vs brute-force, same identity check; the
   speedup here is the O(N) → O(local density) story at full size.
+- ``crowd-300-ran-chaos`` — audited 300-device crowd under the
+  ``paging-storm`` RAN chaos profile (skipped in ``--quick``): pins the
+  degraded-RAN event counts, the fallback protocol's retry/drop
+  accounting, the outage-aware deadline-safe fraction, and the
+  replay-identity of chaotic runs.
 
 Timing discipline: every timed run repeats ``repeats`` times and keeps
 the **minimum** wall time per mode — the standard way to strip scheduler
@@ -348,6 +353,77 @@ def bench_channel_selection(
     )
 
 
+def bench_ran_chaos(
+    name: str,
+    n_devices: int,
+    duration_s: float,
+    repeats: int,
+    profile: str = "paging-storm",
+    chaos_seed: int = 2,
+) -> CaseResult:
+    """Audited crowd under RAN chaos: the degraded-RAN cost, pinned.
+
+    A 300-device crowd runs with the ``paging-storm`` profile layered on
+    (brown-outs, paging-channel storms, injected RRC rejects) and the
+    invariant auditor live. The run executes twice with identical inputs
+    and the two :class:`RunMetrics` must match exactly — the
+    replay-from-``(scenario, profile, seed)`` contract extended to the
+    cellular fault domain. The detail pins the RAN event counts, the
+    degraded-mode protocol's retry/detach/drop accounting, the
+    outage-aware deadline-safe fraction, and audit cleanliness.
+    """
+
+    def run():
+        return run_crowd_scenario(
+            n_devices=n_devices,
+            relay_fraction=0.2,
+            duration_s=duration_s,
+            arena=Arena(500.0, 500.0),
+            hotspots=12,
+            seed=0,
+            chaos=profile,
+            # seed 2, not 0: the storm processes' first exponential
+            # arrivals must land inside the 300 s horizon or the case
+            # pins a vacuous no-chaos run
+            chaos_seed=chaos_seed,
+            audit=True,
+        )
+
+    wall, first = _best_of(run, repeats)
+    replay = run()
+    identical = _identical(first.metrics, replay.metrics)
+    faults = first.metrics.faults
+    report = first.audit_report
+    chaos_report = first.chaos_report
+    return CaseResult(
+        name=name,
+        wall_s=wall,
+        detail={
+            "n_devices": n_devices,
+            "profile": profile,
+            "identical_metrics": identical,
+            "chaos_events": len(chaos_report.events) if chaos_report else 0,
+            "bs_outages": faults.bs_outages if faults else 0,
+            "bs_brownouts": faults.bs_brownouts if faults else 0,
+            "pages_injected": faults.pages_injected if faults else 0,
+            "pages_failed": faults.pages_failed if faults else 0,
+            "uplinks_rejected": faults.uplinks_rejected if faults else 0,
+            "cellular_retries": faults.cellular_retries if faults else 0,
+            "detaches": faults.detaches if faults else 0,
+            "reattaches": faults.reattaches if faults else 0,
+            "beats_dropped": (
+                faults.beats_dropped_stale
+                + faults.beats_dropped_overflow
+                + faults.beats_dropped_retries
+            ) if faults else 0,
+            "beats_buffered_end": faults.beats_buffered_end if faults else 0,
+            "deadline_safe": faults.deadline_safe_fraction if faults else None,
+            "audit_violations": len(report.violations) if report else None,
+            "audit_clean": bool(report is not None and report.ok),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
@@ -396,6 +472,12 @@ def run_suite(
             "crowd-500-selection",
             n_devices=500,
             duration_s=240.0,
+            repeats=repeats,
+        )),
+        ("crowd-300-ran-chaos", True, lambda: bench_ran_chaos(
+            "crowd-300-ran-chaos",
+            n_devices=300,
+            duration_s=300.0,
             repeats=repeats,
         )),
     ]

@@ -24,7 +24,7 @@ from repro.cellular.rrc import (
     WCDMA_PROFILE,
 )
 from repro.cellular.modem import CellularModem, UplinkResult
-from repro.cellular.basestation import BaseStation
+from repro.cellular.basestation import BaseStation, RanState
 from repro.cellular.paging import PageAttempt, PagingChannel, PagingConfig
 from repro.cellular.network import Cell, CellularNetwork, CombinedLedger
 
@@ -43,6 +43,7 @@ __all__ = [
     "CellularModem",
     "UplinkResult",
     "BaseStation",
+    "RanState",
     "PageAttempt",
     "PagingChannel",
     "PagingConfig",

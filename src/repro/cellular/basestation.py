@@ -4,10 +4,20 @@ The operator-side view of the signaling storm: the base station receives
 every uplink, forwards payloads to attached sinks (the IM server model),
 and exposes control-channel load metrics — offered layer-3 rate, peak
 windowed rate, and a storm flag against a configurable capacity.
+
+The cell is also a fault domain. :class:`RanState` models the serving
+cell's health: ``UP`` (normal), ``BROWNOUT`` (degraded signaling capacity
+and elevated attach latency — uplinks may be rejected for congestion or
+by an injected RRC-rejection gate), and ``DOWN`` (hard outage — every
+uplink is rejected). The chaos engine drives the state machine;
+modems consult :meth:`BaseStation.admit_uplink` before spending RRC
+signaling, and the degraded-mode fallback senders probe
+:meth:`BaseStation.accepts_signaling` to decide when to reattach.
 """
 
 from __future__ import annotations
 
+import enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cellular.signaling import SignalingLedger
@@ -15,6 +25,17 @@ from repro.sim.engine import Simulator
 
 #: Sink signature: (time_s, device_id, payload_bytes, payload) -> None
 UplinkSink = Callable[[float, str, int, Any], None]
+
+#: Listener signature: (time_s, old_state, new_state) -> None
+RanStateListener = Callable[[float, "RanState", "RanState"], None]
+
+
+class RanState(str, enum.Enum):
+    """Health of the serving cell's radio access network."""
+
+    UP = "up"
+    BROWNOUT = "brownout"
+    DOWN = "down"
 
 
 class BaseStation:
@@ -47,16 +68,141 @@ class BaseStation:
         self.core_latency_s = core_latency_s
         self.control_channel_capacity = control_channel_capacity_msgs_per_s
         self._sinks: List[UplinkSink] = []
+        # RAN health state machine
+        self.ran_state = RanState.UP
+        self.brownout_capacity_factor = 1.0
+        self.brownout_extra_setup_s = 0.0
+        #: Admission window for brown-out congestion control (seconds).
+        self.admission_window_s = 1.0
+        #: Injected RRC connection-reject gate (installed by chaos);
+        #: called with the device id, returns True to reject the attempt.
+        self.rrc_reject_gate: Optional[Callable[[str], bool]] = None
+        self._ran_listeners: List[RanStateListener] = []
+        self._admitted_times: List[float] = []
+        #: Closed/open outage intervals as ``[down_at, up_at_or_None]``.
+        self.outage_intervals: List[List[Optional[float]]] = []
         # statistics
         self.uplinks = 0
         self.bytes_received = 0
         self.uplinks_by_device: Dict[str, int] = {}
         self._uplink_times: List[float] = []
+        self.uplinks_rejected = 0
+        self.rejections_by_cause: Dict[str, int] = {}
+        self.rrc_rejections = 0
+        self.outage_count = 0
+        self.brownout_count = 0
+        self.outage_time_s = 0.0
 
     # ------------------------------------------------------------------
     def attach_sink(self, sink: UplinkSink) -> None:
         """Register a payload consumer (e.g. an IM server)."""
         self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # RAN health state machine
+    # ------------------------------------------------------------------
+    def subscribe_ran(self, listener: RanStateListener) -> None:
+        """Register a callback fired on every RAN state transition."""
+        self._ran_listeners.append(listener)
+
+    def _set_ran_state(self, new_state: RanState) -> None:
+        old = self.ran_state
+        if new_state is old:
+            return
+        now = self.sim.now
+        if new_state is RanState.DOWN:
+            self.outage_count += 1
+            self.outage_intervals.append([now, None])
+        elif old is RanState.DOWN:
+            if self.outage_intervals and self.outage_intervals[-1][1] is None:
+                self.outage_intervals[-1][1] = now
+                self.outage_time_s += now - self.outage_intervals[-1][0]
+        self.ran_state = new_state
+        for listener in self._ran_listeners:
+            listener(now, old, new_state)
+
+    def outage(self) -> None:
+        """Hard outage: the cell stops admitting any uplink."""
+        self._set_ran_state(RanState.DOWN)
+
+    def brownout(
+        self,
+        capacity_factor: float = 0.5,
+        extra_setup_s: float = 0.0,
+    ) -> None:
+        """Degrade the cell: reduced signaling capacity, slower attach.
+
+        A brown-out never pre-empts an ongoing hard outage — callers that
+        want that must :meth:`restore` first.
+        """
+        if not 0.0 < capacity_factor <= 1.0:
+            raise ValueError(
+                f"capacity_factor must be in (0, 1], got {capacity_factor}"
+            )
+        if extra_setup_s < 0:
+            raise ValueError(f"extra_setup_s must be >= 0, got {extra_setup_s}")
+        if self.ran_state is RanState.DOWN:
+            return
+        self.brownout_capacity_factor = capacity_factor
+        self.brownout_extra_setup_s = extra_setup_s
+        self.brownout_count += 1
+        self._set_ran_state(RanState.BROWNOUT)
+
+    def restore(self) -> None:
+        """Return the cell to full health."""
+        self.brownout_capacity_factor = 1.0
+        self.brownout_extra_setup_s = 0.0
+        self._admitted_times.clear()
+        self._set_ran_state(RanState.UP)
+
+    def accepts_signaling(self) -> bool:
+        """Cheap broadcast-channel probe: is the cell attachable at all?
+
+        Degraded-mode senders poll this while detached; it is True in
+        ``BROWNOUT`` (the cell is reachable, merely slow/lossy).
+        """
+        return self.ran_state is not RanState.DOWN
+
+    def extra_setup_delay_s(self) -> float:
+        """Additional RRC promotion latency imposed by the current state."""
+        if self.ran_state is RanState.BROWNOUT:
+            return self.brownout_extra_setup_s
+        return 0.0
+
+    def _reject(self, cause: str) -> str:
+        self.uplinks_rejected += 1
+        self.rejections_by_cause[cause] = self.rejections_by_cause.get(cause, 0) + 1
+        return cause
+
+    def admit_uplink(self, device_id: str) -> Optional[str]:
+        """Admission control consulted by modems before RRC signaling.
+
+        Returns ``None`` when the uplink may proceed, otherwise the
+        rejection cause: ``"ran-down"`` (hard outage), ``"rrc-reject"``
+        (injected connection reject), or ``"ran-congested"`` (the
+        brown-out capacity window is full). In the ``UP`` state this is
+        allocation-free and always admits, so healthy runs are
+        byte-identical with or without the fault domain.
+        """
+        if self.ran_state is RanState.UP:
+            return None
+        if self.ran_state is RanState.DOWN:
+            return self._reject("ran-down")
+        # BROWNOUT: injected RRC rejects first, then windowed capacity.
+        if self.rrc_reject_gate is not None and self.rrc_reject_gate(device_id):
+            self.rrc_rejections += 1
+            return self._reject("rrc-reject")
+        now = self.sim.now
+        window = self.admission_window_s
+        cutoff = now - window
+        admitted = self._admitted_times
+        while admitted and admitted[0] < cutoff:
+            admitted.pop(0)
+        cap = self.control_channel_capacity * self.brownout_capacity_factor * window
+        if len(admitted) >= max(1.0, cap):
+            return self._reject("ran-congested")
+        admitted.append(now)
+        return None
 
     def deliver_uplink(self, device_id: str, payload_bytes: int, payload: Any) -> None:
         """Called by a modem when its transmission completes on the air."""

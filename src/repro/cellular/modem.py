@@ -20,7 +20,13 @@ from repro.sim.engine import Simulator
 
 @dataclasses.dataclass
 class UplinkResult:
-    """Outcome of one uplink transmission."""
+    """Outcome of one uplink transmission.
+
+    Exactly one of ``delivered_at_s`` / ``rejected_at_s`` is ever set. A
+    rejection means the serving cell refused the uplink (hard outage,
+    brown-out congestion, or an injected RRC connection reject) — the
+    payload never reached the network and ``on_delivered`` never fires.
+    """
 
     device_id: str
     payload_bytes: int
@@ -28,10 +34,16 @@ class UplinkResult:
     delivered_at_s: Optional[float] = None
     setup_was_needed: Optional[bool] = None
     payload: Any = None
+    rejected_at_s: Optional[float] = None
+    reject_cause: Optional[str] = None
 
     @property
     def delivered(self) -> bool:
         return self.delivered_at_s is not None
+
+    @property
+    def rejected(self) -> bool:
+        return self.rejected_at_s is not None
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -81,11 +93,19 @@ class CellularModem:
             ledger=ledger,
             on_tail_elapsed=self._charge_tail,
             on_fach_elapsed=self._charge_fach,
+            promotion_delay_fn=self._promotion_penalty_s,
         )
         # statistics
         self.sends = 0
         self.bytes_sent = 0
         self.aggregated_sends = 0  # sends that skipped setup (radio was hot)
+        self.sends_rejected = 0
+
+    def _promotion_penalty_s(self) -> float:
+        """Extra RRC promotion latency imposed by a browned-out cell."""
+        if self.basestation is None:
+            return 0.0
+        return self.basestation.extra_setup_delay_s()
 
     # ------------------------------------------------------------------
     def send(
@@ -93,11 +113,17 @@ class CellularModem:
         payload_bytes: int,
         payload: Any = None,
         on_delivered: Optional[Callable[[UplinkResult], None]] = None,
+        on_rejected: Optional[Callable[[UplinkResult], None]] = None,
     ) -> UplinkResult:
         """Transmit ``payload_bytes`` to the base station.
 
         Returns a result handle immediately; ``delivered_at_s`` is filled in
         (and ``on_delivered`` fired) once the payload reaches the network.
+        If the serving cell refuses admission — hard outage, brown-out
+        congestion, or an injected RRC reject — the result is marked
+        rejected, ``on_rejected`` fires instead (synchronously for
+        admission refusals, later for a cell that dies mid-flight), and
+        no RRC signaling or energy is spent on the attempt.
         Raises if the modem is powered off (dead relay).
         """
         if not self.powered_on:
@@ -110,10 +136,15 @@ class CellularModem:
             requested_at_s=self.sim.now,
             payload=payload,
         )
+        if self.basestation is not None:
+            cause = self.basestation.admit_uplink(self.device_id)
+            if cause is not None:
+                self._mark_rejected(result, cause, on_rejected)
+                return result
 
         def when_ready(setup_was_needed: bool) -> None:
             result.setup_was_needed = setup_was_needed
-            self._transmit(result, on_delivered)
+            self._transmit(result, on_delivered, on_rejected)
 
         started_promotion = self.rrc.request_transmission(payload_bytes, when_ready)
         if started_promotion:
@@ -141,8 +172,23 @@ class CellularModem:
         return self.rrc.demotions
 
     # ------------------------------------------------------------------
+    def _mark_rejected(
+        self,
+        result: UplinkResult,
+        cause: str,
+        on_rejected: Optional[Callable[[UplinkResult], None]],
+    ) -> None:
+        self.sends_rejected += 1
+        result.rejected_at_s = self.sim.now
+        result.reject_cause = cause
+        if on_rejected is not None:
+            on_rejected(result)
+
     def _transmit(
-        self, result: UplinkResult, on_delivered: Optional[Callable[[UplinkResult], None]]
+        self,
+        result: UplinkResult,
+        on_delivered: Optional[Callable[[UplinkResult], None]],
+        on_rejected: Optional[Callable[[UplinkResult], None]] = None,
     ) -> None:
         self.sends += 1
         self.bytes_sent += result.payload_bytes
@@ -155,6 +201,14 @@ class CellularModem:
         self._charge(EnergyPhase.CELLULAR_TX, tx_uah, duration_s=self.profile.cellular_tx_s)
 
         def deliver() -> None:
+            if (
+                self.basestation is not None
+                and not self.basestation.accepts_signaling()
+            ):
+                # the cell died while the frame was on the air: the TX
+                # energy is spent, but the payload never reached the core
+                self._mark_rejected(result, "ran-down", on_rejected)
+                return
             result.delivered_at_s = self.sim.now
             if self.basestation is not None:
                 self.basestation.deliver_uplink(

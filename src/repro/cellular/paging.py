@@ -30,14 +30,19 @@ class PagingConfig:
     slots_per_second: float = 8.0
     #: Window over which occupancy is evaluated.
     window_s: float = 5.0
-    #: Delay before a failed page is retried (once).
+    #: Delay before a failed page is retried.
     retry_after_s: float = 2.0
+    #: Retries granted before a blocked page counts as failed. The
+    #: default preserves the original retry-once behavior.
+    max_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.slots_per_second <= 0:
             raise ValueError(f"slots_per_second must be positive: {self}")
         if self.window_s <= 0 or self.retry_after_s < 0:
             raise ValueError(f"invalid timing: {self}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self}")
 
     @property
     def slots_per_window(self) -> float:
@@ -52,10 +57,17 @@ class PageAttempt:
     requested_at_s: float
     delivered_at_s: Optional[float] = None
     retried: bool = False
+    retries: int = 0
+    failed_at_s: Optional[float] = None
 
     @property
     def succeeded(self) -> bool:
         return self.delivered_at_s is not None
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the page has left the retry queue (either outcome)."""
+        return self.delivered_at_s is not None or self.failed_at_s is not None
 
 
 class PagingChannel:
@@ -63,8 +75,9 @@ class PagingChannel:
 
     A page succeeds if the control-channel occupancy (L3 messages recorded
     in the shared ledger plus pages already sent) within the current
-    window leaves a free slot. A blocked page retries once after
-    ``retry_after_s``; a second block is a paging failure.
+    window leaves a free slot. A blocked page joins the retry queue and
+    retries after ``retry_after_s``, up to ``max_retries`` times; running
+    out of retries is a paging failure.
     """
 
     def __init__(
@@ -81,6 +94,8 @@ class PagingChannel:
         self.pages_delivered = 0
         self.pages_failed = 0
         self.pages_retried = 0
+        self.retry_queue_depth = 0
+        self.peak_retry_queue = 0
 
     # ------------------------------------------------------------------
     def occupancy(self, now: Optional[float] = None) -> int:
@@ -99,10 +114,10 @@ class PagingChannel:
         device_id: str,
         on_result: Optional[Callable[[PageAttempt], None]] = None,
     ) -> PageAttempt:
-        """Attempt to page ``device_id``; retries once if blocked."""
+        """Attempt to page ``device_id``; retries while blocked."""
         attempt = PageAttempt(device_id=device_id, requested_at_s=self.sim.now)
         self.attempts.append(attempt)
-        self._try_deliver(attempt, on_result, first=True)
+        self._try_deliver(attempt, on_result)
         return attempt
 
     # ------------------------------------------------------------------
@@ -110,27 +125,37 @@ class PagingChannel:
         self,
         attempt: PageAttempt,
         on_result: Optional[Callable[[PageAttempt], None]],
-        first: bool,
     ) -> None:
+        queued = attempt.retries > 0
         if self.has_free_slot():
+            if queued:
+                self.retry_queue_depth -= 1
             attempt.delivered_at_s = self.sim.now
             self._page_times.append(self.sim.now)
             self.pages_delivered += 1
             if on_result is not None:
                 on_result(attempt)
             return
-        if first:
+        if attempt.retries < self.config.max_retries:
             attempt.retried = True
+            attempt.retries += 1
             self.pages_retried += 1
+            if not queued:
+                self.retry_queue_depth += 1
+                self.peak_retry_queue = max(
+                    self.peak_retry_queue, self.retry_queue_depth
+                )
             self.sim.schedule(
                 self.config.retry_after_s,
                 self._try_deliver,
                 attempt,
                 on_result,
-                False,
                 name="page_retry",
             )
             return
+        if queued:
+            self.retry_queue_depth -= 1
+        attempt.failed_at_s = self.sim.now
         self.pages_failed += 1
         if on_result is not None:
             on_result(attempt)
@@ -141,6 +166,15 @@ class PagingChannel:
         """Fraction of completed page attempts that failed."""
         done = self.pages_delivered + self.pages_failed
         return 0.0 if done == 0 else self.pages_failed / done
+
+    @property
+    def pages_requested(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def pages_pending(self) -> int:
+        """Pages still waiting in the retry queue (unresolved)."""
+        return sum(1 for a in self.attempts if not a.resolved)
 
     def mean_paging_delay_s(self) -> float:
         """Average request→delivery delay over successful pages."""

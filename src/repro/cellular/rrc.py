@@ -121,6 +121,7 @@ class RrcStateMachine:
         on_state_change: Optional[Callable[[float, RrcState, RrcState], None]] = None,
         on_tail_elapsed: Optional[Callable[[float, float, bool], None]] = None,
         on_fach_elapsed: Optional[Callable[[float, float], None]] = None,
+        promotion_delay_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         self.sim = sim
         self.device_id = device_id
@@ -129,6 +130,10 @@ class RrcStateMachine:
         self.on_state_change = on_state_change
         self.on_tail_elapsed = on_tail_elapsed
         self.on_fach_elapsed = on_fach_elapsed
+        #: Extra IDLE→CONNECTED promotion latency, sampled per promotion.
+        #: A browned-out cell injects elevated attach latency through this
+        #: hook; ``None`` (and a hook returning 0.0) is the healthy path.
+        self.promotion_delay_fn = promotion_delay_fn
         self.state = RrcState.IDLE
         self._tail_event: Optional[Event] = None
         self._fach_event: Optional[Event] = None
@@ -188,9 +193,10 @@ class RrcStateMachine:
         if self.ledger is not None:
             self.ledger.record_sequence(now, self.device_id, self.profile.setup_sequence)
         self._pending_after_connect.append(lambda: when_ready(True))
-        self.sim.schedule(
-            self.profile.setup_latency_s, self._finish_promotion, name="rrc_promote"
-        )
+        setup_s = self.profile.setup_latency_s
+        if self.promotion_delay_fn is not None:
+            setup_s += self.promotion_delay_fn()
+        self.sim.schedule(setup_s, self._finish_promotion, name="rrc_promote")
         return True
 
     def force_release(self) -> None:

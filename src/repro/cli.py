@@ -7,6 +7,7 @@ Runs the canned experiments without writing any Python::
     repro-sim sweep --max-periods 8 --workers 4
     repro-sim grid --workers 4 --cache-dir ~/.cache/repro-sweeps
     repro-sim chaos --profiles mild,adversarial --seeds 0,1
+    repro-sim ran --profiles ran-outage,paging-storm --seeds 0,1
     repro-sim breakeven
     repro-sim table1
     repro-sim calibration
@@ -20,7 +21,9 @@ the on-disk result cache; both print the sweep's measured timings.
 `pair` and `crowd` take `--chaos-profile NAME` (with `--chaos-seed N`)
 to layer stochastic faults on the D2D run and audit delivery safety;
 `chaos` runs the differential harness over profiles × seeds and exits
-nonzero on any safety regression. `sweep` and `grid` accept
+nonzero on any safety regression; `ran` runs the cellular-side
+(degraded-RAN) differential — baseline vs RAN chaos vs replay — and
+gates on silent-loss-free accounting plus byte-identical replay. `sweep` and `grid` accept
 `--runner NAME --param key=v1,v2,...` to fan out any registered grid
 runner (see `repro.scenarios.RUNNER_REGISTRY`) without writing Python.
 """
@@ -78,6 +81,25 @@ def _print_chaos_outcome(result) -> int:
     """Report a chaos-enabled run's fault/audit outcome; 1 on violations."""
     if result.chaos_report is not None:
         print(result.chaos_report.summary())
+    faults = result.metrics.faults
+    if faults is not None and (
+        faults.bs_outages or faults.bs_brownouts
+        or faults.pages_injected or faults.detaches
+    ):
+        dropped = (
+            faults.beats_dropped_stale
+            + faults.beats_dropped_overflow
+            + faults.beats_dropped_retries
+        )
+        print(
+            f"ran: {faults.bs_outages} outage(s), "
+            f"{faults.bs_brownouts} brown-out(s), "
+            f"{faults.pages_injected} pages injected, "
+            f"{faults.uplinks_rejected} uplinks rejected, "
+            f"detach/reattach {faults.detaches}/{faults.reattaches}, "
+            f"{faults.cellular_retries} retries, {dropped} dropped, "
+            f"{faults.beats_buffered_end} still held"
+        )
     if result.audit_report is not None:
         print(result.audit_report.summary())
         if not result.audit_report.ok:
@@ -393,6 +415,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if suite.passed else 1
 
 
+def _cmd_ran(args: argparse.Namespace) -> int:
+    """Degraded-RAN differential: baseline vs RAN chaos vs replay."""
+    import json
+
+    from repro.faults.harness import run_ran_differential
+
+    profiles = [p for p in args.profiles.split(",") if p]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    scenario_names = [s for s in args.scenarios.split(",") if s]
+    cases = []
+    for scenario in scenario_names:
+        for profile in profiles:
+            for seed in seeds:
+                cases.append(run_ran_differential(
+                    scenario=scenario, profile=profile, seed=seed,
+                    n_ues=args.ues, periods=args.periods,
+                    n_devices=args.devices, duration_s=args.duration,
+                ))
+    print(format_table(
+        ["scenario", "profile", "seed", "status", "safe", "violations",
+         "outages", "brownouts", "rejected", "detach/reattach", "dropped",
+         "replay", "failures"],
+        [[c.scenario, c.profile, c.seed,
+          "PASS" if c.passed else "FAIL",
+          c.chaos_deadline_safe, c.chaos_violations,
+          c.bs_outages, c.bs_brownouts, c.uplinks_rejected,
+          f"{c.detaches}/{c.reattaches}", c.beats_dropped,
+          "ok" if c.replay_identical else "DIVERGED",
+          "; ".join(c.failures)]
+         for c in cases],
+        title="degraded-RAN differential (baseline vs RAN chaos vs replay)",
+    ))
+    passed = sum(1 for c in cases if c.passed)
+    print(f"{passed}/{len(cases)} cases passed")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "passed": passed == len(cases),
+                    "cases": [c.to_dict() for c in cases],
+                },
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"wrote {args.report}")
+    return 0 if passed == len(cases) else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Pinned perf suite → table + BENCH_<rev>.json (+ regression gate)."""
     import json
@@ -619,7 +688,7 @@ def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
         "--chaos-profile", default=None, metavar="NAME",
         help="layer stochastic fault processes on the D2D run and audit "
              "delivery safety (mild | relay-hostile | link-hostile | "
-             "adversarial)")
+             "adversarial | ran-outage | paging-storm | degraded-ran)")
     parser.add_argument(
         "--chaos-seed", type=int, default=None,
         help="chaos RNG seed (default: the scenario --seed)")
@@ -739,6 +808,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--duration", type=float, default=900.0,
                        help="crowd scenario duration in seconds")
     chaos.set_defaults(func=_cmd_chaos)
+
+    ran = sub.add_parser(
+        "ran", help="degraded-RAN differential (no-silent-loss gate)"
+    )
+    ran.add_argument("--scenarios", default="pair",
+                     help="comma-separated scenario names (pair, crowd)")
+    ran.add_argument("--profiles", default="ran-outage,paging-storm",
+                     help="comma-separated RAN chaos profiles "
+                          "(ran-outage | paging-storm | degraded-ran)")
+    ran.add_argument("--seeds", default="0,1",
+                     help="comma-separated seeds per (scenario, profile)")
+    ran.add_argument("--ues", type=int, default=2,
+                     help="UEs in the pair scenario")
+    ran.add_argument("--periods", type=int, default=4,
+                     help="heartbeat periods in the pair scenario")
+    ran.add_argument("--devices", type=int, default=12,
+                     help="devices in the crowd scenario")
+    ran.add_argument("--duration", type=float, default=900.0,
+                     help="crowd scenario duration in seconds")
+    ran.add_argument("--report", default=None, metavar="PATH",
+                     help="write the case list as JSON (CI artifact)")
+    ran.set_defaults(func=_cmd_ran)
 
     bench = sub.add_parser(
         "bench", help="pinned perf suite; writes BENCH_<rev>.json"

@@ -1,0 +1,323 @@
+"""Degraded-mode cellular sender: retry, backoff, reattach, buffer.
+
+The paper treats the cellular uplink as the always-available fallback
+when D2D forwarding fails. Once the RAN itself is a fault domain
+(:class:`repro.cellular.basestation.RanState`), every cellular send needs
+a survival protocol. :class:`CellularFallbackSender` wraps
+``device.modem.send`` with exactly that:
+
+- **Bounded retry with exponential backoff + jitter** for transient
+  rejections (brown-out congestion, injected RRC rejects). The
+  *pre-jitter* base delays are strictly non-decreasing within one retry
+  episode — the monotonicity invariant the auditor checks — and jitter
+  is a bounded multiplicative perturbation drawn lazily from a private
+  seeded stream, so healthy runs consume zero draws and stay
+  byte-identical.
+- **An attach/reattach state machine** for hard outages: on a
+  ``"ran-down"`` rejection the sender detaches, buffers the beat, and
+  probes the cell's broadcast channel on its own exponential-backoff
+  schedule until the cell accepts signaling again.
+- **A bounded store-and-forward buffer** with explicit drop accounting:
+  every heartbeat that cannot be sent is either buffered, or dropped
+  with a recorded cause (``"buffer-overflow"``, ``"stale"``,
+  ``"retries-exhausted"``). Nothing is lost silently — the new
+  delivery-safety contract for a dead RAN.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.workload.messages import PeriodicMessage
+
+#: Drop causes the sender can record.
+DROP_BUFFER_OVERFLOW = "buffer-overflow"
+DROP_STALE = "stale"
+DROP_RETRIES_EXHAUSTED = "retries-exhausted"
+
+
+class AttachState(str, enum.Enum):
+    """Sender's view of its attachment to the serving cell."""
+
+    ATTACHED = "attached"
+    DETACHED = "detached"
+
+
+@dataclasses.dataclass(frozen=True)
+class FallbackConfig:
+    """Tuning for the degraded-mode protocol."""
+
+    #: First retry delay after a transient rejection.
+    base_backoff_s: float = 2.0
+    #: Multiplier between consecutive retry delays.
+    backoff_factor: float = 2.0
+    #: Ceiling on any backoff or probe delay (pre-jitter).
+    max_backoff_s: float = 60.0
+    #: Jitter bound as a fraction of the base delay (multiplicative,
+    #: symmetric: actual = base * (1 ± jitter_fraction)).
+    jitter_fraction: float = 0.1
+    #: Send attempts per beat before dropping with "retries-exhausted".
+    max_attempts: int = 6
+    #: Store-and-forward buffer capacity (beats).
+    buffer_capacity: int = 64
+    #: First reattach probe delay after detaching.
+    reattach_base_s: float = 5.0
+    #: Buffered beats older than deadline + grace drop as "stale" at
+    #: drain time instead of being sent pointlessly late.
+    stale_grace_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.base_backoff_s <= 0 or self.reattach_base_s <= 0:
+            raise ValueError(f"backoff bases must be positive: {self}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {self}")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError(f"max_backoff_s below base_backoff_s: {self}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(f"jitter_fraction must be in [0, 1): {self}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self}")
+        if self.buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1: {self}")
+        if self.stale_grace_s < 0:
+            raise ValueError(f"stale_grace_s must be >= 0: {self}")
+
+
+DEFAULT_FALLBACK_CONFIG = FallbackConfig()
+
+
+@dataclasses.dataclass(frozen=True)
+class DropRecord:
+    """One accounted heartbeat drop."""
+
+    seq: int
+    app: str
+    origin: str
+    cause: str
+    time_s: float
+
+
+@dataclasses.dataclass
+class ReattachEpisode:
+    """One detach → reattach cycle (open while ``reattached_at_s`` is None)."""
+
+    detached_at_s: float
+    reattached_at_s: Optional[float] = None
+
+
+class CellularFallbackSender:
+    """Per-device degraded-mode wrapper around ``modem.send``.
+
+    On a healthy RAN this is a zero-overhead passthrough: no RNG draws,
+    no extra events, identical modem calls — so baselines replay
+    byte-identically whether or not the fault domain exists.
+    """
+
+    def __init__(self, device, config: FallbackConfig = DEFAULT_FALLBACK_CONFIG) -> None:
+        self.device = device
+        self.sim = device.sim
+        self.config = config
+        self.state = AttachState.ATTACHED
+        self._buffer: List[PeriodicMessage] = []
+        #: seq → beat the sender still owns: a retry timer outstanding, or
+        #: admitted to the modem but not yet confirmed delivered. A beat in
+        #: here is accounted (in-flight), never silently lost at the horizon.
+        self._outstanding: Dict[int, PeriodicMessage] = {}
+        self._probe_attempt = 0
+        self._rng = None  # lazily created: baselines must not touch it
+        self.episodes: List[ReattachEpisode] = []
+        self.dropped: List[DropRecord] = []
+        # auditor hooks
+        self.on_drop: Optional[Callable[[PeriodicMessage, str], None]] = None
+        #: (kind, episode_key, base_delay_s, actual_delay_s); kind is
+        #: "retry" (key: beat seq) or "probe" (key: detach episode index).
+        self.on_backoff: Optional[Callable[[str, int, float, float], None]] = None
+        #: fired when a backoff episode resets (send admitted / reattach).
+        self.on_backoff_reset: Optional[Callable[[str, int], None]] = None
+        # statistics
+        self.sends_ok = 0
+        self.rejections = 0
+        self.retries = 0
+        self.detaches = 0
+        self.reattaches = 0
+        self.buffered_peak = 0
+        self.dropped_stale = 0
+        self.dropped_overflow = 0
+        self.dropped_retries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def buffered_count(self) -> int:
+        """Beats currently held in the store-and-forward buffer."""
+        return len(self._buffer)
+
+    def buffered_seqs(self) -> List[int]:
+        return [m.seq for m in self._buffer]
+
+    def pending_seqs(self) -> List[int]:
+        """Every beat the sender still owns: buffered, retrying, in flight."""
+        return sorted({m.seq for m in self._buffer} | set(self._outstanding))
+
+    @property
+    def attached(self) -> bool:
+        return self.state is AttachState.ATTACHED
+
+    # ------------------------------------------------------------------
+    def send(self, message: PeriodicMessage) -> None:
+        """Send one beat over cellular, surviving a degraded RAN."""
+        if not self.device.alive:
+            return
+        if self.state is AttachState.DETACHED:
+            self._buffer_beat(message)
+            return
+        self._attempt(message, 1)
+
+    # ------------------------------------------------------------------
+    def _jitter(self) -> float:
+        if self.config.jitter_fraction == 0.0:
+            return 0.0
+        if self._rng is None:
+            self._rng = self.sim.rng.get(
+                f"cellular-fallback:{self.device.device_id}"
+            )
+        return self._rng.uniform(
+            -self.config.jitter_fraction, self.config.jitter_fraction
+        )
+
+    def _backoff_delay(self, kind: str, key: int, base_s: float, attempt: int) -> float:
+        base = min(
+            base_s * self.config.backoff_factor ** max(0, attempt - 1),
+            self.config.max_backoff_s,
+        )
+        actual = base * (1.0 + self._jitter())
+        if self.on_backoff is not None:
+            self.on_backoff(kind, key, base, actual)
+        return actual
+
+    def _reset_backoff(self, kind: str, key: int) -> None:
+        if self.on_backoff_reset is not None:
+            self.on_backoff_reset(kind, key)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, message: PeriodicMessage, attempt: int) -> None:
+        if not self.device.alive:
+            return
+        if self.state is AttachState.DETACHED:
+            # a retry timer can fire after an unrelated "ran-down"
+            # rejection already detached us — park the beat instead
+            self._buffer_beat(message)
+            return
+        self._outstanding[message.seq] = message
+        result = self.device.modem.send(
+            message.size_bytes,
+            payload=message,
+            on_delivered=lambda r: self._outstanding.pop(message.seq, None),
+            on_rejected=lambda r: self._on_rejected(message, attempt, r),
+        )
+        if not result.rejected:
+            self.sends_ok += 1
+            if attempt > 1:
+                self._reset_backoff("retry", message.seq)
+
+    def _on_rejected(self, message: PeriodicMessage, attempt: int, result) -> None:
+        self.rejections += 1
+        if result.reject_cause == "ran-down":
+            self._detach(message)
+            return
+        # transient: brown-out congestion or injected RRC reject
+        if attempt >= self.config.max_attempts:
+            self._drop(message, DROP_RETRIES_EXHAUSTED)
+            self._reset_backoff("retry", message.seq)
+            return
+        self.retries += 1
+        delay = self._backoff_delay(
+            "retry", message.seq, self.config.base_backoff_s, attempt
+        )
+        self.sim.schedule(
+            delay, self._attempt, message, attempt + 1, name="cellular_retry"
+        )
+
+    # ------------------------------------------------------------------
+    def _detach(self, message: Optional[PeriodicMessage]) -> None:
+        if message is not None:
+            self._buffer_beat(message)
+        if self.state is AttachState.DETACHED:
+            return
+        self.state = AttachState.DETACHED
+        self.detaches += 1
+        self.episodes.append(ReattachEpisode(detached_at_s=self.sim.now))
+        self._probe_attempt = 1
+        delay = self._backoff_delay(
+            "probe", len(self.episodes), self.config.reattach_base_s, 1
+        )
+        self.sim.schedule(delay, self._probe, name="reattach_probe")
+
+    def _probe(self) -> None:
+        if self.state is not AttachState.DETACHED:
+            return
+        basestation = self.device.modem.basestation
+        if basestation is None or basestation.accepts_signaling():
+            self._reattach()
+            return
+        self._probe_attempt += 1
+        delay = self._backoff_delay(
+            "probe",
+            len(self.episodes),
+            self.config.reattach_base_s,
+            self._probe_attempt,
+        )
+        self.sim.schedule(delay, self._probe, name="reattach_probe")
+
+    def _reattach(self) -> None:
+        self.state = AttachState.ATTACHED
+        self.reattaches += 1
+        if self.episodes and self.episodes[-1].reattached_at_s is None:
+            self.episodes[-1].reattached_at_s = self.sim.now
+        self._probe_attempt = 0
+        self._reset_backoff("probe", len(self.episodes))
+        self._drain()
+
+    def _drain(self) -> None:
+        pending, self._buffer = self._buffer, []
+        now = self.sim.now
+        for message in pending:
+            if now > message.deadline_s + self.config.stale_grace_s:
+                self._drop(message, DROP_STALE)
+                continue
+            if self.state is AttachState.DETACHED:
+                # the cell died again mid-drain (synchronous rejection)
+                self._buffer_beat(message)
+                continue
+            self._attempt(message, 1)
+
+    # ------------------------------------------------------------------
+    def _buffer_beat(self, message: PeriodicMessage) -> None:
+        self._outstanding.pop(message.seq, None)
+        if any(m.seq == message.seq for m in self._buffer):
+            return
+        while len(self._buffer) >= self.config.buffer_capacity:
+            self._drop(self._buffer.pop(0), DROP_BUFFER_OVERFLOW)
+        self._buffer.append(message)
+        self.buffered_peak = max(self.buffered_peak, len(self._buffer))
+
+    def _drop(self, message: PeriodicMessage, cause: str) -> None:
+        self._outstanding.pop(message.seq, None)
+        if cause == DROP_STALE:
+            self.dropped_stale += 1
+        elif cause == DROP_BUFFER_OVERFLOW:
+            self.dropped_overflow += 1
+        elif cause == DROP_RETRIES_EXHAUSTED:
+            self.dropped_retries += 1
+        self.dropped.append(
+            DropRecord(
+                seq=message.seq,
+                app=message.app,
+                origin=message.origin_device,
+                cause=cause,
+                time_s=self.sim.now,
+            )
+        )
+        if self.on_drop is not None:
+            self.on_drop(message, cause)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.fallback import CellularFallbackSender
 from repro.core.incentives import RewardLedger, RewardPolicy
 from repro.core.matching import MatchConfig
 from repro.core.monitor import MessageMonitor
@@ -51,6 +52,7 @@ class _StandaloneSender:
                  phase_fraction: Optional[float],
                  extra_apps: tuple = ()) -> None:
         self.device = device
+        self.cellular = CellularFallbackSender(device)
         self.monitor = MessageMonitor(device.sim, device.device_id, handler=self._send)
         self.monitor.register_app(app, phase_fraction=phase_fraction)
         for extra in extra_apps:
@@ -61,7 +63,7 @@ class _StandaloneSender:
         if not self.device.alive:
             return
         self.cellular_sends += 1
-        self.device.modem.send(message.size_bytes, payload=message)
+        self.cellular.send(message)
 
     def shutdown(self) -> None:
         self.monitor.stop()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cellular.modem import UplinkResult
+from repro.core.fallback import CellularFallbackSender, FallbackConfig
 from repro.core.incentives import RewardLedger
 from repro.core.monitor import MessageMonitor
 from repro.core.protocol import BeatTransfer, DeliveryAck, RejectNotice, D2D_HEADER_BYTES
@@ -36,6 +37,7 @@ class RelayAgent:
         rewards: Optional[RewardLedger] = None,
         start_phase_fraction: Optional[float] = 0.0,
         extra_apps: Optional[List[AppProfile]] = None,
+        fallback_config: Optional[FallbackConfig] = None,
     ) -> None:
         if device.d2d is None:
             raise ValueError(f"relay {device.device_id} has no D2D endpoint")
@@ -43,6 +45,9 @@ class RelayAgent:
         self.sim = device.sim
         self.app = app
         self.rewards = rewards
+        self.cellular = CellularFallbackSender(
+            device, config=fallback_config or FallbackConfig()
+        )
         self.scheduler = MessageScheduler(
             self.sim,
             relay_period_s=app.heartbeat_period_s,
@@ -140,7 +145,7 @@ class RelayAgent:
             return
         if self.resigned:
             # standalone behaviour: every own beat goes straight out
-            self.device.modem.send(message.size_bytes, payload=message)
+            self.cellular.send(message)
             return
         if message.app == self.app.name:
             self.scheduler.begin_period(message)
@@ -156,7 +161,7 @@ class RelayAgent:
             )
             if not self.scheduler.offer(beat):
                 self.own_extra_fallbacks += 1
-                self.device.modem.send(message.size_bytes, payload=message)
+                self.cellular.send(message)
         self._update_advertisement()
 
     # ------------------------------------------------------------------
@@ -230,7 +235,21 @@ class RelayAgent:
                 cycle = self.device.modem.rrc.profile.messages_per_cycle
                 self.rewards.note_signaling_avoided(len(foreign) * cycle)
 
-        self.device.modem.send(total_bytes, payload=messages, on_delivered=on_delivered)
+        def on_rejected(result: UplinkResult) -> None:
+            # The RAN refused the aggregated uplink: nothing was delivered,
+            # so no acks and no credits. The relay's OWN beats re-route
+            # through its degraded-mode sender; foreign collected beats are
+            # recovered by their source UEs' fallback timers.
+            for message in messages:
+                if message.origin_device == self.device.device_id:
+                    self.cellular.send(message)
+
+        self.device.modem.send(
+            total_bytes,
+            payload=messages,
+            on_delivered=on_delivered,
+            on_rejected=on_rejected,
+        )
         self._update_advertisement()
 
     def _ack_sources(self, collected: List[CollectedBeat], delivered_at_s: float) -> None:

@@ -23,6 +23,7 @@ import enum
 from typing import Dict, List, Optional
 
 from repro.core.detector import D2DDetector
+from repro.core.fallback import CellularFallbackSender, FallbackConfig
 from repro.core.feedback import FeedbackTracker
 from repro.core.matching import MatchConfig, RelayCandidate, RelayMatcher
 from repro.core.monitor import MessageMonitor
@@ -55,6 +56,7 @@ class UEAgent:
         search_cooldown_s: float = 60.0,
         start_phase_fraction: Optional[float] = None,
         extra_apps: Optional[List[AppProfile]] = None,
+        fallback_config: Optional[FallbackConfig] = None,
     ) -> None:
         if device.d2d is None or device.d2d_medium is None:
             raise ValueError(f"UE {device.device_id} has no D2D endpoint")
@@ -62,6 +64,9 @@ class UEAgent:
         self.sim = device.sim
         self.app = app
         self.search_cooldown_s = search_cooldown_s
+        self.cellular = CellularFallbackSender(
+            device, config=fallback_config or FallbackConfig()
+        )
         self.monitor = MessageMonitor(self.sim, device.device_id, handler=self.on_beat)
         self.monitor.register_app(app, phase_fraction=start_phase_fraction)
         # every additional app's beats flow through the same pipeline; the
@@ -276,7 +281,7 @@ class UEAgent:
         if not self.device.alive:
             return
         self.cellular_sends += 1
-        self.device.modem.send(message.size_bytes, payload=message)
+        self.cellular.send(message)
 
     # ------------------------------------------------------------------
     # D2D inbound (acks / rejects) and disconnects

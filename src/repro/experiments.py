@@ -429,6 +429,50 @@ def channel_selection_policies(
     return rows
 
 
+def ran_resilience(
+    profiles: Sequence[str] = ("ran-outage", "paging-storm", "degraded-ran"),
+    seeds: Sequence[int] = (0, 1, 2),
+    n_ues: int = 2,
+    periods: int = 4,
+) -> Dict[str, Dict[str, float]]:
+    """Degraded-RAN resilience — the cellular-side differential (R1).
+
+    For every RAN chaos profile × seed, the pair scenario runs three
+    times through :func:`repro.faults.harness.run_ran_differential`:
+    audited chaos-free, audited under RAN chaos (base-station outages,
+    brown-outs, injected RRC rejects, paging storms), and an exact
+    replay. A row passes only with zero auditor violations in both
+    audited legs — no silent heartbeat loss, buffer bounds held,
+    backoff monotone, reattach within the profile's declared bound —
+    100 % outage-aware deadline-safe delivery, and a byte-identical
+    replay from ``(scenario, profile, seed)``.
+    """
+    from repro.faults.harness import run_ran_differential
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for profile in profiles:
+        for seed in seeds:
+            case = run_ran_differential(
+                scenario="pair", profile=profile, seed=seed,
+                n_ues=n_ues, periods=periods,
+            )
+            rows[f"{profile} / seed {seed}"] = {
+                "baseline_safe": case.baseline_deadline_safe,
+                "chaos_safe": case.chaos_deadline_safe,
+                "violations": float(case.chaos_violations),
+                "chaos_events": float(case.chaos_events),
+                "bs_outages": float(case.bs_outages),
+                "bs_brownouts": float(case.bs_brownouts),
+                "uplinks_rejected": float(case.uplinks_rejected),
+                "detaches": float(case.detaches),
+                "reattaches": float(case.reattaches),
+                "beats_dropped": float(case.beats_dropped),
+                "replay_identical": float(case.replay_identical),
+                "passed": float(case.passed),
+            }
+    return rows
+
+
 #: Experiment id → (description, zero-argument runner).
 REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
     "T1": ("Table I — heartbeat share per app", table1),
@@ -451,6 +495,8 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], object]]] = {
            channel_safety),
     "X3": ("Selection policy × shadowing sigma (channel-aware matching)",
            channel_selection_policies),
+    "R1": ("Degraded-RAN resilience — differential per RAN chaos profile",
+           ran_resilience),
 }
 
 

@@ -33,9 +33,11 @@ from repro.faults.harness import (
     ChannelDifferentialCase,
     DifferentialCase,
     DifferentialSuite,
+    RanDifferentialCase,
     run_channel_differential,
     run_differential,
     run_differential_suite,
+    run_ran_differential,
 )
 from repro.faults.plan import (
     AckLossSwitch,
@@ -60,9 +62,11 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "InvariantAuditor",
+    "RanDifferentialCase",
     "TraceEntry",
     "resolve_profile",
     "run_channel_differential",
     "run_differential",
     "run_differential_suite",
+    "run_ran_differential",
 ]

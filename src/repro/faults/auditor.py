@@ -20,6 +20,29 @@ scheduler offers, reward credits, server receives, power transitions):
   received (credits ≤ relayed deliveries at all times);
 - **energy sanity** — batteries never go negative.
 
+When the *cellular side* is itself a fault domain (base-station outages,
+brown-outs, paging storms — :mod:`repro.faults.chaos` RAN processes),
+"delivered by deadline" is no longer achievable for every beat and the
+safety contract changes shape. The auditor then additionally checks:
+
+- **no silent heartbeat loss** — every emitted beat is delivered,
+  still held by a degraded-mode sender (buffered or awaiting a retry),
+  or dropped *with a recorded cause*; an unaccounted beat under RAN
+  chaos is a ``silent-loss`` violation;
+- **buffer bounds** — no store-and-forward buffer ever exceeds its
+  configured capacity;
+- **backoff monotonicity** — within one retry/probe episode the
+  pre-jitter delays never decrease, and jitter stays within the
+  configured fraction;
+- **reattach liveness** — after the cell restores from an outage, every
+  detached sender reattaches within the profile-declared bound
+  (:attr:`InvariantAuditor.reattach_bound_s`).
+
+Beats whose delivery window overlapped a degraded-RAN interval are
+adjudicated *outage-aware*: late or sender-held beats are exempt rather
+than violations, and the report separates them out so the
+deadline-safety metric can be computed against the healthy population.
+
 Violations carry a snapshot of the most recent protocol events (a
 bounded trace ring) so the first failure is debuggable without re-running
 with tracing enabled. Everything is recorded deterministically — two
@@ -31,6 +54,8 @@ from __future__ import annotations
 import dataclasses
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cellular.basestation import RanState
 
 #: How many protocol events each violation snapshot keeps.
 TRACE_LEN = 64
@@ -92,6 +117,9 @@ class AuditReport:
     beats_adjudicated: int = 0
     beats_on_time: int = 0
     beats_exempt_downtime: int = 0
+    beats_exempt_ran: int = 0
+    beats_dropped_accounted: int = 0
+    beats_buffered_end: int = 0
     acks_observed: int = 0
     fallbacks_observed: int = 0
     ack_and_fallback_beats: int = 0
@@ -124,6 +152,12 @@ class AuditReport:
             f"{self.acks_observed} acks, {self.fallbacks_observed} fallbacks, "
             f"{self.ack_and_fallback_beats} ack+fallback duplicates"
         ]
+        if self.beats_exempt_ran:
+            lines.append(
+                f"  RAN-degraded: {self.beats_exempt_ran} exempt "
+                f"({self.beats_dropped_accounted} dropped with cause, "
+                f"{self.beats_buffered_end} still held by senders)"
+            )
         lines.extend(str(v) for v in self.violations[:10])
         if len(self.violations) > 10:
             lines.append(f"... and {len(self.violations) - 10} more")
@@ -157,6 +191,17 @@ class InvariantAuditor:
         self._server_attached = False
         self._rewards_attached = False
         self._rewards = None
+        #: reattach-liveness bound (seconds after cell restore); 0 means the
+        #: active chaos profile declared no bound, so the check is skipped
+        self.reattach_bound_s: float = 0.0
+        self._basestation = None
+        #: [down_at, up_at) hard-outage intervals of the serving cell
+        self._ran_down: List[List[Optional[float]]] = []
+        #: [start, end) intervals where the cell was not fully UP
+        self._ran_degraded: List[List[Optional[float]]] = []
+        self._fallback_senders: List[object] = []
+        #: beat seq → recorded drop cause (first drop wins)
+        self._drop_causes: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # recording primitives
@@ -190,6 +235,7 @@ class InvariantAuditor:
             self.attach_relay(agent)
         for sender in framework.standalones.values():
             self.attach_monitor(sender.monitor)
+            self.attach_fallback(sender.cellular)
         if self.server is not None:
             self.attach_server(self.server)
         if self.rewards is not None:
@@ -202,6 +248,8 @@ class InvariantAuditor:
             self.attach_device(device)
         for monitor in original.monitors.values():
             self.attach_monitor(monitor)
+        for sender in original.fallback_senders.values():
+            self.attach_fallback(sender)
         if self.server is not None:
             self.attach_server(self.server)
         return self
@@ -245,9 +293,89 @@ class InvariantAuditor:
 
         monitor.handler = audited_handler
 
+    def attach_basestation(self, basestation) -> None:
+        """Track the serving cell's RAN state (outage + degraded intervals)."""
+        if self._basestation is not None:
+            return
+        self._basestation = basestation
+        if basestation.ran_state is RanState.DOWN:
+            self._ran_down.append([self.sim.now, None])
+        if basestation.ran_state is not RanState.UP:
+            self._ran_degraded.append([self.sim.now, None])
+
+        def on_ran_state(time_s: float, old: RanState, new: RanState) -> None:
+            if new is RanState.DOWN and old is not RanState.DOWN:
+                self._ran_down.append([time_s, None])
+            elif old is RanState.DOWN and new is not RanState.DOWN:
+                if self._ran_down and self._ran_down[-1][1] is None:
+                    self._ran_down[-1][1] = time_s
+            if old is RanState.UP and new is not RanState.UP:
+                self._ran_degraded.append([time_s, None])
+            elif new is RanState.UP and old is not RanState.UP:
+                if self._ran_degraded and self._ran_degraded[-1][1] is None:
+                    self._ran_degraded[-1][1] = time_s
+            self._note("ran-state", "cell", f"{old.value} -> {new.value}")
+
+        basestation.subscribe_ran(on_ran_state)
+
+    def attach_fallback(self, sender) -> None:
+        """Audit one degraded-mode sender: drops, backoff, jitter bounds."""
+        if any(existing is sender for existing in self._fallback_senders):
+            return
+        self._fallback_senders.append(sender)
+        device_id = sender.device.device_id
+        jitter_bound = sender.config.jitter_fraction
+        #: (kind, episode key) → last pre-jitter base delay observed
+        last_base: Dict[Tuple[str, int], float] = {}
+
+        previous_drop = sender.on_drop
+
+        def audited_drop(message, cause: str) -> None:
+            self._drop_causes.setdefault(message.seq, cause)
+            self._note("drop", device_id, f"seq={message.seq} cause={cause}")
+            if previous_drop is not None:
+                previous_drop(message, cause)
+
+        sender.on_drop = audited_drop
+
+        previous_backoff = sender.on_backoff
+
+        def audited_backoff(kind: str, key: int, base_s: float, actual_s: float) -> None:
+            prior = last_base.get((kind, key))
+            if prior is not None and base_s < prior - 1e-9:
+                self._violate(
+                    "backoff-nonmonotone",
+                    device_id,
+                    f"{kind} episode {key}: base delay {base_s:.3f}s after "
+                    f"{prior:.3f}s without a reset",
+                )
+            last_base[(kind, key)] = base_s
+            if base_s > 0 and abs(actual_s / base_s - 1.0) > jitter_bound + 1e-9:
+                self._violate(
+                    "jitter-out-of-bounds",
+                    device_id,
+                    f"{kind} episode {key}: actual {actual_s:.3f}s vs base "
+                    f"{base_s:.3f}s exceeds ±{jitter_bound:.0%}",
+                )
+            self._note("backoff", device_id, f"{kind}#{key} base={base_s:.2f}s")
+            if previous_backoff is not None:
+                previous_backoff(kind, key, base_s, actual_s)
+
+        sender.on_backoff = audited_backoff
+
+        previous_reset = sender.on_backoff_reset
+
+        def audited_reset(kind: str, key: int) -> None:
+            last_base.pop((kind, key), None)
+            if previous_reset is not None:
+                previous_reset(kind, key)
+
+        sender.on_backoff_reset = audited_reset
+
     def attach_ue(self, agent) -> None:
         """Observe forwards/acks/fallbacks of one UE agent."""
         self.attach_monitor(agent.monitor)
+        self.attach_fallback(agent.cellular)
         tracker = agent.feedback
         device_id = agent.device.device_id
         original_ack = tracker.ack
@@ -278,6 +406,7 @@ class InvariantAuditor:
     def attach_relay(self, agent) -> None:
         """Observe collections/flushes and enforce the capacity bound."""
         self.attach_monitor(agent.monitor)
+        self.attach_fallback(agent.cellular)
         scheduler = agent.scheduler
         device_id = agent.device.device_id
         capacity = scheduler.config.capacity
@@ -323,8 +452,14 @@ class InvariantAuditor:
                     record.on_time_deliveries += 1
                 else:
                     record.late_deliveries += 1
-                    if record.on_time_deliveries == 0 and not self._was_down(
-                        record.origin, record.created_at_s, record.deadline_s
+                    if (
+                        record.on_time_deliveries == 0
+                        and not self._was_down(
+                            record.origin, record.created_at_s, record.deadline_s
+                        )
+                        and not self._ran_degraded_overlap(
+                            record.created_at_s, record.deadline_s
+                        )
                     ):
                         self._violate(
                             "deadline-missed",
@@ -414,6 +549,43 @@ class InvariantAuditor:
                 return True
         return False
 
+    def _ran_degraded_overlap(self, start_s: float, end_s: float) -> bool:
+        """Whether the serving cell was not fully UP anywhere in [start, end]."""
+        for began_at, ended_at in self._ran_degraded:
+            if began_at <= end_s and (ended_at is None or ended_at >= start_s):
+                return True
+        return False
+
+    def _reattach_breach(
+        self, episode, bound: float, horizon_s: float
+    ) -> Optional[float]:
+        """First restore the episode missed its liveness bound after.
+
+        A breach requires a restore ``r`` after the detach such that the
+        cell then stayed up for the full ``[r, r + bound]`` window inside
+        the run, yet the sender had not reattached by ``r + bound``.
+        Windows cut short by a follow-up outage or by the horizon don't
+        count — the sender never got a fair chance to probe successfully.
+        """
+        restores = sorted(
+            up_at
+            for down_at, up_at in self._ran_down
+            if up_at is not None and up_at >= episode.detached_at_s
+        )
+        down_starts = sorted(down_at for down_at, _ in self._ran_down)
+        for restore in restores:
+            deadline = restore + bound
+            if episode.reattached_at_s is not None and (
+                episode.reattached_at_s <= deadline
+            ):
+                return None  # reattached within bound of this restore
+            next_down = next(
+                (d for d in down_starts if d > restore), float("inf")
+            )
+            if deadline <= min(next_down, horizon_s):
+                return restore  # full stable window missed
+        return None
+
     # ------------------------------------------------------------------
     def finalize(self, horizon_s: float) -> AuditReport:
         """Adjudicate every beat whose deadline fell inside the run."""
@@ -431,14 +603,28 @@ class InvariantAuditor:
                     f"credited beats {self._rewards.total_beats} > relayed "
                     f"deliveries {self.server.relayed_count} at end of run",
                 )
+        self._check_sender_bounds(horizon_s)
+        held_seqs = set()
+        for sender in self._fallback_senders:
+            held_seqs.update(sender.pending_seqs())
         for seq in sorted(self._beats):
             record = self._beats[seq]
             if record.deadline_s > horizon_s:
                 continue  # deadline beyond the run; not adjudicable
             self.report.beats_adjudicated += 1
+            drop_cause = self._drop_causes.get(seq)
+            held = seq in held_seqs
+            ran_overlap = self._ran_degraded_overlap(
+                record.created_at_s, record.deadline_s
+            )
             if record.acked and record.fallback_fired:
                 self.report.ack_and_fallback_beats += 1
-                if record.on_time_deliveries + record.late_deliveries < 2:
+                # under RAN chaos the fallback copy may legitimately have
+                # been rejected, buffered, or dropped — only demand the
+                # duplicate when the cell never degraded in the window
+                if record.on_time_deliveries + record.late_deliveries < 2 and not (
+                    drop_cause is not None or held or ran_overlap
+                ):
                     self._violate(
                         "ack-and-fallback",
                         record.origin,
@@ -452,12 +638,62 @@ class InvariantAuditor:
             if self._was_down(record.origin, record.created_at_s, record.deadline_s):
                 self.report.beats_exempt_downtime += 1
                 continue
-            if not record.delivered:
-                self._violate(
-                    "undelivered",
-                    record.origin,
-                    f"seq {seq} ({record.app}) emitted at "
-                    f"{record.created_at_s:.1f}s never reached the server "
-                    f"(deadline {record.deadline_s:.1f}s)",
-                )
+            if drop_cause is not None:
+                # accounted loss: the degraded-mode sender recorded a cause
+                self.report.beats_dropped_accounted += 1
+                self.report.beats_exempt_ran += 1
+                continue
+            if held:
+                # still owned by a sender (buffered or awaiting a retry)
+                self.report.beats_buffered_end += 1
+                self.report.beats_exempt_ran += 1
+                continue
+            if record.delivered:
+                # late delivery; already adjudicated at receive time
+                if ran_overlap:
+                    self.report.beats_exempt_ran += 1
+                continue
+            self._violate(
+                "silent-loss" if ran_overlap else "undelivered",
+                record.origin,
+                f"seq {seq} ({record.app}) emitted at "
+                f"{record.created_at_s:.1f}s never reached the server "
+                f"(deadline {record.deadline_s:.1f}s)"
+                + (
+                    " — lost without drop accounting during RAN degradation"
+                    if ran_overlap
+                    else ""
+                ),
+            )
         return self.report
+
+    def _check_sender_bounds(self, horizon_s: float) -> None:
+        """Buffer-bound and reattach-liveness checks over every sender."""
+        for sender in self._fallback_senders:
+            device_id = sender.device.device_id
+            if sender.buffered_peak > sender.config.buffer_capacity:
+                self._violate(
+                    "buffer-bound",
+                    device_id,
+                    f"store-and-forward peak {sender.buffered_peak} exceeds "
+                    f"capacity {sender.config.buffer_capacity}",
+                )
+            bound = self.reattach_bound_s
+            if not bound:
+                continue
+            for index, episode in enumerate(sender.episodes):
+                restore = self._reattach_breach(episode, bound, horizon_s)
+                if restore is None:
+                    continue
+                when = (
+                    "never"
+                    if episode.reattached_at_s is None
+                    else f"at {episode.reattached_at_s:.1f}s"
+                )
+                self._violate(
+                    "reattach-liveness",
+                    device_id,
+                    f"episode {index}: detached {episode.detached_at_s:.1f}s, "
+                    f"cell stably restored {restore:.1f}s, reattached {when} "
+                    f"(bound {bound:.0f}s)",
+                )

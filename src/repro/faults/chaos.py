@@ -15,7 +15,14 @@ links flap rather than break cleanly):
   messages through its Message Monitor (a push-notification burst);
 - **battery-drain ramps** — relays get finite batteries bled at a
   constant background rate until depletion powers them off;
-- **clock skew** — per-UE phase shifts on every heartbeat generator.
+- **clock skew** — per-UE phase shifts on every heartbeat generator;
+- **base-station outages** — the serving cell goes ``DOWN`` for
+  exponential dwell times, rejecting every uplink until restore;
+- **brown-outs** — the cell degrades to reduced signaling capacity,
+  elevated RRC attach latency and (optionally) injected RRC
+  connection rejects;
+- **paging storms** — bursts of pages flood the slotted paging
+  channel, driving occupancy-based page loss and retry queues.
 
 All randomness comes from private named streams derived from
 ``(chaos seed, profile name, process)`` via :func:`repro.sim.rng.make_rng`,
@@ -77,18 +84,46 @@ class ChaosProfile:
     clock_skew_max_s: float = 0.0
     #: Cadence of the discrete processes (flap + drain ramps).
     tick_s: float = 5.0
+    #: Base-station hard outages: Poisson start rate, exponential mean
+    #: dwell in the DOWN state.
+    bs_outage_rate_hz: float = 0.0
+    bs_outage_mean_s: float = 0.0
+    #: Base-station brown-outs: Poisson start rate, exponential mean
+    #: dwell, remaining capacity fraction, extra RRC attach latency.
+    bs_brownout_rate_hz: float = 0.0
+    bs_brownout_mean_s: float = 0.0
+    brownout_capacity_factor: float = 0.5
+    brownout_extra_setup_s: float = 0.0
+    #: Probability a browned-out cell rejects an RRC connection request.
+    rrc_reject_prob: float = 0.0
+    #: Paging storms: Poisson burst rate, pages injected per burst.
+    page_storm_rate_hz: float = 0.0
+    page_storm_pages: int = 0
+    #: Declared reattach-liveness bound: after a cell restore, every
+    #: detached sender must reattach within this many seconds (0 = no
+    #: bound declared, auditor skips the check).
+    reattach_bound_s: float = 0.0
 
     def __post_init__(self) -> None:
         for field in (
             "relay_death_rate_hz", "relay_revival_rate_hz",
             "link_down_rate_hz", "link_up_rate_hz", "ack_burst_rate_hz",
             "ack_burst_mean_s", "storm_rate_hz", "relay_drain_uah_per_s",
-            "clock_skew_max_s",
+            "clock_skew_max_s", "bs_outage_rate_hz", "bs_outage_mean_s",
+            "bs_brownout_rate_hz", "bs_brownout_mean_s",
+            "brownout_extra_setup_s", "page_storm_rate_hz",
+            "reattach_bound_s",
         ):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be >= 0")
         if self.storm_beats_per_device < 0:
             raise ValueError("storm_beats_per_device must be >= 0")
+        if self.page_storm_pages < 0:
+            raise ValueError("page_storm_pages must be >= 0")
+        if not 0.0 < self.brownout_capacity_factor <= 1.0:
+            raise ValueError("brownout_capacity_factor must be in (0, 1]")
+        if not 0.0 <= self.rrc_reject_prob <= 1.0:
+            raise ValueError("rrc_reject_prob must be in [0, 1]")
         if self.relay_battery_mah <= 0:
             raise ValueError("relay_battery_mah must be positive")
         if self.tick_s <= 0:
@@ -146,6 +181,42 @@ CHAOS_PROFILES: Dict[str, ChaosProfile] = {
             relay_battery_mah=4.0,
             clock_skew_max_s=60.0,
         ),
+        ChaosProfile(
+            name="ran-outage",
+            description="the serving cell dies and restores; the cellular "
+                        "fallback path itself vanishes for whole dwells",
+            bs_outage_rate_hz=1 / 500.0,
+            bs_outage_mean_s=120.0,
+            reattach_bound_s=90.0,
+        ),
+        ChaosProfile(
+            name="paging-storm",
+            description="page bursts flood the control channel while the "
+                        "cell browns out under the load",
+            page_storm_rate_hz=1 / 300.0,
+            page_storm_pages=40,
+            bs_brownout_rate_hz=1 / 600.0,
+            bs_brownout_mean_s=90.0,
+            brownout_capacity_factor=0.5,
+            brownout_extra_setup_s=1.0,
+            rrc_reject_prob=0.15,
+            reattach_bound_s=90.0,
+        ),
+        ChaosProfile(
+            name="degraded-ran",
+            description="outages, brown-outs, RRC rejects and page storms "
+                        "together — the hostile-RAN composition",
+            bs_outage_rate_hz=1 / 900.0,
+            bs_outage_mean_s=90.0,
+            bs_brownout_rate_hz=1 / 450.0,
+            bs_brownout_mean_s=120.0,
+            brownout_capacity_factor=0.25,
+            brownout_extra_setup_s=2.0,
+            rrc_reject_prob=0.25,
+            page_storm_rate_hz=1 / 600.0,
+            page_storm_pages=25,
+            reattach_bound_s=120.0,
+        ),
     )
 }
 
@@ -165,12 +236,25 @@ def resolve_profile(chaos: Union[None, str, ChaosProfile]) -> Optional[ChaosProf
 
 @dataclasses.dataclass(frozen=True)
 class ChaosEvent:
-    """One fault-process firing, for replay comparison and debugging."""
+    """One fault-process firing, for replay comparison and debugging.
+
+    ``seq`` is an explicit per-engine sequence number: fault processes
+    that revive agents can fire at timestamps identical to scheduler
+    deadlines (and to each other), so sorting events by ``time_s`` alone
+    is ambiguous — the same tie-order trap as the event kernel's tuple
+    heap. Always order by :attr:`sort_key`.
+    """
 
     time_s: float
     kind: str
     target: str
     detail: str = ""
+    seq: int = 0
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        """Total order over a run's events, stable across identical times."""
+        return (self.time_s, self.seq)
 
 
 @dataclasses.dataclass
@@ -190,10 +274,20 @@ class ChaosReport:
     storm_beats: int = 0
     batteries_depleted: int = 0
     ues_skewed: int = 0
+    bs_outages: int = 0
+    bs_restores: int = 0
+    bs_brownouts: int = 0
+    rrc_rejections: int = 0
+    page_storms: int = 0
+    pages_injected: int = 0
 
     @property
     def total_events(self) -> int:
         return len(self.events)
+
+    def ordered_events(self) -> List[ChaosEvent]:
+        """Events in their total order (time, then injection sequence)."""
+        return sorted(self.events, key=lambda e: e.sort_key)
 
     def to_dict(self) -> Dict[str, object]:
         data = dataclasses.asdict(self)
@@ -201,7 +295,7 @@ class ChaosReport:
         return data
 
     def summary(self) -> str:
-        return (
+        text = (
             f"chaos[{self.profile} seed={self.seed}]: "
             f"{self.total_events} events — "
             f"deaths {self.relay_deaths} revivals {self.relay_revivals}, "
@@ -211,6 +305,20 @@ class ChaosReport:
             f"batteries {self.batteries_depleted}, "
             f"skewed UEs {self.ues_skewed}"
         )
+        ran_active = (
+            self.bs_outages or self.bs_brownouts
+            or self.rrc_rejections or self.page_storms
+        )
+        if ran_active:
+            text += (
+                f", bs outages {self.bs_outages} "
+                f"(restores {self.bs_restores}), "
+                f"brownouts {self.bs_brownouts}, "
+                f"rrc rejects {self.rrc_rejections}, "
+                f"page storms {self.page_storms} "
+                f"({self.pages_injected} pages)"
+            )
+        return text
 
 
 class ChaosEngine:
@@ -242,14 +350,22 @@ class ChaosEngine:
         self._down_pairs: Dict[Tuple[str, str], bool] = {}
         self._ramp_batteries: List = []
         self._storm_targets: List[Tuple[str, Callable[[], bool], Callable[[PeriodicMessage], None]]] = []
+        self._next_seq = 0
 
     # ------------------------------------------------------------------
     def _rng(self, stream: str) -> random.Random:
         return make_rng(self.seed, f"chaos:{self.profile.name}:{stream}")
 
     def _record(self, kind: str, target: str, detail: str = "") -> None:
+        self._next_seq += 1
         self.report.events.append(
-            ChaosEvent(time_s=self.sim.now, kind=kind, target=target, detail=detail)
+            ChaosEvent(
+                time_s=self.sim.now,
+                kind=kind,
+                target=target,
+                detail=detail,
+                seq=self._next_seq,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -260,6 +376,8 @@ class ChaosEngine:
         medium=None,
         framework=None,
         original=None,
+        basestation=None,
+        paging=None,
     ) -> "ChaosEngine":
         """Wire every enabled fault process into a built scenario."""
         if self._attached:
@@ -363,6 +481,33 @@ class ChaosEngine:
                     generator.shift_phase(skew)
                 self.report.ues_skewed += 1
                 self._record("clock-skew", device_id, f"{skew:+.1f}s")
+
+        # base-station outages ---------------------------------------
+        if basestation is not None and profile.bs_outage_rate_hz > 0:
+            self._start_bs_outages(basestation)
+
+        # base-station brown-outs ------------------------------------
+        if basestation is not None and profile.bs_brownout_rate_hz > 0:
+            self._start_bs_brownouts(basestation)
+
+        # injected RRC connection rejects (only while browned out) ---
+        if basestation is not None and profile.rrc_reject_prob > 0:
+            self._install_rrc_reject_gate(basestation)
+
+        # paging storms ----------------------------------------------
+        if (
+            paging is not None
+            and profile.page_storm_rate_hz > 0
+            and profile.page_storm_pages > 0
+        ):
+            self._paging = paging
+            self._page_targets = sorted(devices)
+            self._page_rng = self._rng("page-storm")
+            self.sim.schedule(
+                self._page_rng.expovariate(profile.page_storm_rate_hz),
+                self._fire_page_storm,
+                name="chaos_page_storm",
+            )
 
         # discrete tick (flap + ramps) -------------------------------
         needs_tick = (
@@ -528,4 +673,108 @@ class ChaosEngine:
             self._storm_rng.expovariate(profile.storm_rate_hz),
             self._fire_storm,
             name="chaos_storm",
+        )
+
+    # ------------------------------------------------------------------
+    # RAN fault processes (outage / brown-out / RRC rejects / paging)
+    # ------------------------------------------------------------------
+    def _start_bs_outages(self, basestation) -> None:
+        from repro.cellular.basestation import RanState
+
+        profile = self.profile
+        rng = self._rng("bs-outage")
+        mean_s = max(profile.bs_outage_mean_s, 1e-9)
+
+        def down() -> None:
+            if basestation.ran_state is not RanState.DOWN:
+                basestation.outage()
+                self.report.bs_outages += 1
+                self._record("bs-outage", "cell")
+            self.sim.schedule(
+                rng.expovariate(1.0 / mean_s), up, name="chaos_bs_restore"
+            )
+
+        def up() -> None:
+            if basestation.ran_state is RanState.DOWN:
+                basestation.restore()
+                self.report.bs_restores += 1
+                self._record("bs-restore", "cell")
+            self.sim.schedule(
+                rng.expovariate(profile.bs_outage_rate_hz),
+                down,
+                name="chaos_bs_outage",
+            )
+
+        self.sim.schedule(
+            rng.expovariate(profile.bs_outage_rate_hz),
+            down,
+            name="chaos_bs_outage",
+        )
+
+    def _start_bs_brownouts(self, basestation) -> None:
+        from repro.cellular.basestation import RanState
+
+        profile = self.profile
+        rng = self._rng("bs-brownout")
+        mean_s = max(profile.bs_brownout_mean_s, 1e-9)
+
+        def start() -> None:
+            # a hard outage trumps a brown-out; skip this dwell entirely
+            if basestation.ran_state is RanState.UP:
+                basestation.brownout(
+                    capacity_factor=profile.brownout_capacity_factor,
+                    extra_setup_s=profile.brownout_extra_setup_s,
+                )
+                self.report.bs_brownouts += 1
+                self._record(
+                    "bs-brownout", "cell",
+                    f"capacity x{profile.brownout_capacity_factor:g}",
+                )
+            self.sim.schedule(
+                rng.expovariate(1.0 / mean_s), end, name="chaos_bs_brownout_end"
+            )
+
+        def end() -> None:
+            if basestation.ran_state is RanState.BROWNOUT:
+                basestation.restore()
+                self._record("bs-brownout-end", "cell")
+            self.sim.schedule(
+                rng.expovariate(profile.bs_brownout_rate_hz),
+                start,
+                name="chaos_bs_brownout",
+            )
+
+        self.sim.schedule(
+            rng.expovariate(profile.bs_brownout_rate_hz),
+            start,
+            name="chaos_bs_brownout",
+        )
+
+    def _install_rrc_reject_gate(self, basestation) -> None:
+        if basestation.rrc_reject_gate is not None:
+            raise RuntimeError("base station already has an RRC reject gate")
+        profile = self.profile
+        rng = self._rng("rrc-reject")
+
+        def gate(device_id: str) -> bool:
+            hit = rng.random() < profile.rrc_reject_prob
+            if hit:
+                self.report.rrc_rejections += 1
+                self._record("rrc-reject", device_id)
+            return hit
+
+        basestation.rrc_reject_gate = gate
+
+    def _fire_page_storm(self) -> None:
+        profile = self.profile
+        self.report.page_storms += 1
+        self._record("page-storm", "cell", f"{profile.page_storm_pages} pages")
+        targets = self._page_targets
+        for i in range(profile.page_storm_pages):
+            self._paging.page(targets[i % len(targets)])
+            self.report.pages_injected += 1
+        self.sim.schedule(
+            self._page_rng.expovariate(profile.page_storm_rate_hz),
+            self._fire_page_storm,
+            name="chaos_page_storm",
         )

@@ -318,6 +318,163 @@ def run_channel_differential(
     return case
 
 
+@dataclasses.dataclass
+class RanDifferentialCase:
+    """Outcome of one audited baseline-vs-RAN-chaos comparison run.
+
+    Three legs from one (scenario, profile, seed): an audited healthy-RAN
+    baseline, an audited RAN-chaos run, and a *replay* of the chaos run.
+    The contract: zero auditor violations on both distinct legs (every
+    beat delivered, buffered, or dropped with a recorded cause; reattach
+    within the profile's bound after every outage), outage-aware deadline
+    safety at 1.0, and the replay byte-identical — same comparable
+    metrics, same chaos event stream.
+    """
+
+    scenario: str
+    profile: str
+    seed: int
+    baseline_violations: int
+    chaos_violations: int
+    baseline_deadline_safe: float
+    chaos_deadline_safe: float
+    chaos_events: int
+    bs_outages: int
+    bs_brownouts: int
+    rrc_rejections: int
+    pages_injected: int
+    uplinks_rejected: int
+    detaches: int
+    reattaches: int
+    beats_dropped: int
+    beats_buffered_end: int
+    replay_identical: bool
+    failures: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["passed"] = self.passed
+        return data
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL " + "; ".join(self.failures)
+        return (
+            f"{self.scenario}/{self.profile} seed={self.seed} ran-chaos: "
+            f"{status} (safe {self.chaos_deadline_safe:.3f}, "
+            f"violations {self.chaos_violations}, "
+            f"outages {self.bs_outages}, brownouts {self.bs_brownouts}, "
+            f"rejected uplinks {self.uplinks_rejected}, "
+            f"detach/reattach {self.detaches}/{self.reattaches}, "
+            f"replay {'identical' if self.replay_identical else 'DIVERGED'})"
+        )
+
+
+def _chaos_event_tuples(report) -> List[tuple]:
+    return [
+        (e.time_s, e.seq, e.kind, e.target, e.detail)
+        for e in report.events
+    ]
+
+
+def run_ran_differential(
+    scenario: str = "pair",
+    profile: Union[str, ChaosProfile] = "ran-outage",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> RanDifferentialCase:
+    """One RAN-chaos case: audited baseline vs chaos vs replayed chaos.
+
+    Unlike :func:`run_differential`, the chaos leg here degrades the
+    *cellular* side — outages, brown-outs, paging storms — so raw
+    deadline safety over every beat is unachievable by construction.
+    What is gated instead is the degraded-RAN contract: no silent
+    heartbeat loss (auditor violations cover it), outage-aware deadline
+    safety of the healthy population at 1.0, and deterministic replay
+    from the (scenario, profile, seed) triple.
+    """
+    resolved = resolve_profile(profile)
+    assert resolved is not None
+    baseline = _run_scenario(
+        scenario, seed, None, None, n_ues, periods, n_devices, duration_s
+    )
+    chaotic = _run_scenario(
+        scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s
+    )
+    replay = _run_scenario(
+        scenario, seed, resolved, seed, n_ues, periods, n_devices, duration_s
+    )
+    replay_identical = (
+        chaotic.metrics.to_comparable_dict() == replay.metrics.to_comparable_dict()
+        and _chaos_event_tuples(chaotic.chaos_report)
+        == _chaos_event_tuples(replay.chaos_report)
+    )
+    baseline_violations = (
+        len(baseline.audit_report.violations) if baseline.audit_report else 0
+    )
+    chaos_violations = (
+        len(chaotic.audit_report.violations) if chaotic.audit_report else 0
+    )
+    faults = chaotic.metrics.faults
+    case = RanDifferentialCase(
+        scenario=scenario,
+        profile=resolved.name,
+        seed=seed,
+        baseline_violations=baseline_violations,
+        chaos_violations=chaos_violations,
+        baseline_deadline_safe=baseline.deadline_safe_fraction(),
+        chaos_deadline_safe=chaotic.deadline_safe_fraction(),
+        chaos_events=(
+            chaotic.chaos_report.total_events if chaotic.chaos_report else 0
+        ),
+        bs_outages=faults.bs_outages if faults else 0,
+        bs_brownouts=faults.bs_brownouts if faults else 0,
+        rrc_rejections=faults.rrc_rejections if faults else 0,
+        pages_injected=faults.pages_injected if faults else 0,
+        uplinks_rejected=faults.uplinks_rejected if faults else 0,
+        detaches=faults.detaches if faults else 0,
+        reattaches=faults.reattaches if faults else 0,
+        beats_dropped=(
+            faults.beats_dropped_stale
+            + faults.beats_dropped_overflow
+            + faults.beats_dropped_retries
+            if faults
+            else 0
+        ),
+        beats_buffered_end=faults.beats_buffered_end if faults else 0,
+        replay_identical=replay_identical,
+    )
+    if baseline_violations:
+        case.failures.append(
+            f"baseline audit: {baseline.audit_report.first_violation}"
+        )
+    if chaos_violations:
+        case.failures.append(
+            f"ran-chaos audit: {chaotic.audit_report.first_violation}"
+        )
+    if case.chaos_deadline_safe < 1.0:
+        case.failures.append(
+            f"outage-aware deadline safety {case.chaos_deadline_safe:.4f} < 1.0"
+        )
+    if case.chaos_deadline_safe < case.baseline_deadline_safe:
+        case.failures.append(
+            f"deadline safety dropped {case.baseline_deadline_safe:.4f} → "
+            f"{case.chaos_deadline_safe:.4f}"
+        )
+    if not replay_identical:
+        case.failures.append(
+            "replay diverged: same (scenario, profile, seed) produced "
+            "different metrics or chaos events"
+        )
+    return case
+
+
 def run_differential_suite(
     profiles: Optional[Sequence[Union[str, ChaosProfile]]] = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,

@@ -94,6 +94,21 @@ class FaultMetrics:
     beats_adjudicated: int = 0
     beats_on_time: int = 0
     beats_exempt_downtime: int = 0
+    # RAN fault domain: cell-side chaos activity and degraded-mode protocol
+    bs_outages: int = 0
+    bs_brownouts: int = 0
+    rrc_rejections: int = 0
+    pages_injected: int = 0
+    pages_failed: int = 0
+    uplinks_rejected: int = 0
+    cellular_retries: int = 0
+    detaches: int = 0
+    reattaches: int = 0
+    beats_dropped_stale: int = 0
+    beats_dropped_overflow: int = 0
+    beats_dropped_retries: int = 0
+    beats_buffered_end: int = 0
+    beats_exempt_ran: int = 0
 
     @property
     def audited(self) -> bool:
@@ -101,8 +116,18 @@ class FaultMetrics:
 
     @property
     def deadline_safe_fraction(self) -> float:
-        """On-time fraction of adjudicated, non-exempt beats (1.0 if none)."""
-        eligible = self.beats_adjudicated - self.beats_exempt_downtime
+        """On-time fraction of adjudicated, non-exempt beats (1.0 if none).
+
+        Outage-aware: beats whose window overlapped a degraded-RAN
+        interval (and were buffered, dropped-with-cause, or delivered
+        late because of it) are exempt alongside powered-off devices, so
+        the figure measures the protocol against the healthy population.
+        """
+        eligible = (
+            self.beats_adjudicated
+            - self.beats_exempt_downtime
+            - self.beats_exempt_ran
+        )
         return 1.0 if eligible <= 0 else self.beats_on_time / eligible
 
     def to_dict(self) -> Dict[str, Any]:

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baseline.original import OriginalSystem
 from repro.cellular.basestation import BaseStation
+from repro.cellular.paging import PagingChannel
 from repro.cellular.rrc import RrcProfile, WCDMA_PROFILE
 from repro.cellular.signaling import SignalingLedger
 from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
@@ -59,6 +60,9 @@ class NetworkContext:
     medium: Optional[D2DMedium]
     profile: EnergyProfile
     rrc_profile: RrcProfile
+    #: Shared paging channel; passive (zero events) unless something —
+    #: e.g. a chaos paging storm — actually pages through it.
+    paging: Optional[PagingChannel] = None
 
 
 def build_network(
@@ -127,6 +131,7 @@ def build_network(
         medium=medium,
         profile=profile,
         rrc_profile=rrc_profile,
+        paging=PagingChannel(sim, ledger),
     )
 
 
@@ -204,6 +209,7 @@ def _attach_faults(
     auditor = None
     if audit_enabled:
         from repro.faults.auditor import InvariantAuditor
+        from repro.faults.chaos import resolve_profile
 
         auditor = InvariantAuditor(
             context.sim,
@@ -214,6 +220,10 @@ def _attach_faults(
             auditor.attach_framework(framework, devices)
         elif original is not None:
             auditor.attach_original(original, devices)
+        auditor.attach_basestation(context.basestation)
+        resolved = resolve_profile(chaos) if chaos is not None else None
+        if resolved is not None:
+            auditor.reattach_bound_s = resolved.reattach_bound_s
     engine = None
     if chaos is not None:
         from repro.faults.chaos import ChaosEngine
@@ -227,8 +237,26 @@ def _attach_faults(
             medium=context.medium,
             framework=framework,
             original=original,
+            basestation=context.basestation,
+            paging=context.paging,
         )
     return auditor, engine
+
+
+def _iter_fallback_senders(
+    framework: Optional[HeartbeatRelayFramework],
+    original: Optional[OriginalSystem],
+):
+    """Every degraded-mode cellular sender wired into a built scenario."""
+    if framework is not None:
+        for agent in framework.ues.values():
+            yield agent.cellular
+        for agent in framework.relays.values():
+            yield agent.cellular
+        for sender in framework.standalones.values():
+            yield sender.cellular
+    if original is not None:
+        yield from original.fallback_senders.values()
 
 
 def _fault_metrics(
@@ -236,6 +264,8 @@ def _fault_metrics(
     auditor,
     horizon: float,
     framework: Optional[HeartbeatRelayFramework],
+    original: Optional[OriginalSystem] = None,
+    context: Optional[NetworkContext] = None,
 ) -> Optional[FaultMetrics]:
     """Fold chaos/audit outcomes into one :class:`FaultMetrics` record."""
     if engine is None and auditor is None:
@@ -246,6 +276,15 @@ def _fault_metrics(
             fallbacks += agent.feedback.fallbacks_fired
             late += agent.feedback.late_acks
             duplicates += agent.feedback.duplicate_acks
+    retries = detaches = reattaches = 0
+    dropped_stale = dropped_overflow = dropped_retries = 0
+    for sender in _iter_fallback_senders(framework, original):
+        retries += sender.retries
+        detaches += sender.detaches
+        reattaches += sender.reattaches
+        dropped_stale += sender.dropped_stale
+        dropped_overflow += sender.dropped_overflow
+        dropped_retries += sender.dropped_retries
     chaos = engine.report if engine is not None else None
     report = auditor.finalize(horizon) if auditor is not None else None
     return FaultMetrics(
@@ -269,6 +308,26 @@ def _fault_metrics(
         beats_exempt_downtime=(
             report.beats_exempt_downtime if report is not None else 0
         ),
+        bs_outages=chaos.bs_outages if chaos else 0,
+        bs_brownouts=chaos.bs_brownouts if chaos else 0,
+        rrc_rejections=chaos.rrc_rejections if chaos else 0,
+        pages_injected=chaos.pages_injected if chaos else 0,
+        pages_failed=(
+            context.paging.pages_failed
+            if context is not None and context.paging is not None
+            else 0
+        ),
+        uplinks_rejected=(
+            context.basestation.uplinks_rejected if context is not None else 0
+        ),
+        cellular_retries=retries,
+        detaches=detaches,
+        reattaches=reattaches,
+        beats_dropped_stale=dropped_stale,
+        beats_dropped_overflow=dropped_overflow,
+        beats_dropped_retries=dropped_retries,
+        beats_buffered_end=report.beats_buffered_end if report is not None else 0,
+        beats_exempt_ran=report.beats_exempt_ran if report is not None else 0,
     )
 
 
@@ -450,7 +509,9 @@ def run_relay_scenario(
     horizon = periods * app.heartbeat_period_s + drain_s
     context.sim.run_until(horizon)
 
-    faults = _fault_metrics(engine, auditor, horizon, framework)
+    faults = _fault_metrics(
+        engine, auditor, horizon, framework, original=original, context=context
+    )
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
@@ -624,6 +685,79 @@ def chaos_differential_runner(
     }
 
 
+def _ran_differential_runner(
+    profile: str,
+    scenario: str,
+    seed: int,
+    n_ues: int,
+    periods: int,
+    n_devices: int,
+    duration_s: float,
+) -> Dict[str, float]:
+    from repro.faults.harness import run_ran_differential
+
+    case = run_ran_differential(
+        scenario=scenario,
+        profile=profile,
+        seed=seed,
+        n_ues=n_ues,
+        periods=periods,
+        n_devices=n_devices,
+        duration_s=duration_s,
+    )
+    return {
+        "passed": 1.0 if case.passed else 0.0,
+        "baseline_deadline_safe": case.baseline_deadline_safe,
+        "chaos_deadline_safe": case.chaos_deadline_safe,
+        "audit_violations": float(case.chaos_violations),
+        "chaos_events": float(case.chaos_events),
+        "bs_outages": float(case.bs_outages),
+        "bs_brownouts": float(case.bs_brownouts),
+        "uplinks_rejected": float(case.uplinks_rejected),
+        "detaches": float(case.detaches),
+        "reattaches": float(case.reattaches),
+        "beats_dropped": float(case.beats_dropped),
+        "replay_identical": 1.0 if case.replay_identical else 0.0,
+    }
+
+
+def ran_outage_runner(
+    scenario: str = "pair",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> Dict[str, float]:
+    """Grid runner: differential base-station-outage case → scalars.
+
+    Picklable like the other registry runners; wraps
+    :func:`repro.faults.harness.run_ran_differential` with the
+    ``ran-outage`` profile (hard cell outages + reattach liveness).
+    """
+    return _ran_differential_runner(
+        "ran-outage", scenario, seed, n_ues, periods, n_devices, duration_s
+    )
+
+
+def paging_storm_runner(
+    scenario: str = "pair",
+    seed: int = 0,
+    n_ues: int = 2,
+    periods: int = 4,
+    n_devices: int = 12,
+    duration_s: float = 900.0,
+) -> Dict[str, float]:
+    """Grid runner: differential paging-storm case → scalars.
+
+    Same shape as :func:`ran_outage_runner`, with the ``paging-storm``
+    profile (control-channel page floods + brown-outs + RRC rejects).
+    """
+    return _ran_differential_runner(
+        "paging-storm", scenario, seed, n_ues, periods, n_devices, duration_s
+    )
+
+
 #: Name → picklable grid runner. Multi-host dispatch (``repro.sweep``'s
 #: shared-dir backend) needs every dispatcher process to construct the
 #: *same* runner from a plain string it can pass on the command line;
@@ -632,6 +766,8 @@ RUNNER_REGISTRY: Dict[str, Callable[..., Dict[str, float]]] = {
     "relay-savings": relay_savings_runner,
     "crowd-metrics": crowd_metrics_runner,
     "chaos-differential": chaos_differential_runner,
+    "ran-outage": ran_outage_runner,
+    "paging-storm": paging_storm_runner,
 }
 
 
@@ -800,7 +936,9 @@ def run_crowd_scenario(
         original.shutdown()
     horizon = duration_s + drain_s
     context.sim.run_until(horizon)
-    faults = _fault_metrics(engine, auditor, horizon, framework)
+    faults = _fault_metrics(
+        engine, auditor, horizon, framework, original=original, context=context
+    )
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,

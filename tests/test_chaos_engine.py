@@ -21,7 +21,8 @@ def event_tuples(report):
 class TestProfiles:
     def test_builtin_profiles_registered(self):
         assert set(CHAOS_PROFILES) == {
-            "mild", "relay-hostile", "link-hostile", "adversarial"
+            "mild", "relay-hostile", "link-hostile", "adversarial",
+            "ran-outage", "paging-storm", "degraded-ran",
         }
 
     def test_resolve_by_name_none_and_instance(self):

@@ -18,7 +18,7 @@ from repro.experiments import (
 class TestRegistry:
     def test_every_table_and_figure_registered(self):
         assert {"T1", "T3", "T4", "F8", "F9", "F10", "F11", "F12", "F13",
-                "F15", "S1", "C1", "X1", "X2", "X3"} == set(REGISTRY)
+                "F15", "S1", "C1", "X1", "X2", "X3", "R1"} == set(REGISTRY)
 
     def test_channel_capacity_artifact_shape(self):
         from repro.experiments import channel_capacity_vs_density

@@ -1,0 +1,234 @@
+"""Unit tests for the degraded-mode cellular fallback sender.
+
+Covers the three legs of the survival protocol — bounded retry with
+exponential backoff, the attach/reattach state machine, and the bounded
+store-and-forward buffer with explicit drop accounting — plus the
+zero-overhead passthrough contract on a healthy RAN.
+"""
+
+import pytest
+
+from repro.cellular.basestation import BaseStation
+from repro.cellular.modem import CellularModem
+from repro.core.fallback import (
+    DROP_BUFFER_OVERFLOW,
+    DROP_RETRIES_EXHAUSTED,
+    DROP_STALE,
+    AttachState,
+    CellularFallbackSender,
+    FallbackConfig,
+)
+from repro.workload.messages import PeriodicMessage
+
+
+class _StubDevice:
+    """Minimal device: sim + modem + liveness, nothing else."""
+
+    def __init__(self, sim, ledger, basestation, device_id="dev"):
+        self.sim = sim
+        self.device_id = device_id
+        self.alive = True
+        self.modem = CellularModem(
+            sim, device_id, ledger=ledger, basestation=basestation
+        )
+
+
+def _beat(sim, seq_hint=None, expiry_s=30.0):
+    return PeriodicMessage(
+        app="im",
+        origin_device="dev",
+        size_bytes=54,
+        created_at_s=sim.now,
+        period_s=600.0,
+        expiry_s=expiry_s,
+    )
+
+
+@pytest.fixture
+def rig(sim, ledger):
+    basestation = BaseStation(sim, ledger=ledger)
+    device = _StubDevice(sim, ledger, basestation)
+    return sim, basestation, device
+
+
+class TestHealthyPassthrough:
+    def test_send_delivers_without_touching_rng(self, rig):
+        """A healthy RAN means no jitter draws — the byte-identity contract."""
+        sim, basestation, device = rig
+        sender = CellularFallbackSender(device)
+        sender.send(_beat(sim))
+        sim.run_until(60.0)
+        assert basestation.uplinks == 1
+        assert sender.sends_ok == 1
+        assert sender.rejections == 0
+        assert sender._rng is None
+        assert sender.pending_seqs() == []
+
+    def test_in_flight_beat_is_pending_until_confirmed(self, rig):
+        """An admitted-but-undelivered beat is still owned by the sender."""
+        sim, _, device = rig
+        sender = CellularFallbackSender(device)
+        beat = _beat(sim)
+        sender.send(beat)
+        sim.run_until(1.0)  # mid-promotion: admitted, not yet delivered
+        assert sender.pending_seqs() == [beat.seq]
+        sim.run_until(60.0)
+        assert sender.pending_seqs() == []
+
+    def test_dead_device_send_is_noop(self, rig):
+        sim, basestation, device = rig
+        sender = CellularFallbackSender(device)
+        device.alive = False
+        sender.send(_beat(sim))
+        sim.run_until(60.0)
+        assert basestation.uplinks == 0
+        assert sender.pending_seqs() == []
+
+
+class TestTransientRetry:
+    def test_rejections_retry_then_drop_accounted(self, rig):
+        """Persistent transient rejects exhaust retries, never vanish."""
+        sim, basestation, device = rig
+        basestation.brownout(capacity_factor=1.0)
+        basestation.rrc_reject_gate = lambda device_id: True
+        sender = CellularFallbackSender(device)
+        drops = []
+        sender.on_drop = lambda message, cause: drops.append((message.seq, cause))
+        beat = _beat(sim)
+        sender.send(beat)
+        sim.run_until(200.0)
+        config = sender.config
+        assert sender.rejections == config.max_attempts
+        assert sender.retries == config.max_attempts - 1
+        assert sender.dropped_retries == 1
+        assert drops == [(beat.seq, DROP_RETRIES_EXHAUSTED)]
+        assert sender.pending_seqs() == []
+
+    def test_backoff_bases_double_and_cap(self, rig):
+        sim, basestation, device = rig
+        basestation.brownout(capacity_factor=1.0)
+        basestation.rrc_reject_gate = lambda device_id: True
+        config = FallbackConfig(
+            base_backoff_s=2.0, backoff_factor=2.0, max_backoff_s=10.0,
+            max_attempts=6,
+        )
+        sender = CellularFallbackSender(device, config)
+        bases = []
+        sender.on_backoff = (
+            lambda kind, key, base, actual: bases.append((kind, base, actual))
+        )
+        sender.send(_beat(sim))
+        sim.run_until(200.0)
+        retry_bases = [base for kind, base, _ in bases if kind == "retry"]
+        assert retry_bases == [2.0, 4.0, 8.0, 10.0, 10.0]  # doubled, capped
+        for kind, base, actual in bases:
+            assert abs(actual / base - 1.0) <= config.jitter_fraction + 1e-9
+
+    def test_success_after_retries_resets_backoff(self, rig):
+        sim, basestation, device = rig
+        basestation.brownout(capacity_factor=1.0)
+        rejected = [0]
+
+        def gate(device_id):
+            rejected[0] += 1
+            return rejected[0] <= 2  # first two attempts bounce
+
+        basestation.rrc_reject_gate = gate
+        sender = CellularFallbackSender(device)
+        resets = []
+        sender.on_backoff_reset = lambda kind, key: resets.append((kind, key))
+        beat = _beat(sim)
+        sender.send(beat)
+        sim.run_until(60.0)
+        assert sender.sends_ok == 1
+        assert basestation.uplinks == 1
+        assert ("retry", beat.seq) in resets
+
+
+class TestDetachReattach:
+    def test_ran_down_detaches_buffers_and_reattaches_on_restore(self, rig):
+        sim, basestation, device = rig
+        basestation.outage()
+        sender = CellularFallbackSender(device)
+        beat = _beat(sim, expiry_s=600.0)
+        sender.send(beat)
+        assert sender.state is AttachState.DETACHED
+        assert sender.buffered_seqs() == [beat.seq]
+        assert sender.detaches == 1
+        sim.schedule(12.0, basestation.restore)
+        sim.run_until(120.0)
+        assert sender.attached
+        assert sender.reattaches == 1
+        assert sender.episodes[-1].reattached_at_s is not None
+        assert basestation.uplinks == 1  # the drain delivered the beat
+        assert sender.pending_seqs() == []
+
+    def test_send_while_detached_buffers_without_modem_call(self, rig):
+        sim, basestation, device = rig
+        basestation.outage()
+        sender = CellularFallbackSender(device)
+        sender.send(_beat(sim))  # detaches
+        sender.send(_beat(sim))  # parked straight into the buffer
+        assert sender.buffered_count == 2
+        assert basestation.uplinks_rejected == 1  # only the first hit the cell
+
+    def test_probe_backoff_is_episode_keyed(self, rig):
+        sim, basestation, device = rig
+        basestation.outage()
+        sender = CellularFallbackSender(device)
+        bases = []
+        sender.on_backoff = (
+            lambda kind, key, base, actual: bases.append((kind, key, base))
+        )
+        sender.send(_beat(sim, expiry_s=600.0))
+        sim.run_until(40.0)  # cell stays down: probes keep backing off
+        probe = [(key, base) for kind, key, base in bases if kind == "probe"]
+        assert len(probe) >= 2
+        assert all(key == 1 for key, _ in probe)  # first episode
+        probe_bases = [base for _, base in probe]
+        assert probe_bases == sorted(probe_bases)
+
+
+class TestBufferAccounting:
+    def test_overflow_drops_oldest_with_cause(self, rig):
+        sim, basestation, device = rig
+        basestation.outage()
+        config = FallbackConfig(buffer_capacity=2)
+        sender = CellularFallbackSender(device, config)
+        beats = [_beat(sim) for _ in range(3)]
+        for beat in beats:
+            sender.send(beat)
+        assert sender.buffered_count == 2
+        assert sender.dropped_overflow == 1
+        assert sender.dropped[0].seq == beats[0].seq
+        assert sender.dropped[0].cause == DROP_BUFFER_OVERFLOW
+        assert sender.buffered_peak == 2
+
+    def test_stale_beats_drop_at_drain_not_sent_late(self, rig):
+        sim, basestation, device = rig
+        basestation.outage()
+        config = FallbackConfig(stale_grace_s=5.0)
+        sender = CellularFallbackSender(device, config)
+        beat = _beat(sim, expiry_s=30.0)  # deadline 30, stale past 35
+        sender.send(beat)
+        sim.schedule(70.0, basestation.restore)
+        sim.run_until(200.0)
+        assert sender.attached
+        assert sender.dropped_stale == 1
+        assert sender.dropped[0].cause == DROP_STALE
+        assert basestation.uplinks == 0  # never sent pointlessly late
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base_backoff_s": 0.0},
+        {"backoff_factor": 0.5},
+        {"max_backoff_s": 1.0},  # below base_backoff_s default of 2
+        {"jitter_fraction": 1.0},
+        {"max_attempts": 0},
+        {"buffer_capacity": 0},
+        {"stale_grace_s": -1.0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FallbackConfig(**kwargs)
