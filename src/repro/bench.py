@@ -24,6 +24,11 @@ Cases
   degraded-RAN event counts, the fallback protocol's retry/drop
   accounting, the outage-aware deadline-safe fraction, and the
   replay-identity of chaotic runs.
+- ``crowd-5000-sharded`` — the city-scale case (skipped in ``--quick``):
+  a 5000-device advertising crowd run unsharded scalar, unsharded
+  vectorized, and on the cell-sharded kernel (serial + process
+  backends). Gates on vectorization being byte-identical to the scalar
+  scan and on the two shard backends merging to byte-identical metrics.
 
 Timing discipline: every timed run repeats ``repeats`` times and keeps
 the **minimum** wall time per mode — the standard way to strip scheduler
@@ -424,6 +429,111 @@ def bench_ran_chaos(
     )
 
 
+def bench_sharded_crowd(
+    name: str,
+    n_devices: int,
+    duration_s: float,
+    shards: int,
+    repeats: int,
+) -> CaseResult:
+    """City-scale storm: single-kernel scalar vs vectorized vs sharded.
+
+    The same 5000-device advertising crowd runs four ways — unsharded
+    with the numpy scan path off (the old kernel), unsharded vectorized,
+    and on the cell-sharded kernel with both backends. Two identity
+    checks gate the case: vectorization must be byte-identical to the
+    scalar scan (it is pure acceleration), and the serial and process
+    shard backends must merge to byte-identical metrics (the sharded
+    kernel's determinism contract). Wall-clock headline: the sharded +
+    vectorized kernel against the scalar single process. On a single
+    CPU the process backend measures protocol overhead, not parallelism;
+    ``cpus`` in the detail says which reading applies.
+    """
+    from repro.shard import run_crowd_scenario_sharded
+
+    arena_m = 1200.0
+    hotspots = 12
+    spread_m = 60.0
+    mobile_fraction = 0.1
+    scan_period_s = 10.0
+    storm = _storm_pre_run(scan_period_s)
+
+    def run_unsharded(vectorized: bool):
+        def pre_run(context: NetworkContext, devices: Dict[str, Any]) -> None:
+            if not vectorized:
+                context.medium.vectorized = False
+            storm(context, devices)
+
+        return run_crowd_scenario(
+            n_devices=n_devices,
+            relay_fraction=0.2,
+            duration_s=duration_s,
+            arena=Arena(arena_m, arena_m),
+            hotspots=hotspots,
+            hotspot_spread_m=spread_m,
+            mobile_fraction=mobile_fraction,
+            seed=0,
+            pre_run=pre_run,
+        )
+
+    def run_sharded(backend: str):
+        return run_crowd_scenario_sharded(
+            n_devices=n_devices,
+            relay_fraction=0.2,
+            duration_s=duration_s,
+            arena=Arena(arena_m, arena_m),
+            hotspots=hotspots,
+            hotspot_spread_m=spread_m,
+            mobile_fraction=mobile_fraction,
+            seed=0,
+            shards=shards,
+            sync_window_s=scan_period_s,
+            storm_scan_period_s=scan_period_s,
+            backend=backend,
+        )
+
+    scalar_wall, scalar = _best_of(lambda: run_unsharded(False), repeats)
+    vector_wall, vector = _best_of(lambda: run_unsharded(True), repeats)
+    serial_wall, serial = _best_of(lambda: run_sharded("serial"), repeats)
+    process_wall, process = _best_of(lambda: run_sharded("process"), repeats)
+
+    vector_identical = _identical(scalar.metrics, vector.metrics)
+    backend_identical = (
+        serial.metrics.to_comparable_dict()
+        == process.metrics.to_comparable_dict()
+    )
+    best_sharded = min(serial_wall, process_wall)
+    perf = serial.metrics.perf or {}
+    return CaseResult(
+        name=name,
+        wall_s=serial_wall,
+        detail={
+            "n_devices": n_devices,
+            "shards": shards,
+            "cpus": os.cpu_count(),
+            "scalar_wall_s": scalar_wall,
+            "vectorized_wall_s": vector_wall,
+            "sharded_serial_wall_s": serial_wall,
+            "sharded_process_wall_s": process_wall,
+            "speedup_vectorized": (
+                scalar_wall / vector_wall if vector_wall > 0 else 0.0
+            ),
+            "speedup_sharded": (
+                scalar_wall / best_sharded if best_sharded > 0 else 0.0
+            ),
+            "identical_metrics": vector_identical and backend_identical,
+            "vector_identical": vector_identical,
+            "backend_identical": backend_identical,
+            "devices_per_shard": serial.devices_per_shard,
+            "windows": serial.windows,
+            "handovers": serial.handovers,
+            "ghost_registrations": serial.ghost_registrations,
+            "scans": perf.get("scans", 0),
+            "vectorized_scans": perf.get("vectorized_scans", 0),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
@@ -479,6 +589,16 @@ def run_suite(
             n_devices=300,
             duration_s=300.0,
             repeats=repeats,
+        )),
+        # repeats pinned to 1: the four 5000-device legs make this the
+        # most expensive case in the suite, and its gates are identity
+        # checks rather than timing noise
+        ("crowd-5000-sharded", True, lambda: bench_sharded_crowd(
+            "crowd-5000-sharded",
+            n_devices=5000,
+            duration_s=90.0,
+            shards=2,
+            repeats=1,
         )),
     ]
     if only is not None:

@@ -20,6 +20,27 @@ from repro.mobility.space import Position, distance_between
 from repro.sim.engine import Simulator
 
 
+def grid_cell_positions(
+    arena_width: float,
+    arena_height: float,
+    cells_x: int,
+    cells_y: int,
+) -> List[Position]:
+    """Cell-center positions of a ``cells_x × cells_y`` grid over an arena.
+
+    Row-major with x fastest: cell index ``c`` sits at column
+    ``c % cells_x`` — the layout the sharded kernel's column-contiguous
+    partition relies on.
+    """
+    if cells_x < 1 or cells_y < 1:
+        raise ValueError(f"need at least a 1x1 grid, got {cells_x}x{cells_y}")
+    return [
+        ((i + 0.5) * arena_width / cells_x, (j + 0.5) * arena_height / cells_y)
+        for j in range(cells_y)
+        for i in range(cells_x)
+    ]
+
+
 @dataclasses.dataclass
 class Cell:
     """One cell: a base station, its own signaling capture, a location."""
@@ -104,6 +125,22 @@ class CellularNetwork:
         )
         self._attachment[device_id] = cell
         return cell
+
+    def reattach(self, device_id: str, position: Position) -> Tuple[Cell, bool]:
+        """Re-evaluate nearest-cell attachment (handover check).
+
+        Returns ``(cell, changed)`` where ``changed`` is true when the
+        device moved to a different cell than it was attached to. The
+        caller (e.g. the sharded kernel's handover pass) is responsible
+        for rebinding the device's modem to the new cell's base station
+        and ledger — this method only updates the attachment map.
+        """
+        new_cell = min(
+            self.cells, key=lambda c: distance_between(c.position, position)
+        )
+        old_cell = self._attachment.get(device_id)
+        self._attachment[device_id] = new_cell
+        return new_cell, old_cell is not new_cell
 
     def cell_of(self, device_id: str) -> Cell:
         try:

@@ -139,10 +139,45 @@ def _cmd_pair(args: argparse.Namespace) -> int:
     return _print_chaos_outcome(d2d)
 
 
+def _cmd_crowd_sharded(args: argparse.Namespace) -> int:
+    """`crowd --shards N`: the same storm on the cell-sharded kernel."""
+    from repro.shard import run_crowd_scenario_sharded
+
+    try:
+        result = run_crowd_scenario_sharded(
+            n_devices=args.devices, relay_fraction=args.relay_fraction,
+            duration_s=args.duration, seed=args.seed,
+            mobile_fraction=args.mobile_fraction,
+            shards=args.shards,
+            backend=args.shard_backend or "serial",
+            channel=args.channel, chaos=args.chaos_profile,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    delivery = result.metrics.delivery
+    print(format_table(
+        ["Shards", "Backend", "Windows", "Handovers", "Ghosts",
+         "L3 msgs", "Energy (µAh)", "On-time"],
+        [[result.params.n_shards, result.backend, result.windows,
+          result.handovers, result.ghost_registrations,
+          result.metrics.total_l3_messages,
+          result.metrics.total_energy_uah(),
+          delivery.on_time_fraction if delivery else 1.0]],
+        title=(f"sharded crowd: {args.devices} devices over "
+               f"{result.params.n_shards} shards, {args.duration:.0f} s"),
+    ))
+    print(f"devices per shard: {result.devices_per_shard}")
+    return 0
+
+
 def _cmd_crowd(args: argparse.Namespace) -> int:
+    if (args.shards or 1) > 1:
+        return _cmd_crowd_sharded(args)
     d2d = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
-        duration_s=args.duration, seed=args.seed, mode="d2d",
+        duration_s=args.duration, mobile_fraction=args.mobile_fraction,
+        seed=args.seed, mode="d2d",
         chaos=args.chaos_profile, chaos_seed=args.chaos_seed,
         channel=args.channel, allocator=args.allocator,
         num_rbs=args.num_rbs, shadowing_sigma_db=args.shadowing_sigma,
@@ -150,7 +185,8 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
     )
     base = run_crowd_scenario(
         n_devices=args.devices, relay_fraction=args.relay_fraction,
-        duration_s=args.duration, seed=args.seed, mode="original",
+        duration_s=args.duration, mobile_fraction=args.mobile_fraction,
+        seed=args.seed, mode="original",
     )
     print(format_table(
         ["", "L3 msgs", "peak L3/s", "Energy (µAh)", "On-time"],
@@ -237,6 +273,8 @@ def _cmd_runner_sweep(args: argparse.Namespace) -> int:
         ("num_rbs", "num_rbs"),
         ("shadowing_sigma", "shadowing_sigma_db"),
         ("selection_policy", "selection_policy"),
+        ("shards", "shards"),
+        ("shard_backend", "shard_backend"),
     ):
         value = getattr(args, flag, None)
         if value is not None and param in accepted and param not in grid:
@@ -682,6 +720,19 @@ def _add_channel_flags(parser: argparse.ArgumentParser) -> None:
              "rate/hybrid need --channel sinr")
 
 
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """Cell-sharded kernel flags shared by crowd and sweep subcommands."""
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run crowds on the cell-sharded kernel with N shards "
+             "(N > 1; devices are partitioned by serving-cell column)")
+    parser.add_argument(
+        "--shard-backend", default=None, choices=["serial", "process"],
+        help="sharded execution: all shards in-process ('serial', the "
+             "reference) or one worker process per shard ('process'); "
+             "both produce byte-identical metrics")
+
+
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
     """Chaos-injection flags shared by scenario and sweep subcommands."""
     parser.add_argument(
@@ -744,7 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
     crowd.add_argument("--devices", type=int, default=40)
     crowd.add_argument("--relay-fraction", type=float, default=0.2)
     crowd.add_argument("--duration", type=float, default=1800.0)
+    crowd.add_argument("--mobile-fraction", type=float, default=0.0,
+                       help="fraction of devices random-waypointing "
+                            "through the arena")
     crowd.add_argument("--seed", type=int, default=0)
+    _add_shard_flags(crowd)
     _add_chaos_flags(crowd)
     _add_channel_flags(crowd)
     crowd.set_defaults(func=_cmd_crowd)
@@ -759,6 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk sweep result cache directory")
     _add_dispatch_flags(sweep)
     _add_runner_flags(sweep)
+    _add_shard_flags(sweep)
     _add_chaos_flags(sweep)
     _add_channel_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
@@ -779,6 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the per-point wall-clock timing table")
     _add_dispatch_flags(grid)
     _add_runner_flags(grid)
+    _add_shard_flags(grid)
     _add_chaos_flags(grid)
     _add_channel_flags(grid)
     grid.add_argument("--status", metavar="CACHE_DIR", default=None,

@@ -25,13 +25,24 @@ from repro.d2d.link import LinkModel
 from repro.energy.model import EnergyModel, EnergyPhase
 from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
 from repro.mobility.index import SpatialIndex
-from repro.mobility.models import MobilityModel
+from repro.mobility.models import MobilityModel, TrajectoryBatch
 from repro.mobility.space import Position, distance_between
 from repro.perf import PerfCounters
 from repro.sim.engine import PeriodicProcess, Simulator
 
 #: Scan-result ordering key (strongest signal first via ``reverse=True``).
 _RSSI_KEY = operator.attrgetter("rssi_dbm")
+
+try:  # numpy powers the vectorized scan path; everything degrades to the
+    # scalar hot loop without it, so it stays an optional accelerator.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the kill switch
+    _np = None
+
+#: Candidate blocks smaller than this run the scalar loop: the fixed
+#: overhead of the numpy calls only pays off once the block is big enough
+#: that most candidates fail the range filter in C instead of Python.
+_VECTOR_MIN_BLOCK = 24
 
 
 class D2DTransferError(RuntimeError):
@@ -316,11 +327,13 @@ class _SortedCandidateCache:
     then re-filtered and re-sorted that same block. This cache keys the
     finished (requester-filtered, registration-order-sorted) id list by
     ``(requester_id, cell, k)`` and stamps it with ``(index version,
-    endpoint count)`` — any membership or bin change, or any new
-    registration (which can grow the unindexable side set without
-    touching the index), invalidates every entry. ``enabled`` exists so
-    regression tests can force the re-sort path and prove identical
-    output.
+    endpoint count, unindexed-set version)`` — any membership or bin
+    change invalidates every entry. All three components are needed: the
+    index version misses registrations that only touch the unindexable
+    side set, the endpoint count misses a same-window remove+add swap,
+    and the unindexed-set version closes exactly that gap. ``enabled``
+    exists so regression tests can force the re-sort path and prove
+    identical output.
     """
 
     __slots__ = ("enabled", "_entries")
@@ -340,6 +353,59 @@ class _SortedCandidateCache:
     def put(self, key: tuple, stamp: tuple, ids: List[str]) -> None:
         if self.enabled:
             self._entries[key] = (stamp, ids)
+
+
+class _VectorBlock:
+    """Aligned coordinate arrays for one ``(cell, k)`` candidate block.
+
+    ``ids`` is the registration-order-sorted merged block (index cells +
+    unindexed side set, requester *not* filtered — the block is shared by
+    every requester scanning from the same cell). Static endpoints have
+    their coordinates baked in at build time; dynamic ones are listed in
+    ``_dynamic`` and refreshed into the arrays on every scan before the
+    numpy distance evaluation.
+    """
+
+    __slots__ = ("ids", "xs", "ys", "static_flags", "_dynamic")
+
+    def __init__(self, ids, endpoints, static_pos) -> None:
+        n = len(ids)
+        xs = _np.empty(n)
+        ys = _np.empty(n)
+        static_flags = [False] * n
+        dynamic = []
+        for i, device_id in enumerate(ids):
+            pos = static_pos.get(device_id)
+            if pos is not None:
+                xs[i] = pos[0]
+                ys[i] = pos[1]
+                static_flags[i] = True
+            else:
+                dynamic.append((i, endpoints[device_id]))
+        self.ids = ids
+        self.xs = xs
+        self.ys = ys
+        self.static_flags = static_flags
+        self._dynamic = dynamic
+
+    def distances_from(self, origin: Position, t: float):
+        """Refresh dynamic coordinates, then the block distances to
+        ``origin`` as one numpy array.
+
+        ``sqrt(dx*dx + dy*dy)`` elementwise is the exact IEEE-754
+        operation sequence :func:`repro.mobility.space.distance_between`
+        performs (sub, mul, mul, add, sqrt — each correctly rounded), so
+        every element is bit-identical to the scalar path's distance.
+        """
+        xs = self.xs
+        ys = self.ys
+        for i, endpoint in self._dynamic:
+            x, y = endpoint.position(t)
+            xs[i] = x
+            ys[i] = y
+        dx = xs - origin[0]
+        dy = ys - origin[1]
+        return _np.sqrt(dx * dx + dy * dy)
 
 
 class D2DMedium:
@@ -435,20 +501,44 @@ class D2DMedium:
         #: (requester, cell, k) → (stamp, sorted candidate ids); see
         #: ``_scan_candidates``. ``enabled=False`` forces full re-sorts.
         self._sorted_cache = _SortedCandidateCache()
+        #: Kill switch for the numpy block-distance scan path. On by
+        #: default when numpy imports; the determinism guard flips it to
+        #: prove scalar and vectorized scans are byte-identical.
+        self.vectorized = _np is not None
+        #: (cell, k) → _VectorBlock | None (None = block below the numpy
+        #: threshold). One *global* stamp covers the whole dict — the
+        #: stamp has no per-key component — so any membership/bin change
+        #: clears it outright, keeping it bounded exactly like the
+        #: index's block cache.
+        self._vector_blocks: Dict[tuple, Optional[_VectorBlock]] = {}
+        self._vector_blocks_stamp: Optional[tuple] = None
         #: registration order per device — candidate sets from the spatial
         #: index are re-sorted by this so scans examine peers in exactly
         #: the order a full walk of ``_endpoints`` would, keeping RSSI
         #: noise draws and result ordering identical to brute force.
+        #: ``_next_seq`` is monotonic (never reused after unregister), so
+        #: two different registration histories can never collide on a
+        #: sequence number.
         self._seq: Dict[str, int] = {}
+        self._next_seq = 0
         self._index: Optional[SpatialIndex] = (
             None if brute_force else SpatialIndex(technology.max_range_m)
         )
-        #: endpoints with a finite, nonzero speed bound (rebinned lazily)
+        #: endpoints with a finite, nonzero speed bound (rebinned lazily);
+        #: refresh passes evaluate them through a TrajectoryBatch rebuilt
+        #: whenever the membership version moves
         self._mobile: Dict[str, D2DEndpoint] = {}
+        self._mobile_version = 0
+        self._mobile_batch: Optional[TrajectoryBatch] = None
+        self._mobile_batch_version = -1
         #: endpoints whose mobility model has no known speed bound: the
         #: index can't promise they stay near their bin, so scans always
-        #: examine them exactly
+        #: examine them exactly. ``_unindexed_version`` bumps on every
+        #: membership change of this set — it is a cache-stamp component
+        #: because unindexed churn is invisible to both the index version
+        #: and the endpoint count (remove one, add one: both unchanged).
         self._unindexed: Set[str] = set()
+        self._unindexed_version = 0
         self._max_mobile_speed = 0.0
         self._last_refresh_s = sim.now
         #: insertion-ordered live-connection set and per-endpoint adjacency
@@ -474,7 +564,8 @@ class D2DMedium:
         if endpoint.device_id in self._endpoints:
             raise ValueError(f"duplicate endpoint {endpoint.device_id}")
         device_id = endpoint.device_id
-        self._seq[device_id] = len(self._endpoints)
+        self._seq[device_id] = self._next_seq
+        self._next_seq += 1
         self._endpoints[device_id] = endpoint
         max_speed = endpoint.mobility.max_speed_m_s()
         if max_speed == 0.0:
@@ -485,12 +576,44 @@ class D2DMedium:
             return
         if max_speed is None:
             self._unindexed.add(device_id)
+            self._unindexed_version += 1
             return
         self._index.insert(device_id, endpoint.position(self.sim.now))
         if max_speed > 0.0:
             self._mobile[device_id] = endpoint
+            self._mobile_version += 1
             if max_speed > self._max_mobile_speed:
                 self._max_mobile_speed = max_speed
+
+    def unregister(self, device_id: str) -> None:
+        """Remove an endpoint from the medium entirely.
+
+        Breaks its live connections, then drops every trace of it —
+        endpoint map, registration sequence, static memo, mobile set,
+        unindexed set, spatial index. The sharded kernel churns ghost
+        endpoints through this every sync window, so all the scan-cache
+        stamps must move: the index version covers indexed members, and
+        ``_unindexed_version`` covers the side set (whose churn is
+        invisible to both the index version and the endpoint count).
+        """
+        endpoint = self.endpoint(device_id)
+        for connection in list(self._adjacency.get(device_id, ())):
+            self._break_connection(connection, "peer unregistered")
+        del self._endpoints[device_id]
+        del self._seq[device_id]
+        self._static_pos.pop(device_id, None)
+        if self._index is None:
+            return
+        if device_id in self._unindexed:
+            self._unindexed.discard(device_id)
+            self._unindexed_version += 1
+            return
+        if self._mobile.pop(device_id, None) is not None:
+            self._mobile_version += 1
+        self._index.remove(device_id)
+        # _max_mobile_speed stays a (possibly loose) upper bound on
+        # purpose: queries only ever widen, so candidate supersets remain
+        # supersets and discovery correctness is unaffected.
 
     def endpoint(self, device_id: str) -> D2DEndpoint:
         try:
@@ -579,31 +702,79 @@ class D2DMedium:
             link_allowed = self.link_allowed
             append = found.append
             static_get = static_pos.get
-            for peer in self._scan_candidates(requester_id, origin, t):
-                if not (peer.advertising and peer.powered_on):
-                    continue
-                peer_pos = static_get(peer.device_id)
-                if peer_pos is None:
-                    peer_pos = peer.position(t)
-                else:
-                    perf.static_position_hits += 1
-                distance = distance_between(origin, peer_pos)
-                if distance > max_range:
-                    continue
-                mean_rssi = probe(distance)
-                if mean_rssi is None:
-                    continue
-                if not link_allowed(requester_id, peer.device_id):
-                    continue
-                rssi = shadowed(mean_rssi, rng)
-                append(
-                    PeerInfo(
-                        device_id=peer.device_id,
-                        rssi_dbm=rssi,
-                        estimated_distance_m=estimate_distance(rssi),
-                        advertisement=peer.advertisement_view,
+            block = (
+                self._vector_block_for(origin, t)
+                if self.vectorized and self._index is not None
+                else None
+            )
+            if block is not None:
+                # Vectorized path: one numpy pass computes every block
+                # distance and discards the out-of-range majority in C.
+                # Reordering the range filter ahead of the advertising
+                # filter is safe for determinism because the survivor set
+                # of *all* filters — the only candidates that reach the
+                # RSSI noise draw — is order-independent, and survivors
+                # are visited in registration order either way.
+                perf.vectorized_scans += 1
+                ids = block.ids
+                perf.scan_candidates_examined += len(ids) - 1
+                distances = block.distances_from(origin, t)
+                keep = _np.nonzero(distances <= max_range)[0]
+                # .tolist() converts to exact python floats, and
+                # probe_block keeps the per-element math bit-identical to
+                # probe — no numpy scalar ever leaks into a PeerInfo.
+                probed = link.probe_block(distances[keep].tolist())
+                endpoints = self._endpoints
+                static_flags = block.static_flags
+                for j, idx in enumerate(keep.tolist()):
+                    device_id = ids[idx]
+                    if device_id == requester_id:
+                        continue
+                    peer = endpoints[device_id]
+                    if not (peer.advertising and peer.powered_on):
+                        continue
+                    if static_flags[idx]:
+                        perf.static_position_hits += 1
+                    mean_rssi = probed[j]
+                    if mean_rssi is None:
+                        continue
+                    if not link_allowed(requester_id, device_id):
+                        continue
+                    rssi = shadowed(mean_rssi, rng)
+                    append(
+                        PeerInfo(
+                            device_id=device_id,
+                            rssi_dbm=rssi,
+                            estimated_distance_m=estimate_distance(rssi),
+                            advertisement=peer.advertisement_view,
+                        )
                     )
-                )
+            else:
+                for peer in self._scan_candidates(requester_id, origin, t):
+                    if not (peer.advertising and peer.powered_on):
+                        continue
+                    peer_pos = static_get(peer.device_id)
+                    if peer_pos is None:
+                        peer_pos = peer.position(t)
+                    else:
+                        perf.static_position_hits += 1
+                    distance = distance_between(origin, peer_pos)
+                    if distance > max_range:
+                        continue
+                    mean_rssi = probe(distance)
+                    if mean_rssi is None:
+                        continue
+                    if not link_allowed(requester_id, peer.device_id):
+                        continue
+                    rssi = shadowed(mean_rssi, rng)
+                    append(
+                        PeerInfo(
+                            device_id=peer.device_id,
+                            rssi_dbm=rssi,
+                            estimated_distance_m=estimate_distance(rssi),
+                            advertisement=peer.advertisement_view,
+                        )
+                    )
             # reverse=True keeps insertion order for equal RSSI (stable
             # sort), exactly like the previous ascending negated-key sort.
             found.sort(key=_RSSI_KEY, reverse=True)
@@ -645,7 +816,7 @@ class D2DMedium:
         cell = index._cell_of(origin)
         k = max(0, math.ceil(reach / index.cell_size_m))
         cache_key = (requester_id, cell, k)
-        stamp = (index._version, len(self._endpoints))
+        stamp = (index._version, len(self._endpoints), self._unindexed_version)
         cached_ids = self._sorted_cache.get(cache_key, stamp)
         if cached_ids is not None:
             perf.sorted_cache_hits += 1
@@ -669,14 +840,73 @@ class D2DMedium:
         endpoints = self._endpoints
         return [endpoints[device_id] for device_id in ids]
 
+    def _vector_block_for(
+        self, origin: Position, t: float
+    ) -> Optional[_VectorBlock]:
+        """The shared coordinate block for scans from ``origin``'s cell.
+
+        ``None`` when the merged block is below ``_VECTOR_MIN_BLOCK`` —
+        the too-small verdict is memoised per ``(cell, k)`` so boundary
+        scans don't re-derive it every time. The whole dict is cleared
+        when the (global) stamp moves, which bounds it by the number of
+        distinct blocks scanned since the last membership/bin change.
+        """
+        index = self._index
+        self._refresh_index(t)
+        slack = self._max_mobile_speed * (t - self._last_refresh_s)
+        max_range = self.technology.max_range_m
+        cell = index._cell_of(origin)
+        k = max(0, math.ceil((max_range + slack) / index.cell_size_m))
+        stamp = (index._version, len(self._endpoints), self._unindexed_version)
+        blocks = self._vector_blocks
+        if stamp != self._vector_blocks_stamp:
+            blocks.clear()
+            self._vector_blocks_stamp = stamp
+        key = (cell, k)
+        if key in blocks:
+            return blocks[key]
+        perf = self.perf
+        ids = index.query_block(origin, max_range, slack)
+        if self._unindexed:
+            merged = set(ids)
+            merged.update(self._unindexed)
+            ids = list(merged)
+        perf.index_queries += 1
+        perf.index_block_cache_hits = index.block_cache_hits
+        if len(ids) < _VECTOR_MIN_BLOCK:
+            blocks[key] = None
+            return None
+        # query_block's list is shared — sorted() rebinds, never mutates.
+        ids = sorted(ids, key=self._seq.__getitem__)
+        block = _VectorBlock(ids, self._endpoints, self._static_pos)
+        blocks[key] = block
+        perf.vector_block_builds += 1
+        return block
+
     def _refresh_index(self, t: float) -> None:
-        """Re-bin moving endpoints once their drift bound grows stale."""
+        """Re-bin moving endpoints once their drift bound grows stale.
+
+        Positions come from a :class:`TrajectoryBatch` so blocks of
+        straight-line movers are evaluated in one numpy multiply-add
+        instead of N ``position()`` calls. Update order (affine block
+        first, then the exact remainder) differs from dict order, but the
+        index only bins candidates — scan paths re-sort by registration
+        sequence — so discovery output is unaffected.
+        """
         if not self._mobile or t - self._last_refresh_s < self.index_refresh_s:
             return
         index = self._index
         assert index is not None
-        for device_id, endpoint in self._mobile.items():
-            index.update(device_id, endpoint.position(t))
+        batch = self._mobile_batch
+        if batch is None or self._mobile_batch_version != self._mobile_version:
+            batch = TrajectoryBatch(
+                [(d, ep.mobility) for d, ep in self._mobile.items()]
+            )
+            self._mobile_batch = batch
+            self._mobile_batch_version = self._mobile_version
+        update = index.update
+        for device_id, x, y in batch.positions_at(t):
+            update(device_id, (x, y))
         self._last_refresh_s = t
         perf = self.perf
         perf.index_rebuild_passes += 1

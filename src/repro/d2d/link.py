@@ -88,6 +88,33 @@ class LinkModel:
         )
         return None if value < self.sensitivity_dbm else value
 
+    def probe_block(self, distances_m) -> "list[Optional[float]]":
+        """Batched :meth:`probe` over a whole candidate block.
+
+        One call per scan instead of one per peer: the model fields and
+        ``math.log10`` are hoisted out of the loop, which is where the
+        per-call cost of :meth:`probe` actually goes. The per-element
+        arithmetic is kept as the *same scalar IEEE-754 sequence* as
+        :func:`rssi_at` on purpose — ``numpy.log10`` is not guaranteed
+        correctly rounded, and the sensitivity cutoff sits on the result,
+        so a last-ulp difference could flip a candidate in or out of
+        range and desynchronize the RSSI noise stream between the
+        vectorized and scalar scan paths.
+        """
+        tx = self.tx_power_dbm
+        ref_db = self.path_loss_at_ref_db
+        slope = 10.0 * self.path_loss_exponent
+        ref_m = self.reference_m
+        floor = self.sensitivity_dbm
+        log10 = math.log10
+        out: list = []
+        append = out.append
+        for distance_m in distances_m:
+            d = distance_m if distance_m > 0.01 else 0.01
+            value = tx - (ref_db + slope * log10(d / ref_m))
+            append(None if value < floor else value)
+        return out
+
     def shadowed(
         self, mean_rssi_dbm: float, rng: Optional[random.Random] = None
     ) -> float:

@@ -90,7 +90,7 @@ class SpatialIndex:
         cell = self._cell_of(pos)
         self._cells.setdefault(cell, {})[device_id] = None
         self._where[device_id] = cell
-        self._version += 1
+        self._bump_version()
 
     def remove(self, device_id: str) -> None:
         """Drop a device from the index; unknown ids are ignored."""
@@ -102,7 +102,7 @@ class SpatialIndex:
             bucket.pop(device_id, None)
             if not bucket:
                 del self._cells[cell]
-        self._version += 1
+        self._bump_version()
 
     def update(self, device_id: str, pos: Position) -> None:
         """Rebin a device after it moved — O(1), no-op if the cell held."""
@@ -120,7 +120,20 @@ class SpatialIndex:
             self.moves += 1
         self._cells.setdefault(new_cell, {})[device_id] = None
         self._where[device_id] = new_cell
+        self._bump_version()
+
+    def _bump_version(self) -> None:
+        """Invalidate cached block queries after a membership/bin change.
+
+        Every block-cache entry is stamped with the pre-bump version, so
+        after a bump *all* of them are stale; dropping them outright keeps
+        the cache bounded by the number of distinct ``(cell, k)`` blocks
+        queried since the last change, instead of every block ever queried
+        over the run (which grows without bound under sustained movement).
+        """
         self._version += 1
+        if self._block_cache:
+            self._block_cache.clear()
 
     # ------------------------------------------------------------------
     def query_neighbors(

@@ -9,9 +9,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.mobility.space import Arena, Position, distance_between
+
+try:  # numpy accelerates batched trajectory evaluation; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 
 class MobilityModel:
@@ -192,6 +197,94 @@ class RandomWaypointMobility(MobilityModel):
 
     def max_speed_m_s(self) -> float:
         return self.speed_range[1]
+
+
+def affine_params(
+    model: MobilityModel,
+) -> Optional[Tuple[float, float, float, float]]:
+    """``(x0, y0, vx, vy)`` if ``position(t) == (x0 + vx·t, y0 + vy·t)``
+    exactly for all ``t``, else ``None``.
+
+    Only unclamped straight-line motion qualifies: an arena-clamped
+    :class:`LinearMobility` stops being affine the moment it hits a wall,
+    and :class:`RandomWaypointMobility` is piecewise (and mutates lazy
+    segment state on queries), so both take the exact per-model fallback.
+    """
+    if isinstance(model, StaticMobility):
+        x, y = model._position
+        return (x, y, 0.0, 0.0)
+    if isinstance(model, LinearMobility) and model.arena is None:
+        return (*model.start, *model._velocity)
+    return None
+
+
+class TrajectoryBatch:
+    """Batched ``position(t)`` over a fixed set of mobility models.
+
+    Splits the set into an affine block — evaluated as ``x0 + vx·t`` with
+    one numpy multiply-add per axis, the *same* IEEE-754 sequence
+    :meth:`LinearMobility.position` performs, so results are bit-identical
+    to per-model calls — and an exact remainder evaluated model by model.
+    Built once per membership change; ``positions_at`` is the per-tick
+    call. Without numpy (or below ``min_block`` affine members) everything
+    runs the exact path, so the batch is always safe to use.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Tuple[str, MobilityModel]],
+        min_block: int = 8,
+    ) -> None:
+        affine_ids: List[str] = []
+        x0: List[float] = []
+        y0: List[float] = []
+        vx: List[float] = []
+        vy: List[float] = []
+        exact: List[Tuple[str, MobilityModel]] = []
+        for key, model in members:
+            params = affine_params(model) if _np is not None else None
+            if params is None:
+                exact.append((key, model))
+            else:
+                affine_ids.append(key)
+                x0.append(params[0])
+                y0.append(params[1])
+                vx.append(params[2])
+                vy.append(params[3])
+        if len(affine_ids) < min_block:
+            # not worth the numpy call overhead — fold back into exact
+            exact = list(members)
+            affine_ids = []
+        self._exact = exact
+        self._affine_ids = affine_ids
+        if affine_ids:
+            self._x0 = _np.array(x0)
+            self._y0 = _np.array(y0)
+            self._vx = _np.array(vx)
+            self._vy = _np.array(vy)
+
+    def __len__(self) -> int:
+        return len(self._affine_ids) + len(self._exact)
+
+    @property
+    def affine_count(self) -> int:
+        return len(self._affine_ids)
+
+    def positions_at(self, t: float) -> List[Tuple[str, float, float]]:
+        """``(key, x, y)`` for every member at time ``t``.
+
+        Affine members first (batch order), then the exact remainder —
+        callers that need a specific order should not rely on this one.
+        """
+        out: List[Tuple[str, float, float]] = []
+        if self._affine_ids:
+            xs = (self._x0 + self._vx * t).tolist()
+            ys = (self._y0 + self._vy * t).tolist()
+            out.extend(zip(self._affine_ids, xs, ys))
+        for key, model in self._exact:
+            x, y = model.position(t)
+            out.append((key, x, y))
+        return out
 
 
 def place_crowd(

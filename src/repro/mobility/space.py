@@ -10,8 +10,20 @@ Position = Tuple[float, float]
 
 
 def distance_between(a: Position, b: Position) -> float:
-    """Euclidean distance between two positions (metres)."""
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+    """Euclidean distance between two positions (metres).
+
+    Deliberately ``sqrt(dx² + dy²)`` rather than ``math.hypot``: hypot's
+    overflow-safe scaling rounds differently in the last ulp, and the
+    vectorized scan path computes distances as ``numpy.sqrt(dx*dx +
+    dy*dy)`` over whole candidate blocks. Both IEEE-754 operation
+    sequences are identical, which is what keeps vectorized and scalar
+    discovery byte-for-byte interchangeable under the determinism guard.
+    Coordinates are metres in city-scale arenas, so the overflow regime
+    hypot protects against is unreachable.
+    """
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(dx * dx + dy * dy)
 
 
 @dataclasses.dataclass(frozen=True)

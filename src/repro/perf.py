@@ -40,6 +40,8 @@ class PerfCounters:
         "index_rebuild_passes",
         "static_position_hits",
         "sorted_cache_hits",
+        "vectorized_scans",
+        "vector_block_builds",
         "_timers",
     )
 
@@ -69,6 +71,10 @@ class PerfCounters:
         self.static_position_hits = 0
         #: scans whose candidate sort was served from the re-sort memo
         self.sorted_cache_hits = 0
+        #: scans whose distance math ran on the numpy block path
+        self.vectorized_scans = 0
+        #: aligned coordinate-block (re)builds behind vectorized scans
+        self.vector_block_builds = 0
         self._timers: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -108,6 +114,8 @@ class PerfCounters:
             "index_rebuild_passes": self.index_rebuild_passes,
             "static_position_hits": self.static_position_hits,
             "sorted_cache_hits": self.sorted_cache_hits,
+            "vectorized_scans": self.vectorized_scans,
+            "vector_block_builds": self.vector_block_builds,
             "mean_candidates_per_scan": self.mean_candidates_per_scan,
         }
         for name, seconds in sorted(self._timers.items()):

@@ -593,6 +593,9 @@ def crowd_metrics_runner(
     selection_policy: Optional[str] = None,
     heartbeat_period_s: Optional[float] = None,
     audit: Optional[bool] = None,
+    mobile_fraction: float = 0.0,
+    shards: int = 1,
+    shard_backend: str = "serial",
 ) -> Dict[str, float]:
     """Grid runner: one crowd run → plain scalar metrics.
 
@@ -603,9 +606,52 @@ def crowd_metrics_runner(
     ``selection_policy``) are plain scalars for the same picklability
     reason; ``audit=True`` runs the invariant auditor and reports its
     violation count even without chaos.
+
+    ``shards > 1`` dispatches to the cell-sharded kernel
+    (:func:`repro.shard.run_crowd_scenario_sharded`) with
+    ``shard_backend`` choosing serial or process execution; the sharded
+    kernel rejects chaos/channel/audit combinations it cannot honor.
     """
     if hotspots is None:
         hotspots = max(2, n_devices // 20)
+    if shards > 1:
+        from repro.shard import run_crowd_scenario_sharded
+
+        if selection_policy not in (None, "distance"):
+            raise ValueError(
+                "sharded kernel supports the default distance selection "
+                f"policy only, got {selection_policy!r}"
+            )
+        sharded = run_crowd_scenario_sharded(
+            n_devices=n_devices,
+            relay_fraction=relay_fraction,
+            duration_s=duration_s,
+            arena=Arena(arena_m, arena_m),
+            hotspots=hotspots,
+            mobile_fraction=mobile_fraction,
+            seed=seed,
+            mode=mode,
+            heartbeat_period_s=heartbeat_period_s,
+            shards=shards,
+            backend=shard_backend,
+            channel=channel,
+            chaos=chaos_profile,
+            audit=audit,
+        )
+        delivery = sharded.metrics.delivery
+        return {
+            "events_fired": float(sharded.events_fired),
+            "on_time_fraction": (
+                delivery.on_time_fraction if delivery else 1.0
+            ),
+            "received": float(delivery.received if delivery else 0),
+            "total_l3": float(sharded.metrics.total_l3_messages),
+            "system_uah": sharded.metrics.total_energy_uah(),
+            "shards": float(shards),
+            "windows": float(sharded.windows),
+            "handovers": float(sharded.handovers),
+            "ghost_registrations": float(sharded.ghost_registrations),
+        }
     app = STANDARD_APP
     if heartbeat_period_s is not None:
         app = dataclasses.replace(app, heartbeat_period_s=heartbeat_period_s)
@@ -615,6 +661,7 @@ def crowd_metrics_runner(
         duration_s=duration_s,
         arena=Arena(arena_m, arena_m),
         hotspots=hotspots,
+        mobile_fraction=mobile_fraction,
         seed=seed,
         mode=mode,
         app=app,
@@ -811,6 +858,7 @@ def run_crowd_scenario(
     app: AppProfile = STANDARD_APP,
     duration_s: float = 1800.0,
     hotspots: int = 3,
+    hotspot_spread_m: float = 8.0,
     mobile_fraction: float = 0.0,
     capacity: int = 10,
     seed: int = 0,
@@ -869,6 +917,7 @@ def run_crowd_scenario(
         arena,
         placement_rng,
         hotspots=hotspots,
+        spread_m=hotspot_spread_m,
         mobile_fraction=mobile_fraction,
     )
     n_relays = int(round(n_devices * relay_fraction))

@@ -1,0 +1,764 @@
+"""Cell-sharded event kernel: city-scale crowds across worker processes.
+
+The single :class:`~repro.sim.engine.Simulator` kernel is exact but
+serial: a 5000-device storm fires every scan, beat, and RRC timer through
+one heap. This module partitions that work by **serving cell** — the same
+partition :mod:`repro.cellular.network` defines — so each shard owns the
+devices homed in its cells and runs them on a private simulator, either
+in-process (``backend="serial"``) or on one worker process per shard
+(``backend="process"``).
+
+Conservative-time sync
+----------------------
+Shards advance in lock-step windows of ``sync_window_s`` simulated
+seconds. Device state never crosses a shard boundary mid-window; at each
+window boundary every shard
+
+1. applies the **ghost endpoints** routed to it at the previous boundary
+   (frozen-position snapshots of foreign advertising devices near the
+   border),
+2. runs its simulator to the boundary,
+3. runs a handover pass (nearest-cell reattachment, rebinding each
+   moved device's modem to the new cell's base station and ledger), and
+4. reports its own advertising devices that sit within the ghost margin
+   of a foreign shard's cells.
+
+The parent gathers all reports (a barrier), routes them by the shard
+plan, and hands each shard its ghost list for the next window. Ghosts are
+discovery-visible only: they advertise ``capacity_remaining: 0`` so the
+relay matcher always rejects them, and their mobility reports an unknown
+max speed so the spatial index treats them as unindexable exact-check
+endpoints (the same churn path real unindexable devices take).
+
+Determinism contract
+--------------------
+A sharded run is **not** byte-identical to the unsharded
+:func:`~repro.scenarios.run_crowd_scenario` — each shard draws from its
+own ``child_seed(seed, "shard:i")`` RNG streams, and border discovery
+sees frozen ghosts instead of live peers. What is pinned, and what the
+determinism guard asserts, is
+
+- ``serial`` ≡ ``process``: the two backends execute the identical
+  window protocol in the identical order, so their merged
+  :meth:`~repro.metrics.RunMetrics.to_comparable_dict` match byte for
+  byte, and
+- replay: the same ``(params, seed)`` always reproduces the same merged
+  metrics, whichever backend ran it.
+
+Every shard rebuilds the full crowd layout (placement, roles, phases)
+from the master seed's named streams, then instantiates only its own
+devices — no layout data ever needs to cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cellular.network import CellularNetwork, grid_cell_positions
+from repro.cellular.rrc import WCDMA_PROFILE
+from repro.core.framework import FrameworkConfig, HeartbeatRelayFramework
+from repro.core.matching import MatchConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.device import Role, Smartphone
+from repro.energy.model import EnergyModel
+from repro.energy.profiles import DEFAULT_PROFILE
+from repro.metrics import DeliveryMetrics, RunMetrics, collect_metrics
+from repro.mobility.models import MobilityModel, place_crowd
+from repro.mobility.space import Arena, Position, distance_between
+from repro.sim.engine import Simulator
+from repro.sim.rng import child_seed, make_rng
+from repro.workload.apps import STANDARD_APP
+from repro.workload.server import IMServer
+
+#: Matches :data:`repro.scenarios.DEFAULT_DRAIN_S` (not imported to keep
+#: this module import-light for spawned workers).
+_DEFAULT_DRAIN_S = 30.0
+
+
+# ----------------------------------------------------------------------
+# partition plan
+# ----------------------------------------------------------------------
+class ShardPlan:
+    """The static cell-to-shard partition every participant agrees on.
+
+    Cells form a ``cells_x × cells_y`` grid over the arena (see
+    :func:`repro.cellular.network.grid_cell_positions`); shard ownership
+    is by **column band**, so shard boundaries are vertical lines and a
+    device's home shard depends only on its x position at t=0.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        cells_x: int,
+        cells_y: int,
+        arena_w: float,
+        arena_h: float,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if cells_x < n_shards:
+            raise ValueError(
+                f"need at least one cell column per shard: "
+                f"cells_x={cells_x} < n_shards={n_shards}"
+            )
+        self.n_shards = n_shards
+        self.cells_x = cells_x
+        self.cells_y = cells_y
+        self.cell_positions: List[Position] = grid_cell_positions(
+            arena_w, arena_h, cells_x, cells_y
+        )
+        #: cell index -> owning shard (column band partition)
+        self.cell_shards: List[int] = [
+            (c % cells_x) * n_shards // cells_x
+            for c in range(len(self.cell_positions))
+        ]
+        self._shard_cells: List[List[Position]] = [[] for _ in range(n_shards)]
+        for position, shard in zip(self.cell_positions, self.cell_shards):
+            self._shard_cells[shard].append(position)
+
+    def nearest_cell(self, position: Position) -> int:
+        positions = self.cell_positions
+        return min(
+            range(len(positions)),
+            key=lambda c: distance_between(positions[c], position),
+        )
+
+    def shard_of_position(self, position: Position) -> int:
+        """Home shard of a device standing at ``position``."""
+        return self.cell_shards[self.nearest_cell(position)]
+
+    def border_shards(
+        self, position: Position, own_shard: int, margin_m: float
+    ) -> List[int]:
+        """Foreign shards that should see a ghost of this device.
+
+        A device borders shard ``j`` when its distance to ``j``'s nearest
+        cell exceeds its distance to the overall nearest cell by at most
+        ``2 × margin_m`` — twice the D2D range, so any foreign device it
+        could possibly reach lives in a shard that received its ghost.
+        """
+        d_best = min(
+            distance_between(cell, position) for cell in self.cell_positions
+        )
+        out: List[int] = []
+        for j in range(self.n_shards):
+            if j == own_shard:
+                continue
+            d_j = min(
+                distance_between(cell, position) for cell in self._shard_cells[j]
+            )
+            if d_j - d_best <= 2.0 * margin_m:
+                out.append(j)
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class CrowdShardParams:
+    """Plain-scalar description of one sharded crowd run.
+
+    Frozen and picklable on purpose: this is the *only* object shipped to
+    worker processes — each worker rebuilds its entire world from it.
+    ``storm_scan_period_s`` replaces the unsharded runner's ``pre_run``
+    callable (unpicklable) with the one storm knob the benches use.
+    """
+
+    n_devices: int = 40
+    relay_fraction: float = 0.2
+    duration_s: float = 1800.0
+    arena_w: float = 60.0
+    arena_h: float = 60.0
+    hotspots: int = 3
+    hotspot_spread_m: float = 8.0
+    mobile_fraction: float = 0.0
+    seed: int = 0
+    capacity: int = 10
+    relay_selection: str = "roundrobin"
+    drain_s: float = _DEFAULT_DRAIN_S
+    heartbeat_period_s: Optional[float] = None
+    storm_scan_period_s: Optional[float] = None
+    n_shards: int = 2
+    cells_x: int = 4
+    cells_y: int = 2
+    sync_window_s: float = 5.0
+    ghost_margin_m: float = WIFI_DIRECT.max_range_m
+
+    def plan(self) -> ShardPlan:
+        return ShardPlan(
+            self.n_shards, self.cells_x, self.cells_y,
+            self.arena_w, self.arena_h,
+        )
+
+
+class GhostMobility(MobilityModel):
+    """Frozen-position snapshot of a foreign-shard device.
+
+    Inherits ``max_speed_m_s() -> None`` deliberately: the real device
+    *does* move between sync windows but this shard cannot see how fast,
+    so the spatial index must treat the ghost as unindexable and
+    exact-check it on every scan.
+    """
+
+    def __init__(self, position: Position) -> None:
+        self._position = (float(position[0]), float(position[1]))
+
+    def position(self, t: float) -> Position:
+        return self._position
+
+    def velocity(self, t: float) -> Tuple[float, float]:
+        return (0.0, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GhostMobility({self._position})"
+
+
+# ----------------------------------------------------------------------
+# per-shard world
+# ----------------------------------------------------------------------
+def _relay_indices(
+    params: CrowdShardParams, mobilities: Sequence[MobilityModel]
+) -> set:
+    """Global relay assignment, identical in every shard.
+
+    Mirrors :func:`repro.scenarios._select_relay_indices`, but draws the
+    random strategy's RNG from ``make_rng(seed, "relay-selection")``
+    directly — the per-shard simulators are seeded with child seeds, so
+    the shared layout must come from the master seed's streams.
+    """
+    n_relays = int(round(params.n_devices * params.relay_fraction))
+    if params.relay_selection == "roundrobin" or n_relays == 0:
+        return set(range(n_relays))
+    from repro.core.operator import (
+        Participant,
+        greedy_relay_selection,
+        random_relay_selection,
+    )
+
+    pair_range = MatchConfig().max_pair_distance_m
+    participants = [
+        Participant(str(i), mobility.position(0.0))
+        for i, mobility in enumerate(mobilities)
+    ]
+    if params.relay_selection == "greedy":
+        chosen = greedy_relay_selection(
+            participants, range_m=pair_range, max_relays=n_relays
+        )
+    else:  # random
+        chosen = random_relay_selection(
+            participants, n_relays, make_rng(params.seed, "relay-selection")
+        )
+    return {int(device_id) for device_id in chosen}
+
+
+#: (device_id, x, y, role) — one routed ghost entry.
+GhostEntry = Tuple[str, float, float, str]
+#: (device_id, x, y, role, target_shards) — one border-report entry.
+ReportEntry = Tuple[str, float, float, str, List[int]]
+
+
+class _ShardState:
+    """One shard's complete world: simulator, cells, devices, framework.
+
+    Every shard rebuilds the *full* crowd layout from the master seed's
+    named streams (placement, roles, heartbeat phases are global facts),
+    then instantiates only the devices homed in its own cells.
+    """
+
+    def __init__(self, shard_index: int, params: CrowdShardParams) -> None:
+        self.shard_index = shard_index
+        self.params = params
+        self.plan = params.plan()
+        self.sim = Simulator(seed=child_seed(params.seed, f"shard:{shard_index}"))
+        self.network = CellularNetwork(self.sim, self.plan.cell_positions)
+        self.server = IMServer(self.sim)
+        self.network.attach_sink_everywhere(self.server.uplink_sink)
+        self.medium = D2DMedium(self.sim, WIFI_DIRECT, profile=DEFAULT_PROFILE)
+
+        arena = Arena(params.arena_w, params.arena_h)
+        placement_rng = make_rng(params.seed, "crowd-placement")
+        mobilities = place_crowd(
+            params.n_devices,
+            arena,
+            placement_rng,
+            hotspots=params.hotspots,
+            spread_m=params.hotspot_spread_m,
+            mobile_fraction=params.mobile_fraction,
+        )
+        relay_indices = _relay_indices(params, mobilities)
+        phase_rng = make_rng(params.seed, "crowd-phases")
+        app = STANDARD_APP
+        if params.heartbeat_period_s is not None:
+            app = dataclasses.replace(
+                app, heartbeat_period_s=params.heartbeat_period_s
+            )
+        self.app = app
+        self.framework = HeartbeatRelayFramework(
+            [],
+            app=app,
+            config=FrameworkConfig(
+                scheduler=SchedulerConfig(capacity=params.capacity),
+                matching=MatchConfig(),
+            ),
+        )
+        self.devices: Dict[str, Smartphone] = {}
+        self.relay_ids: List[str] = []
+        for i, mobility in enumerate(mobilities):
+            # the phase stream is global: consume a draw for EVERY device
+            # so shard membership never shifts another device's phase
+            phase = phase_rng.random()
+            pos0 = mobility.position(0.0)
+            if self.plan.shard_of_position(pos0) != shard_index:
+                continue
+            is_relay = i in relay_indices
+            device_id = f"{'relay' if is_relay else 'dev'}-{i}"
+            cell = self.network.attach(device_id, pos0)
+            device = Smartphone(
+                self.sim,
+                device_id,
+                mobility=mobility,
+                role=Role.RELAY if is_relay else Role.UE,
+                ledger=cell.ledger,
+                basestation=cell.basestation,
+                d2d_medium=self.medium,
+                profile=DEFAULT_PROFILE,
+                rrc_profile=WCDMA_PROFILE,
+            )
+            self.devices[device_id] = device
+            if is_relay:
+                self.relay_ids.append(device_id)
+            self.framework.add_device(
+                device, phase_fraction=0.0 if is_relay else phase
+            )
+
+        self.handovers = 0
+        self.ghost_registrations = 0
+        self._ghosts: Dict[str, GhostEntry] = {}
+        if params.storm_scan_period_s is not None:
+            self._setup_storm(params.storm_scan_period_s)
+
+    # ------------------------------------------------------------------
+    def _setup_storm(self, scan_period_s: float) -> None:
+        """Every own device advertises and scans periodically."""
+        medium, sim = self.medium, self.sim
+        for device_id in self.devices:
+            endpoint = medium.endpoint(device_id)
+            endpoint.advertising = True
+            endpoint.advertisement.setdefault("storm", 1)
+
+            def tick(did: str = device_id) -> None:
+                if medium.endpoint(did).powered_on:
+                    medium.discover(did, lambda peers: None)
+
+            sim.every(scan_period_s, tick, name=f"storm-{device_id}")
+
+    # ------------------------------------------------------------------
+    # window protocol
+    # ------------------------------------------------------------------
+    def run_window(
+        self, t_end: float, ghosts: List[GhostEntry]
+    ) -> List[ReportEntry]:
+        self.apply_ghosts(ghosts)
+        self.sim.run_until(t_end)
+        self.handover_pass()
+        return self.border_report()
+
+    def apply_ghosts(self, ghosts: List[GhostEntry]) -> None:
+        """Diff the incoming ghost set against the registered one.
+
+        Unchanged ghosts stay registered (no index churn); moved or
+        departed ghosts are unregistered, new snapshots registered. The
+        diff keys on the full entry, so a moved device re-registers at
+        its new frozen position.
+        """
+        incoming = {entry[0]: entry for entry in ghosts}
+        for ghost_id in list(self._ghosts):
+            if incoming.get(ghost_id) == self._ghosts[ghost_id]:
+                continue
+            self.medium.unregister(ghost_id)
+            del self._ghosts[ghost_id]
+        for ghost_id in sorted(incoming):
+            if ghost_id in self._ghosts:
+                continue
+            entry = incoming[ghost_id]
+            endpoint = D2DEndpoint(
+                ghost_id,
+                GhostMobility((entry[1], entry[2])),
+                energy=EnergyModel(owner=ghost_id),
+                # capacity_remaining 0 → the relay matcher always rejects
+                # a ghost, so no cross-shard session can form mid-window
+                advertisement={
+                    "ghost": 1,
+                    "role": entry[3],
+                    "capacity_remaining": 0,
+                },
+            )
+            endpoint.advertising = True
+            self.medium.register(endpoint)
+            self._ghosts[ghost_id] = entry
+            self.ghost_registrations += 1
+
+    def handover_pass(self) -> None:
+        """Nearest-cell reattachment for every own device."""
+        t = self.sim.now
+        for device in self.devices.values():
+            cell, changed = self.network.reattach(
+                device.device_id, device.mobility.position(t)
+            )
+            if changed:
+                # rebind the modem to the new cell; RRC state (and its
+                # pending timers) carry over, as in a lossless handover
+                device.modem.basestation = cell.basestation
+                device.modem.rrc.ledger = cell.ledger
+                self.handovers += 1
+
+    def border_report(self) -> List[ReportEntry]:
+        """Own advertising devices a foreign shard should ghost."""
+        t = self.sim.now
+        margin = self.params.ghost_margin_m
+        report: List[ReportEntry] = []
+        for device_id, device in self.devices.items():
+            endpoint = self.medium.endpoint(device_id)
+            if not endpoint.advertising or not endpoint.powered_on:
+                continue
+            x, y = device.mobility.position(t)
+            targets = self.plan.border_shards((x, y), self.shard_index, margin)
+            if targets:
+                report.append((device_id, x, y, device.role.value, targets))
+        return report
+
+    # ------------------------------------------------------------------
+    def finish(self) -> Tuple[RunMetrics, Dict[str, int]]:
+        """Shutdown, drain, and snapshot this shard's metrics."""
+        self.framework.shutdown()
+        horizon = self.params.duration_s + self.params.drain_s
+        self.sim.run_until(horizon)
+        metrics = collect_metrics(
+            self.devices.values(),
+            self.network.combined_ledger,
+            self.server,
+            horizon_s=horizon,
+            perf=self.medium.perf.to_dict(),
+        )
+        stats = {
+            "handovers": self.handovers,
+            "ghost_registrations": self.ghost_registrations,
+            "events_fired": self.sim.events_fired,
+            "n_devices": len(self.devices),
+        }
+        return metrics, stats
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class _SerialBackend:
+    """All shards in this process — the reference for backend identity."""
+
+    def __init__(self, params: CrowdShardParams) -> None:
+        self.shards = [
+            _ShardState(i, params) for i in range(params.n_shards)
+        ]
+
+    def run_window(
+        self, t_end: float, ghosts_by_shard: List[List[GhostEntry]]
+    ) -> List[List[ReportEntry]]:
+        return [
+            shard.run_window(t_end, ghosts_by_shard[i])
+            for i, shard in enumerate(self.shards)
+        ]
+
+    def finish(self) -> List[Tuple[RunMetrics, Dict[str, int]]]:
+        return [shard.finish() for shard in self.shards]
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, params: CrowdShardParams, shard_index: int) -> None:
+    """Worker-process loop: build the shard world, serve window commands."""
+    state = _ShardState(shard_index, params)
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "window":
+                conn.send(state.run_window(message[1], message[2]))
+            elif message[0] == "finish":
+                conn.send(state.finish())
+                return
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown shard command {message[0]!r}")
+    finally:
+        conn.close()
+
+
+class _ProcessBackend:
+    """One OS process per shard, command/response over pipes.
+
+    The window protocol is executed in exactly the order the serial
+    backend uses (send to all, then receive in shard order), so the two
+    backends are observationally identical — that identity is what the
+    determinism guard pins.
+    """
+
+    def __init__(self, params: CrowdShardParams) -> None:
+        self.pipes = []
+        self.processes = []
+        for i in range(params.n_shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            process = multiprocessing.Process(
+                target=_shard_worker,
+                args=(child_conn, params, i),
+                daemon=True,
+                name=f"shard-{i}",
+            )
+            process.start()
+            child_conn.close()
+            self.pipes.append(parent_conn)
+            self.processes.append(process)
+
+    def run_window(
+        self, t_end: float, ghosts_by_shard: List[List[GhostEntry]]
+    ) -> List[List[ReportEntry]]:
+        for i, pipe in enumerate(self.pipes):
+            pipe.send(("window", t_end, ghosts_by_shard[i]))
+        return [pipe.recv() for pipe in self.pipes]
+
+    def finish(self) -> List[Tuple[RunMetrics, Dict[str, int]]]:
+        for pipe in self.pipes:
+            pipe.send(("finish",))
+        results = [pipe.recv() for pipe in self.pipes]
+        for process in self.processes:
+            process.join(timeout=60)
+        return results
+
+    def close(self) -> None:
+        for pipe in self.pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - error teardown
+                process.terminate()
+                process.join(timeout=10)
+
+
+def _route_reports(
+    reports: List[List[ReportEntry]], n_shards: int
+) -> List[List[GhostEntry]]:
+    """Border reports → per-shard ghost lists, sorted by device id."""
+    ghosts_by_shard: List[List[GhostEntry]] = [[] for _ in range(n_shards)]
+    for report in reports:
+        for device_id, x, y, role, targets in report:
+            for target in targets:
+                ghosts_by_shard[target].append((device_id, x, y, role))
+    for ghosts in ghosts_by_shard:
+        ghosts.sort()
+    return ghosts_by_shard
+
+
+# ----------------------------------------------------------------------
+# metrics merge
+# ----------------------------------------------------------------------
+def _merge_perf(
+    perfs: List[Optional[Dict[str, float]]]
+) -> Optional[Dict[str, float]]:
+    """Numeric sum of per-shard perf counters.
+
+    Ratio-style entries (``mean_*``) are summed like everything else, so
+    merged values are only meaningful for the count-style counters —
+    acceptable because ``perf`` is observability-only and excluded from
+    comparable metrics.
+    """
+    merged: Dict[str, float] = {}
+    for perf in perfs:
+        if not perf:
+            continue
+        for key, value in perf.items():
+            if isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+    return merged or None
+
+
+def _merge_metrics(
+    per_shard: List[RunMetrics], horizon_s: float
+) -> RunMetrics:
+    """Union of per-shard device metrics plus summed aggregates.
+
+    Shards partition the device set, so the per-device dicts are
+    disjoint; delivery counts add, and the mean delay is the
+    received-weighted mean of the shard means.
+    """
+    devices: Dict[str, Any] = {}
+    for metrics in per_shard:
+        devices.update(metrics.devices)
+    received = on_time = late = relayed = 0
+    delay_weighted = 0.0
+    have_delivery = False
+    for metrics in per_shard:
+        delivery = metrics.delivery
+        if delivery is None:
+            continue
+        have_delivery = True
+        received += delivery.received
+        on_time += delivery.on_time
+        late += delivery.late
+        relayed += delivery.relayed
+        delay_weighted += delivery.mean_delay_s * delivery.received
+    merged_delivery = None
+    if have_delivery:
+        merged_delivery = DeliveryMetrics(
+            received=received,
+            on_time=on_time,
+            late=late,
+            relayed=relayed,
+            mean_delay_s=delay_weighted / received if received else 0.0,
+        )
+    return RunMetrics(
+        horizon_s=horizon_s,
+        devices=devices,
+        delivery=merged_delivery,
+        total_l3_messages=sum(m.total_l3_messages for m in per_shard),
+        faults=None,
+        perf=_merge_perf([m.perf for m in per_shard]),
+        channel=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ShardedRunResult:
+    """Merged outcome of one sharded crowd run."""
+
+    metrics: RunMetrics
+    params: CrowdShardParams
+    backend: str
+    windows: int
+    handovers: int
+    ghost_registrations: int
+    events_fired: int
+    devices_per_shard: List[int]
+
+
+def run_crowd_scenario_sharded(
+    n_devices: int = 40,
+    relay_fraction: float = 0.2,
+    duration_s: float = 1800.0,
+    arena: Optional[Arena] = None,
+    hotspots: int = 3,
+    hotspot_spread_m: float = 8.0,
+    mobile_fraction: float = 0.0,
+    capacity: int = 10,
+    seed: int = 0,
+    relay_selection: str = "roundrobin",
+    drain_s: float = _DEFAULT_DRAIN_S,
+    heartbeat_period_s: Optional[float] = None,
+    storm_scan_period_s: Optional[float] = None,
+    shards: int = 2,
+    cells_x: Optional[int] = None,
+    cells_y: int = 2,
+    sync_window_s: float = 5.0,
+    ghost_margin_m: float = WIFI_DIRECT.max_range_m,
+    backend: str = "serial",
+    mode: str = "d2d",
+    channel: Optional[str] = None,
+    chaos=None,
+    audit: Optional[bool] = None,
+) -> ShardedRunResult:
+    """Run a crowd scenario on the cell-sharded kernel.
+
+    ``backend="serial"`` runs every shard in this process (the reference
+    implementation); ``backend="process"`` runs one worker process per
+    shard. Both execute the identical window protocol and must produce
+    byte-identical merged metrics.
+
+    The ``mode``/``channel``/``chaos``/``audit`` parameters exist only to
+    make unsupported combinations loud: the sharded kernel currently runs
+    the d2d framework on the fixed-cost channel without fault injection.
+    Single-cell features that need global state (the SINR channel's
+    shared resource blocks, chaos scheduling, the cross-device auditor)
+    raise rather than silently computing something subtly different.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if backend not in ("serial", "process"):
+        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    if mode != "d2d":
+        raise ValueError(
+            f"sharded kernel supports mode='d2d' only, got {mode!r}"
+        )
+    if channel not in (None, "fixed"):
+        raise ValueError(
+            "sharded kernel does not support the SINR channel "
+            f"(shared resource blocks are global state), got {channel!r}"
+        )
+    if chaos is not None:
+        raise ValueError("sharded kernel does not support chaos profiles")
+    if audit:
+        raise ValueError("sharded kernel does not support the invariant auditor")
+    if sync_window_s <= 0:
+        raise ValueError(f"sync_window_s must be positive, got {sync_window_s}")
+    arena = arena or Arena(60.0, 60.0)
+    if cells_x is None:
+        cells_x = max(2, 2 * shards)
+    params = CrowdShardParams(
+        n_devices=n_devices,
+        relay_fraction=relay_fraction,
+        duration_s=duration_s,
+        arena_w=arena.width,
+        arena_h=arena.height,
+        hotspots=hotspots,
+        hotspot_spread_m=hotspot_spread_m,
+        mobile_fraction=mobile_fraction,
+        seed=seed,
+        capacity=capacity,
+        relay_selection=relay_selection,
+        drain_s=drain_s,
+        heartbeat_period_s=heartbeat_period_s,
+        storm_scan_period_s=storm_scan_period_s,
+        n_shards=shards,
+        cells_x=cells_x,
+        cells_y=cells_y,
+        sync_window_s=sync_window_s,
+        ghost_margin_m=ghost_margin_m,
+    )
+    params.plan()  # validate the partition before any worker starts
+
+    runner = (
+        _SerialBackend(params) if backend == "serial"
+        else _ProcessBackend(params)
+    )
+    try:
+        stop_at = max(0.0, duration_s - 1.0)
+        ghosts_by_shard: List[List[GhostEntry]] = [[] for _ in range(shards)]
+        windows = 0
+        t = 0.0
+        while t < stop_at:
+            t = min(t + sync_window_s, stop_at)
+            reports = runner.run_window(t, ghosts_by_shard)
+            ghosts_by_shard = _route_reports(reports, shards)
+            windows += 1
+        results = runner.finish()
+    finally:
+        runner.close()
+
+    metrics = _merge_metrics(
+        [metrics for metrics, _stats in results], duration_s + drain_s
+    )
+    stats = [shard_stats for _metrics, shard_stats in results]
+    return ShardedRunResult(
+        metrics=metrics,
+        params=params,
+        backend=backend,
+        windows=windows,
+        handovers=sum(s["handovers"] for s in stats),
+        ghost_registrations=sum(s["ghost_registrations"] for s in stats),
+        events_fired=sum(s["events_fired"] for s in stats),
+        devices_per_shard=[s["n_devices"] for s in stats],
+    )

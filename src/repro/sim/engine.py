@@ -67,6 +67,15 @@ class Simulator:
         """Number of live events still queued."""
         return len(self.queue)
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live pending event, or ``None``.
+
+        Lets a windowed driver (the sharded kernel's conservative-time
+        sync loop) ask how far it may safely advance without firing
+        anything — cancelled events are skipped, the queue is untouched.
+        """
+        return self.queue.peek_time()
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------

@@ -45,6 +45,20 @@ def spawn(base_seed: int, point_index: int) -> int:
     return _derive_seed(int(base_seed), f"sweep-point:{point_index}")
 
 
+def child_seed(master_seed: int, label: str) -> int:
+    """Derive a stable 64-bit child seed for a named subcomponent.
+
+    Used where one experiment seed must fan out into several independent
+    simulators — e.g. the sharded kernel seeds shard ``i``'s
+    :class:`~repro.sim.engine.Simulator` with
+    ``child_seed(seed, f"shard:{i}")``. Like :func:`spawn`, the result
+    depends only on the inputs (BLAKE2b; stable across interpreter runs
+    and ``PYTHONHASHSEED``), never on process layout, so serial and
+    multi-process shard backends draw identical randomness.
+    """
+    return _derive_seed(int(master_seed), f"child:{label}")
+
+
 class RngStreams:
     """Registry of named random streams for one experiment run.
 

@@ -1,0 +1,147 @@
+"""Regression tests for two latent discovery-cache bugs.
+
+Both caches sit on the scan hot path and both had stamps that missed a
+class of invalidating change:
+
+1. ``D2DMedium``'s sorted-candidate cache stamped entries with
+   ``(index version, endpoint count)`` — blind to *unindexed-set churn*.
+   Unregistering one unindexable device and registering another in the
+   same window leaves both components unchanged, so scans served a stale
+   id list (omitting the newcomer, and KeyError-ing on the departed id).
+2. ``SpatialIndex._block_cache`` never evicted stale-version entries, so
+   a mobile crowd querying from ever-new cells grew the cache without
+   bound over a long run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.d2d.base import D2DEndpoint, D2DMedium
+from repro.d2d.wifi_direct import WIFI_DIRECT
+from repro.mobility.index import SpatialIndex
+from repro.mobility.models import MobilityModel, StaticMobility
+from repro.sim.engine import Simulator
+
+
+class UnboundedMobility(MobilityModel):
+    """Fixed position but no speed bound — unindexable on purpose.
+
+    ``max_speed_m_s`` inherits the base class ``None``, which routes the
+    endpoint into the medium's always-checked unindexed side set.
+    """
+
+    def __init__(self, position):
+        self._position = position
+
+    def position(self, t):
+        return self._position
+
+    def velocity(self, t):
+        return (0.0, 0.0)
+
+
+def _scan(medium, sim, requester_id, horizon):
+    results = []
+    medium.discover(requester_id, results.append)
+    sim.run_until(horizon)
+    assert results, "scan never completed"
+    return results[-1]
+
+
+class TestSortedCandidateStamp:
+    def test_swapping_unindexable_endpoints_is_visible_to_scans(self):
+        """Unregister one unindexable peer, register another: the next
+        scan must discover the newcomer, not serve the stale id list
+        (index version and endpoint count are both unchanged by the swap,
+        so only the unindexed-membership stamp component catches it)."""
+        sim = Simulator(seed=1)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        scanner = D2DEndpoint("scanner", StaticMobility((0.0, 0.0)))
+        medium.register(scanner)
+        first = D2DEndpoint("peer-a", UnboundedMobility((5.0, 0.0)))
+        first.advertising = True
+        medium.register(first)
+
+        found = _scan(medium, sim, "scanner", 3.0)
+        assert [p.device_id for p in found] == ["peer-a"]
+
+        medium.unregister("peer-a")
+        second = D2DEndpoint("peer-b", UnboundedMobility((5.0, 0.0)))
+        second.advertising = True
+        medium.register(second)
+
+        found = _scan(medium, sim, "scanner", 6.0)
+        assert [p.device_id for p in found] == ["peer-b"]
+
+    def test_sorted_cache_still_hits_when_membership_is_stable(self):
+        """The widened stamp must not break the cache's happy path."""
+        sim = Simulator(seed=1)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        scanner = D2DEndpoint("scanner", StaticMobility((0.0, 0.0)))
+        medium.register(scanner)
+        peer = D2DEndpoint("peer", UnboundedMobility((5.0, 0.0)))
+        peer.advertising = True
+        medium.register(peer)
+
+        _scan(medium, sim, "scanner", 3.0)
+        _scan(medium, sim, "scanner", 6.0)
+        assert medium.perf.sorted_cache_hits == 1
+
+    def test_unregister_breaks_connections_and_forgets_the_endpoint(self):
+        sim = Simulator(seed=1)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        a = D2DEndpoint("a", StaticMobility((0.0, 0.0)))
+        b = D2DEndpoint("b", StaticMobility((3.0, 0.0)))
+        medium.register(a)
+        medium.register(b)
+        connections = []
+        medium.connect("a", "b", connections.append)
+        sim.run_until(2.0)
+        assert connections and connections[0] is not None
+
+        medium.unregister("b")
+        assert not connections[0].alive
+        assert medium.live_connections() == []
+        with pytest.raises(KeyError):
+            medium.endpoint("b")
+        # the id is reusable afterwards, with a fresh sequence number
+        medium.register(D2DEndpoint("b", StaticMobility((4.0, 0.0))))
+
+    def test_unregister_indexed_mobile_endpoint_drops_it_from_the_index(self):
+        from repro.mobility.models import LinearMobility
+
+        sim = Simulator(seed=1)
+        medium = D2DMedium(sim, WIFI_DIRECT)
+        medium.register(D2DEndpoint("scanner", StaticMobility((0.0, 0.0))))
+        mover = D2DEndpoint("mover", LinearMobility((5.0, 0.0), (1.0, 0.0)))
+        mover.advertising = True
+        medium.register(mover)
+        assert "mover" in medium._index
+        medium.unregister("mover")
+        assert "mover" not in medium._index
+        assert [p.device_id for p in _scan(medium, sim, "scanner", 3.0)] == []
+
+
+class TestBlockCacheBound:
+    def test_block_cache_stays_bounded_under_sustained_movement(self):
+        """A mover querying from ever-new cells must not accumulate one
+        cache entry per cell it ever visited."""
+        index = SpatialIndex(50.0)
+        index.insert("walker", (0.0, 0.0))
+        pos = (0.0, 0.0)
+        for step in range(1, 201):
+            pos = (step * 75.0, 0.0)  # crosses a cell boundary every step
+            index.update("walker", pos)
+            index.query_block(pos, 50.0)
+        assert len(index._block_cache) <= 4
+
+    def test_block_cache_still_serves_repeat_queries(self):
+        """Eviction on version bump must not cost the static-crowd win."""
+        index = SpatialIndex(50.0)
+        index.insert("a", (10.0, 10.0))
+        index.insert("b", (20.0, 10.0))
+        first = index.query_block((12.0, 12.0), 50.0)
+        again = index.query_block((12.0, 12.0), 50.0)
+        assert again is first
+        assert index.block_cache_hits == 1

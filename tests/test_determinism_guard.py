@@ -11,7 +11,9 @@ from repro.d2d.base import D2DEndpoint, D2DMedium
 from repro.d2d.wifi_direct import WIFI_DIRECT
 from repro.energy.model import EnergyModel
 from repro.mobility.models import LinearMobility, StaticMobility
+from repro.mobility.space import Arena
 from repro.scenarios import run_crowd_scenario
+from repro.shard import run_crowd_scenario_sharded
 from repro.sim.engine import Simulator
 
 SEEDS = (0, 1, 2)
@@ -180,6 +182,112 @@ class TestScanFastPathIdentity:
         )
         assert "rock" in medium._static_pos
         assert "mover" not in medium._static_pos
+
+
+class TestVectorizedScanIdentity:
+    """The numpy block-scan path is an acceleration, never behaviour.
+
+    ``medium.vectorized = False`` is the kill switch: with it off, every
+    scan takes the scalar per-peer loop. Both paths must produce
+    byte-identical run metrics — same survivors, same RSSI draws in the
+    same registration order.
+    """
+
+    @staticmethod
+    def _no_vector(context, devices):
+        context.medium.vectorized = False
+
+    def test_vectorized_scan_is_pure_acceleration(self):
+        for seed in SEEDS:
+            kwargs = dict(
+                n_devices=120, relay_fraction=0.2, duration_s=240.0,
+                hotspots=4, mobile_fraction=0.2, seed=seed,
+            )
+            fast = run_crowd_scenario(**kwargs)
+            slow = run_crowd_scenario(pre_run=self._no_vector, **kwargs)
+            assert (
+                fast.metrics.to_comparable_dict()
+                == slow.metrics.to_comparable_dict()
+            ), f"vectorized scan diverged for seed {seed}"
+            # sanity: the two runs really took different code routes
+            assert fast.metrics.perf["vectorized_scans"] > 0
+            assert slow.metrics.perf["vectorized_scans"] == 0
+
+    def test_vectorized_matches_brute_force(self):
+        kwargs = dict(
+            n_devices=120, relay_fraction=0.2, duration_s=240.0,
+            hotspots=4, mobile_fraction=0.2, seed=0,
+        )
+        vectorized = run_crowd_scenario(brute_force=False, **kwargs)
+        brute = run_crowd_scenario(brute_force=True, **kwargs)
+        assert (
+            vectorized.metrics.to_comparable_dict()
+            == brute.metrics.to_comparable_dict()
+        )
+
+
+class TestShardedKernelIdentity:
+    """The cell-sharded kernel's determinism contract.
+
+    Sharded runs are a documented equivalence class of their own (per-
+    shard RNG streams, frozen border ghosts), so the guard pins what the
+    design promises: the serial and process backends are byte-identical,
+    replay is byte-identical, and delivery is complete — every beat the
+    unsharded kernel delivers, the sharded kernel delivers too, even
+    with movers crossing shard borders (handovers observed > 0).
+    """
+
+    KWARGS = dict(
+        n_devices=60, relay_fraction=0.25, duration_s=120.0,
+        arena=Arena(400.0, 120.0), hotspots=6, mobile_fraction=0.3,
+        storm_scan_period_s=10.0, shards=2, sync_window_s=5.0, seed=3,
+    )
+
+    def test_serial_and_process_backends_identical(self):
+        serial = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        process = run_crowd_scenario_sharded(backend="process", **self.KWARGS)
+        assert (
+            serial.metrics.to_comparable_dict()
+            == process.metrics.to_comparable_dict()
+        ), "serial and process shard backends diverged"
+        assert serial.handovers == process.handovers
+        assert serial.ghost_registrations == process.ghost_registrations
+        assert serial.devices_per_shard == process.devices_per_shard
+        # the run must actually exercise the cross-shard machinery
+        assert serial.handovers > 0, "no handover crossed a cell border"
+        assert serial.ghost_registrations > 0, "no border ghost exchanged"
+        assert all(n > 0 for n in serial.devices_per_shard)
+
+    def test_sharded_replay_is_byte_identical(self):
+        first = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        second = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        assert (
+            first.metrics.to_comparable_dict()
+            == second.metrics.to_comparable_dict()
+        )
+
+    def test_sharded_delivery_matches_unsharded(self):
+        # Same crowd, sharded vs single-kernel: the device population is
+        # identical and no beat is lost to the partition — received and
+        # on-time counts match exactly (energy/RNG details legitimately
+        # differ; that's the documented equivalence class).
+        kwargs = dict(
+            n_devices=60, relay_fraction=0.25, duration_s=120.0,
+            hotspots=6, mobile_fraction=0.3, seed=3,
+        )
+        unsharded = run_crowd_scenario(arena=Arena(400.0, 120.0), **kwargs)
+        sharded = run_crowd_scenario_sharded(
+            arena=Arena(400.0, 120.0), shards=2, **kwargs
+        )
+        assert set(sharded.metrics.devices) == set(unsharded.metrics.devices)
+        assert (
+            sharded.metrics.delivery.received
+            == unsharded.metrics.delivery.received
+        )
+        assert (
+            sharded.metrics.delivery.on_time
+            == unsharded.metrics.delivery.on_time
+        )
 
 
 class TestChannelModeIdentity:

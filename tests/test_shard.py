@@ -1,0 +1,124 @@
+"""Unit tests for the cell-sharded kernel (repro.shard)."""
+
+import pytest
+
+from repro.cellular.network import CellularNetwork, grid_cell_positions
+from repro.mobility.space import Arena
+from repro.shard import (
+    CrowdShardParams,
+    GhostMobility,
+    ShardPlan,
+    _route_reports,
+    run_crowd_scenario_sharded,
+)
+from repro.sim.engine import Simulator
+
+
+class TestGridCellPositions:
+    def test_row_major_x_fastest(self):
+        positions = grid_cell_positions(100.0, 40.0, 2, 2)
+        assert positions == [
+            (25.0, 10.0), (75.0, 10.0),
+            (25.0, 30.0), (75.0, 30.0),
+        ]
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError):
+            grid_cell_positions(100.0, 40.0, 0, 2)
+
+
+class TestShardPlan:
+    def test_column_band_partition(self):
+        plan = ShardPlan(2, 4, 2, 400.0, 100.0)
+        # columns 0-1 -> shard 0, columns 2-3 -> shard 1, on both rows
+        assert plan.cell_shards == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_home_shard_by_position(self):
+        plan = ShardPlan(2, 4, 2, 400.0, 100.0)
+        assert plan.shard_of_position((10.0, 50.0)) == 0
+        assert plan.shard_of_position((390.0, 50.0)) == 1
+
+    def test_border_shards_near_and_far(self):
+        plan = ShardPlan(2, 4, 2, 400.0, 100.0)
+        # standing right on the column boundary: both shards' nearest
+        # cells are equidistant, so the foreign shard is within margin
+        assert plan.border_shards((200.0, 50.0), 0, 50.0) == [1]
+        # deep inside shard 0's territory: no foreign shard in reach
+        assert plan.border_shards((50.0, 50.0), 0, 50.0) == []
+
+    def test_requires_a_column_per_shard(self):
+        with pytest.raises(ValueError):
+            ShardPlan(4, 2, 2, 400.0, 100.0)
+
+
+class TestGhostMobility:
+    def test_ghosts_are_unindexable(self):
+        # max speed None -> the spatial index must exact-check ghosts;
+        # this is the unindexed churn path the discovery caches handle
+        ghost = GhostMobility((3.0, 4.0))
+        assert ghost.max_speed_m_s() is None
+        assert ghost.position(123.0) == (3.0, 4.0)
+        assert ghost.velocity(0.0) == (0.0, 0.0)
+
+
+class TestReattach:
+    def test_reattach_reports_cell_change(self):
+        sim = Simulator(seed=0)
+        network = CellularNetwork(
+            sim, grid_cell_positions(400.0, 100.0, 2, 1)
+        )
+        cell, changed = network.reattach("dev-0", (10.0, 50.0))
+        assert changed and cell.cell_id == "cell-0"
+        cell, changed = network.reattach("dev-0", (20.0, 50.0))
+        assert not changed and cell.cell_id == "cell-0"
+        cell, changed = network.reattach("dev-0", (390.0, 50.0))
+        assert changed and cell.cell_id == "cell-1"
+        assert network.cell_of("dev-0") is cell
+
+
+class TestRouteReports:
+    def test_routes_sorted_by_device_id(self):
+        reports = [
+            [("dev-9", 1.0, 2.0, "ue", [1]), ("dev-1", 3.0, 4.0, "relay", [1])],
+            [("dev-5", 5.0, 6.0, "ue", [0])],
+        ]
+        routed = _route_reports(reports, 2)
+        assert routed[0] == [("dev-5", 5.0, 6.0, "ue")]
+        assert routed[1] == [
+            ("dev-1", 3.0, 4.0, "relay"),
+            ("dev-9", 1.0, 2.0, "ue"),
+        ]
+
+
+class TestUnsupportedCombinations:
+    def test_rejects_global_state_features(self):
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(mode="original")
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(channel="sinr")
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(chaos="mild")
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(audit=True)
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(backend="threads")
+        with pytest.raises(ValueError):
+            run_crowd_scenario_sharded(shards=0)
+
+
+class TestSmallShardedRun:
+    def test_merged_metrics_cover_every_device(self):
+        result = run_crowd_scenario_sharded(
+            n_devices=20, relay_fraction=0.25, duration_s=60.0,
+            arena=Arena(200.0, 80.0), hotspots=4, seed=1, shards=2,
+        )
+        assert len(result.metrics.devices) == 20
+        assert sum(result.devices_per_shard) == 20
+        assert result.windows == 12  # 59 s horizon / 5 s windows, ceil
+        assert result.metrics.total_l3_messages > 0
+
+    def test_params_round_trip(self):
+        params = CrowdShardParams(n_shards=3, cells_x=6)
+        plan = params.plan()
+        assert plan.n_shards == 3
+        assert {shard for shard in plan.cell_shards} == {0, 1, 2}
