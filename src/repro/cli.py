@@ -150,6 +150,7 @@ def _cmd_crowd_sharded(args: argparse.Namespace) -> int:
             mobile_fraction=args.mobile_fraction,
             shards=args.shards,
             backend=args.shard_backend or "serial",
+            shard_plan=args.shard_plan or "bands",
             channel=args.channel, chaos=args.chaos_profile,
         )
     except ValueError as exc:
@@ -157,17 +158,31 @@ def _cmd_crowd_sharded(args: argparse.Namespace) -> int:
         return 2
     delivery = result.metrics.delivery
     print(format_table(
-        ["Shards", "Backend", "Windows", "Handovers", "Ghosts",
+        ["Shards", "Plan", "Backend", "Windows", "Handovers", "Ghosts",
          "L3 msgs", "Energy (µAh)", "On-time"],
-        [[result.params.n_shards, result.backend, result.windows,
-          result.handovers, result.ghost_registrations,
+        [[result.params.n_shards, result.params.shard_plan, result.backend,
+          result.windows, result.handovers, result.ghost_registrations,
           result.metrics.total_l3_messages,
           result.metrics.total_energy_uah(),
           delivery.on_time_fraction if delivery else 1.0]],
         title=(f"sharded crowd: {args.devices} devices over "
                f"{result.params.n_shards} shards, {args.duration:.0f} s"),
     ))
-    print(f"devices per shard: {result.devices_per_shard}")
+    print(
+        f"devices per shard: {result.devices_per_shard} "
+        f"(max/mean skew {result.device_skew:.2f})"
+    )
+    print(format_table(
+        ["Shard", "Devices", "Events", "Work (s)", "Barrier wait (s)",
+         "Handovers", "Ghosts"],
+        [[load["shard"], load["devices"], load["events"],
+          f"{load['work_s']:.3f}", f"{load['barrier_wait_s']:.3f}",
+          load["handovers"], load["ghost_registrations"]]
+         for load in result.shard_load],
+        title=(f"per-shard load (critical path "
+               f"{result.critical_path_s:.3f} s of "
+               f"{result.total_work_s:.3f} s total window work)"),
+    ))
     return 0
 
 
@@ -275,6 +290,7 @@ def _cmd_runner_sweep(args: argparse.Namespace) -> int:
         ("selection_policy", "selection_policy"),
         ("shards", "shards"),
         ("shard_backend", "shard_backend"),
+        ("shard_plan", "shard_plan"),
     ):
         value = getattr(args, flag, None)
         if value is not None and param in accepted and param not in grid:
@@ -731,6 +747,11 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         help="sharded execution: all shards in-process ('serial', the "
              "reference) or one worker process per shard ('process'); "
              "both produce byte-identical metrics")
+    parser.add_argument(
+        "--shard-plan", default=None, choices=["bands", "tiles"],
+        help="cell-to-shard partition: legacy column 'bands' (default; "
+             "needs one cell column per shard) or load-balanced "
+             "rectangular 'tiles' packed from the initial device density")
 
 
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
@@ -897,9 +918,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None,
                        help="timed repeats per case, keeping the minimum "
                             "(default: 3, or 2 with --quick)")
-    bench.add_argument("--only", default=None, metavar="CASE",
-                       help="run a single case by name (e.g. "
-                            "crowd-500-channel), even one --quick drops")
+    bench.add_argument("--only", default=None, metavar="CASES",
+                       help="run selected case(s) by name, comma-separated "
+                            "(e.g. crowd-5000-sharded,crowd-20000-balanced), "
+                            "even ones --quick drops")
     bench.add_argument("--out", default="benchmarks",
                        help="directory for BENCH_<rev>.json")
     bench.add_argument("--no-write", action="store_true",

@@ -109,6 +109,9 @@ class MessageScheduler:
         self.flushes: List[FlushRecord] = []
         self.beats_accepted = 0
         self.beats_rejected = 0
+        #: re-arm requests coalesced into the already-armed timer (the
+        #: accepted beat's send-by was not the new binding constraint)
+        self.rearms_skipped = 0
 
     # ------------------------------------------------------------------
     # period lifecycle
@@ -204,13 +207,25 @@ class MessageScheduler:
         return min(candidates) if candidates else None
 
     def _arm_timer(self) -> None:
-        self.sim.cancel(self._timer)
-        self._timer = None
         deadline = self._next_deadline()
         if deadline is None:
+            self.sim.cancel(self._timer)
+            self._timer = None
             return
-        delay = max(0.0, deadline - self.sim.now)
-        self._timer = self.sim.schedule(delay, self._on_timer, name="scheduler_flush")
+        fire_at = max(self.sim.now, deadline)
+        timer = self._timer
+        if timer is not None and not timer.cancelled and timer.time == fire_at:
+            # Same binding deadline → the armed wakeup already fires at the
+            # right instant. Keeping it (instead of cancel + re-push) spares
+            # the event kernel one dead event per collected beat; the kept
+            # event's earlier sequence number is irrelevant because the
+            # flush callback is identical either way.
+            self.rearms_skipped += 1
+            return
+        self.sim.cancel(timer)
+        self._timer = self.sim.schedule(
+            fire_at - self.sim.now, self._on_timer, name="scheduler_flush"
+        )
 
     def _on_timer(self) -> None:
         self._timer = None

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import operator
+import time
 import types
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set
 
@@ -237,6 +238,7 @@ class D2DConnection:
                 on_result(False)
             return False
 
+        t_section = time.perf_counter()
         profile = self.medium.profile
         tech = self.medium.technology
         # near the coverage edge, frames are lost probabilistically (PER);
@@ -312,6 +314,9 @@ class D2DConnection:
                 on_result(True)
 
         self.medium.sim.schedule(transfer_latency_s, deliver, name="d2d_deliver")
+        self.medium.perf.add_seconds(
+            "transfer", time.perf_counter() - t_section
+        )
         return True
 
     def close(self, reason: str = "closed") -> None:
@@ -684,6 +689,7 @@ class D2DMedium:
         )
 
         def finish() -> None:
+            t_section = time.perf_counter()
             t = self.sim.now
             rng = self.sim.rng.get("d2d-discovery") if rssi_noise else None
             found: List[PeerInfo] = []
@@ -779,6 +785,9 @@ class D2DMedium:
             # sort), exactly like the previous ascending negated-key sort.
             found.sort(key=_RSSI_KEY, reverse=True)
             perf.scan_peers_returned += len(found)
+            # section ends before the callback: downstream reactions
+            # (matching, connects) are not discovery work
+            perf.add_seconds("discover", time.perf_counter() - t_section)
             on_complete(found)
 
         self.sim.schedule(tech.discovery_latency_s, finish, name="d2d_discover")

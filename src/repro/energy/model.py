@@ -5,11 +5,19 @@ and the framework charge it with ``charge(phase, uah)``; the model keeps a
 per-phase breakdown (the paper's Table III is exactly such a breakdown),
 drains the attached battery, and notifies an optional power monitor so
 current traces can be synthesized.
+
+The hot path is aggregate-only by design: ``charge`` adds into a flat
+per-phase slot array (one dict lookup + one float add), and the per-charge
+log exists only behind :attr:`EnergyModel.keep_log` — optionally bounded by
+:attr:`EnergyModel.log_maxlen` as a ring buffer so city-scale soak runs
+cannot let trace memory grow without bound. ``breakdown()``/``snapshot()``
+always stay exact: they read the aggregates, never the log.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 
@@ -48,6 +56,17 @@ CELLULAR_PHASES = frozenset(
     }
 )
 
+#: Stable slot order for the flat per-phase accumulator array.
+_PHASES: Tuple[EnergyPhase, ...] = tuple(EnergyPhase)
+_SLOT: Dict[EnergyPhase, int] = {phase: i for i, phase in enumerate(_PHASES)}
+_N_SLOTS = len(_PHASES)
+_D2D_SLOTS: Tuple[int, ...] = tuple(
+    i for i, phase in enumerate(_PHASES) if phase in D2D_PHASES
+)
+_CELLULAR_SLOTS: Tuple[int, ...] = tuple(
+    i for i, phase in enumerate(_PHASES) if phase in CELLULAR_PHASES
+)
+
 
 class EnergyModel:
     """Charge ledger for one device.
@@ -62,6 +81,11 @@ class EnergyModel:
     on_charge:
         Optional hook ``(time_s, phase, uah, duration_s)`` — used by
         :class:`~repro.energy.power_monitor.PowerMonitor`.
+    log_maxlen:
+        When set, the per-charge log (only kept while :attr:`keep_log` is
+        true) becomes a ring buffer of at most this many records; older
+        records are evicted and counted in :attr:`log_dropped`. ``None``
+        keeps the legacy unbounded log.
     """
 
     def __init__(
@@ -69,13 +93,21 @@ class EnergyModel:
         owner: str = "",
         battery: Optional["Battery"] = None,
         on_charge: Optional[Callable[[float, EnergyPhase, float, float], None]] = None,
+        log_maxlen: Optional[int] = None,
     ) -> None:
         self.owner = owner
         self.battery = battery
         self.on_charge = on_charge
-        self._by_phase: Dict[EnergyPhase, float] = {}
-        self._log: List[Tuple[float, EnergyPhase, float]] = []
+        # flat accumulator indexed by phase slot: the aggregate-only hot
+        # path — no per-charge allocation, no growing structures
+        self._totals: List[float] = [0.0] * _N_SLOTS
         self.keep_log = False
+        #: per-charge records evicted by the ring buffer (bounded-log mode)
+        self.log_dropped = 0
+        self._log_maxlen = log_maxlen
+        self._log: "deque[Tuple[float, EnergyPhase, float]]" = deque(
+            maxlen=log_maxlen
+        )
 
     # ------------------------------------------------------------------
     # charging
@@ -92,9 +124,12 @@ class EnergyModel:
             raise ValueError(f"cannot charge negative energy {uah}")
         if uah == 0:
             return
-        self._by_phase[phase] = self._by_phase.get(phase, 0.0) + uah
+        self._totals[_SLOT[phase]] += uah
         if self.keep_log:
-            self._log.append((time_s, phase, uah))
+            log = self._log
+            if log.maxlen is not None and len(log) == log.maxlen:
+                self.log_dropped += 1
+            log.append((time_s, phase, uah))
         if self.battery is not None:
             self.battery.drain_uah(uah)
         if self.on_charge is not None:
@@ -106,38 +141,67 @@ class EnergyModel:
     @property
     def total_uah(self) -> float:
         """Total charge spent across all phases."""
-        return sum(self._by_phase.values())
+        return sum(self._totals)
 
     def phase_uah(self, phase: EnergyPhase) -> float:
         """Charge spent in one phase."""
-        return self._by_phase.get(phase, 0.0)
+        return self._totals[_SLOT[phase]]
 
     @property
     def d2d_uah(self) -> float:
         """Total charge spent on D2D activity."""
-        return sum(v for p, v in self._by_phase.items() if p in D2D_PHASES)
+        totals = self._totals
+        return sum(totals[i] for i in _D2D_SLOTS)
 
     @property
     def cellular_uah(self) -> float:
         """Total charge spent on cellular activity."""
-        return sum(v for p, v in self._by_phase.items() if p in CELLULAR_PHASES)
+        totals = self._totals
+        return sum(totals[i] for i in _CELLULAR_SLOTS)
 
     def breakdown(self) -> Dict[str, float]:
         """Phase → µAh mapping (stable key order for reports)."""
-        return {phase.value: self._by_phase.get(phase, 0.0) for phase in EnergyPhase}
+        totals = self._totals
+        return {phase.value: totals[i] for i, phase in enumerate(_PHASES)}
+
+    @property
+    def log_maxlen(self) -> Optional[int]:
+        """Ring-buffer bound for the per-charge log (``None`` = unbounded)."""
+        return self._log_maxlen
+
+    @log_maxlen.setter
+    def log_maxlen(self, maxlen: Optional[int]) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"log_maxlen must be >= 1 or None, got {maxlen}")
+        if maxlen == self._log_maxlen:
+            return
+        self._log_maxlen = maxlen
+        kept = deque(self._log, maxlen=maxlen)
+        self.log_dropped += len(self._log) - len(kept)
+        self._log = kept
 
     def log(self) -> List[Tuple[float, EnergyPhase, float]]:
-        """The charge log (only populated when :attr:`keep_log` is set)."""
+        """The charge log (only populated when :attr:`keep_log` is set).
+
+        In bounded mode this is the *most recent* ``log_maxlen`` records;
+        :attr:`log_dropped` counts what the ring buffer evicted. Aggregates
+        (:meth:`breakdown`, :meth:`snapshot`, the totals) are always exact
+        regardless of eviction.
+        """
         return list(self._log)
 
     def snapshot(self) -> Dict[EnergyPhase, float]:
-        """Copy of the raw per-phase totals."""
-        return dict(self._by_phase)
+        """Copy of the raw per-phase totals (phases actually charged)."""
+        totals = self._totals
+        return {
+            phase: totals[i] for i, phase in enumerate(_PHASES) if totals[i]
+        }
 
     def reset(self) -> None:
         """Zero all counters (battery state is left untouched)."""
-        self._by_phase.clear()
+        self._totals = [0.0] * _N_SLOTS
         self._log.clear()
+        self.log_dropped = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EnergyModel(owner={self.owner!r}, total={self.total_uah:.2f}uAh)"

@@ -14,10 +14,12 @@ from __future__ import annotations
 import dataclasses
 import os
 import socket
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.cellular.signaling import SignalingLedger
 from repro.device import Role, Smartphone
+from repro.perf import PerfCounters
 from repro.workload.server import IMServer
 
 
@@ -429,10 +431,20 @@ def collect_metrics(
     server: Optional[IMServer] = None,
     horizon_s: float = 0.0,
     faults: Optional[FaultMetrics] = None,
-    perf: Optional[Dict[str, float]] = None,
+    perf: Optional[Union[Dict[str, float], PerfCounters]] = None,
     channel: Optional[Dict[str, Any]] = None,
 ) -> RunMetrics:
-    """Snapshot the run's metrics from the live objects."""
+    """Snapshot the run's metrics from the live objects.
+
+    ``perf`` accepts either an already-flattened counter dict or the live
+    :class:`~repro.perf.PerfCounters`; passing the live object lets this
+    function book the per-device energy aggregation walk under the
+    ``energy`` wall-time section before snapshotting, so the phase
+    attribution (discover / transfer / energy / shard-sync) in bench
+    reports includes metric-collection cost.
+    """
+    counters = perf if isinstance(perf, PerfCounters) else None
+    t_section = time.perf_counter()
     per_device: Dict[str, DeviceMetrics] = {}
     for device in devices:
         per_device[device.device_id] = DeviceMetrics(
@@ -447,6 +459,9 @@ def collect_metrics(
             uplink_sends=device.modem.sends,
             battery_level=device.battery.level if device.battery else None,
         )
+    if counters is not None:
+        counters.add_seconds("energy", time.perf_counter() - t_section)
+        perf = counters.to_dict()
     delivery = None
     if server is not None:
         delivery = DeliveryMetrics(

@@ -88,6 +88,17 @@ class PerfCounters:
             elapsed = time.perf_counter() - start
             self._timers[name] = self._timers.get(name, 0.0) + elapsed
 
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate already-measured wall seconds under ``name``.
+
+        The hot-path spelling of :meth:`timer`: callers bracket the section
+        with two ``time.perf_counter()`` reads and book the difference, so
+        per-call instrumentation costs two C calls instead of a generator
+        context manager. Used for the phase attribution sections (discover /
+        transfer / energy / shard-sync) that `repro-sim bench` surfaces.
+        """
+        self._timers[name] = self._timers.get(name, 0.0) + seconds
+
     def timer_seconds(self, name: str) -> float:
         return self._timers.get(name, 0.0)
 

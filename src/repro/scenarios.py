@@ -515,7 +515,7 @@ def run_relay_scenario(
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
-        perf=context.medium.perf.to_dict() if context.medium else None,
+        perf=context.medium.perf if context.medium else None,
         channel=_channel_snapshot(context, horizon),
     )
     return ScenarioResult(
@@ -596,6 +596,7 @@ def crowd_metrics_runner(
     mobile_fraction: float = 0.0,
     shards: int = 1,
     shard_backend: str = "serial",
+    shard_plan: str = "bands",
 ) -> Dict[str, float]:
     """Grid runner: one crowd run → plain scalar metrics.
 
@@ -634,6 +635,7 @@ def crowd_metrics_runner(
             heartbeat_period_s=heartbeat_period_s,
             shards=shards,
             backend=shard_backend,
+            shard_plan=shard_plan,
             channel=channel,
             chaos=chaos_profile,
             audit=audit,
@@ -651,6 +653,8 @@ def crowd_metrics_runner(
             "windows": float(sharded.windows),
             "handovers": float(sharded.handovers),
             "ghost_registrations": float(sharded.ghost_registrations),
+            "device_skew": sharded.device_skew,
+            "critical_path_s": sharded.critical_path_s,
         }
     app = STANDARD_APP
     if heartbeat_period_s is not None:
@@ -991,7 +995,7 @@ def run_crowd_scenario(
     metrics = collect_metrics(
         devices.values(), context.ledger, context.server, horizon_s=horizon,
         faults=faults,
-        perf=context.medium.perf.to_dict() if context.medium else None,
+        perf=context.medium.perf if context.medium else None,
         channel=_channel_snapshot(context, horizon),
     )
     periods = max(1, int(duration_s / app.heartbeat_period_s))

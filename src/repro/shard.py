@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cellular.network import CellularNetwork, grid_cell_positions
@@ -82,13 +83,142 @@ _DEFAULT_DRAIN_S = 30.0
 # ----------------------------------------------------------------------
 # partition plan
 # ----------------------------------------------------------------------
+try:  # numpy accelerates the one-shot cell-occupancy count; the scalar
+    # fallback below runs the bit-identical math (same IEEE float64 ops
+    # in the same order), so plan geometry never depends on its presence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+
+def cell_occupancy(
+    cell_positions: Sequence[Position], positions: Sequence[Position]
+) -> List[int]:
+    """Devices per grid cell (nearest-cell assignment, first cell wins ties).
+
+    The tile planner's cost model: one count per cell, computed once from
+    the t=0 placements. Ties break to the lowest cell index on both the
+    numpy and the scalar path (``argmin``/``min`` both keep the first
+    minimum), and both paths compare the same squared distances, so the
+    resulting weights — and therefore the partition — are identical
+    whether or not numpy is installed.
+    """
+    counts = [0] * len(cell_positions)
+    if not positions:
+        return counts
+    if _np is not None:
+        cells = _np.asarray(cell_positions, dtype=_np.float64)
+        points = _np.asarray(positions, dtype=_np.float64)
+        dx = points[:, 0:1] - cells[None, :, 0]
+        dy = points[:, 1:2] - cells[None, :, 1]
+        nearest = _np.argmin(dx * dx + dy * dy, axis=1)
+        for cell in nearest.tolist():
+            counts[cell] += 1
+        return counts
+    for x, y in positions:
+        best_cell = 0
+        best_d2 = float("inf")
+        for c, (cx, cy) in enumerate(cell_positions):
+            dx = x - cx
+            dy = y - cy
+            d2 = dx * dx + dy * dy
+            if d2 < best_d2:
+                best_d2 = d2
+                best_cell = c
+        counts[best_cell] += 1
+    return counts
+
+
+def _tile_partition(
+    n_shards: int, cells_x: int, cells_y: int, weights: Sequence[float]
+) -> List[int]:
+    """Pack grid cells into rectangular shard tiles by weighted bisection.
+
+    Orthogonal recursive bisection over the cell grid: each step cuts the
+    current rectangle along a full grid line (so every shard stays a
+    rectangle and the ghost-border exchange stays a per-edge operation)
+    and splits the rectangle's shard budget between the two sides in
+    proportion to the device weight each side carries. The cut minimizing
+    the per-shard load imbalance ``|w_lo/k_lo - w_hi/k_hi|`` wins;
+    ties break deterministically (x-cut before y-cut, lowest cut line
+    first), so every shard worker derives the identical partition.
+
+    Unlike the column-band plan this never requires ``cells_x >= n_shards``
+    — any grid with at least one cell per shard is packable.
+    """
+    assignment = [0] * (cells_x * cells_y)
+
+    def rect_cells(x0: int, x1: int, y0: int, y1: int) -> List[int]:
+        return [
+            y * cells_x + x for y in range(y0, y1) for x in range(x0, x1)
+        ]
+
+    def line_weight(axis: str, line: int, x0: int, x1: int, y0: int, y1: int) -> float:
+        if axis == "x":  # one column of the rect
+            return sum(weights[y * cells_x + line] for y in range(y0, y1))
+        return sum(weights[line * cells_x + x] for x in range(x0, x1))
+
+    def split(x0: int, x1: int, y0: int, y1: int, shard0: int, k: int) -> None:
+        if k == 1:
+            for c in rect_cells(x0, x1, y0, y1):
+                assignment[c] = shard0
+            return
+        n_cells = (x1 - x0) * (y1 - y0)
+        total = float(sum(weights[c] for c in rect_cells(x0, x1, y0, y1)))
+        best: Optional[Tuple[float, int, int, int]] = None
+        for axis_idx, (axis, lo, hi, other) in enumerate(
+            (("x", x0, x1, y1 - y0), ("y", y0, y1, x1 - x0))
+        ):
+            w_lo = 0.0
+            for cut in range(1, hi - lo):
+                w_lo += line_weight(axis, lo + cut - 1, x0, x1, y0, y1)
+                n_lo = cut * other
+                n_hi = n_cells - n_lo
+                # the shard budget follows the weight, clamped so each
+                # side keeps at least one cell per shard it receives
+                k_min = max(1, k - n_hi)
+                k_max = min(k - 1, n_lo)
+                if k_min > k_max:
+                    continue  # no feasible budget split across this cut
+                share = w_lo / total if total else n_lo / n_cells
+                k_lo = min(k_max, max(k_min, round(k * share)))
+                k_hi = k - k_lo
+                w_hi = total - w_lo
+                score = abs(w_lo / k_lo - w_hi / k_hi)
+                candidate = (score, axis_idx, cut, k_lo)
+                if best is None or candidate < best:
+                    best = candidate
+        # a feasible cut always exists while n_cells >= k >= 2: cutting
+        # one line off any axis of length >= 2 leaves k_min <= k_max
+        assert best is not None, "no feasible tile cut (grid smaller than shards?)"
+        _score, axis_idx, cut, k_lo = best
+        if axis_idx == 0:
+            split(x0, x0 + cut, y0, y1, shard0, k_lo)
+            split(x0 + cut, x1, y0, y1, shard0 + k_lo, k - k_lo)
+        else:
+            split(x0, x1, y0, y0 + cut, shard0, k_lo)
+            split(x0, x1, y0 + cut, y1, shard0 + k_lo, k - k_lo)
+
+    split(0, cells_x, 0, cells_y, 0, n_shards)
+    return assignment
+
+
 class ShardPlan:
     """The static cell-to-shard partition every participant agrees on.
 
     Cells form a ``cells_x × cells_y`` grid over the arena (see
-    :func:`repro.cellular.network.grid_cell_positions`); shard ownership
-    is by **column band**, so shard boundaries are vertical lines and a
-    device's home shard depends only on its x position at t=0.
+    :func:`repro.cellular.network.grid_cell_positions`). Two partition
+    shapes exist:
+
+    - ``plan="bands"`` (default): shard ownership by **column band** —
+      shard boundaries are vertical lines and a device's home shard
+      depends only on its x position at t=0. The legacy partition; kept
+      byte-identical so existing pinned runs replay exactly.
+    - ``plan="tiles"``: rectangular **tiles** packed by the weighted
+      bisection in :func:`_tile_partition`, balancing per-shard device
+      load from the ``cell_weights`` cost model (device counts from the
+      initial placements). Lifts the ``n_shards <= cells_x`` band limit —
+      any grid with one cell per shard works.
     """
 
     def __init__(
@@ -98,25 +228,54 @@ class ShardPlan:
         cells_y: int,
         arena_w: float,
         arena_h: float,
+        plan: str = "bands",
+        cell_weights: Optional[Sequence[float]] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
-        if cells_x < n_shards:
+        if plan not in ("bands", "tiles"):
             raise ValueError(
-                f"need at least one cell column per shard: "
-                f"cells_x={cells_x} < n_shards={n_shards}"
+                f"shard plan must be 'bands' or 'tiles', got {plan!r}"
+            )
+        n_cells = cells_x * cells_y
+        if plan == "bands" and cells_x < n_shards:
+            raise ValueError(
+                f"column bands need at least one cell column per shard: "
+                f"cells_x={cells_x} < n_shards={n_shards} "
+                f"(use --shard-plan tiles to pack shards into 2-D tiles "
+                f"instead of column bands)"
+            )
+        if plan == "tiles" and n_cells < n_shards:
+            raise ValueError(
+                f"need at least one grid cell per shard: "
+                f"{cells_x}x{cells_y}={n_cells} cells < n_shards={n_shards}"
+            )
+        if cell_weights is not None and len(cell_weights) != n_cells:
+            raise ValueError(
+                f"cell_weights must have one entry per cell: "
+                f"got {len(cell_weights)} for a {cells_x}x{cells_y} grid"
             )
         self.n_shards = n_shards
         self.cells_x = cells_x
         self.cells_y = cells_y
+        self.plan_kind = plan
         self.cell_positions: List[Position] = grid_cell_positions(
             arena_w, arena_h, cells_x, cells_y
         )
-        #: cell index -> owning shard (column band partition)
-        self.cell_shards: List[int] = [
-            (c % cells_x) * n_shards // cells_x
-            for c in range(len(self.cell_positions))
-        ]
+        #: cell index -> owning shard
+        if plan == "bands":
+            self.cell_shards: List[int] = [
+                (c % cells_x) * n_shards // cells_x
+                for c in range(len(self.cell_positions))
+            ]
+        else:
+            weights = (
+                list(cell_weights) if cell_weights is not None
+                else [1.0] * n_cells
+            )
+            self.cell_shards = _tile_partition(
+                n_shards, cells_x, cells_y, weights
+            )
         self._shard_cells: List[List[Position]] = [[] for _ in range(n_shards)]
         for position, shard in zip(self.cell_positions, self.cell_shards):
             self._shard_cells[shard].append(position)
@@ -186,21 +345,52 @@ class CrowdShardParams:
     cells_y: int = 2
     sync_window_s: float = 5.0
     ghost_margin_m: float = WIFI_DIRECT.max_range_m
+    shard_plan: str = "bands"
 
     def plan(self) -> ShardPlan:
+        """Build the partition every shard worker independently agrees on.
+
+        The tile plan's cost model needs the t=0 device placements; they
+        are re-derived here from the master seed's ``crowd-placement``
+        stream (the same draw order :class:`_ShardState` replays), so
+        every worker computes identical weights — no plan data crosses a
+        process boundary.
+        """
+        weights = None
+        if self.shard_plan == "tiles":
+            mobilities = place_crowd(
+                self.n_devices,
+                Arena(self.arena_w, self.arena_h),
+                make_rng(self.seed, "crowd-placement"),
+                hotspots=self.hotspots,
+                spread_m=self.hotspot_spread_m,
+                mobile_fraction=self.mobile_fraction,
+            )
+            weights = cell_occupancy(
+                grid_cell_positions(
+                    self.arena_w, self.arena_h, self.cells_x, self.cells_y
+                ),
+                [m.position(0.0) for m in mobilities],
+            )
         return ShardPlan(
             self.n_shards, self.cells_x, self.cells_y,
             self.arena_w, self.arena_h,
+            plan=self.shard_plan, cell_weights=weights,
         )
 
 
 class GhostMobility(MobilityModel):
     """Frozen-position snapshot of a foreign-shard device.
 
-    Inherits ``max_speed_m_s() -> None`` deliberately: the real device
-    *does* move between sync windows but this shard cannot see how fast,
-    so the spatial index must treat the ghost as unindexable and
-    exact-check it on every scan.
+    Reports ``max_speed_m_s() -> 0.0``: the *real* device does move
+    between sync windows, but a ghost's position is a constant for as
+    long as it is registered — :meth:`_ShardState.apply_ghosts`
+    unregisters a moved device's ghost and registers a fresh snapshot at
+    the new position, so the spatial index never sees a stale cell. That
+    makes ghosts fully indexable static endpoints; treating them as
+    unindexable (the pre-tile behavior) put every ghost into every scan's
+    exact-check set, which punished exactly the partitions whose borders
+    cross dense cells — the ghost-heavy ones a load-balanced plan picks.
     """
 
     def __init__(self, position: Position) -> None:
@@ -211,6 +401,9 @@ class GhostMobility(MobilityModel):
 
     def velocity(self, t: float) -> Tuple[float, float]:
         return (0.0, 0.0)
+
+    def max_speed_m_s(self) -> float:
+        return 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"GhostMobility({self._position})"
@@ -360,11 +553,27 @@ class _ShardState:
     # ------------------------------------------------------------------
     def run_window(
         self, t_end: float, ghosts: List[GhostEntry]
-    ) -> List[ReportEntry]:
+    ) -> Tuple[List[ReportEntry], float]:
+        """One sync window; returns ``(border_report, work_seconds)``.
+
+        ``work_seconds`` is this shard's wall-clock cost for the window —
+        the number the parent turns into ``barrier_wait_s`` (how long the
+        shard would idle at the barrier waiting for the slowest peer) and
+        the critical path. The ghost/handover/report bookkeeping is also
+        booked under the ``shard-sync`` perf section so sync overhead is
+        separable from simulation work in bench reports.
+        """
+        t_start = time.perf_counter()
         self.apply_ghosts(ghosts)
+        t_sim = time.perf_counter()
+        sync_s = t_sim - t_start
         self.sim.run_until(t_end)
+        t_post = time.perf_counter()
         self.handover_pass()
-        return self.border_report()
+        report = self.border_report()
+        t_done = time.perf_counter()
+        self.medium.perf.add_seconds("shard-sync", sync_s + (t_done - t_post))
+        return report, t_done - t_start
 
     def apply_ghosts(self, ghosts: List[GhostEntry]) -> None:
         """Diff the incoming ghost set against the registered one.
@@ -441,13 +650,15 @@ class _ShardState:
             self.network.combined_ledger,
             self.server,
             horizon_s=horizon,
-            perf=self.medium.perf.to_dict(),
+            perf=self.medium.perf,
         )
         stats = {
             "handovers": self.handovers,
             "ghost_registrations": self.ghost_registrations,
             "events_fired": self.sim.events_fired,
             "n_devices": len(self.devices),
+            "coalesced_pushes": self.sim.queue.coalesced_pushes,
+            "coalesced_pops": self.sim.queue.coalesced_pops,
         }
         return metrics, stats
 
@@ -465,7 +676,7 @@ class _SerialBackend:
 
     def run_window(
         self, t_end: float, ghosts_by_shard: List[List[GhostEntry]]
-    ) -> List[List[ReportEntry]]:
+    ) -> List[Tuple[List[ReportEntry], float]]:
         return [
             shard.run_window(t_end, ghosts_by_shard[i])
             for i, shard in enumerate(self.shards)
@@ -522,7 +733,7 @@ class _ProcessBackend:
 
     def run_window(
         self, t_end: float, ghosts_by_shard: List[List[GhostEntry]]
-    ) -> List[List[ReportEntry]]:
+    ) -> List[Tuple[List[ReportEntry], float]]:
         for i, pipe in enumerate(self.pipes):
             pipe.send(("window", t_end, ghosts_by_shard[i]))
         return [pipe.recv() for pipe in self.pipes]
@@ -644,6 +855,24 @@ class ShardedRunResult:
     ghost_registrations: int
     events_fired: int
     devices_per_shard: List[int]
+    #: per-shard load report: ``devices``, ``events``, ``work_s``,
+    #: ``barrier_wait_s`` (idle time the shard would spend at window
+    #: barriers waiting for the slowest peer), handover/ghost churn and
+    #: the event kernel's coalescing counters
+    shard_load: List[Dict[str, float]] = dataclasses.field(default_factory=list)
+    #: sum over windows of the slowest shard's work — the wall time an
+    #: ideal one-core-per-shard machine needs for the windowed portion
+    critical_path_s: float = 0.0
+    #: sum of every shard's window work (what a single core must do)
+    total_work_s: float = 0.0
+
+    @property
+    def device_skew(self) -> float:
+        """Max/mean shard device count — 1.0 is a perfectly balanced plan."""
+        counts = self.devices_per_shard
+        if not counts or not sum(counts):
+            return 0.0
+        return max(counts) / (sum(counts) / len(counts))
 
 
 def run_crowd_scenario_sharded(
@@ -665,6 +894,7 @@ def run_crowd_scenario_sharded(
     cells_y: int = 2,
     sync_window_s: float = 5.0,
     ghost_margin_m: float = WIFI_DIRECT.max_range_m,
+    shard_plan: str = "bands",
     backend: str = "serial",
     mode: str = "d2d",
     channel: Optional[str] = None,
@@ -676,32 +906,49 @@ def run_crowd_scenario_sharded(
     ``backend="serial"`` runs every shard in this process (the reference
     implementation); ``backend="process"`` runs one worker process per
     shard. Both execute the identical window protocol and must produce
-    byte-identical merged metrics.
+    byte-identical merged metrics. ``shard_plan`` picks the partition:
+    ``"bands"`` (legacy column bands, byte-identical to prior releases)
+    or ``"tiles"`` (load-balanced rectangular tiles, see
+    :class:`ShardPlan`).
 
     The ``mode``/``channel``/``chaos``/``audit`` parameters exist only to
     make unsupported combinations loud: the sharded kernel currently runs
     the d2d framework on the fixed-cost channel without fault injection.
     Single-cell features that need global state (the SINR channel's
     shared resource blocks, chaos scheduling, the cross-device auditor)
-    raise rather than silently computing something subtly different.
+    raise rather than silently computing something subtly different —
+    and the error lists *every* offending option at once, so a sweep
+    config with several bad knobs needs one round trip to fix, not four.
     """
     if shards < 1:
         raise ValueError(f"need at least one shard, got {shards}")
     if backend not in ("serial", "process"):
         raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    blockers: List[str] = []
     if mode != "d2d":
-        raise ValueError(
-            f"sharded kernel supports mode='d2d' only, got {mode!r}"
+        blockers.append(
+            f"mode={mode!r} (only the d2d framework is sharded; the "
+            f"original system needs the single global ledger)"
         )
     if channel not in (None, "fixed"):
-        raise ValueError(
-            "sharded kernel does not support the SINR channel "
-            f"(shared resource blocks are global state), got {channel!r}"
+        blockers.append(
+            f"channel={channel!r} (the SINR channel's shared resource "
+            f"blocks are global state)"
         )
     if chaos is not None:
-        raise ValueError("sharded kernel does not support chaos profiles")
+        blockers.append(
+            f"chaos={chaos!r} (fault scheduling draws from one global "
+            f"chaos timeline)"
+        )
     if audit:
-        raise ValueError("sharded kernel does not support the invariant auditor")
+        blockers.append(
+            "audit=True (the invariant auditor tracks cross-device "
+            "global state)"
+        )
+    if blockers:
+        raise ValueError(
+            "sharded kernel does not support: " + "; ".join(blockers)
+        )
     if sync_window_s <= 0:
         raise ValueError(f"sync_window_s must be positive, got {sync_window_s}")
     arena = arena or Arena(60.0, 60.0)
@@ -727,6 +974,7 @@ def run_crowd_scenario_sharded(
         cells_y=cells_y,
         sync_window_s=sync_window_s,
         ghost_margin_m=ghost_margin_m,
+        shard_plan=shard_plan,
     )
     params.plan()  # validate the partition before any worker starts
 
@@ -734,6 +982,9 @@ def run_crowd_scenario_sharded(
         _SerialBackend(params) if backend == "serial"
         else _ProcessBackend(params)
     )
+    work_s = [0.0] * shards
+    barrier_wait_s = [0.0] * shards
+    critical_path_s = 0.0
     try:
         stop_at = max(0.0, duration_s - 1.0)
         ghosts_by_shard: List[List[GhostEntry]] = [[] for _ in range(shards)]
@@ -741,7 +992,16 @@ def run_crowd_scenario_sharded(
         t = 0.0
         while t < stop_at:
             t = min(t + sync_window_s, stop_at)
-            reports = runner.run_window(t, ghosts_by_shard)
+            outcomes = runner.run_window(t, ghosts_by_shard)
+            reports = [report for report, _work in outcomes]
+            window_work = [work for _report, work in outcomes]
+            # the slowest shard sets the window barrier: everyone else's
+            # gap to it is idle time on a one-core-per-shard machine
+            peak = max(window_work)
+            critical_path_s += peak
+            for i, shard_work in enumerate(window_work):
+                work_s[i] += shard_work
+                barrier_wait_s[i] += peak - shard_work
             ghosts_by_shard = _route_reports(reports, shards)
             windows += 1
         results = runner.finish()
@@ -752,6 +1012,20 @@ def run_crowd_scenario_sharded(
         [metrics for metrics, _stats in results], duration_s + drain_s
     )
     stats = [shard_stats for _metrics, shard_stats in results]
+    shard_load = [
+        {
+            "shard": i,
+            "devices": s["n_devices"],
+            "events": s["events_fired"],
+            "work_s": work_s[i],
+            "barrier_wait_s": barrier_wait_s[i],
+            "handovers": s["handovers"],
+            "ghost_registrations": s["ghost_registrations"],
+            "coalesced_pushes": s.get("coalesced_pushes", 0),
+            "coalesced_pops": s.get("coalesced_pops", 0),
+        }
+        for i, s in enumerate(stats)
+    ]
     return ShardedRunResult(
         metrics=metrics,
         params=params,
@@ -761,4 +1035,7 @@ def run_crowd_scenario_sharded(
         ghost_registrations=sum(s["ghost_registrations"] for s in stats),
         events_fired=sum(s["events_fired"] for s in stats),
         devices_per_shard=[s["n_devices"] for s in stats],
+        shard_load=shard_load,
+        critical_path_s=critical_path_s,
+        total_work_s=sum(work_s),
     )

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Union
 
 
 class Event:
@@ -18,7 +19,7 @@ class Event:
 
     Events are created by the simulator; user code receives the event handle
     back from :meth:`~repro.sim.engine.Simulator.schedule` and may
-    :meth:`cancel` it. A cancelled event stays in the heap but is skipped
+    :meth:`cancel` it. A cancelled event stays in the queue but is skipped
     when popped (lazy deletion — O(1) cancel).
     """
 
@@ -56,9 +57,9 @@ class Event:
             self._queue._dropped_live()
 
     def __lt__(self, other: "Event") -> bool:
-        # Kept for direct Event comparisons; the queue's heap orders
-        # (time, seq, event) tuples instead, so the hot path compares
-        # floats/ints at C speed and never calls back into Python.
+        # Kept for direct Event comparisons; the queue orders a heap of
+        # unique timestamps plus FIFO buckets instead, so the hot path
+        # compares floats at C speed and never calls back into Python.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -68,21 +69,46 @@ class Event:
         return f"Event({self.name!r} @ {self.time:.6f} #{self.seq}{flag})"
 
 
-class EventQueue:
-    """Min-heap of events with stable FIFO ordering at equal timestamps.
+#: A timestamp's entry: a lone event, or a FIFO deque once it has company.
+_Bucket = Union[Event, "deque[Event]"]
 
-    The heap holds ``(time, seq, event)`` entries rather than bare events:
-    ``seq`` is unique, so tuple comparison settles every sift at C speed
-    without ever invoking ``Event.__lt__``. That one representation choice
-    is worth a double-digit percentage of kernel time on event-dense runs.
+
+class EventQueue:
+    """Min-heap of *timestamps* with a FIFO event bucket per timestamp.
+
+    Simulated workloads synchronize: at crowd scale, thousands of beat and
+    scan timers share the exact same deadline (every storm device scans on
+    the same period, every window boundary re-arms a cohort at once). A
+    classic entry-per-event heap pays O(log N) sifts for each of them; this
+    queue keeps one heap entry per *distinct* timestamp and groups the
+    events into a per-timestamp bucket. Pushing into a timestamp that is
+    already queued — and popping any event but a bucket's last — is O(1)
+    dict/deque work, so a cohort of k same-deadline timers costs one sift
+    instead of k.
+
+    A timestamp seen once holds its event directly (no deque allocation —
+    scattered-unique schedules stay as cheap as the old tuple heap); the
+    second push at the same instant promotes the entry to a deque.
+
+    Ordering is observably identical to the old (time, seq, event) tuple
+    heap: sequence numbers increase monotonically, so bucket FIFO order *is*
+    seq order, and the timestamp heap settles everything else. The
+    ``coalesced_pushes``/``coalesced_pops`` counters make the batching
+    observable for perf reports.
     """
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_buckets", "_counter", "_live",
+                 "coalesced_pushes", "coalesced_pops")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[float] = []
+        self._buckets: Dict[float, _Bucket] = {}
         self._counter = itertools.count()
         self._live = 0
+        #: pushes that joined an already-queued timestamp (no heap sift)
+        self.coalesced_pushes = 0
+        #: pops served from a bucket that stayed hot (no heap traversal)
+        self.coalesced_pops = 0
 
     def push(
         self,
@@ -93,7 +119,17 @@ class EventQueue:
     ) -> Event:
         """Insert a callback to fire at absolute ``time``; returns the handle."""
         event = Event(time, next(self._counter), callback, args, name, queue=self)
-        heapq.heappush(self._heap, (time, event.seq, event))
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = event
+            heapq.heappush(self._heap, time)
+        else:
+            if type(bucket) is deque:
+                bucket.append(event)
+            else:
+                buckets[time] = deque((bucket, event))
+            self.coalesced_pushes += 1
         self._live += 1
         return event
 
@@ -102,46 +138,67 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)[2]
-            if event.cancelled:
-                continue
-            self._live -= 1
-            event._queue = None  # fired: a late cancel() must not re-decrement
-            return event
-        return None
+        return self.pop_until(float("inf"))
 
     def pop_until(self, horizon: float) -> Optional[Event]:
         """Pop the earliest live event with ``time <= horizon``.
 
         Returns ``None`` when the queue is empty or the earliest live event
-        lies beyond the horizon (in which case it stays queued). This fuses
-        the :meth:`peek_time`/:meth:`pop` pair the run loop used to make —
-        one heap traversal per fired event instead of two.
+        lies beyond the horizon (in which case it stays queued). Within a
+        hot bucket this is one deque popleft — no heap traversal at all.
         """
         heap = self._heap
+        buckets = self._buckets
         while heap:
-            entry = heap[0]
-            event = entry[2]
-            if event.cancelled:
-                heapq.heappop(heap)
-                continue
-            if entry[0] > horizon:
-                return None
+            time = heap[0]
+            bucket = buckets[time]
+            if type(bucket) is deque:
+                # cancelled-only buckets must not mask a later live event,
+                # so drain dead heads before trusting the timestamp
+                while bucket and bucket[0].cancelled:
+                    bucket.popleft()
+                if bucket:
+                    if time > horizon:
+                        return None
+                    event = bucket.popleft()
+                    self._live -= 1
+                    event._queue = None  # fired: late cancel() must not re-decrement
+                    if bucket:
+                        self.coalesced_pops += 1
+                    else:
+                        heapq.heappop(heap)
+                        del buckets[time]
+                    return event
+            else:
+                if not bucket.cancelled:
+                    if time > horizon:
+                        return None
+                    heapq.heappop(heap)
+                    del buckets[time]
+                    self._live -= 1
+                    bucket._queue = None  # fired: late cancel() must not re-decrement
+                    return bucket
             heapq.heappop(heap)
-            self._live -= 1
-            event._queue = None  # fired: a late cancel() must not re-decrement
-            return event
+            del buckets[time]
         return None
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest live event, or ``None`` if empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        buckets = self._buckets
+        while heap:
+            time = heap[0]
+            bucket = buckets[time]
+            if type(bucket) is deque:
+                while bucket and bucket[0].cancelled:
+                    bucket.popleft()
+                if bucket:
+                    return time
+            elif not bucket.cancelled:
+                return time
             heapq.heappop(heap)
-        if not heap:
-            return None
-        return heap[0][0]
+            del buckets[time]
+        return None
 
     def _dropped_live(self) -> None:
         """One of this queue's events was cancelled while still queued."""

@@ -221,3 +221,31 @@ class TestStatistics:
             SchedulerConfig(uplink_guard_s=-1.0)
         with pytest.raises(ValueError):
             MessageScheduler(sim, 0.0, lambda *a: None)
+
+
+class TestTimerCoalescing:
+    """Re-arm requests with an unchanged binding deadline keep the timer."""
+
+    def test_identical_deadline_rearm_is_skipped(self, sim, harness):
+        harness.scheduler.begin_period(beat(0.0, device="relay"))
+        assert harness.scheduler.offer(CollectedBeat(beat(0.0), 0.0, "ue-1"))
+        skipped = harness.scheduler.rearms_skipped
+        # same expiry -> same send-by -> the armed wakeup already fits
+        assert harness.scheduler.offer(CollectedBeat(beat(0.0), 0.0, "ue-2"))
+        assert harness.scheduler.rearms_skipped == skipped + 1
+        sim.run_until(1000.0)
+        # coalescing must not change observable behavior: one flush,
+        # both collected beats aboard
+        assert len(harness.flushes) == 1
+        assert len(harness.flushes[0][2]) == 2
+
+    def test_tighter_deadline_still_rearms(self, sim, harness):
+        harness.scheduler.begin_period(beat(0.0, device="relay"))
+        harness.scheduler.offer(CollectedBeat(beat(0.0), 0.0, "ue-1"))
+        skipped = harness.scheduler.rearms_skipped
+        harness.scheduler.offer(
+            CollectedBeat(beat(0.0, expiry=50.0), 0.0, "ue-2")
+        )
+        assert harness.scheduler.rearms_skipped == skipped  # real re-arm
+        sim.run_until(1000.0)
+        assert harness.flushes[0][0] < T - 3.0  # the tighter send-by won

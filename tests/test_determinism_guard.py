@@ -290,6 +290,67 @@ class TestShardedKernelIdentity:
         )
 
 
+class TestTilePlanIdentity:
+    """The tile shard plan obeys the same determinism contract as bands.
+
+    The geometry exercises the part bands cannot reach: three shards on a
+    2x2 cell grid (shards > cells_x), so the weighted-bisection planner
+    must cut along both axes and every worker must re-derive the same
+    weighted partition from the master seed before any of the byte-level
+    identities below can hold.
+    """
+
+    KWARGS = dict(
+        n_devices=60, relay_fraction=0.25, duration_s=120.0,
+        arena=Arena(400.0, 120.0), hotspots=6, mobile_fraction=0.3,
+        storm_scan_period_s=10.0, shards=3, cells_x=2, cells_y=2,
+        sync_window_s=5.0, seed=3, shard_plan="tiles",
+    )
+
+    def test_tile_serial_and_process_backends_identical(self):
+        serial = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        process = run_crowd_scenario_sharded(backend="process", **self.KWARGS)
+        assert (
+            serial.metrics.to_comparable_dict()
+            == process.metrics.to_comparable_dict()
+        ), "serial and process tile-plan backends diverged"
+        assert serial.handovers == process.handovers
+        assert serial.ghost_registrations == process.ghost_registrations
+        assert serial.devices_per_shard == process.devices_per_shard
+        assert serial.ghost_registrations > 0, "no border ghost exchanged"
+        assert all(n > 0 for n in serial.devices_per_shard)
+
+    def test_tile_replay_is_byte_identical(self):
+        first = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        second = run_crowd_scenario_sharded(backend="serial", **self.KWARGS)
+        assert (
+            first.metrics.to_comparable_dict()
+            == second.metrics.to_comparable_dict()
+        )
+
+    def test_tile_delivery_matches_unsharded(self):
+        # Same completeness promise as the band plan: the partition shape
+        # must not cost a single heartbeat vs the unsharded kernel.
+        kwargs = dict(
+            n_devices=60, relay_fraction=0.25, duration_s=120.0,
+            hotspots=6, mobile_fraction=0.3, seed=3,
+        )
+        unsharded = run_crowd_scenario(arena=Arena(400.0, 120.0), **kwargs)
+        tiled = run_crowd_scenario_sharded(
+            arena=Arena(400.0, 120.0), shards=3, cells_x=2, cells_y=2,
+            shard_plan="tiles", **kwargs
+        )
+        assert set(tiled.metrics.devices) == set(unsharded.metrics.devices)
+        assert (
+            tiled.metrics.delivery.received
+            == unsharded.metrics.delivery.received
+        )
+        assert (
+            tiled.metrics.delivery.on_time
+            == unsharded.metrics.delivery.on_time
+        )
+
+
 class TestChannelModeIdentity:
     """Channel-mode runs obey the same replay and index contracts."""
 

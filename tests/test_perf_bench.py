@@ -106,3 +106,66 @@ class TestCompareReports:
         del current["cases"][bench.GATE_CASE]
         failures = bench.compare_reports(current, _report(3.0))
         assert failures and "missing" in failures[0]
+
+
+class TestCompareReportsMultiCase:
+    """The gate generalizes: per-case ratios, partial runs, delivery."""
+
+    @staticmethod
+    def _balanced_report(speedup_critical, delivery=True, only=None):
+        report = {
+            "schema": bench.BENCH_SCHEMA,
+            "rev": "deadbee",
+            "cases": {
+                "crowd-20000-balanced": {
+                    "wall_s": 1.0,
+                    "speedup_tiles_critical": speedup_critical,
+                    "delivery_close": delivery,
+                }
+            },
+        }
+        if only is not None:
+            report["only"] = only
+        return report
+
+    def test_partial_only_run_may_omit_the_gate_case(self):
+        current = self._balanced_report(1.7, only="crowd-20000-balanced")
+        baseline = self._balanced_report(1.7)
+        assert bench.compare_reports(current, baseline) == []
+
+    def test_full_report_still_requires_the_gate_case(self):
+        failures = bench.compare_reports(
+            self._balanced_report(1.7), self._balanced_report(1.7)
+        )
+        assert failures and "missing" in failures[0]
+
+    def test_delivery_divergence_fails(self):
+        current = self._balanced_report(
+            1.7, delivery=False, only="crowd-20000-balanced"
+        )
+        failures = bench.compare_reports(current, self._balanced_report(1.7))
+        assert failures and "delivered different" in failures[0]
+
+    def test_per_case_ratio_regression_fails(self):
+        current = self._balanced_report(1.0, only="crowd-20000-balanced")
+        failures = bench.compare_reports(current, self._balanced_report(1.7))
+        assert failures and "speedup_tiles_critical regressed" in failures[0]
+
+    def test_cases_absent_from_the_baseline_are_not_gated(self):
+        # a baseline predating a new case must not block it
+        current = self._balanced_report(1.7, only="crowd-20000-balanced")
+        baseline = _report(3.0)
+        assert bench.compare_reports(current, baseline) == []
+
+
+class TestCommaSeparatedOnly:
+    def test_run_suite_selects_multiple_cases(self):
+        report = bench.run_suite(quick=True, repeats=1, only="kernel,pair")
+        assert list(report["cases"]) == ["kernel", "pair"]
+        assert report["only"] == "kernel,pair"
+
+    def test_unknown_member_of_a_list_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown bench case"):
+            bench.run_suite(quick=True, repeats=1, only="kernel,warp-drive")

@@ -146,3 +146,48 @@ class TestLiveCountBookkeeping:
         head.cancel()
         assert queue.pop_until(2.0).name == "live"
         assert queue.pop_until(2.0) is None
+
+
+class TestTimestampBuckets:
+    """Same-deadline cohorts share one heap entry (the wakeup batching)."""
+
+    def test_coalesced_counters_track_shared_deadlines(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        assert queue.coalesced_pushes == 0  # first at its timestamp: a sift
+        queue.push(1.0, _noop)
+        queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        assert queue.coalesced_pushes == 2
+        for _ in range(4):
+            queue.pop()
+        # every pop but a bucket's last is served without a heap traversal
+        assert queue.coalesced_pops == 2
+
+    def test_one_heap_entry_per_distinct_timestamp(self):
+        queue = EventQueue()
+        for _ in range(5):
+            queue.push(1.0, _noop)
+        for _ in range(3):
+            queue.push(2.0, _noop)
+        assert len(queue._heap) == 2
+        assert len(queue) == 8
+
+    def test_bucket_fifo_interleaves_with_unique_times(self):
+        queue = EventQueue()
+        queue.push(2.0, _noop, name="b1")
+        queue.push(1.0, _noop, name="a")
+        queue.push(2.0, _noop, name="b2")
+        queue.push(3.0, _noop, name="c")
+        queue.push(2.0, _noop, name="b3")
+        names = [queue.pop().name for _ in range(5)]
+        assert names == ["a", "b1", "b2", "b3", "c"]
+
+    def test_cancelled_members_anywhere_in_a_bucket_are_skipped(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop, name="a")
+        middle = queue.push(1.0, _noop, name="b")
+        queue.push(1.0, _noop, name="c")
+        middle.cancel()
+        assert [queue.pop().name for _ in range(2)] == ["a", "c"]
+        assert queue.pop() is None
